@@ -1,0 +1,171 @@
+//! The baseline's serialization layer (its "Kryo").
+//!
+//! A compact, hand-rolled binary codec. Every stage boundary and every
+//! shuffle in the baseline engine pays one encode and one decode per record
+//! — the cost the PC object model eliminates by construction.
+
+/// Binary-serializable record. `Sync` is required so shared (cached)
+/// partitions can be read by several partition tasks concurrently.
+pub trait Codec: Clone + Send + Sync + 'static {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(inp: &mut &[u8]) -> Self;
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.encode(&mut v);
+        v
+    }
+}
+
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub fn get_u32(inp: &mut &[u8]) -> u32 {
+    let (head, rest) = inp.split_at(4);
+    *inp = rest;
+    u32::from_le_bytes(head.try_into().unwrap())
+}
+
+macro_rules! codec_prim {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn decode(inp: &mut &[u8]) -> Self {
+                const N: usize = std::mem::size_of::<$t>();
+                let (head, rest) = inp.split_at(N);
+                *inp = rest;
+                <$t>::from_le_bytes(head.try_into().unwrap())
+            }
+        }
+    )*};
+}
+
+codec_prim!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+impl Codec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(inp: &mut &[u8]) -> Self {
+        let v = inp[0] != 0;
+        *inp = &inp[1..];
+        v
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.len() as u32);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(inp: &mut &[u8]) -> Self {
+        let n = get_u32(inp) as usize;
+        let (head, rest) = inp.split_at(n);
+        *inp = rest;
+        String::from_utf8(head.to_vec()).expect("codec: invalid utf8")
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.len() as u32);
+        for x in self {
+            x.encode(out);
+        }
+    }
+    fn decode(inp: &mut &[u8]) -> Self {
+        let n = get_u32(inp) as usize;
+        (0..n).map(|_| T::decode(inp)).collect()
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(inp: &mut &[u8]) -> Self {
+        (A::decode(inp), B::decode(inp))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(inp: &mut &[u8]) -> Self {
+        (A::decode(inp), B::decode(inp), C::decode(inp))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(inp: &mut &[u8]) -> Self {
+        let tag = inp[0];
+        *inp = &inp[1..];
+        if tag == 0 {
+            None
+        } else {
+            Some(T::decode(inp))
+        }
+    }
+}
+
+/// Encodes a whole partition: count-prefixed records.
+pub fn encode_partition<T: Codec>(records: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * 16 + 4);
+    put_u32(&mut out, records.len() as u32);
+    for r in records {
+        r.encode(&mut out);
+    }
+    out
+}
+
+/// Decodes a whole partition.
+pub fn decode_partition<T: Codec>(mut bytes: &[u8]) -> Vec<T> {
+    let n = get_u32(&mut bytes) as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(T::decode(&mut bytes));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v: Vec<(String, Vec<i64>)> =
+            vec![("a".into(), vec![1, 2, 3]), ("bb".into(), vec![]), ("".into(), vec![-5])];
+        let bytes = encode_partition(&v);
+        let back: Vec<(String, Vec<i64>)> = decode_partition(&bytes);
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn roundtrip_floats_and_options() {
+        let v: Vec<Option<(f64, bool)>> = vec![None, Some((1.5, true)), Some((-0.0, false))];
+        let bytes = encode_partition(&v);
+        let back: Vec<Option<(f64, bool)>> = decode_partition(&bytes);
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,30 @@
+//! # pc-baseline — a managed-runtime dataflow engine (the Spark stand-in)
+//!
+//! The paper benchmarks PlinyCompute against Apache Spark and attributes
+//! Spark's costs to its managed runtime: object (de)serialization at stage
+//! and shuffle boundaries, per-record boxed-object allocation, and generic
+//! record-at-a-time dispatch. Since Spark itself is a closed substrate for
+//! this reproduction, this crate implements a *real, working* local
+//! dataflow engine with exactly those cost characteristics:
+//!
+//! * data at rest between stages is **serialized bytes** (our "Kryo" — the
+//!   [`Codec`] trait); every transformation deserializes its input
+//!   partition, computes over owned boxed values, and re-serializes its
+//!   output (unless explicitly `cache()`d, the "in-RAM deserialized RDD"
+//!   configuration of Table 3);
+//! * shuffles (`reduce_by_key`, `join`) always serialize, as Spark's do;
+//! * the knobs the paper's Spark expert had to turn exist here too:
+//!   [`SparkConfig::broadcast_join_hint`] and [`SparkConfig::persist_hint`]
+//!   (Table 4's tuning ladder), plus a `Dataset` wrapper that pays an RDD
+//!   conversion before iterative work (Table 6's observation).
+//!
+//! The costs are real — real codecs, real allocation churn, real hash
+//! shuffles — not injected sleeps.
+
+pub mod codec;
+pub mod dataset;
+pub mod rdd;
+
+pub use codec::Codec;
+pub use dataset::Dataset;
+pub use rdd::{Rdd, SparkConfig, SparkLike, StorageLevel};

@@ -1,0 +1,33 @@
+//! Criterion benches for the dense kernels (Table 8's axis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lillinalg::kernels::{matmul_blocked, matmul_naive};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    for n in [128usize, 256] {
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 97) as f64 / 97.0).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| (i % 89) as f64 / 89.0).collect();
+        let mut out = vec![0.0; n * n];
+        let mut g = c.benchmark_group(format!("matmul_{n}"));
+        g.sample_size(10);
+        g.bench_function("naive_gsl_like", |bench| {
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul_naive(&a, &b, &mut out, n, n, n);
+                black_box(out[0])
+            })
+        });
+        g.bench_function("blocked_eigen_like", |bench| {
+            bench.iter(|| {
+                out.fill(0.0);
+                matmul_blocked(&a, &b, &mut out, n, n, n);
+                black_box(out[0])
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

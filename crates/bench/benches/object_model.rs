@@ -1,0 +1,101 @@
+//! Criterion micro-benches for the PC object model: the costs the paper's
+//! design eliminates (serialization) or controls (allocation policy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_baseline::codec::{decode_partition, encode_partition};
+use pc_lambda::SetWriter;
+use pc_object::{make_object, AllocPolicy, AllocScope, AnyObj, Handle, PcVec, SealedPage};
+use std::hint::black_box;
+
+fn build_page(n: usize) -> SealedPage {
+    let mut w = SetWriter::new(1 << 22);
+    for i in 0..n {
+        w.write_with(|| {
+            let v = make_object::<PcVec<f64>>()?;
+            v.extend_from_slice(&[i as f64; 16])?;
+            Ok(v.erase())
+        })
+        .unwrap();
+    }
+    w.finish().unwrap().into_iter().next().unwrap()
+}
+
+/// Moving data PC-style (page memcpy) vs baseline-style (codec round trip).
+fn bench_data_movement(c: &mut Criterion) {
+    let page = build_page(2000);
+    let rows: Vec<Vec<f64>> = (0..2000).map(|i| vec![i as f64; 16]).collect();
+    let mut g = c.benchmark_group("movement_2000x16f64");
+    g.bench_function("pc_page_ship_bytes", |b| {
+        b.iter(|| {
+            let bytes = page.to_bytes();
+            let back = SealedPage::from_bytes(&bytes).unwrap();
+            black_box(back.used())
+        })
+    });
+    g.bench_function("baseline_codec_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = encode_partition(&rows);
+            let back: Vec<Vec<f64>> = decode_partition(&bytes);
+            black_box(back.len())
+        })
+    });
+    g.finish();
+}
+
+/// Reading every object: zero-copy page views vs decoding.
+fn bench_scan(c: &mut Criterion) {
+    let page = build_page(2000);
+    let rows: Vec<Vec<f64>> = (0..2000).map(|i| vec![i as f64; 16]).collect();
+    let blob = encode_partition(&rows);
+    let mut g = c.benchmark_group("scan_2000x16f64");
+    g.bench_function("pc_zero_copy_view", |b| {
+        b.iter(|| {
+            let (_blk, root) = page.open_view().unwrap();
+            let v = root.downcast::<PcVec<Handle<AnyObj>>>().unwrap();
+            let mut acc = 0.0;
+            for h in v.iter() {
+                let vec: Handle<PcVec<f64>> = h.assume();
+                acc += vec.as_slice()[0];
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("baseline_decode_then_scan", |b| {
+        b.iter(|| {
+            let decoded: Vec<Vec<f64>> = decode_partition(&blob);
+            let acc: f64 = decoded.iter().map(|r| r[0]).sum();
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// Appendix B's allocation policies.
+fn bench_alloc_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_policy_churn");
+    for (name, policy) in [
+        ("lightweight_reuse", AllocPolicy::LightweightReuse),
+        ("no_reuse", AllocPolicy::NoReuse),
+        ("recycling", AllocPolicy::Recycling),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let scope = AllocScope::with_policy(1 << 22, policy);
+                for i in 0..200 {
+                    let v = make_object::<PcVec<f64>>().unwrap();
+                    v.extend_from_slice(&[i as f64; 8]).unwrap();
+                    // v drops each round: churn exercises the policy
+                }
+                black_box(scope.block().used())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_data_movement, bench_scan, bench_alloc_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro all [--quick]       run everything
+//! repro table2 [--quick]    one table (table1..table8)
+//! repro figure1             one figure (figure1..figure5)
+//! ```
+
+use pc_bench::{figures, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    match what {
+        "all" => {
+            let d = tables::all(quick);
+            println!();
+            figures::figure1();
+            println!();
+            figures::figure2();
+            println!();
+            figures::figure3();
+            println!();
+            figures::figure4();
+            println!();
+            figures::figure5();
+            eprintln!("\n(total table time: {:?})", d);
+        }
+        "table1" => tables::table1(),
+        "table2" => tables::table2(quick),
+        "table3" => tables::table3(quick),
+        "table4" => tables::table4(quick),
+        "table5" => tables::table5(quick),
+        "table6" => tables::table6(quick),
+        "table7" => tables::table7(),
+        "table8" => tables::table8(quick),
+        "figure1" => figures::figure1(),
+        "figure2" => figures::figure2(),
+        "figure3" => figures::figure3(),
+        "figure4" => figures::figure4(),
+        "figure5" => figures::figure5(),
+        other => {
+            eprintln!("unknown experiment {other}; use all|table1..table8|figure1..figure5");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! # pc-bench — the experiment harness
+//!
+//! One function per table and figure of the paper's evaluation (§8). The
+//! `repro` binary dispatches on the experiment name; `cargo bench` runs the
+//! Criterion micro-benches. Absolute numbers are laptop-scale (see
+//! EXPERIMENTS.md for the size mapping); the *shape* of each comparison is
+//! what reproduces the paper.
+
+pub mod figures;
+pub mod tables;
+pub mod util;

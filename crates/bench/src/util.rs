@@ -1,0 +1,32 @@
+//! Timing and formatting helpers.
+
+use std::time::{Duration, Instant};
+
+/// Times one run of `f`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed())
+}
+
+/// Formats a duration like the paper's MM:SS tables, with millisecond
+/// precision for laptop-scale runs.
+pub fn fmt_dur(d: Duration) -> String {
+    let ms = d.as_millis();
+    if ms >= 60_000 {
+        format!("{:02}:{:02}", ms / 60_000, (ms % 60_000) / 1000)
+    } else if ms >= 1000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else {
+        format!("{ms}ms")
+    }
+}
+
+/// Prints a row of a fixed-width table.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}

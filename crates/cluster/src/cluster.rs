@@ -1,0 +1,263 @@
+//! The cluster: master node + worker nodes (Figure 4), and the distributed
+//! query scheduler that turns a physical plan into JobStages.
+
+use crate::stages;
+use pc_exec::{plan, ExecConfig, ExecStats, PhysicalPlan, Sink, Source};
+use pc_lambda::{CompiledQuery, ErasedAgg, SetWriter, StageLibrary};
+use pc_object::{AnyHandle, PcResult, SealedPage};
+use pc_storage::{Catalog, StorageManager, WorkerTypeCatalog};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cluster shape and executor tuning.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Pipelining threads per worker (Appendix D.2's N).
+    pub threads_per_worker: usize,
+    /// Combining threads per worker for aggregation (Appendix D.2's K).
+    pub combine_threads: usize,
+    /// Per-pipeline executor knobs.
+    pub exec: ExecConfig,
+    /// Build sides smaller than this broadcast; larger ones hash-partition
+    /// (the §8.3.2 "two gigabytes" rule, scaled down).
+    pub broadcast_threshold: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 4,
+            threads_per_worker: 2,
+            combine_threads: 2,
+            exec: ExecConfig::default(),
+            broadcast_threshold: 64 << 20,
+        }
+    }
+}
+
+/// Cluster-wide execution statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterStats {
+    pub exec: ExecStats,
+    /// Bytes that crossed the simulated network.
+    pub bytes_shuffled: u64,
+    /// Pages that crossed the simulated network.
+    pub pages_shuffled: u64,
+    /// Broadcast join tables shipped.
+    pub tables_broadcast: u64,
+}
+
+/// One worker node: its own storage (buffer pool + spill dir) and local
+/// type catalog. The "front-end"/"backend" split of §2 maps to the storage
+/// service (front-end, crash-proof) vs. the executor threads (backend,
+/// running user kernels).
+pub struct WorkerNode {
+    pub id: usize,
+    pub storage: StorageManager,
+    pub types: WorkerTypeCatalog,
+}
+
+/// The cluster handle — what a `PcClient` talks to.
+pub struct PcCluster {
+    pub config: ClusterConfig,
+    pub catalog: Arc<Catalog>,
+    pub workers: Vec<WorkerNode>,
+    bytes_shuffled: AtomicU64,
+    pages_shuffled: AtomicU64,
+    tables_broadcast: AtomicU64,
+    round_robin: AtomicU64,
+}
+
+impl PcCluster {
+    /// Boots a cluster with per-worker temp spill directories.
+    pub fn new(config: ClusterConfig) -> PcResult<Self> {
+        let catalog = Arc::new(Catalog::new());
+        let base = std::env::temp_dir().join(format!(
+            "pccluster_{}_{}",
+            std::process::id(),
+            crate::cluster::unique_suffix()
+        ));
+        let mut workers = Vec::with_capacity(config.workers);
+        for id in 0..config.workers {
+            let storage = StorageManager::new(
+                catalog.clone(),
+                1 << 30,
+                base.join(format!("worker{id}")),
+            )?;
+            workers.push(WorkerNode { id, storage, types: WorkerTypeCatalog::new() });
+        }
+        Ok(PcCluster {
+            config,
+            catalog,
+            workers,
+            bytes_shuffled: AtomicU64::new(0),
+            pages_shuffled: AtomicU64::new(0),
+            tables_broadcast: AtomicU64::new(0),
+            round_robin: AtomicU64::new(0),
+        })
+    }
+
+    /// Ships a page across the simulated network: a byte-level copy. The
+    /// receiving side's page is valid with zero per-object work.
+    pub fn ship(&self, page: &SealedPage) -> PcResult<SealedPage> {
+        let bytes = page.to_bytes();
+        self.bytes_shuffled.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.pages_shuffled.fetch_add(1, Ordering::Relaxed);
+        SealedPage::from_bytes(&bytes)
+    }
+
+    pub fn stats_snapshot(&self) -> ClusterStats {
+        ClusterStats {
+            exec: ExecStats::default(),
+            bytes_shuffled: self.bytes_shuffled.load(Ordering::Relaxed),
+            pages_shuffled: self.pages_shuffled.load(Ordering::Relaxed),
+            tables_broadcast: self.tables_broadcast.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_broadcast(&self) {
+        self.tables_broadcast.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------- storage
+
+    /// Creates a set cluster-wide (errors if present).
+    pub fn create_set(&self, db: &str, set: &str) -> PcResult<()> {
+        self.catalog.create_set(db, set)?;
+        Ok(())
+    }
+
+    /// Creates or clears a set cluster-wide.
+    pub fn create_or_clear_set(&self, db: &str, set: &str) -> PcResult<()> {
+        self.catalog.ensure_set(db, set);
+        self.catalog.reset_set(db, set);
+        for w in &self.workers {
+            w.storage.create_or_clear_set(db, set)?;
+        }
+        Ok(())
+    }
+
+    /// Dispatches client pages round-robin across workers (`sendData`): the
+    /// allocation block travels in its entirety, no pre-processing (§3).
+    pub fn send_pages(&self, db: &str, set: &str, pages: Vec<SealedPage>) -> PcResult<()> {
+        for page in pages {
+            let w = (self.round_robin.fetch_add(1, Ordering::Relaxed) as usize) % self.workers.len();
+            let shipped = self.ship(&page)?;
+            self.workers[w].storage.append_page(db, set, shipped)?;
+        }
+        Ok(())
+    }
+
+    /// Gathers a set's pages from every worker (client-side read).
+    pub fn scan_set(&self, db: &str, set: &str) -> PcResult<Vec<Arc<SealedPage>>> {
+        let mut all = Vec::new();
+        for w in &self.workers {
+            all.extend(w.storage.scan(db, set)?);
+        }
+        Ok(all)
+    }
+
+    /// Iterates every object of a set as untyped handles.
+    pub fn scan_objects(&self, db: &str, set: &str) -> PcResult<Vec<AnyHandle>> {
+        let mut out = Vec::new();
+        for page in self.scan_set(db, set)? {
+            let (_b, root) = page.open_view()?;
+            let v = root.downcast::<pc_object::PcVec<pc_object::Handle<pc_object::AnyObj>>>()?;
+            for h in v.iter() {
+                out.push(h.erase());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total objects in a set (catalog metadata).
+    pub fn set_size(&self, db: &str, set: &str) -> u64 {
+        self.catalog.set_meta(db, set).map(|m| m.objects).unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------ execution
+
+    /// Optimizes, plans, and executes a compiled query across the cluster.
+    pub fn execute(&self, q: &CompiledQuery) -> PcResult<ClusterStats> {
+        let mut tcap = q.tcap.clone();
+        pc_tcap::optimize(&mut tcap);
+        let physical = plan(&tcap)?;
+        self.run_physical(&physical, &q.stages, &q.aggs)
+    }
+
+    /// Executes an already-planned query.
+    pub fn run_physical(
+        &self,
+        physical: &PhysicalPlan,
+        stages: &StageLibrary,
+        aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
+    ) -> PcResult<ClusterStats> {
+        let before = self.stats_snapshot();
+        let mut exec = ExecStats::default();
+        // Broadcast join tables live as shared page lists, one per join.
+        let mut tables: HashMap<String, (usize, Vec<Arc<SealedPage>>)> = HashMap::new();
+        for p in &physical.pipelines {
+            let s = stages::run_stage_distributed(self, p, stages, aggs, &mut tables)?;
+            exec.absorb(&s);
+            exec.pipelines_run += 1;
+        }
+        let after = self.stats_snapshot();
+        Ok(ClusterStats {
+            exec,
+            bytes_shuffled: after.bytes_shuffled - before.bytes_shuffled,
+            pages_shuffled: after.pages_shuffled - before.pages_shuffled,
+            tables_broadcast: after.tables_broadcast - before.tables_broadcast,
+        })
+    }
+
+    /// Pages of `source` local to worker `w`.
+    pub(crate) fn local_pages(&self, w: usize, source: &Source) -> PcResult<Vec<Arc<SealedPage>>> {
+        match source {
+            Source::Set { db, set, .. } => self.workers[w].storage.scan(db, set),
+            Source::Intermediate { list, .. } => self.workers[w].storage.scan(pc_exec::TMP_DB, list),
+        }
+    }
+
+    /// Appends result pages for a sink on worker `w`.
+    pub(crate) fn store_output(
+        &self,
+        w: usize,
+        sink: &Sink,
+        pages: Vec<SealedPage>,
+    ) -> PcResult<()> {
+        let (db, set) = match sink {
+            Sink::Output { db, set, .. } => (db.clone(), set.clone()),
+            Sink::Materialize { list, .. } => {
+                self.catalog.ensure_set(pc_exec::TMP_DB, list);
+                (pc_exec::TMP_DB.to_string(), list.clone())
+            }
+            _ => unreachable!("store_output on non-page sink"),
+        };
+        for page in pages {
+            self.workers[w].storage.append_page(&db, &set, page)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes typed client data into sealed pages ready for `send_pages`.
+pub fn pages_from<I>(page_size: usize, objs: I) -> PcResult<Vec<SealedPage>>
+where
+    I: IntoIterator,
+    I::Item: FnOnce() -> PcResult<AnyHandle>,
+{
+    let mut w = SetWriter::new(page_size);
+    for make in objs {
+        let mut make = Some(make);
+        w.write_with(|| (make.take().expect("single call"))())?;
+    }
+    w.finish()
+}
+
+pub(crate) fn unique_suffix() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}

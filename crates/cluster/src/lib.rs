@@ -1,0 +1,25 @@
+//! # pc-cluster — PlinyCompute's simulated distributed runtime
+//!
+//! Implements §2 and Appendix D on a single machine: a **master** (catalog,
+//! TCAP optimizer, distributed query scheduler) plus N **workers**, each
+//! with its own storage manager, buffer pool, worker type catalog, and
+//! backend executor threads.
+//!
+//! Faithfulness notes (see DESIGN.md for the full substitution table):
+//!
+//! * All inter-node movement goes through `SealedPage::to_bytes` /
+//!   `from_bytes` — a byte-level copy standing in for the network. Pages
+//!   arrive valid with zero per-object work, and the cluster counts every
+//!   shuffled byte.
+//! * Distributed aggregation follows Appendix D.2: per-worker pipelining
+//!   threads pre-aggregate into hash-partitioned `Map` pages, pages flow
+//!   through a zero-copy pointer queue to combining threads, combined pages
+//!   shuffle to the partition's owner, and aggregation threads merge and
+//!   materialize.
+//! * Join build sides are broadcast when small (the §8.3.2 rule); the
+//!   hash-partition path repartitions probe rows to the partition owners.
+
+pub mod cluster;
+pub mod stages;
+
+pub use cluster::{ClusterConfig, ClusterStats, PcCluster};

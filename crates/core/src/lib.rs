@@ -1,0 +1,38 @@
+//! # pc-core — the PlinyCompute client API
+//!
+//! The user-facing facade of the system (§2, §3): create sets, ship data
+//! into the cluster (`send_data` moves whole allocation blocks with zero
+//! serialization), build a [`ComputationGraph`](pc_lambda::ComputationGraph), and
+//! [`execute_computations`](PcClient::execute_computations) — compilation
+//! to TCAP, rule-based optimization, physical planning, and distributed
+//! execution all happen behind this call, exactly as the paper's
+//! `pcClient.executeComputations(...)` does.
+//!
+//! ```
+//! use pc_core::prelude::*;
+//!
+//! pc_object! {
+//!     pub struct Point / PointView {
+//!         (x, set_x): f64,
+//!     }
+//! }
+//!
+//! let client = PcClient::local_small().unwrap();
+//! client.create_set("Mydb", "Myset").unwrap();
+//! client
+//!     .store("Mydb", "Myset", 100, |i| {
+//!         let p = make_object::<Point>()?;
+//!         p.v().set_x(i as f64)?;
+//!         Ok(p.erase())
+//!     })
+//!     .unwrap();
+//! let pts = client.iterate_set::<Point>("Mydb", "Myset").unwrap();
+//! assert_eq!(pts.len(), 100);
+//! ```
+
+pub mod client;
+pub mod prelude;
+
+pub use client::PcClient;
+pub use pc_cluster::{ClusterConfig, ClusterStats, PcCluster};
+pub use pc_exec::ExecConfig;

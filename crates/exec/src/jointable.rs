@@ -1,0 +1,224 @@
+//! Join hash tables (Appendix D.3): `Map<unsigned_t, Vector<Object>>`
+//! objects living on pages.
+//!
+//! A build-side entry stores `arity` object handles per match group (one
+//! per object column of a composite build side). Inserting deep-copies the
+//! objects onto the table's page — the same movement the original system
+//! performs when repartition sinks write `Map<unsigned_t, Vector<Object>>`
+//! pages. Probing walks the bucket in `arity`-sized groups; hash collisions
+//! are resolved by the residual predicate the compiler re-emits post-join.
+
+use pc_object::{
+    AllocPolicy, AnyHandle, AnyObj, BlockRef, Handle, PcError, PcMap, PcResult, PcVec, SealedPage,
+};
+
+type Bucket = Handle<PcVec<Handle<AnyObj>>>;
+type TableMap = PcMap<u64, Bucket>;
+
+/// One join input's hash table, possibly spanning several pages.
+pub struct JoinTable {
+    arity: usize,
+    page_size: usize,
+    pages: Vec<(BlockRef, Handle<TableMap>)>,
+    /// Total object groups inserted.
+    pub groups: u64,
+}
+
+impl JoinTable {
+    pub fn new(arity: usize, page_size: usize) -> Self {
+        JoinTable { arity, page_size, pages: Vec::new(), groups: 0 }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn add_page(&mut self) -> PcResult<()> {
+        let block = BlockRef::new(self.page_size, AllocPolicy::LightweightReuse);
+        let map = block.make_object::<TableMap>()?;
+        block.set_root(&map);
+        self.pages.push((block, map));
+        Ok(())
+    }
+
+    /// Inserts one match group under `hash`.
+    pub fn insert(&mut self, hash: u64, objs: &[AnyHandle]) -> PcResult<()> {
+        debug_assert_eq!(objs.len(), self.arity);
+        if self.pages.is_empty() {
+            self.add_page()?;
+        }
+        let mut on_fresh_page = false;
+        for _ in 0..24 {
+            match self.try_insert_last(hash, objs) {
+                Ok(()) => {
+                    self.groups += 1;
+                    return Ok(());
+                }
+                Err(PcError::BlockFull { .. }) => {
+                    // Page full: start a new table page (probes consult
+                    // every page, so buckets may span pages). A fault on a
+                    // just-created page means the group itself exceeds the
+                    // page size: escalate before retrying.
+                    if on_fresh_page {
+                        self.page_size = (self.page_size * 2).min(256 << 20);
+                    }
+                    self.add_page()?;
+                    on_fresh_page = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(PcError::Catalog("join group exceeds the maximum page size".into()))
+    }
+
+    fn try_insert_last(&mut self, hash: u64, objs: &[AnyHandle]) -> PcResult<()> {
+        let (block, map) = self.pages.last().unwrap();
+        // Probe with the key's canonical slot hash (PcKey::hash_val) so the
+        // typed `get` path finds the same entry.
+        map.upsert_by(
+            pc_object::PcKey::hash_val(&hash),
+            |b, slot| b.read::<u64>(slot) == hash,
+            |_b| Ok(hash),
+            |_b| block.make_object::<PcVec<Handle<AnyObj>>>(),
+            |_b, _slot| Ok(()),
+        )?;
+        // Fetch the bucket and append the group (deep copies objects from
+        // the probe/input page onto the table page — §6.4's rule). The
+        // append must be atomic per group: a BlockFull fault after a partial
+        // push would tear the bucket's arity framing, so roll back before
+        // propagating the fault.
+        let bucket = map.get(&hash).expect("bucket just ensured");
+        let before = bucket.len();
+        for h in objs {
+            if let Err(e) = bucket.push(h.downcast_unchecked::<AnyObj>()) {
+                bucket.truncate(before);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Calls `f` with each match group for `hash`.
+    pub fn probe(&self, hash: u64, mut f: impl FnMut(&[AnyHandle]) -> PcResult<()>) -> PcResult<()> {
+        for (_block, map) in &self.pages {
+            if let Some(bucket) = map.get(&hash) {
+                let len = bucket.len();
+                debug_assert_eq!(len % self.arity, 0);
+                let mut group: Vec<AnyHandle> = Vec::with_capacity(self.arity);
+                let mut i = 0;
+                while i < len {
+                    group.clear();
+                    for k in 0..self.arity {
+                        group.push(bucket.get(i + k).erase());
+                    }
+                    f(&group)?;
+                    i += self.arity;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes across all table pages (planner statistics / broadcast choice).
+    pub fn bytes(&self) -> usize {
+        self.pages.iter().map(|(b, _)| b.used()).sum()
+    }
+
+    /// Seals the table into shippable pages (the broadcast/shuffle form of
+    /// a build side — its maps travel as raw pages, Appendix D.3).
+    pub fn into_pages(self) -> PcResult<Vec<SealedPage>> {
+        let mut out = Vec::with_capacity(self.pages.len());
+        for (block, map) in self.pages {
+            drop(map);
+            out.push(block.try_seal()?);
+        }
+        Ok(out)
+    }
+
+    /// Opens a read-only table over shipped pages (zero-copy views). Used by
+    /// every worker after a broadcast; `insert` must not be called on it.
+    pub fn from_shared_pages(
+        arity: usize,
+        page_size: usize,
+        pages: &[std::sync::Arc<SealedPage>],
+    ) -> PcResult<Self> {
+        let mut t = JoinTable::new(arity, page_size);
+        for p in pages {
+            let (block, root) = p.open_view()?;
+            let map = root.downcast::<TableMap>()?;
+            t.pages.push((block, map));
+        }
+        Ok(t)
+    }
+
+    /// Folds another table's pages into this one (merging per-thread builds
+    /// on a worker).
+    pub fn absorb(&mut self, other: JoinTable) {
+        debug_assert_eq!(self.arity, other.arity);
+        self.groups += other.groups;
+        self.pages.extend(other.pages);
+    }
+
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_object::{make_object, AllocScope};
+
+    #[test]
+    fn insert_and_probe_with_collisions_across_pages() {
+        let _s = AllocScope::new(1 << 18);
+        let mut t = JoinTable::new(1, 4096); // tiny pages force spanning
+        let mut sources = Vec::new();
+        for i in 0..200i64 {
+            let v = make_object::<PcVec<i64>>().unwrap();
+            v.push(i).unwrap();
+            sources.push(v);
+        }
+        for (i, v) in sources.iter().enumerate() {
+            // Two logical keys, heavy bucket fan-in.
+            let hash = (i % 2) as u64 + 1;
+            t.insert(hash, &[v.erase()]).unwrap();
+        }
+        assert!(t.page_count() > 1, "tiny pages must span ({} page)", t.page_count());
+        let mut seen = 0;
+        t.probe(1, |group| {
+            let v: Handle<PcVec<i64>> = group[0].downcast_unchecked::<AnyObj>().assume();
+            assert_eq!(v.get(0) % 2, 0);
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, 100);
+        let mut none = 0;
+        t.probe(99, |_| {
+            none += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn composite_arity_groups_probe_in_order() {
+        let _s = AllocScope::new(1 << 18);
+        let mut t = JoinTable::new(2, 1 << 16);
+        let a = make_object::<PcVec<i64>>().unwrap();
+        a.push(1).unwrap();
+        let b = make_object::<PcVec<i64>>().unwrap();
+        b.push(2).unwrap();
+        t.insert(7, &[a.erase(), b.erase()]).unwrap();
+        t.probe(7, |group| {
+            assert_eq!(group.len(), 2);
+            let x: Handle<PcVec<i64>> = group[0].downcast_unchecked::<AnyObj>().assume();
+            let y: Handle<PcVec<i64>> = group[1].downcast_unchecked::<AnyObj>().assume();
+            assert_eq!((x.get(0), y.get(0)), (1, 2));
+            Ok(())
+        })
+        .unwrap();
+    }
+}

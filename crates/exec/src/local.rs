@@ -1,0 +1,473 @@
+//! Pipeline execution.
+//!
+//! [`run_pipeline_stage`] is the core engine: it pushes every batch of one
+//! pipeline over a given list of input pages and returns what the pipe sink
+//! produced. [`LocalExecutor`] composes it into a single-node engine; the
+//! distributed runtime in `pc-cluster` calls the same function once per
+//! worker (a `PipelineJobStage`) and shuffles the outputs between nodes.
+//!
+//! Batch mechanics follow Appendix C: input pages stay pinned while a batch
+//! built from them is in flight; object-producing kernels allocate directly
+//! on the live output page (or a recycled scratch page for non-output
+//! sinks); `BlockFull` faults retire pages — zombifying them when in-flight
+//! columns still pin them — and retry the failed stage.
+
+use crate::jointable::JoinTable;
+use crate::plan::{plan, AggDest, PhysicalPlan, PipeOp, PipelineSpec, Sink, Source};
+use crate::vlist::VectorList;
+use pc_lambda::{
+    Column, ColumnKernel, CompiledQuery, ErasedAgg, ErasedAggSink, ExecCtx, SetWriter,
+    StageKernel, StageLibrary,
+};
+use pc_object::{
+    AllocPolicy, AllocScope, AnyHandle, AnyObj, BlockRef, Handle, PcError, PcResult, PcVec,
+    SealedPage,
+};
+use pc_storage::StorageManager;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Rows per vector list ("the number of objects in a vector can be
+    /// tuned to fit the L1 or L2 cache", §5.2).
+    pub batch_size: usize,
+    /// Output/table page size (PC's default is 256 MB; scaled down here).
+    pub page_size: usize,
+    /// Hash partitions for aggregation sinks.
+    pub agg_partitions: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { batch_size: 1024, page_size: 1 << 20, agg_partitions: 4 }
+    }
+}
+
+/// Run statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    pub pipelines_run: usize,
+    pub batches: u64,
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub pages_written: u64,
+    pub join_groups: u64,
+    pub agg_groups: u64,
+    pub max_zombie_pages: usize,
+}
+
+impl ExecStats {
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.batches += other.batches;
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.pages_written += other.pages_written;
+        self.join_groups += other.join_groups;
+        self.agg_groups += other.agg_groups;
+        self.max_zombie_pages = self.max_zombie_pages.max(other.max_zombie_pages);
+    }
+}
+
+/// What a pipeline's sink produced (before any storage/shuffle routing).
+pub enum PipelineOutput {
+    /// Sealed output pages (OUTPUT / materialization sinks).
+    Pages(Vec<SealedPage>),
+    /// A built join hash table.
+    BuiltTable(JoinTable),
+    /// Pre-aggregated `(partition, page)` pairs awaiting merge.
+    AggPartitions(Vec<(usize, SealedPage)>),
+}
+
+/// The database name intermediates are materialized under.
+pub const TMP_DB: &str = "__tmp";
+
+/// Runs one pipeline over `pages` (a `PipelineJobStage` in Appendix D's
+/// terms). `tables` supplies the hash tables for every join this pipeline
+/// probes.
+pub fn run_pipeline_stage(
+    config: &ExecConfig,
+    p: &PipelineSpec,
+    pages: &[Arc<SealedPage>],
+    stages: &StageLibrary,
+    aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
+    tables: &HashMap<String, JoinTable>,
+) -> PcResult<(PipelineOutput, ExecStats)> {
+    let mut stats = ExecStats::default();
+    let source_col = match &p.source {
+        Source::Set { col, .. } | Source::Intermediate { col, .. } => col.clone(),
+    };
+    let mut writer: Option<SetWriter> = match &p.sink {
+        Sink::Output { .. } | Sink::Materialize { .. } => Some(SetWriter::new(config.page_size)),
+        _ => None,
+    };
+    let mut agg_sink: Option<Box<dyn ErasedAggSink>> = match &p.sink {
+        Sink::AggProduce { comp, .. } => {
+            let agg = aggs
+                .get(comp)
+                .ok_or_else(|| PcError::Catalog(format!("no aggregation engine for {comp}")))?;
+            Some(agg.new_sink(config.agg_partitions, config.page_size))
+        }
+        _ => None,
+    };
+    let mut build_table = match &p.sink {
+        Sink::JoinBuild { obj_cols, .. } => Some(JoinTable::new(obj_cols.len(), config.page_size)),
+        _ => None,
+    };
+    let mut scratch = ScratchPage::new(config.page_size);
+
+    for page in pages {
+        // Zero-copy read view of the input page (pinned while the Arc and
+        // the batch's handles live).
+        let (_block, root) = page.open_view()?;
+        let root: Handle<PcVec<Handle<AnyObj>>> = root.downcast()?;
+        let total = root.len();
+        let mut at = 0usize;
+        while at < total {
+            let hi = (at + config.batch_size).min(total);
+            let mut vl = VectorList::new();
+            let handles: Vec<AnyHandle> = (at..hi).map(|i| root.get(i).erase()).collect();
+            stats.rows_in += handles.len() as u64;
+            vl.push(&source_col, Column::Obj(handles));
+            at = hi;
+
+            run_batch(p, stages, tables, &mut vl, &mut writer, &mut agg_sink, &mut build_table, &mut scratch)?;
+            stats.batches += 1;
+            // Batch boundary: the vector list dies, zombies release.
+            vl.clear();
+            if let Some(w) = writer.as_mut() {
+                stats.max_zombie_pages = stats.max_zombie_pages.max(w.max_zombies);
+                w.release_zombies()?;
+            }
+        }
+    }
+
+    let output = match &p.sink {
+        Sink::Output { .. } | Sink::Materialize { .. } => {
+            let w = writer.take().unwrap();
+            stats.rows_out += w.objects_written;
+            let pages = w.finish()?;
+            stats.pages_written += pages.len() as u64;
+            PipelineOutput::Pages(pages)
+        }
+        Sink::JoinBuild { .. } => {
+            let t = build_table.take().unwrap();
+            stats.join_groups += t.groups;
+            PipelineOutput::BuiltTable(t)
+        }
+        Sink::AggProduce { .. } => {
+            let mut sink = agg_sink.take().unwrap();
+            PipelineOutput::AggPartitions(sink.flush()?)
+        }
+    };
+    Ok((output, stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_batch(
+    p: &PipelineSpec,
+    stages: &StageLibrary,
+    tables: &HashMap<String, JoinTable>,
+    vl: &mut VectorList,
+    writer: &mut Option<SetWriter>,
+    agg_sink: &mut Option<Box<dyn ErasedAggSink>>,
+    build_table: &mut Option<JoinTable>,
+    scratch: &mut ScratchPage,
+) -> PcResult<()> {
+    for op in &p.ops {
+        if vl.is_empty() {
+            return Ok(());
+        }
+        match op {
+            PipeOp::Apply { comp, stage, inputs, out, keep } => {
+                let kernel = match stages.get(comp, stage) {
+                    Some(StageKernel::Map(k)) => k.clone(),
+                    _ => {
+                        return Err(PcError::Catalog(format!(
+                            "no map kernel registered for {comp}.{stage}"
+                        )))
+                    }
+                };
+                let col = apply_with_retry(&kernel, inputs, vl, writer, scratch)?;
+                vl.push(out, col);
+                retain_with_hashes(vl, keep);
+            }
+            PipeOp::Filter { bool_col, keep } => {
+                let mask: Vec<bool> = vl.col(bool_col)?.as_bool()?.to_vec();
+                vl.filter(&mask);
+                retain_with_hashes(vl, keep);
+            }
+            PipeOp::FlatMap { comp, stage, input, out, keep } => {
+                let kernel = match stages.get(comp, stage) {
+                    Some(StageKernel::FlatMap(k)) => k.clone(),
+                    _ => {
+                        return Err(PcError::Catalog(format!(
+                            "no flatmap kernel registered for {comp}.{stage}"
+                        )))
+                    }
+                };
+                let mut result = None;
+                for attempt in 0..8 {
+                    let block = kernel_block(writer, scratch)?;
+                    let scope = AllocScope::install(block.clone());
+                    let mut ctx = ExecCtx::new(block);
+                    let r = kernel.apply(&[vl.col(input)?], &mut ctx);
+                    drop(scope);
+                    match r {
+                        Ok(v) => {
+                            result = Some(v);
+                            break;
+                        }
+                        Err(PcError::BlockFull { .. }) if attempt < 7 => {
+                            roll_kernel_page(writer, scratch)?;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                let (col, counts) = result
+                    .ok_or_else(|| PcError::Catalog("flatmap exceeded page-fault retries".into()))?;
+                vl.replicate(&counts);
+                vl.push(out, col);
+                retain_with_hashes(vl, keep);
+            }
+            PipeOp::Hash { input, out, keep } => {
+                let col = {
+                    let mut ctx = ExecCtx::new(scratch.block()?);
+                    pc_lambda::kernel::HashKernel.apply(&[vl.col(input)?], &mut ctx)?
+                };
+                vl.push(out, col);
+                retain_with_hashes(vl, keep);
+            }
+            PipeOp::Probe { table, hash_col, build_cols, keep } => {
+                let t = tables
+                    .get(table)
+                    .ok_or_else(|| PcError::Catalog(format!("join table {table} not built")))?;
+                let hashes: Vec<u64> = vl.col(hash_col)?.as_u64()?.to_vec();
+                let mut idx: Vec<u32> = Vec::new();
+                let mut built: Vec<Vec<AnyHandle>> = (0..t.arity()).map(|_| Vec::new()).collect();
+                for (i, h) in hashes.iter().enumerate() {
+                    t.probe(*h, |group| {
+                        idx.push(i as u32);
+                        for (k, g) in group.iter().enumerate() {
+                            built[k].push(g.clone());
+                        }
+                        Ok(())
+                    })?;
+                }
+                vl.gather(&idx);
+                for (k, name) in build_cols.iter().enumerate() {
+                    vl.push(name, Column::Obj(std::mem::take(&mut built[k])));
+                }
+                retain_with_hashes(vl, keep);
+            }
+        }
+    }
+    if vl.is_empty() {
+        return Ok(());
+    }
+    match &p.sink {
+        Sink::Output { col, .. } | Sink::Materialize { col, .. } => {
+            let w = writer.as_mut().unwrap();
+            let objs: Vec<AnyHandle> = vl.col(col)?.as_obj()?.to_vec();
+            for h in &objs {
+                w.write_handle(h)?;
+            }
+        }
+        Sink::AggProduce { col, .. } => {
+            agg_sink.as_mut().unwrap().absorb(vl.col(col)?)?;
+        }
+        Sink::JoinBuild { hash_col, obj_cols, .. } => {
+            let t = build_table.as_mut().unwrap();
+            let hashes: Vec<u64> = vl.col(hash_col)?.as_u64()?.to_vec();
+            let cols: Vec<Vec<AnyHandle>> = obj_cols
+                .iter()
+                .map(|c| vl.col(c).and_then(|c| c.as_obj().map(|o| o.to_vec())))
+                .collect::<PcResult<_>>()?;
+            let mut group: Vec<AnyHandle> = Vec::with_capacity(cols.len());
+            for (i, h) in hashes.iter().enumerate() {
+                group.clear();
+                for c in &cols {
+                    group.push(c[i].clone());
+                }
+                t.insert(*h, &group)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The block kernels should allocate on: the live output page for
+/// OUTPUT-like sinks (objects land where they are needed), a recycled
+/// scratch page otherwise.
+fn kernel_block(writer: &mut Option<SetWriter>, scratch: &mut ScratchPage) -> PcResult<BlockRef> {
+    match writer {
+        Some(w) => w.live_block(),
+        None => scratch.block(),
+    }
+}
+
+fn roll_kernel_page(writer: &mut Option<SetWriter>, scratch: &mut ScratchPage) -> PcResult<()> {
+    match writer {
+        Some(w) => {
+            // Same-size retries can fault forever when one batch's output
+            // exceeds a page; escalate the page size as we retry.
+            w.escalate_page_size();
+            w.retire_live_page()
+        }
+        None => scratch.roll(),
+    }
+}
+
+fn apply_with_retry(
+    kernel: &Arc<dyn ColumnKernel>,
+    inputs: &[String],
+    vl: &VectorList,
+    writer: &mut Option<SetWriter>,
+    scratch: &mut ScratchPage,
+) -> PcResult<Column> {
+    for attempt in 0..8 {
+        let block = kernel_block(writer, scratch)?;
+        let scope = AllocScope::install(block.clone());
+        let mut ctx = ExecCtx::new(block);
+        let cols: Vec<&Column> = inputs.iter().map(|n| vl.col(n)).collect::<PcResult<Vec<_>>>()?;
+        let r = kernel.apply(&cols, &mut ctx);
+        drop(scope);
+        match r {
+            Ok(col) => return Ok(col),
+            Err(PcError::BlockFull { .. }) if attempt < 7 => {
+                // Page fault: retire the page (it may zombify if pinned by
+                // this batch's earlier columns), escalate, retry the stage.
+                roll_kernel_page(writer, scratch)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(PcError::Catalog("pipeline stage exceeded page-fault retries".into()))
+}
+
+/// Hash columns the join ops still need may be missing from `keep` when the
+/// optimizer pruned the original TCAP columns; conservatively retain every
+/// `hash*` column.
+fn retain_with_hashes(vl: &mut VectorList, keep: &[String]) {
+    let mut keep2 = keep.to_vec();
+    for n in vl.names() {
+        if n.starts_with("hash") && !keep2.iter().any(|k| k == n) {
+            keep2.push(n.to_string());
+        }
+    }
+    vl.retain(&keep2);
+}
+
+/// A recycled allocation page for intermediate objects in pipelines whose
+/// sink is not an output page (the paper's intermediate-data pages).
+struct ScratchPage {
+    size: usize,
+    block: Option<BlockRef>,
+}
+
+impl ScratchPage {
+    fn new(size: usize) -> Self {
+        ScratchPage { size, block: None }
+    }
+
+    fn block(&mut self) -> PcResult<BlockRef> {
+        if self.block.is_none() {
+            self.block = Some(BlockRef::new(self.size, AllocPolicy::LightweightReuse));
+        }
+        Ok(self.block.as_ref().unwrap().clone())
+    }
+
+    /// Abandons the current scratch page (a zombie page in §C's taxonomy —
+    /// it dies when the batch's handles drop) and escalates the size so a
+    /// batch whose intermediates exceed one page eventually fits.
+    fn roll(&mut self) -> PcResult<()> {
+        self.block = None;
+        self.size = (self.size * 2).min(256 << 20);
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------- local executor
+
+/// Executes physical plans on one node.
+pub struct LocalExecutor {
+    pub storage: StorageManager,
+    pub config: ExecConfig,
+}
+
+impl LocalExecutor {
+    pub fn new(storage: StorageManager, config: ExecConfig) -> Self {
+        LocalExecutor { storage, config }
+    }
+
+    /// Plans and runs a compiled query.
+    pub fn execute(&self, q: &CompiledQuery) -> PcResult<ExecStats> {
+        let physical = plan(&q.tcap)?;
+        self.run_plan(&physical, &q.stages, &q.aggs)
+    }
+
+    /// Runs an already-planned query.
+    pub fn run_plan(
+        &self,
+        physical: &PhysicalPlan,
+        stages: &StageLibrary,
+        aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
+    ) -> PcResult<ExecStats> {
+        let mut stats = ExecStats::default();
+        let mut tables: HashMap<String, JoinTable> = HashMap::new();
+        for p in &physical.pipelines {
+            let pages = match &p.source {
+                Source::Set { db, set, .. } => self.storage.scan(db, set)?,
+                Source::Intermediate { list, .. } => self.storage.scan(TMP_DB, list)?,
+            };
+            let (output, s) = run_pipeline_stage(&self.config, p, &pages, stages, aggs, &tables)?;
+            stats.absorb(&s);
+            match output {
+                PipelineOutput::Pages(pages) => {
+                    let (db, set) = match &p.sink {
+                        Sink::Output { db, set, .. } => (db.clone(), set.clone()),
+                        Sink::Materialize { list, .. } => {
+                            self.storage.catalog().ensure_set(TMP_DB, list);
+                            (TMP_DB.to_string(), list.clone())
+                        }
+                        _ => unreachable!(),
+                    };
+                    for page in pages {
+                        self.storage.append_page(&db, &set, page)?;
+                    }
+                }
+                PipelineOutput::BuiltTable(t) => {
+                    let Sink::JoinBuild { table, .. } = &p.sink else { unreachable!() };
+                    tables.insert(table.clone(), t);
+                }
+                PipelineOutput::AggPartitions(parts) => {
+                    // Local consuming stage (AggregationJobStage): merge all
+                    // partition pages, then materialize groups.
+                    let Sink::AggProduce { comp, dest, .. } = &p.sink else { unreachable!() };
+                    let agg = aggs.get(comp).unwrap();
+                    let mut merger = agg.new_merger(self.config.page_size);
+                    for (_part, page) in parts {
+                        merger.merge_page(page)?;
+                    }
+                    let mut out_writer = SetWriter::new(self.config.page_size);
+                    stats.agg_groups += merger.finalize(&mut out_writer)?;
+                    let (db, set): (&str, &str) = match dest {
+                        AggDest::Set { db, set } => (db, set),
+                        AggDest::Intermediate { list } => {
+                            self.storage.catalog().ensure_set(TMP_DB, list);
+                            (TMP_DB, list)
+                        }
+                    };
+                    stats.rows_out += out_writer.objects_written;
+                    for page in out_writer.finish()? {
+                        self.storage.append_page(db, set, page)?;
+                        stats.pages_written += 1;
+                    }
+                }
+            }
+            stats.pipelines_run += 1;
+        }
+        Ok(stats)
+    }
+}

@@ -1,0 +1,364 @@
+//! Physical planning (Appendix C "Breaking a TCAP DAG into Individual
+//! Pipelines", Appendix D's JobStages).
+//!
+//! The planner walks the optimized TCAP program and carves it into
+//! [`PipelineSpec`]s. A pipeline starts at a stored set (or a materialized
+//! intermediate), runs APPLY/FILTER/HASH/FLATMAP stages — and continues
+//! *through* joins on the probe side — until it reaches a pipe sink:
+//!
+//! * the build input of a JOIN (a `BuildHashTable` job stage),
+//! * an AGGREGATE (the producing stage of a distributed aggregation),
+//! * an OUTPUT, or
+//! * an edge with more than one consumer (forced materialization, as §C
+//!   prescribes).
+//!
+//! Build/probe side choice follows Appendix D.3 (the first n−1 inputs
+//! build, the last probes); [`describe_decompositions`] enumerates the
+//! alternative pipelinings of Figure 3 for inspection.
+
+use pc_object::{PcError, PcResult};
+use pc_tcap::ir::{TcapOp, TcapProgram};
+
+/// Where a pipeline reads its input objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// A stored set.
+    Set { db: String, set: String, col: String },
+    /// A materialized intermediate (stored under the `__tmp` database).
+    Intermediate { list: String, col: String },
+}
+
+/// One vectorized operation inside a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipeOp {
+    /// Run a compiled stage over `inputs`, appending `out`; then restrict
+    /// the vector list to `keep`.
+    Apply { comp: String, stage: String, inputs: Vec<String>, out: String, keep: Vec<String> },
+    /// Keep rows where `bool_col` is true; restrict to `keep`.
+    Filter { bool_col: String, keep: Vec<String> },
+    /// Set-valued stage: replaces the row set.
+    FlatMap { comp: String, stage: String, input: String, out: String, keep: Vec<String> },
+    /// Hash a key column into `out`.
+    Hash { input: String, out: String, keep: Vec<String> },
+    /// Probe the hash table built for join `table`; appends the build-side
+    /// object columns `build_cols` and fans out matches.
+    Probe { table: String, hash_col: String, build_cols: Vec<String>, keep: Vec<String> },
+}
+
+/// Where the aggregation result goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggDest {
+    /// Fused into a final stored set (AGGREGATE directly feeding OUTPUT).
+    Set { db: String, set: String },
+    /// A materialized intermediate consumed by later pipelines.
+    Intermediate { list: String },
+}
+
+/// The pipe sink ending a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sink {
+    /// Write the `col` objects to a stored set.
+    Output { db: String, set: String, col: String },
+    /// Build the hash table for join `table` from `hash_col` + `obj_cols`.
+    JoinBuild { table: String, hash_col: String, obj_cols: Vec<String> },
+    /// Pre-aggregate into partitioned maps (the producing stage).
+    AggProduce { comp: String, col: String, dest: AggDest },
+    /// Materialize a multi-consumer edge.
+    Materialize { list: String, col: String },
+}
+
+/// One pipeline: source → ops → sink.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    pub id: usize,
+    pub source: Source,
+    pub ops: Vec<PipeOp>,
+    pub sink: Sink,
+}
+
+impl PipelineSpec {
+    /// Join tables this pipeline probes.
+    pub fn probes(&self) -> Vec<&str> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                PipeOp::Probe { table, .. } => Some(table.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// What this pipeline produces (for dependency ordering).
+    pub fn produces(&self) -> Option<String> {
+        match &self.sink {
+            Sink::JoinBuild { table, .. } => Some(format!("table:{table}")),
+            Sink::AggProduce { dest: AggDest::Intermediate { list }, .. } => {
+                Some(format!("list:{list}"))
+            }
+            Sink::Materialize { list, .. } => Some(format!("list:{list}")),
+            _ => None,
+        }
+    }
+
+    /// What this pipeline requires before running.
+    pub fn requires(&self) -> Vec<String> {
+        let mut r: Vec<String> =
+            self.probes().into_iter().map(|t| format!("table:{t}")).collect();
+        if let Source::Intermediate { list, .. } = &self.source {
+            r.push(format!("list:{list}"));
+        }
+        r
+    }
+}
+
+/// A complete physical plan: pipelines in a dependency-respecting order.
+#[derive(Debug, Clone, Default)]
+pub struct PhysicalPlan {
+    pub pipelines: Vec<PipelineSpec>,
+}
+
+impl std::fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for p in &self.pipelines {
+            writeln!(f, "pipeline {}:", p.id)?;
+            writeln!(f, "  source: {:?}", p.source)?;
+            for op in &p.ops {
+                match op {
+                    PipeOp::Apply { comp, stage, inputs, out, .. } => {
+                        writeln!(f, "  apply {comp}.{stage}({inputs:?}) -> {out}")?
+                    }
+                    PipeOp::Filter { bool_col, .. } => writeln!(f, "  filter on {bool_col}")?,
+                    PipeOp::FlatMap { comp, stage, input, out, .. } => {
+                        writeln!(f, "  flatmap {comp}.{stage}({input}) -> {out}")?
+                    }
+                    PipeOp::Hash { input, out, .. } => writeln!(f, "  hash {input} -> {out}")?,
+                    PipeOp::Probe { table, hash_col, build_cols, .. } => {
+                        writeln!(f, "  probe {table} on {hash_col} -> {build_cols:?}")?
+                    }
+                }
+            }
+            writeln!(f, "  sink: {:?}", p.sink)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a physical plan from an (optimized) TCAP program.
+pub fn plan(prog: &TcapProgram) -> PcResult<PhysicalPlan> {
+    let mut pipelines: Vec<PipelineSpec> = Vec::new();
+    // Seeds: (source, producing list name). Expanded as materialization
+    // points are discovered.
+    let mut seeds: Vec<(Source, String)> = Vec::new();
+    for s in &prog.stmts {
+        if let TcapOp::Input { db, set, .. } = &s.op {
+            let col = s.output.cols.first().cloned().unwrap_or_default();
+            seeds.push((Source::Set { db: db.clone(), set: set.clone(), col }, s.output.name.clone()));
+        }
+    }
+
+    let mut done_seeds: Vec<String> = Vec::new();
+    while let Some((source, list)) = seeds.pop() {
+        if done_seeds.contains(&list) {
+            continue;
+        }
+        done_seeds.push(list.clone());
+        // One pipeline per consumer of the seed list.
+        for ci in prog.consumers(&list) {
+            let mut ops: Vec<PipeOp> = Vec::new();
+            let mut cur_stmt = ci;
+            let mut cur_list = list.clone();
+            let sink = loop {
+                let s = &prog.stmts[cur_stmt];
+                let keep = s.output.cols.clone();
+                match &s.op {
+                    TcapOp::Apply { input, computation, stage, .. } => {
+                        ops.push(PipeOp::Apply {
+                            comp: computation.clone(),
+                            stage: stage.clone(),
+                            inputs: input.cols.clone(),
+                            out: created(s).unwrap_or_default(),
+                            keep,
+                        });
+                    }
+                    TcapOp::Filter { bool_col, .. } => {
+                        ops.push(PipeOp::Filter { bool_col: bool_col.cols[0].clone(), keep });
+                    }
+                    TcapOp::FlatMap { input, computation, stage, .. } => {
+                        ops.push(PipeOp::FlatMap {
+                            comp: computation.clone(),
+                            stage: stage.clone(),
+                            input: input.cols[0].clone(),
+                            out: created(s).unwrap_or_default(),
+                            keep,
+                        });
+                    }
+                    TcapOp::Hash { input, .. } => {
+                        ops.push(PipeOp::Hash {
+                            input: input.cols[0].clone(),
+                            out: created(s).unwrap_or_default(),
+                            keep,
+                        });
+                    }
+                    TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, .. } => {
+                        if cur_list == lhs_hash.list {
+                            // Build side: pipeline ends here (Appendix D.3
+                            // builds from the first n-1 inputs).
+                            break Sink::JoinBuild {
+                                table: s.output.name.clone(),
+                                hash_col: lhs_hash.cols[0].clone(),
+                                obj_cols: lhs_copy.cols.clone(),
+                            };
+                        }
+                        debug_assert_eq!(cur_list, rhs_hash.list, "probe must arrive via rhs");
+                        // Probe side: run through the join.
+                        ops.push(PipeOp::Probe {
+                            table: s.output.name.clone(),
+                            hash_col: rhs_hash.cols[0].clone(),
+                            build_cols: lhs_copy.cols.clone(),
+                            keep,
+                        });
+                    }
+                    TcapOp::Aggregate { computation, key, .. } => {
+                        // Fuse with a sole downstream OUTPUT when possible.
+                        let out_list = s.output.name.clone();
+                        let consumers = prog.consumers(&out_list);
+                        let only_output = consumers.len() == 1
+                            && matches!(prog.stmts[consumers[0]].op, TcapOp::Output { .. });
+                        let dest = if only_output {
+                            if let TcapOp::Output { db, set, .. } = &prog.stmts[consumers[0]].op {
+                                AggDest::Set { db: db.clone(), set: set.clone() }
+                            } else {
+                                unreachable!()
+                            }
+                        } else {
+                            seeds.push((
+                                Source::Intermediate {
+                                    list: out_list.clone(),
+                                    col: s.output.cols[0].clone(),
+                                },
+                                out_list.clone(),
+                            ));
+                            AggDest::Intermediate { list: out_list.clone() }
+                        };
+                        break Sink::AggProduce {
+                            comp: computation.clone(),
+                            col: key.cols[0].clone(),
+                            dest,
+                        };
+                    }
+                    TcapOp::Output { input, db, set, .. } => {
+                        break Sink::Output {
+                            db: db.clone(),
+                            set: set.clone(),
+                            col: input.cols[0].clone(),
+                        };
+                    }
+                    TcapOp::Input { .. } => {
+                        return Err(PcError::Catalog("INPUT cannot consume a list".into()))
+                    }
+                }
+                // Advance to the single consumer of this statement's output;
+                // multiple consumers force materialization (§C).
+                let out_list = s.output.name.clone();
+                let consumers = prog.consumers(&out_list);
+                match consumers.len() {
+                    0 => {
+                        // Terminal non-OUTPUT list: materialize it so the
+                        // caller can inspect it (e.g. unit-test fragments).
+                        break Sink::Materialize {
+                            list: out_list.clone(),
+                            col: s.output.cols.first().cloned().unwrap_or_default(),
+                        };
+                    }
+                    1 => {
+                        cur_list = out_list;
+                        cur_stmt = consumers[0];
+                    }
+                    _ => {
+                        seeds.push((
+                            Source::Intermediate {
+                                list: out_list.clone(),
+                                col: s.output.cols.first().cloned().unwrap_or_default(),
+                            },
+                            out_list.clone(),
+                        ));
+                        break Sink::Materialize {
+                            list: out_list.clone(),
+                            col: s.output.cols.first().cloned().unwrap_or_default(),
+                        };
+                    }
+                }
+            };
+            pipelines.push(PipelineSpec { id: pipelines.len(), source: source.clone(), ops, sink });
+        }
+    }
+
+    order_pipelines(&mut pipelines)?;
+    Ok(PhysicalPlan { pipelines })
+}
+
+/// The column a statement appends.
+fn created(s: &pc_tcap::ir::TcapStmt) -> Option<String> {
+    let copy: &[String] = match &s.op {
+        TcapOp::Apply { copy, .. } | TcapOp::FlatMap { copy, .. } | TcapOp::Hash { copy, .. } => {
+            &copy.cols
+        }
+        _ => return None,
+    };
+    s.output.cols.iter().find(|c| !copy.contains(c)).cloned()
+}
+
+/// Topologically orders pipelines by produced/required resources.
+fn order_pipelines(pipelines: &mut Vec<PipelineSpec>) -> PcResult<()> {
+    let n = pipelines.len();
+    let mut ordered: Vec<PipelineSpec> = Vec::with_capacity(n);
+    let mut ready: Vec<String> = Vec::new();
+    let mut remaining: Vec<PipelineSpec> = std::mem::take(pipelines);
+    while !remaining.is_empty() {
+        let idx = remaining
+            .iter()
+            .position(|p| p.requires().iter().all(|r| ready.contains(r)))
+            .ok_or_else(|| {
+                PcError::Catalog("physical plan has a pipeline dependency cycle".into())
+            })?;
+        let p = remaining.remove(idx);
+        if let Some(prod) = p.produces() {
+            ready.push(prod);
+        }
+        ordered.push(p);
+    }
+    for (i, p) in ordered.iter_mut().enumerate() {
+        p.id = i;
+    }
+    *pipelines = ordered;
+    Ok(())
+}
+
+/// Enumerates alternative pipeline decompositions of a TCAP program by
+/// flipping which join side builds (Figure 3's (b)/(c) variants). Returns
+/// human-readable summaries; the executor always runs the default
+/// (left/composite side builds, per Appendix D.3).
+pub fn describe_decompositions(prog: &TcapProgram) -> Vec<String> {
+    let joins: Vec<&pc_tcap::ir::TcapStmt> =
+        prog.stmts.iter().filter(|s| matches!(s.op, TcapOp::Join { .. })).collect();
+    let mut out = Vec::new();
+    let n = joins.len();
+    for mask in 0..(1usize << n) {
+        let mut desc = format!("decomposition {}:\n", mask);
+        for (k, j) in joins.iter().enumerate() {
+            if let TcapOp::Join { lhs_hash, rhs_hash, .. } = &j.op {
+                let (build, probe) = if mask & (1 << k) == 0 {
+                    (&lhs_hash.list, &rhs_hash.list)
+                } else {
+                    (&rhs_hash.list, &lhs_hash.list)
+                };
+                desc.push_str(&format!(
+                    "  join {}: build from {}, probe streamed from {}\n",
+                    j.output.name, build, probe
+                ));
+            }
+        }
+        out.push(desc);
+    }
+    out
+}

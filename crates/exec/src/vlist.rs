@@ -1,0 +1,114 @@
+//! Vector lists (§5.2): the named column sets flowing through a pipeline.
+
+use pc_lambda::Column;
+use pc_object::{PcError, PcResult};
+
+/// A batch of named columns, all of equal length.
+pub struct VectorList {
+    cols: Vec<(String, Column)>,
+}
+
+impl VectorList {
+    pub fn new() -> Self {
+        VectorList { cols: Vec::new() }
+    }
+
+    pub fn with(name: &str, col: Column) -> Self {
+        VectorList { cols: vec![(name.to_string(), col)] }
+    }
+
+    /// Number of rows (0 when empty).
+    pub fn len(&self) -> usize {
+        self.cols.first().map(|(_, c)| c.len()).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn col(&self, name: &str) -> PcResult<&Column> {
+        self.cols
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+            .ok_or_else(|| PcError::Catalog(format!("vector list has no column {name}")))
+    }
+
+    /// Appends a column (replacing any existing one of the same name).
+    pub fn push(&mut self, name: &str, col: Column) {
+        debug_assert!(
+            self.cols.is_empty() || col.len() == self.len(),
+            "column {name} length {} != vector list length {}",
+            col.len(),
+            self.len()
+        );
+        self.cols.retain(|(n, _)| n != name);
+        self.cols.push((name.to_string(), col));
+    }
+
+    /// Keeps only the named columns (a statement's output declaration).
+    pub fn retain(&mut self, keep: &[String]) {
+        self.cols.retain(|(n, _)| keep.contains(n));
+    }
+
+    /// Applies a boolean mask to every column.
+    pub fn filter(&mut self, mask: &[bool]) {
+        for (_, c) in self.cols.iter_mut() {
+            *c = c.filter(mask);
+        }
+    }
+
+    /// Replicates each row by `counts` (FLATMAP reshaping).
+    pub fn replicate(&mut self, counts: &[u32]) {
+        for (_, c) in self.cols.iter_mut() {
+            *c = c.replicate(counts);
+        }
+    }
+
+    /// Gathers rows by index (join probe fan-out).
+    pub fn gather(&mut self, idx: &[u32]) {
+        for (_, c) in self.cols.iter_mut() {
+            *c = c.gather(idx);
+        }
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.cols.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Drops every column, releasing object references (ends the batch).
+    pub fn clear(&mut self) {
+        self.cols.clear();
+    }
+}
+
+impl Default for VectorList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_filter_retain_roundtrip() {
+        let mut vl = VectorList::with("a", Column::I64(vec![1, 2, 3, 4]));
+        vl.push("b", Column::Bool(vec![true, false, true, false]));
+        assert_eq!(vl.len(), 4);
+        let mask: Vec<bool> = vl.col("b").unwrap().as_bool().unwrap().to_vec();
+        vl.filter(&mask);
+        assert_eq!(vl.len(), 2);
+        assert_eq!(vl.col("a").unwrap().as_i64().unwrap(), &[1, 3]);
+        vl.retain(&["a".to_string()]);
+        assert!(vl.col("b").is_err());
+    }
+
+    #[test]
+    fn replicate_matches_counts() {
+        let mut vl = VectorList::with("x", Column::F64(vec![1.0, 2.0, 3.0]));
+        vl.replicate(&[2, 0, 1]);
+        assert_eq!(vl.col("x").unwrap().as_f64().unwrap(), &[1.0, 1.0, 3.0]);
+    }
+}

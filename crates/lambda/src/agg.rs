@@ -1,0 +1,372 @@
+//! The aggregation engine behind `AggregateComp` (§3, Appendix D.2).
+//!
+//! Aggregation in PC is built directly on the object model: worker threads
+//! pre-aggregate into hash-partitioned [`PcMap`] objects allocated on
+//! output pages; the pages are sealed and shuffled wholesale (zero
+//! serialization); the consuming side merges maps and materializes output
+//! objects. This module provides:
+//!
+//! * [`AggregateSpec`] — the typed, user-implemented description of one
+//!   aggregation (key extraction, in-place combine, partial-aggregate merge,
+//!   output materialization);
+//! * [`AggKey`] — key types usable for hash partitioning and map probing
+//!   without allocating temporaries;
+//! * [`ErasedAgg`] / [`ErasedAggSink`] / [`ErasedAggMerger`] — the
+//!   object-safe interfaces the execution engine drives.
+
+use crate::column::Column;
+use crate::sink::SetWriter;
+use pc_object::{
+    hash as pc_hash, AllocPolicy, BlockRef, Handle, PcKey, PcMap, PcObjType, PcResult, PcString,
+    PcValue, SealedPage,
+};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A key type usable for aggregation: hashable and comparable against its
+/// stored form without allocating, storable onto a map's page on first
+/// insertion.
+pub trait AggKey: Clone + 'static {
+    /// The page-resident form ([`PcKey`]) used inside the partition maps.
+    type Stored: PcKey;
+
+    fn hash(&self) -> u64;
+    /// Does this key equal the stored key at `slot`?
+    fn matches(&self, b: &BlockRef, slot: u32) -> bool;
+    /// Materializes the stored form on block `b` (first insertion).
+    fn store_on(&self, b: &BlockRef) -> PcResult<Self::Stored>;
+    /// Reads the key back from a stored slot (finalize iteration).
+    fn load_from(b: &BlockRef, slot: u32) -> Self;
+}
+
+macro_rules! agg_key_int {
+    ($($t:ty),*) => {$(
+        impl AggKey for $t {
+            type Stored = $t;
+            fn hash(&self) -> u64 { pc_hash::mix64(*self as i64 as u64) }
+            fn matches(&self, b: &BlockRef, slot: u32) -> bool { b.read::<$t>(slot) == *self }
+            fn store_on(&self, _b: &BlockRef) -> PcResult<$t> { Ok(*self) }
+            fn load_from(b: &BlockRef, slot: u32) -> Self { b.read(slot) }
+        }
+    )*};
+}
+
+agg_key_int!(i64, u64, i32, u32);
+
+impl AggKey for (i32, i32) {
+    type Stored = (i32, i32);
+    fn hash(&self) -> u64 {
+        pc_hash::combine(pc_hash::hash_i64(self.0 as i64), pc_hash::hash_i64(self.1 as i64))
+    }
+    fn matches(&self, b: &BlockRef, slot: u32) -> bool {
+        b.read::<(i32, i32)>(slot) == *self
+    }
+    fn store_on(&self, _b: &BlockRef) -> PcResult<Self> {
+        Ok(*self)
+    }
+    fn load_from(b: &BlockRef, slot: u32) -> Self {
+        b.read(slot)
+    }
+}
+
+impl AggKey for String {
+    type Stored = Handle<PcString>;
+    fn hash(&self) -> u64 {
+        pc_hash::fnv1a(self.as_bytes())
+    }
+    fn matches(&self, b: &BlockRef, slot: u32) -> bool {
+        let (off, _code) = b.read::<(u32, u32)>(slot);
+        if off == 0 {
+            return false;
+        }
+        let len = b.read_u32(off) as usize;
+        b.bytes(off + 4, len) == self.as_bytes()
+    }
+    fn store_on(&self, b: &BlockRef) -> PcResult<Handle<PcString>> {
+        PcString::make_on(b, self)
+    }
+    fn load_from(b: &BlockRef, slot: u32) -> Self {
+        let h: Handle<PcString> = Handle::<PcString>::load(b, slot);
+        h.as_str().to_string()
+    }
+}
+
+/// A typed aggregation: how records map to keys, how values fold in place
+/// on page memory, how partial aggregates merge, and how results
+/// materialize into output objects.
+///
+/// The k-means aggregation of Appendix A is the canonical example: `In` is
+/// `DataPoint`, `Key` the closest-centroid id, `Val` a running
+/// `(count, sum-vector)`, and `Out` a `Centroid` object.
+pub trait AggregateSpec: Send + Sync + 'static {
+    type In: PcObjType;
+    type Key: AggKey;
+    type Val: PcValue;
+    type Out: PcObjType;
+
+    /// Extracts the grouping key (the paper's `getKeyProjection`).
+    fn key_of(&self, rec: &Handle<Self::In>) -> PcResult<Self::Key>;
+
+    /// Builds the initial stored value for a fresh key, allocating on the
+    /// partition map's block `b` (the paper's `getValueProjection`).
+    fn init(&self, b: &BlockRef, rec: &Handle<Self::In>) -> PcResult<Self::Val>;
+
+    /// Folds `rec` into the existing stored value at `slot` (operator `+`).
+    fn combine(&self, b: &BlockRef, slot: u32, rec: &Handle<Self::In>) -> PcResult<()>;
+
+    /// Merges a partial stored value (from a shuffled page) into `dst_slot`.
+    fn merge(&self, dst: &BlockRef, dst_slot: u32, src: &BlockRef, src_slot: u32) -> PcResult<()>;
+
+    /// Materializes the output object for a finished group. Runs with the
+    /// output page active, so `make_object` allocates in place.
+    fn finalize(&self, key: &Self::Key, b: &BlockRef, val_slot: u32) -> PcResult<Handle<Self::Out>>;
+}
+
+// --------------------------------------------------------------- erased API
+
+/// Object-safe factory the engine stores inside an `AggregateComp`.
+pub trait ErasedAgg: Send + Sync {
+    /// Display name of the output type (diagnostics / catalog).
+    fn out_type(&self) -> String;
+    /// A pre-aggregation sink with `partitions` hash partitions.
+    fn new_sink(&self, partitions: usize, page_size: usize) -> Box<dyn ErasedAggSink>;
+    /// A merger for one partition's shuffled pages.
+    fn new_merger(&self, page_size: usize) -> Box<dyn ErasedAggMerger>;
+}
+
+/// Pipeline-side pre-aggregation (the producing stage of Appendix D.2).
+pub trait ErasedAggSink {
+    /// Folds a column of input objects into the partition maps.
+    fn absorb(&mut self, objs: &Column) -> PcResult<()>;
+    /// Seals all partition maps, returning `(partition, page)` pairs.
+    fn flush(&mut self) -> PcResult<Vec<(usize, SealedPage)>>;
+}
+
+/// Consuming-side merge + materialization (the aggregation threads).
+pub trait ErasedAggMerger {
+    /// Merges one shuffled partial-aggregate page.
+    fn merge_page(&mut self, page: SealedPage) -> PcResult<()>;
+    /// Emits one output object per group into `writer`; returns group count.
+    fn finalize(&mut self, writer: &mut SetWriter) -> PcResult<u64>;
+    /// Seals the merged map back into shippable pages (used by the
+    /// combining threads of Appendix D.2, which merge locally and forward).
+    fn into_pages(self: Box<Self>) -> PcResult<Vec<SealedPage>>;
+}
+
+/// Wraps a typed [`AggregateSpec`] into the erased engine interface.
+pub struct AggEngine<S: AggregateSpec>(pub Arc<S>);
+
+impl<S: AggregateSpec> AggEngine<S> {
+    pub fn new(spec: S) -> Self {
+        AggEngine(Arc::new(spec))
+    }
+}
+
+type MapOf<S> = PcMap<<<S as AggregateSpec>::Key as AggKey>::Stored, <S as AggregateSpec>::Val>;
+
+struct MapPage<S: AggregateSpec> {
+    block: BlockRef,
+    map: Handle<MapOf<S>>,
+}
+
+impl<S: AggregateSpec> MapPage<S> {
+    fn new(page_size: usize) -> PcResult<Self> {
+        let block = BlockRef::new(page_size, AllocPolicy::LightweightReuse);
+        let map = block.make_object::<MapOf<S>>()?;
+        block.set_root(&map);
+        Ok(MapPage { block, map })
+    }
+
+    fn seal(self) -> PcResult<SealedPage> {
+        drop(self.map);
+        self.block.try_seal()
+    }
+}
+
+impl<S: AggregateSpec> ErasedAgg for AggEngine<S> {
+    fn out_type(&self) -> String {
+        S::Out::type_name()
+    }
+
+    fn new_sink(&self, partitions: usize, page_size: usize) -> Box<dyn ErasedAggSink> {
+        Box::new(SinkImpl::<S> {
+            spec: self.0.clone(),
+            partitions,
+            page_size,
+            current: (0..partitions).map(|_| None).collect(),
+            done: Vec::new(),
+        })
+    }
+
+    fn new_merger(&self, page_size: usize) -> Box<dyn ErasedAggMerger> {
+        Box::new(MergerImpl::<S> { spec: self.0.clone(), page_size, acc: None, _pd: PhantomData })
+    }
+}
+
+struct SinkImpl<S: AggregateSpec> {
+    spec: Arc<S>,
+    partitions: usize,
+    page_size: usize,
+    current: Vec<Option<MapPage<S>>>,
+    done: Vec<(usize, SealedPage)>,
+}
+
+impl<S: AggregateSpec> SinkImpl<S> {
+    fn upsert(&mut self, part: usize, hash: u64, key: &S::Key, rec: &Handle<S::In>) -> PcResult<()> {
+        if self.current[part].is_none() {
+            self.current[part] = Some(MapPage::new(self.page_size)?);
+        }
+        let spec = &self.spec;
+        let attempt = |mp: &MapPage<S>| {
+            mp.map.upsert_by(
+                hash,
+                |b, slot| key.matches(b, slot),
+                |b| key.store_on(b),
+                |b| spec.init(b, rec),
+                |b, slot| spec.combine(b, slot, rec),
+            )
+        };
+        let mut page_size = self.page_size;
+        let mut on_fresh_page = false;
+        for _ in 0..24 {
+            match attempt(self.current[part].as_ref().unwrap()) {
+                Ok(()) => return Ok(()),
+                Err(pc_object::PcError::BlockFull { .. }) => {
+                    // Page full: seal it for shuffling and restart on a fresh
+                    // one (the out-of-memory fault of §6.1). A fault on a
+                    // just-created page means the value is larger than a
+                    // page: escalate before retrying.
+                    let full = self.current[part].take().unwrap();
+                    if on_fresh_page {
+                        page_size = (page_size * 2).min(256 << 20);
+                    }
+                    if !full.map.is_empty() {
+                        self.done.push((part, full.seal()?));
+                    }
+                    self.current[part] = Some(MapPage::new(page_size)?);
+                    on_fresh_page = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(pc_object::PcError::Catalog("aggregate value exceeds the maximum page size".into()))
+    }
+}
+
+impl<S: AggregateSpec> ErasedAggSink for SinkImpl<S> {
+    fn absorb(&mut self, objs: &Column) -> PcResult<()> {
+        for h in objs.as_obj()? {
+            let rec = h.downcast_unchecked::<S::In>();
+            let key = self.spec.key_of(&rec)?;
+            let hash = key.hash();
+            let part = (hash % self.partitions as u64) as usize;
+            self.upsert(part, hash, &key, &rec)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> PcResult<Vec<(usize, SealedPage)>> {
+        for part in 0..self.partitions {
+            if let Some(mp) = self.current[part].take() {
+                if !mp.map.is_empty() {
+                    self.done.push((part, mp.seal()?));
+                }
+            }
+        }
+        Ok(std::mem::take(&mut self.done))
+    }
+}
+
+struct MergerImpl<S: AggregateSpec> {
+    spec: Arc<S>,
+    page_size: usize,
+    acc: Option<MapPage<S>>,
+    _pd: PhantomData<fn() -> S>,
+}
+
+impl<S: AggregateSpec> MergerImpl<S> {
+    /// Grows the accumulator onto a block twice the size, deep-copying the
+    /// map (keys keep hashing identically, so the rehash is exact).
+    fn grow(&mut self) -> PcResult<()> {
+        let old = self.acc.take().expect("grow without accumulator");
+        let new_size = (old.block.capacity() * 2).max(self.page_size);
+        let block = BlockRef::new(new_size, AllocPolicy::LightweightReuse);
+        let map = old.map.deep_copy_to(&block)?;
+        block.set_root(&map);
+        self.acc = Some(MapPage { block, map });
+        Ok(())
+    }
+}
+
+impl<S: AggregateSpec> ErasedAggMerger for MergerImpl<S> {
+    fn merge_page(&mut self, page: SealedPage) -> PcResult<()> {
+        if self.acc.is_none() {
+            self.acc = Some(MapPage::new(self.page_size)?);
+        }
+        let (src_block, root) = page.open()?;
+        let src_map = root.downcast::<MapOf<S>>()?;
+        let _ = src_block;
+        // Collect slots first: the source page is immutable while we fold.
+        let mut entries: Vec<(u32, u32)> = Vec::with_capacity(src_map.len());
+        src_map.for_each_slot(|_b, k, v| {
+            entries.push((k, v));
+            Ok(())
+        })?;
+        for (kslot, vslot) in entries {
+            let key = S::Key::load_from(src_map.block(), kslot);
+            let hash = key.hash();
+            loop {
+                let spec = &self.spec;
+                let src = src_map.block();
+                let acc = self.acc.as_ref().unwrap();
+                let r = acc.map.upsert_by(
+                    hash,
+                    |b, slot| key.matches(b, slot),
+                    |b| key.store_on(b),
+                    // First sighting of the key: adopt the partial value by
+                    // deep copy (load+store crosses blocks via §6.4's rule).
+                    |_b| Ok(S::Val::load(src, vslot)),
+                    |b, slot| spec.merge(b, slot, src, vslot),
+                );
+                match r {
+                    Ok(()) => break,
+                    Err(pc_object::PcError::BlockFull { .. }) => self.grow()?,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn into_pages(self: Box<Self>) -> PcResult<Vec<SealedPage>> {
+        match self.acc {
+            Some(acc) => Ok(vec![acc.seal()?]),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    fn finalize(&mut self, writer: &mut SetWriter) -> PcResult<u64> {
+        let Some(acc) = self.acc.take() else { return Ok(0) };
+        let mut groups = 0u64;
+        let mut entries: Vec<(u32, u32)> = Vec::with_capacity(acc.map.len());
+        acc.map.for_each_slot(|_b, k, v| {
+            entries.push((k, v));
+            Ok(())
+        })?;
+        for (kslot, vslot) in entries {
+            let key = S::Key::load_from(acc.block(), kslot);
+            writer.write_with(|| {
+                let out = self.spec.finalize(&key, acc.block(), vslot)?;
+                Ok(out.erase())
+            })?;
+            groups += 1;
+        }
+        Ok(groups)
+    }
+}
+
+impl<S: AggregateSpec> MapPage<S> {
+    fn block(&self) -> &BlockRef {
+        &self.block
+    }
+}

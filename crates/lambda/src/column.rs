@@ -1,0 +1,217 @@
+//! Columns: the vectors that make up a vector list (§5.2).
+//!
+//! A pipeline stage consumes and produces whole columns. Object columns hold
+//! untyped handles into pinned input/output pages; scalar columns hold plain
+//! Rust vectors (the paper's "intermediate data", kept off the output page —
+//! Appendix C's "avoiding unwanted in-place allocations").
+
+use pc_object::{AnyHandle, PcError, PcResult};
+
+/// A column of values.
+#[derive(Clone)]
+pub enum Column {
+    Bool(Vec<bool>),
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    U64(Vec<u64>),
+    Str(Vec<Box<str>>),
+    Obj(Vec<AnyHandle>),
+}
+
+impl Column {
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::U64(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Obj(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Column::Bool(_) => "bool",
+            Column::I64(_) => "i64",
+            Column::F64(_) => "f64",
+            Column::U64(_) => "u64",
+            Column::Str(_) => "str",
+            Column::Obj(_) => "obj",
+        }
+    }
+
+    pub fn as_bool(&self) -> PcResult<&[bool]> {
+        match self {
+            Column::Bool(v) => Ok(v),
+            other => Err(type_err("bool", other)),
+        }
+    }
+
+    pub fn as_i64(&self) -> PcResult<&[i64]> {
+        match self {
+            Column::I64(v) => Ok(v),
+            other => Err(type_err("i64", other)),
+        }
+    }
+
+    pub fn as_f64(&self) -> PcResult<&[f64]> {
+        match self {
+            Column::F64(v) => Ok(v),
+            other => Err(type_err("f64", other)),
+        }
+    }
+
+    pub fn as_u64(&self) -> PcResult<&[u64]> {
+        match self {
+            Column::U64(v) => Ok(v),
+            other => Err(type_err("u64", other)),
+        }
+    }
+
+    pub fn as_str_col(&self) -> PcResult<&[Box<str>]> {
+        match self {
+            Column::Str(v) => Ok(v),
+            other => Err(type_err("str", other)),
+        }
+    }
+
+    pub fn as_obj(&self) -> PcResult<&[AnyHandle]> {
+        match self {
+            Column::Obj(v) => Ok(v),
+            other => Err(type_err("obj", other)),
+        }
+    }
+
+    /// Keeps only the rows where `keep` is true.
+    pub fn filter(&self, keep: &[bool]) -> Column {
+        fn f<T: Clone>(v: &[T], keep: &[bool]) -> Vec<T> {
+            v.iter().zip(keep).filter(|(_, &k)| k).map(|(x, _)| x.clone()).collect()
+        }
+        match self {
+            Column::Bool(v) => Column::Bool(f(v, keep)),
+            Column::I64(v) => Column::I64(f(v, keep)),
+            Column::F64(v) => Column::F64(f(v, keep)),
+            Column::U64(v) => Column::U64(f(v, keep)),
+            Column::Str(v) => Column::Str(f(v, keep)),
+            Column::Obj(v) => Column::Obj(f(v, keep)),
+        }
+    }
+
+    /// Replicates row `i` `counts[i]` times (FLATMAP reshaping).
+    pub fn replicate(&self, counts: &[u32]) -> Column {
+        fn r<T: Clone>(v: &[T], counts: &[u32]) -> Vec<T> {
+            let total: u32 = counts.iter().sum();
+            let mut out = Vec::with_capacity(total as usize);
+            for (x, &c) in v.iter().zip(counts) {
+                for _ in 0..c {
+                    out.push(x.clone());
+                }
+            }
+            out
+        }
+        match self {
+            Column::Bool(v) => Column::Bool(r(v, counts)),
+            Column::I64(v) => Column::I64(r(v, counts)),
+            Column::F64(v) => Column::F64(r(v, counts)),
+            Column::U64(v) => Column::U64(r(v, counts)),
+            Column::Str(v) => Column::Str(r(v, counts)),
+            Column::Obj(v) => Column::Obj(r(v, counts)),
+        }
+    }
+
+    /// Gathers rows by index (join probe output assembly).
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        fn g<T: Clone>(v: &[T], idx: &[u32]) -> Vec<T> {
+            idx.iter().map(|&i| v[i as usize].clone()).collect()
+        }
+        match self {
+            Column::Bool(v) => Column::Bool(g(v, idx)),
+            Column::I64(v) => Column::I64(g(v, idx)),
+            Column::F64(v) => Column::F64(g(v, idx)),
+            Column::U64(v) => Column::U64(g(v, idx)),
+            Column::Str(v) => Column::Str(g(v, idx)),
+            Column::Obj(v) => Column::Obj(g(v, idx)),
+        }
+    }
+
+    /// An empty column of the same type.
+    pub fn empty_like(&self) -> Column {
+        match self {
+            Column::Bool(_) => Column::Bool(Vec::new()),
+            Column::I64(_) => Column::I64(Vec::new()),
+            Column::F64(_) => Column::F64(Vec::new()),
+            Column::U64(_) => Column::U64(Vec::new()),
+            Column::Str(_) => Column::Str(Vec::new()),
+            Column::Obj(_) => Column::Obj(Vec::new()),
+        }
+    }
+}
+
+fn type_err(expected: &'static str, found: &Column) -> PcError {
+    PcError::Catalog(format!("column type mismatch: expected {expected}, found {}", found.type_name()))
+}
+
+impl std::fmt::Debug for Column {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Column::{}[{}]", self.type_name(), self.len())
+    }
+}
+
+/// Rust values collectible into a [`Column`] — the return types usable from
+/// lambda extraction functions.
+pub trait ColValue: 'static + Sized {
+    fn collect(v: Vec<Self>) -> Column;
+}
+
+impl ColValue for bool {
+    fn collect(v: Vec<Self>) -> Column {
+        Column::Bool(v)
+    }
+}
+
+impl ColValue for i64 {
+    fn collect(v: Vec<Self>) -> Column {
+        Column::I64(v)
+    }
+}
+
+impl ColValue for f64 {
+    fn collect(v: Vec<Self>) -> Column {
+        Column::F64(v)
+    }
+}
+
+impl ColValue for u64 {
+    fn collect(v: Vec<Self>) -> Column {
+        Column::U64(v)
+    }
+}
+
+impl ColValue for Box<str> {
+    fn collect(v: Vec<Self>) -> Column {
+        Column::Str(v)
+    }
+}
+
+impl ColValue for String {
+    fn collect(v: Vec<Self>) -> Column {
+        Column::Str(v.into_iter().map(|s| s.into_boxed_str()).collect())
+    }
+}
+
+impl ColValue for AnyHandle {
+    fn collect(v: Vec<Self>) -> Column {
+        Column::Obj(v)
+    }
+}
+
+impl<T: pc_object::PcObjType> ColValue for pc_object::Handle<T> {
+    fn collect(v: Vec<Self>) -> Column {
+        Column::Obj(v.into_iter().map(|h| h.erase()).collect())
+    }
+}

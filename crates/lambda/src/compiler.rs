@@ -1,0 +1,484 @@
+//! The TCAP compiler (§5): lowers a [`ComputationGraph`] into a
+//! [`TcapProgram`] plus a *stage library* binding every `(computation,
+//! stage)` name pair to its compiled kernel.
+//!
+//! Join planning happens here in the spirit of §4: the user never names a
+//! join order or algorithm. The compiler analyzes the join's selection
+//! lambda, classifies equality conjuncts linking two inputs as join keys,
+//! plans a left-deep cascade of hash joins, and re-emits **all** conjuncts
+//! after the join as residual checks ("all selection predicates are by
+//! default evaluated after the join", §7) — the optimizer then pushes
+//! single-input conjuncts back below the join.
+
+use crate::agg::ErasedAgg;
+use crate::computation::{CompKind, ComputationGraph};
+use crate::kernel::{BinaryKernel, ColumnKernel, ConstCmpKernel, FlatMapKernel, HashKernel, NotKernel};
+use crate::lambda::LambdaTerm;
+use pc_object::{PcError, PcResult};
+use pc_tcap::ir::{ColRef, TcapOp, TcapProgram, TcapStmt, VecListDecl};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// A compiled pipeline stage.
+#[derive(Clone)]
+pub enum StageKernel {
+    Map(Arc<dyn ColumnKernel>),
+    FlatMap(Arc<dyn FlatMapKernel>),
+}
+
+/// Maps `(computation name, stage name)` to compiled kernels — what §5.3's
+/// template metaprogramming produces in the C++ system.
+#[derive(Default, Clone)]
+pub struct StageLibrary {
+    stages: HashMap<(String, String), StageKernel>,
+}
+
+impl StageLibrary {
+    pub fn register(&mut self, comp: &str, stage: &str, k: StageKernel) {
+        self.stages.insert((comp.to_string(), stage.to_string()), k);
+    }
+
+    pub fn get(&self, comp: &str, stage: &str) -> Option<&StageKernel> {
+        self.stages.get(&(comp.to_string(), stage.to_string()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+/// The result of compilation: a TCAP program, its stage library, and the
+/// aggregation engines referenced by AGGREGATE statements.
+pub struct CompiledQuery {
+    pub tcap: TcapProgram,
+    pub stages: StageLibrary,
+    pub aggs: HashMap<String, Arc<dyn ErasedAgg>>,
+}
+
+struct CurList {
+    name: String,
+    cols: Vec<String>,
+}
+
+struct Compiler {
+    stmts: Vec<TcapStmt>,
+    stages: StageLibrary,
+    aggs: HashMap<String, Arc<dyn ErasedAgg>>,
+    lists: usize,
+}
+
+impl Compiler {
+    fn fresh_list(&mut self, prefix: &str) -> String {
+        self.lists += 1;
+        format!("{prefix}_{}", self.lists)
+    }
+
+    /// Emits the APPLY chain for a lambda term over `cur`, returning the
+    /// column holding the term's value. `input_col` maps a computation input
+    /// index to the column carrying that input's objects.
+    fn emit_term(
+        &mut self,
+        term: &LambdaTerm,
+        comp: &str,
+        n: &mut usize,
+        cur: &mut CurList,
+        input_col: &dyn Fn(usize) -> String,
+    ) -> PcResult<String> {
+        match term {
+            LambdaTerm::SelfRef { input } => Ok(input_col(*input)),
+            LambdaTerm::Extract { inputs, op_type, name, kernel } => {
+                *n += 1;
+                let stage = match *op_type {
+                    "attAccess" => format!("att_acc_{n}"),
+                    "methodCall" => format!("method_call_{n}"),
+                    _ => format!("native_{n}"),
+                };
+                let meta_key = match *op_type {
+                    "attAccess" => "attName",
+                    "methodCall" => "methodName",
+                    _ => "label",
+                };
+                let new_col = format!("mt{n}");
+                let in_cols: Vec<String> = inputs.iter().map(|i| input_col(*i)).collect();
+                self.apply(cur, comp, &stage, &in_cols, &new_col, vec![
+                    ("type".into(), op_type.to_string()),
+                    (meta_key.into(), name.clone()),
+                ]);
+                self.stages.register(comp, &stage, StageKernel::Map(kernel.clone()));
+                Ok(new_col)
+            }
+            LambdaTerm::Binary { op, lhs, rhs } => {
+                let lc = self.emit_term(lhs, comp, n, cur, input_col)?;
+                let rc = self.emit_term(rhs, comp, n, cur, input_col)?;
+                *n += 1;
+                let stage = format!("{}_{n}", op.tcap_name());
+                let new_col = format!("bl{n}");
+                self.apply(cur, comp, &stage, &[lc, rc], &new_col, vec![
+                    ("type".into(), op.meta_type().to_string()),
+                    ("op".into(), op.tcap_name().to_string()),
+                ]);
+                self.stages.register(comp, &stage, StageKernel::Map(Arc::new(BinaryKernel { op: *op })));
+                Ok(new_col)
+            }
+            LambdaTerm::Not { inner } => {
+                let ic = self.emit_term(inner, comp, n, cur, input_col)?;
+                *n += 1;
+                let stage = format!("!_{n}");
+                let new_col = format!("bl{n}");
+                self.apply(cur, comp, &stage, &[ic], &new_col, vec![
+                    ("type".into(), "bool_not".to_string()),
+                ]);
+                self.stages.register(comp, &stage, StageKernel::Map(Arc::new(NotKernel)));
+                Ok(new_col)
+            }
+            LambdaTerm::ConstCmp { op, value, inner } => {
+                let ic = self.emit_term(inner, comp, n, cur, input_col)?;
+                *n += 1;
+                let stage = format!("{}c_{n}", op.tcap_name());
+                let new_col = format!("bl{n}");
+                self.apply(cur, comp, &stage, &[ic], &new_col, vec![
+                    ("type".into(), "const_comparison".to_string()),
+                    ("op".into(), op.tcap_name().to_string()),
+                    ("value".into(), value.to_string()),
+                ]);
+                self.stages.register(
+                    comp,
+                    &stage,
+                    StageKernel::Map(Arc::new(ConstCmpKernel { op: *op, value: value.clone() })),
+                );
+                Ok(new_col)
+            }
+        }
+    }
+
+    /// Appends one APPLY statement and advances `cur`.
+    fn apply(
+        &mut self,
+        cur: &mut CurList,
+        comp: &str,
+        stage: &str,
+        in_cols: &[String],
+        new_col: &str,
+        meta: Vec<(String, String)>,
+    ) {
+        let out = self.fresh_list("W");
+        let mut out_cols = cur.cols.clone();
+        out_cols.push(new_col.to_string());
+        self.stmts.push(TcapStmt {
+            output: VecListDecl { name: out.clone(), cols: out_cols.clone() },
+            op: TcapOp::Apply {
+                input: ColRef { list: cur.name.clone(), cols: in_cols.to_vec() },
+                copy: ColRef { list: cur.name.clone(), cols: cur.cols.clone() },
+                computation: comp.to_string(),
+                stage: stage.to_string(),
+                meta,
+            },
+        });
+        cur.name = out;
+        cur.cols = out_cols;
+    }
+
+    /// Appends a FILTER keeping only `keep` columns.
+    fn filter(&mut self, cur: &mut CurList, comp: &str, bool_col: &str, keep: &[String]) {
+        let out = self.fresh_list("Flt");
+        self.stmts.push(TcapStmt {
+            output: VecListDecl { name: out.clone(), cols: keep.to_vec() },
+            op: TcapOp::Filter {
+                bool_col: ColRef { list: cur.name.clone(), cols: vec![bool_col.to_string()] },
+                copy: ColRef { list: cur.name.clone(), cols: keep.to_vec() },
+                computation: comp.to_string(),
+                meta: vec![],
+            },
+        });
+        cur.name = out;
+        cur.cols = keep.to_vec();
+    }
+
+    /// Appends a HASH over `key_col`, keeping `keep` columns + the hash.
+    fn hash(&mut self, cur: &mut CurList, comp: &str, key_col: &str, n: &mut usize) -> String {
+        *n += 1;
+        let hash_col = format!("hash{n}");
+        let stage = format!("hash_{n}");
+        let out = self.fresh_list("H");
+        let mut out_cols = cur.cols.clone();
+        out_cols.push(hash_col.clone());
+        self.stmts.push(TcapStmt {
+            output: VecListDecl { name: out.clone(), cols: out_cols.clone() },
+            op: TcapOp::Hash {
+                input: ColRef { list: cur.name.clone(), cols: vec![key_col.to_string()] },
+                copy: ColRef { list: cur.name.clone(), cols: cur.cols.clone() },
+                computation: comp.to_string(),
+                meta: vec![("type".into(), "hashOne".into())],
+            },
+        });
+        self.stages.register(comp, &stage, StageKernel::Map(Arc::new(HashKernel)));
+        cur.name = out;
+        cur.cols = out_cols;
+        hash_col
+    }
+}
+
+/// Is this equality conjunct a join-key candidate linking two inputs?
+/// Returns `(lhs_input, rhs_input, lhs_term, rhs_term)`.
+fn key_conjunct(t: &LambdaTerm) -> Option<(usize, usize, &LambdaTerm, &LambdaTerm)> {
+    if let LambdaTerm::Binary { op: crate::lambda::BinOp::Eq, lhs, rhs } = t {
+        let li = lhs.inputs();
+        let ri = rhs.inputs();
+        if li.len() == 1 && ri.len() == 1 && li != ri {
+            let l = *li.iter().next().unwrap();
+            let r = *ri.iter().next().unwrap();
+            return Some((l, r, lhs, rhs));
+        }
+    }
+    None
+}
+
+/// Compiles a computation graph to TCAP plus its stage library.
+pub fn compile(graph: &ComputationGraph) -> PcResult<CompiledQuery> {
+    let mut c = Compiler {
+        stmts: Vec::new(),
+        stages: StageLibrary::default(),
+        aggs: HashMap::new(),
+        lists: 0,
+    };
+    // (list name, object column) produced by each node.
+    let mut outputs: Vec<Option<(String, String)>> = vec![None; graph.nodes.len()];
+
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let comp = node.name.clone();
+        match &node.kind {
+            CompKind::Reader { db, set } => {
+                let list = format!("In_{id}");
+                let col = format!("in{id}");
+                c.stmts.push(TcapStmt {
+                    output: VecListDecl { name: list.clone(), cols: vec![col.clone()] },
+                    op: TcapOp::Input {
+                        db: db.clone(),
+                        set: set.clone(),
+                        computation: comp,
+                        meta: vec![],
+                    },
+                });
+                outputs[id] = Some((list, col));
+            }
+            CompKind::Selection { input, selection, projection } => {
+                let (in_list, in_col) = outputs[*input].clone().ok_or_else(|| dangling(*input))?;
+                let mut cur = CurList { name: in_list, cols: vec![in_col.clone()] };
+                let mut n = 0;
+                let col_of = {
+                    let in_col = in_col.clone();
+                    move |_i: usize| in_col.clone()
+                };
+                let bl = c.emit_term(selection, &comp, &mut n, &mut cur, &col_of)?;
+                c.filter(&mut cur, &comp, &bl, &[in_col.clone()]);
+                let out_col = c.emit_term(projection, &comp, &mut n, &mut cur, &col_of)?;
+                outputs[id] = Some((cur.name, out_col));
+            }
+            CompKind::MultiSelection { input, selection, flatmap, label } => {
+                let (in_list, in_col) = outputs[*input].clone().ok_or_else(|| dangling(*input))?;
+                let mut cur = CurList { name: in_list, cols: vec![in_col.clone()] };
+                let mut n = 0;
+                let col_of = {
+                    let in_col = in_col.clone();
+                    move |_i: usize| in_col.clone()
+                };
+                if let Some(sel) = selection {
+                    let bl = c.emit_term(sel, &comp, &mut n, &mut cur, &col_of)?;
+                    c.filter(&mut cur, &comp, &bl, &[in_col.clone()]);
+                }
+                let stage = "flat_1".to_string();
+                let out_col = format!("out{id}");
+                let out = c.fresh_list("FM");
+                c.stmts.push(TcapStmt {
+                    output: VecListDecl { name: out.clone(), cols: vec![out_col.clone()] },
+                    op: TcapOp::FlatMap {
+                        input: ColRef { list: cur.name.clone(), cols: vec![in_col.clone()] },
+                        copy: ColRef { list: cur.name.clone(), cols: vec![] },
+                        computation: comp.clone(),
+                        stage: stage.clone(),
+                        meta: vec![("type".into(), "multiSelect".into()), ("label".into(), label.clone())],
+                    },
+                });
+                c.stages.register(&comp, &stage, StageKernel::FlatMap(flatmap.clone()));
+                outputs[id] = Some((out, out_col));
+            }
+            CompKind::Join { inputs, selection, projection } => {
+                let compiled = compile_join(&mut c, id, &comp, inputs, selection, projection, &outputs)?;
+                outputs[id] = Some(compiled);
+            }
+            CompKind::Aggregate { input, agg } => {
+                let (in_list, in_col) = outputs[*input].clone().ok_or_else(|| dangling(*input))?;
+                let out = format!("Ag_{id}");
+                let out_col = format!("out{id}");
+                c.stmts.push(TcapStmt {
+                    output: VecListDecl { name: out.clone(), cols: vec![out_col.clone()] },
+                    op: TcapOp::Aggregate {
+                        key: ColRef { list: in_list.clone(), cols: vec![in_col.clone()] },
+                        value: ColRef { list: in_list, cols: vec![in_col] },
+                        computation: comp.clone(),
+                        meta: vec![("outType".into(), agg.out_type())],
+                    },
+                });
+                c.aggs.insert(comp.clone(), agg.clone());
+                outputs[id] = Some((out, out_col));
+            }
+            CompKind::Writer { db, set, input } => {
+                let (in_list, in_col) = outputs[*input].clone().ok_or_else(|| dangling(*input))?;
+                c.stmts.push(TcapStmt {
+                    output: VecListDecl { name: format!("Out_{id}"), cols: vec![] },
+                    op: TcapOp::Output {
+                        input: ColRef { list: in_list, cols: vec![in_col] },
+                        db: db.clone(),
+                        set: set.clone(),
+                        computation: comp,
+                        meta: vec![],
+                    },
+                });
+            }
+        }
+    }
+
+    Ok(CompiledQuery { tcap: TcapProgram::new(c.stmts), stages: c.stages, aggs: c.aggs })
+}
+
+fn dangling(input: usize) -> PcError {
+    PcError::Catalog(format!("computation input {input} has no compiled output"))
+}
+
+/// Plans and emits an n-ary hash join: key extraction + HASH per side, a
+/// left-deep JOIN cascade, then all conjuncts re-checked post-join, then
+/// the projection.
+fn compile_join(
+    c: &mut Compiler,
+    id: usize,
+    comp: &str,
+    inputs: &[usize],
+    selection: &LambdaTerm,
+    projection: &LambdaTerm,
+    outputs: &[Option<(String, String)>],
+) -> PcResult<(String, String)> {
+    let n_in = inputs.len();
+    let conjuncts = selection.conjuncts();
+    let mut keys: Vec<(usize, usize, &LambdaTerm, &LambdaTerm)> = Vec::new();
+    for t in &conjuncts {
+        if let Some(k) = key_conjunct(t) {
+            keys.push(k);
+        }
+    }
+    if keys.is_empty() {
+        return Err(PcError::Catalog(format!(
+            "join {comp}: selection has no equality conjunct linking two inputs"
+        )));
+    }
+
+    // Object column name for each join input position.
+    let in_cols: Vec<String> = (0..n_in).map(|p| format!("j{id}i{p}")).collect();
+    // Rebind each input's column to a join-local alias via a SelfRef apply?
+    // Simpler: reuse the producer's column name directly.
+    let mut side: Vec<(String, String)> = Vec::new(); // (list, obj col) per position
+    for (p, node) in inputs.iter().enumerate() {
+        let (l, col) = outputs[*node].clone().ok_or_else(|| dangling(*node))?;
+        let _ = &in_cols[p];
+        side.push((l, col));
+    }
+
+    let mut n = 0usize;
+    // Left-deep planning: start from position 0.
+    let mut joined: BTreeSet<usize> = BTreeSet::from([0]);
+    let mut used_keys: Vec<usize> = Vec::new();
+    // Composite state: current list + the obj col of every joined position.
+    let mut cur = CurList { name: side[0].0.clone(), cols: vec![side[0].1.clone()] };
+    let col_of_pos = |side: &[(String, String)], p: usize| side[p].1.clone();
+
+    while joined.len() < n_in {
+        // Pick an unused key conjunct connecting the joined set to a new input.
+        let pick = keys.iter().enumerate().find(|(ki, (l, r, _, _))| {
+            !used_keys.contains(ki)
+                && ((joined.contains(l) && !joined.contains(r))
+                    || (joined.contains(r) && !joined.contains(l)))
+        });
+        let Some((ki, &(l, r, lt, rt))) = pick else {
+            return Err(PcError::Catalog(format!(
+                "join {comp}: inputs are not connected by equality conjuncts (no key links {joined:?} to the rest)"
+            )));
+        };
+        used_keys.push(ki);
+        let (in_joined, newcomer, jt, nt) =
+            if joined.contains(&l) { (l, r, lt, rt) } else { (r, l, rt, lt) };
+        let _ = in_joined;
+
+        // Build side (the already-joined composite): extract key + hash.
+        let side_ref = side.clone();
+        let colmap = move |i: usize| col_of_pos(&side_ref, i);
+        let lk = c.emit_term(jt, comp, &mut n, &mut cur, &colmap)?;
+        let lh = c.hash(&mut cur, comp, &lk, &mut n);
+        let left_list = cur.name.clone();
+        let left_objs: Vec<String> =
+            joined.iter().map(|p| side[*p].1.clone()).collect();
+
+        // Probe side (the newcomer input).
+        let mut rcur = CurList { name: side[newcomer].0.clone(), cols: vec![side[newcomer].1.clone()] };
+        let side_ref = side.clone();
+        let colmap = move |i: usize| col_of_pos(&side_ref, i);
+        let rk = c.emit_term(nt, comp, &mut n, &mut rcur, &colmap)?;
+        let rh = c.hash(&mut rcur, comp, &rk, &mut n);
+
+        // JOIN statement.
+        let out = c.fresh_list("J");
+        let mut out_cols = left_objs.clone();
+        out_cols.push(side[newcomer].1.clone());
+        c.stmts.push(TcapStmt {
+            output: VecListDecl { name: out.clone(), cols: out_cols.clone() },
+            op: TcapOp::Join {
+                lhs_hash: ColRef { list: left_list.clone(), cols: vec![lh] },
+                lhs_copy: ColRef { list: left_list, cols: left_objs },
+                rhs_hash: ColRef { list: rcur.name.clone(), cols: vec![rh] },
+                rhs_copy: ColRef { list: rcur.name.clone(), cols: vec![side[newcomer].1.clone()] },
+                computation: comp.to_string(),
+                meta: vec![],
+            },
+        });
+        joined.insert(newcomer);
+        cur = CurList { name: out, cols: out_cols };
+    }
+
+    // Residual: re-check every conjunct post-join (hash collisions and
+    // non-key predicates); single-input conjuncts get pushed down later by
+    // the optimizer.
+    let side_ref = side.clone();
+    let colmap = move |i: usize| col_of_pos(&side_ref, i);
+    let mut bl: Option<String> = None;
+    for t in &conjuncts {
+        let b = c.emit_term(t, comp, &mut n, &mut cur, &colmap)?;
+        bl = Some(match bl {
+            None => b,
+            Some(prev) => {
+                n += 1;
+                let stage = format!("&&_{n}");
+                let new_col = format!("bl{n}");
+                c.apply(&mut cur, comp, &stage, &[prev, b], &new_col, vec![
+                    ("type".into(), "bool_and".into()),
+                    ("op".into(), "&&".into()),
+                ]);
+                c.stages.register(
+                    comp,
+                    &stage,
+                    StageKernel::Map(Arc::new(BinaryKernel { op: crate::lambda::BinOp::And })),
+                );
+                new_col
+            }
+        });
+    }
+    let objcols: Vec<String> = (0..n_in).map(|p| side[p].1.clone()).collect();
+    c.filter(&mut cur, comp, &bl.unwrap(), &objcols);
+
+    // Projection.
+    let side_ref = side.clone();
+    let colmap = move |i: usize| col_of_pos(&side_ref, i);
+    let out_col = c.emit_term(projection, comp, &mut n, &mut cur, &colmap)?;
+    Ok((cur.name, out_col))
+}

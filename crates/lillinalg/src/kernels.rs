@@ -1,0 +1,266 @@
+//! Dense numeric kernels.
+//!
+//! Two matrix-multiply implementations reproduce Table 8's axis: the naive
+//! triple loop (standing in for GSL's reference BLAS) and a cache-blocked,
+//! transposed-operand kernel (standing in for Eigen / netlib-backed
+//! breeze). Both operate on raw `&[f64]` row-major buffers, so they run
+//! equally well over page-resident `PcVec<f64>` data and driver-side
+//! `DenseMatrix` storage.
+
+/// Naive row-major triple loop: `C[m×n] += A[m×k] · B[k×n]`.
+/// Reference-BLAS-like ("GSL" in Table 8).
+pub fn matmul_naive(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a[i * k + l] * b[l * n + j];
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// Cache-blocked multiply with i-k-j loop order (unit-stride inner loop):
+/// `C[m×n] += A[m×k] · B[k×n]`. The "Eigen/breeze" kernel of Table 8.
+pub fn matmul_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    const BS: usize = 64;
+    let mut ib = 0;
+    while ib < m {
+        let imax = (ib + BS).min(m);
+        let mut lb = 0;
+        while lb < k {
+            let lmax = (lb + BS).min(k);
+            let mut jb = 0;
+            while jb < n {
+                let jmax = (jb + BS).min(n);
+                for i in ib..imax {
+                    for l in lb..lmax {
+                        let av = a[i * k + l];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[l * n + jb..l * n + jmax];
+                        let crow = &mut c[i * n + jb..i * n + jmax];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+                jb += BS;
+            }
+            lb += BS;
+        }
+        ib += BS;
+    }
+}
+
+/// `C[k×n] += Aᵀ[k×m] · B[m×n]` where `a` is stored `m×k` (transpose-
+/// multiply, the `'*` operator — used without materializing Aᵀ).
+pub fn matmul_at_b(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    for row in 0..m {
+        let arow = &a[row * k..(row + 1) * k];
+        let brow = &b[row * n..(row + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Out-of-place transpose: `B[n×m] = Aᵀ` for `A[m×n]`.
+pub fn transpose(a: &[f64], b: &mut [f64], m: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            b[j * m + i] = a[i * n + j];
+        }
+    }
+}
+
+/// A small driver-side dense matrix (row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        DenseMatrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows);
+        let mut c = DenseMatrix::zeros(self.rows, other.cols);
+        matmul_blocked(&self.data, &other.data, &mut c.data, self.rows, self.cols, other.cols);
+        c
+    }
+
+    pub fn transposed(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        transpose(&self.data, &mut t.data, self.rows, self.cols);
+        t
+    }
+
+    /// Gauss-Jordan inversion with partial pivoting. Errors on singular
+    /// input. Used driver-side for the normal-equation solve (`^-1` in the
+    /// DSL is only valid on small gathered matrices, as in SystemML's
+    /// local-mode solves).
+    pub fn inverse(&self) -> Result<DenseMatrix, String> {
+        assert_eq!(self.rows, self.cols, "inverse of a non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = DenseMatrix::identity(n);
+        for col in 0..n {
+            // Pivot.
+            let mut pivot = col;
+            let mut best = a.at(col, col).abs();
+            for r in (col + 1)..n {
+                let v = a.at(r, col).abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(format!("matrix is singular at column {col}"));
+            }
+            if pivot != col {
+                for j in 0..n {
+                    let (x, y) = (a.at(col, j), a.at(pivot, j));
+                    a.set(col, j, y);
+                    a.set(pivot, j, x);
+                    let (x, y) = (inv.at(col, j), inv.at(pivot, j));
+                    inv.set(col, j, y);
+                    inv.set(pivot, j, x);
+                }
+            }
+            // Normalize and eliminate.
+            let d = a.at(col, col);
+            for j in 0..n {
+                a.set(col, j, a.at(col, j) / d);
+                inv.set(col, j, inv.at(col, j) / d);
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a.at(r, col);
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    a.set(r, j, a.at(r, j) - f * a.at(col, j));
+                    inv.set(r, j, inv.at(r, j) - f * inv.at(col, j));
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        };
+        let data = (0..r * c).map(|_| next()).collect();
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let a = rand_mat(37, 23, 1);
+        let b = rand_mat(23, 41, 2);
+        let mut c1 = vec![0.0; 37 * 41];
+        let mut c2 = vec![0.0; 37 * 41];
+        matmul_naive(&a.data, &b.data, &mut c1, 37, 23, 41);
+        matmul_blocked(&a.data, &b.data, &mut c2, 37, 23, 41);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = rand_mat(30, 7, 3);
+        let b = rand_mat(30, 5, 4);
+        let mut c1 = vec![0.0; 7 * 5];
+        matmul_at_b(&a.data, &b.data, &mut c1, 30, 7, 5);
+        let c2 = a.transposed().matmul(&b);
+        for (x, y) in c1.iter().zip(&c2.data) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let mut a = rand_mat(12, 12, 5);
+        for i in 0..12 {
+            a.set(i, i, a.at(i, i) + 6.0); // diagonally dominant → invertible
+        }
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(12)) < 1e-8);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(a.inverse().is_err());
+    }
+}

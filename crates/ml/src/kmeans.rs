@@ -1,0 +1,269 @@
+//! k-means (§8.5.1, Appendix A): one `AggregateComp` per iteration.
+//!
+//! Both implementations use the standard pruning trick: the lower bound
+//! `‖a−b‖² ≥ (‖a‖−‖b‖)²` skips full distance computations when it already
+//! exceeds the best distance so far.
+
+use pc_baseline::{Rdd, SparkLike};
+use pc_core::prelude::*;
+use pc_object::PcValue;
+use std::sync::Arc;
+
+pc_object! {
+    /// A feature vector (§3's DataPoint).
+    pub struct DataPoint / DataPointView {
+        (data, set_data): Handle<PcVec<f64>>,
+    }
+}
+
+pc_object! {
+    /// An updated centroid: id, member count, and coordinate sums
+    /// (Appendix A's `Centroid` holding an `Avg`).
+    pub struct Centroid / CentroidView {
+        (centroid_id, set_centroid_id): i64,
+        (count, set_count): i64,
+        (sums, set_sums): Handle<PcVec<f64>>,
+    }
+}
+
+/// Index of the closest centroid, with the norm lower-bound prune.
+pub fn closest_centroid(point: &[f64], centroids: &[Vec<f64>], norms: &[f64]) -> usize {
+    let pn = point.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (k, c) in centroids.iter().enumerate() {
+        let lb = (pn - norms[k]) * (pn - norms[k]);
+        if lb >= best_d {
+            continue; // pruned without touching the coordinates
+        }
+        let d: f64 = point.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+        if d < best_d {
+            best_d = d;
+            best = k;
+        }
+    }
+    best
+}
+
+/// The per-iteration aggregation: key = closest centroid, value = running
+/// `(count, sum-vector)` packed as `[count, sums...]` on the map page.
+struct KMeansAgg {
+    centroids: Vec<Vec<f64>>,
+    norms: Vec<f64>,
+}
+
+impl AggregateSpec for KMeansAgg {
+    type In = DataPoint;
+    type Key = i64;
+    type Val = Handle<PcVec<f64>>;
+    type Out = Centroid;
+
+    fn key_of(&self, rec: &Handle<DataPoint>) -> PcResult<i64> {
+        let data = rec.v().data();
+        Ok(closest_centroid(data.as_slice(), &self.centroids, &self.norms) as i64)
+    }
+
+    fn init(&self, b: &BlockRef, rec: &Handle<DataPoint>) -> PcResult<Handle<PcVec<f64>>> {
+        let data = rec.v().data();
+        let v = b.make_object::<PcVec<f64>>()?;
+        v.reserve(1 + data.len())?;
+        v.extend_from_slice(&[1.0])?;
+        v.extend_from_slice(data.as_slice())?;
+        Ok(v)
+    }
+
+    fn combine(&self, b: &BlockRef, slot: u32, rec: &Handle<DataPoint>) -> PcResult<()> {
+        let acc = <Handle<PcVec<f64>> as PcValue>::load(b, slot);
+        let s = acc.as_mut_slice();
+        s[0] += 1.0;
+        let data = rec.v().data();
+        for (d, x) in s[1..].iter_mut().zip(data.as_slice()) {
+            *d += x;
+        }
+        Ok(())
+    }
+
+    fn merge(&self, dst: &BlockRef, dst_slot: u32, src: &BlockRef, src_slot: u32) -> PcResult<()> {
+        let a = <Handle<PcVec<f64>> as PcValue>::load(dst, dst_slot);
+        let b2 = <Handle<PcVec<f64>> as PcValue>::load(src, src_slot);
+        let d = a.as_mut_slice();
+        for (x, y) in d.iter_mut().zip(b2.as_slice()) {
+            *x += y;
+        }
+        Ok(())
+    }
+
+    fn finalize(&self, key: &i64, b: &BlockRef, slot: u32) -> PcResult<Handle<Centroid>> {
+        let acc = <Handle<PcVec<f64>> as PcValue>::load(b, slot);
+        let s = acc.as_slice();
+        let out = make_object::<Centroid>()?;
+        out.v().set_centroid_id(*key)?;
+        out.v().set_count(s[0] as i64)?;
+        let sums = make_object::<PcVec<f64>>()?;
+        sums.extend_from_slice(&s[1..])?;
+        out.v().set_sums(sums)?;
+        Ok(out)
+    }
+}
+
+/// k-means on PlinyCompute.
+pub struct PcKMeans {
+    pub client: PcClient,
+    pub db: String,
+    pub set: String,
+    pub centroids: Vec<Vec<f64>>,
+}
+
+impl PcKMeans {
+    /// Loads points and initializes centroids from the first `k` points.
+    pub fn init(client: &PcClient, db: &str, set: &str, points: &[Vec<f64>], k: usize) -> PcResult<Self> {
+        client.create_or_clear_set(db, set)?;
+        // Index by `i`: the page-fault retry may re-invoke the builder for
+        // the same object.
+        client.store(db, set, points.len(), |i| {
+            let p = &points[i];
+            let obj = make_object::<DataPoint>()?;
+            let v = make_object::<PcVec<f64>>()?;
+            v.extend_from_slice(p)?;
+            obj.v().set_data(v)?;
+            Ok(obj.erase())
+        })?;
+        Ok(PcKMeans {
+            client: client.clone(),
+            db: db.to_string(),
+            set: set.to_string(),
+            centroids: points.iter().take(k).cloned().collect(),
+        })
+    }
+
+    /// One Lloyd iteration: aggregate, gather the k updated centroids, and
+    /// install them in the model (the Appendix A loop body).
+    pub fn iterate(&mut self) -> PcResult<()> {
+        let out_set = format!("{}_centroids", self.set);
+        self.client.create_or_clear_set(&self.db, &out_set)?;
+        let norms: Vec<f64> =
+            self.centroids.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+        let mut g = ComputationGraph::new();
+        let pts = g.reader(&self.db, &self.set);
+        let agg = g.aggregate(pts, KMeansAgg { centroids: self.centroids.clone(), norms });
+        g.write(agg, &self.db, &out_set);
+        self.client.execute_computations(&g)?;
+        for c in self.client.iterate_set::<Centroid>(&self.db, &out_set)? {
+            let id = c.v().centroid_id() as usize;
+            let n = c.v().count() as f64;
+            let sums = c.v().sums();
+            for (dst, s) in self.centroids[id].iter_mut().zip(sums.as_slice()) {
+                *dst = s / n;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The baseline (Spark mllib-style) k-means over the RDD API.
+pub struct BaselineKMeans {
+    pub points: Rdd<Vec<f64>>,
+    pub centroids: Vec<Vec<f64>>,
+}
+
+impl BaselineKMeans {
+    pub fn init(eng: &SparkLike, points: Vec<Vec<f64>>, k: usize) -> Self {
+        let centroids = points.iter().take(k).cloned().collect();
+        BaselineKMeans { points: eng.parallelize(points), centroids }
+    }
+
+    pub fn iterate(&mut self) {
+        let centroids = Arc::new(self.centroids.clone());
+        let norms: Arc<Vec<f64>> = Arc::new(
+            centroids.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect(),
+        );
+        let c2 = centroids.clone();
+        let n2 = norms.clone();
+        let assigned: Rdd<(i64, (i64, Vec<f64>))> = self.points.map(move |p| {
+            let k = closest_centroid(&p, &c2, &n2) as i64;
+            (k, (1i64, p))
+        });
+        let reduced = assigned.reduce_by_key(|(c1, mut s1), (c2, s2)| {
+            for (a, b) in s1.iter_mut().zip(&s2) {
+                *a += b;
+            }
+            (c1 + c2, s1)
+        });
+        for (k, (n, sums)) in reduced.collect() {
+            let c = &mut self.centroids[k as usize];
+            for (dst, s) in c.iter_mut().zip(&sums) {
+                *dst = s / n as f64;
+            }
+        }
+    }
+}
+
+/// Generates clustered synthetic data: `n` points in `d` dims around `k`
+/// well-separated centers.
+pub fn synthetic_points(n: usize, d: usize, k: usize, seed: u64) -> Vec<Vec<f64>> {
+    use rand::{RngExt as _, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> =
+        (0..k).map(|c| (0..d).map(|j| ((c * 7 + j) % 13) as f64 * 3.0).collect()).collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % k];
+            c.iter().map(|x| x + rng.random::<f64>() - 0.5).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_baseline::{SparkConfig, StorageLevel};
+
+    #[test]
+    fn pc_and_baseline_converge_to_the_same_centroids() {
+        let pts = synthetic_points(300, 4, 3, 11);
+        let client = PcClient::local_small().unwrap();
+        let mut pc = PcKMeans::init(&client, "ml", "pts", &pts, 3).unwrap();
+        let eng = SparkLike::new(SparkConfig {
+            partitions: 2,
+            storage: StorageLevel::Serialized,
+            ..Default::default()
+        });
+        let mut base = BaselineKMeans::init(&eng, pts, 3);
+        for _ in 0..5 {
+            pc.iterate().unwrap();
+            base.iterate();
+        }
+        let mut a = pc.centroids.clone();
+        let mut b = base.centroids.clone();
+        let key = |c: &Vec<f64>| (c[0] * 1e6) as i64;
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        for (x, y) in a.iter().zip(&b) {
+            for (p, q) in x.iter().zip(y) {
+                assert!((p - q).abs() < 1e-9, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_never_changes_the_answer() {
+        let pts = synthetic_points(100, 6, 4, 3);
+        let centroids: Vec<Vec<f64>> = pts.iter().take(4).cloned().collect();
+        let norms: Vec<f64> =
+            centroids.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+        for p in &pts {
+            let fast = closest_centroid(p, &centroids, &norms);
+            // brute force
+            let mut best = 0;
+            let mut bd = f64::INFINITY;
+            for (k, c) in centroids.iter().enumerate() {
+                let d: f64 = p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < bd {
+                    bd = d;
+                    best = k;
+                }
+            }
+            assert_eq!(fast, best);
+        }
+    }
+}

@@ -1,0 +1,613 @@
+//! Word-based, non-collapsed Gibbs LDA (§8.5.1, Figure 2).
+//!
+//! The fundamental records are `(docID, wordID, count)` triples. Each
+//! iteration:
+//!
+//! 1. a **three-way join** pairs every triple with its document's topic
+//!    probabilities θ_d and its word's per-topic probabilities φ_{·,w}
+//!    (the "many-to-one join between words and the
+//!    topic-probability-per-document vectors" the paper calls out as the
+//!    hard part);
+//! 2. the join projection samples the word's topic assignments from a
+//!    multinomial over θ_d ⊙ φ_{·,w};
+//! 3. aggregations rebuild both factors: per-document topic counts →
+//!    θ'_d ~ Dirichlet(α + counts), per-topic word counts →
+//!    φ'_k ~ Dirichlet(β + counts);
+//! 4. a multi-selection + aggregation transposes φ back to per-word form
+//!    for the next iteration's join.
+//!
+//! The baseline implementation exposes Table 4's tuning ladder via
+//! [`LdaTuning`]: vanilla shuffle joins with a generic allocation-heavy
+//! multinomial, then the broadcast-join hint, then forced persistence of
+//! the iteration-invariant triples, then the hand-coded sampler.
+
+use crate::sampling;
+use parking_lot::Mutex;
+use pc_baseline::{Rdd, SparkLike};
+use pc_core::prelude::*;
+use pc_lambda::make_lambda3;
+use pc_object::PcValue;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+pc_object! {
+    /// One (docID, wordID, count) triple.
+    pub struct Triple / TripleView {
+        (doc, set_doc): i64,
+        (word, set_word): i64,
+        (count, set_count): i64,
+    }
+}
+
+pc_object! {
+    /// θ_d: a document's topic probabilities.
+    pub struct DocProbs / DocProbsView {
+        (doc, set_doc): i64,
+        (probs, set_probs): Handle<PcVec<f64>>,
+    }
+}
+
+pc_object! {
+    /// φ_{·,w}: one word's probability under each topic (the transposed
+    /// factor used by the join).
+    pub struct WordProbs / WordProbsView {
+        (word, set_word): i64,
+        (probs, set_probs): Handle<PcVec<f64>>,
+    }
+}
+
+pc_object! {
+    /// Sampled topic assignment counts for one (doc, word) pair.
+    pub struct Assignment / AssignmentView {
+        (doc, set_doc): i64,
+        (word, set_word): i64,
+        (counts, set_counts): Handle<PcVec<f64>>,
+    }
+}
+
+pc_object! {
+    /// A resampled factor row (doc→θ or topic→φ).
+    pub struct FactorRow / FactorRowView {
+        (id, set_id): i64,
+        (probs, set_probs): Handle<PcVec<f64>>,
+    }
+}
+
+type SharedRng = Arc<Mutex<rand::rngs::StdRng>>;
+
+/// Aggregation rebuilding a factor: sums count vectors per key, then
+/// samples Dirichlet(prior + counts) in finalize.
+struct FactorAgg {
+    width: usize,
+    prior: f64,
+    rng: SharedRng,
+    by_doc: bool, // key by doc (θ) or by word (per-word topic counts)
+    /// true → finalize samples Dirichlet(prior + counts); false → finalize
+    /// emits the raw summed counts (the φ path gathers counts first).
+    sample: bool,
+}
+
+impl AggregateSpec for FactorAgg {
+    type In = Assignment;
+    type Key = i64;
+    type Val = Handle<PcVec<f64>>;
+    type Out = FactorRow;
+
+    fn key_of(&self, rec: &Handle<Assignment>) -> PcResult<i64> {
+        Ok(if self.by_doc { rec.v().doc() } else { rec.v().word() })
+    }
+
+    fn init(&self, b: &BlockRef, rec: &Handle<Assignment>) -> PcResult<Handle<PcVec<f64>>> {
+        let v = b.make_object::<PcVec<f64>>()?;
+        v.reserve(self.width)?;
+        v.extend_from_slice(&vec![0.0; self.width])?;
+        let c = rec.v().counts();
+        for (d, s) in v.as_mut_slice().iter_mut().zip(c.as_slice()) {
+            *d += s;
+        }
+        Ok(v)
+    }
+
+    fn combine(&self, b: &BlockRef, slot: u32, rec: &Handle<Assignment>) -> PcResult<()> {
+        let acc = <Handle<PcVec<f64>> as PcValue>::load(b, slot);
+        let c = rec.v().counts();
+        for (d, s) in acc.as_mut_slice().iter_mut().zip(c.as_slice()) {
+            *d += s;
+        }
+        Ok(())
+    }
+
+    fn merge(&self, dst: &BlockRef, dst_slot: u32, src: &BlockRef, src_slot: u32) -> PcResult<()> {
+        let a = <Handle<PcVec<f64>> as PcValue>::load(dst, dst_slot);
+        let b2 = <Handle<PcVec<f64>> as PcValue>::load(src, src_slot);
+        for (x, y) in a.as_mut_slice().iter_mut().zip(b2.as_slice()) {
+            *x += y;
+        }
+        Ok(())
+    }
+
+    fn finalize(&self, key: &i64, b: &BlockRef, slot: u32) -> PcResult<Handle<FactorRow>> {
+        let acc = <Handle<PcVec<f64>> as PcValue>::load(b, slot);
+        let counts = acc.as_slice();
+        let mut probs = vec![0.0; self.width];
+        if self.sample {
+            let alpha: Vec<f64> = counts.iter().map(|c| c + self.prior).collect();
+            sampling::sample_dirichlet(&mut *self.rng.lock(), &alpha, &mut probs);
+        } else {
+            probs.copy_from_slice(counts);
+        }
+        let out = make_object::<FactorRow>()?;
+        out.v().set_id(*key)?;
+        let pv = make_object::<PcVec<f64>>()?;
+        pv.extend_from_slice(&probs)?;
+        out.v().set_probs(pv)?;
+        Ok(out)
+    }
+}
+
+/// LDA on PlinyCompute.
+pub struct PcLda {
+    pub client: PcClient,
+    pub db: String,
+    pub topics: usize,
+    pub vocab: usize,
+    pub docs: usize,
+    pub alpha: f64,
+    pub beta: f64,
+    rng: SharedRng,
+    iter: usize,
+}
+
+impl PcLda {
+    /// Loads triples and Dirichlet-initializes both factors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn init(
+        client: &PcClient,
+        db: &str,
+        triples: &[(i64, i64, i64)],
+        docs: usize,
+        vocab: usize,
+        topics: usize,
+        alpha: f64,
+        beta: f64,
+        seed: u64,
+    ) -> PcResult<Self> {
+        let rng: SharedRng = Arc::new(Mutex::new(rand::rngs::StdRng::seed_from_u64(seed)));
+        client.create_or_clear_set(db, "triples")?;
+        client.store(db, "triples", triples.len(), |i| {
+            let (d, w, c) = &triples[i];
+            let t = make_object::<Triple>()?;
+            t.v().set_doc(*d)?;
+            t.v().set_word(*w)?;
+            t.v().set_count(*c)?;
+            Ok(t.erase())
+        })?;
+        // θ rows.
+        client.create_or_clear_set(db, "theta")?;
+        {
+            let rng = rng.clone();
+            client.store(db, "theta", docs, move |d| {
+                let mut probs = vec![0.0; topics];
+                sampling::sample_dirichlet(&mut *rng.lock(), &vec![1.0; topics], &mut probs);
+                let row = make_object::<DocProbs>()?;
+                row.v().set_doc(d as i64)?;
+                let pv = make_object::<PcVec<f64>>()?;
+                pv.extend_from_slice(&probs)?;
+                row.v().set_probs(pv)?;
+                Ok(row.erase())
+            })?;
+        }
+        // φ columns (per word).
+        client.create_or_clear_set(db, "phi_by_word")?;
+        {
+            let rng = rng.clone();
+            client.store(db, "phi_by_word", vocab, move |w| {
+                let mut probs = vec![0.0; topics];
+                sampling::sample_dirichlet(&mut *rng.lock(), &vec![1.0; topics], &mut probs);
+                let row = make_object::<WordProbs>()?;
+                row.v().set_word(w as i64)?;
+                let pv = make_object::<PcVec<f64>>()?;
+                pv.extend_from_slice(&probs)?;
+                row.v().set_probs(pv)?;
+                Ok(row.erase())
+            })?;
+        }
+        Ok(PcLda {
+            client: client.clone(),
+            db: db.to_string(),
+            topics,
+            vocab,
+            docs,
+            alpha,
+            beta,
+            rng,
+            iter: 0,
+        })
+    }
+
+    /// One Gibbs iteration.
+    pub fn iterate(&mut self) -> PcResult<()> {
+        self.iter += 1;
+        let db = self.db.clone();
+        let k = self.topics;
+
+        // --- assignment sampling: 3-way join + multinomial projection ---
+        self.client.create_or_clear_set(&db, "assignments")?;
+        let mut g = ComputationGraph::new();
+        let triples = g.reader(&db, "triples");
+        let theta = g.reader(&db, "theta");
+        let phi = g.reader(&db, "phi_by_word");
+        let sel = pc_lambda::make_lambda_from_member::<Triple, i64>(0, "doc", |t| t.v().doc())
+            .eq(pc_lambda::make_lambda_from_member::<DocProbs, i64>(1, "doc", |p| p.v().doc()))
+            .and(
+                pc_lambda::make_lambda_from_member::<Triple, i64>(0, "word", |t| t.v().word()).eq(
+                    pc_lambda::make_lambda_from_member::<WordProbs, i64>(2, "word", |p| {
+                        p.v().word()
+                    }),
+                ),
+            );
+        let rng = self.rng.clone();
+        let proj = make_lambda3::<Triple, DocProbs, WordProbs, _>(
+            (0, 1, 2),
+            "sampleAssignments",
+            move |t, dp, wp| {
+                let theta = dp.v().probs();
+                let phi = wp.v().probs();
+                let weights: Vec<f64> =
+                    theta.as_slice().iter().zip(phi.as_slice()).map(|(a, b)| a * b).collect();
+                let mut counts = vec![0u32; k];
+                sampling::sample_multinomial(&mut *rng.lock(), &weights, t.v().count() as u32, &mut counts);
+                let a = make_object::<Assignment>()?;
+                a.v().set_doc(t.v().doc())?;
+                a.v().set_word(t.v().word())?;
+                let cv = make_object::<PcVec<f64>>()?;
+                cv.reserve(k)?;
+                cv.extend_from_slice(&counts.iter().map(|c| *c as f64).collect::<Vec<_>>())?;
+                a.v().set_counts(cv)?;
+                Ok(a.erase())
+            },
+        );
+        let joined = g.join(&[triples, theta, phi], sel, proj);
+        g.write(joined, &db, "assignments");
+        self.client.execute_computations(&g)?;
+
+        // --- θ resampling: aggregate assignment counts per doc ---
+        self.client.create_or_clear_set(&db, "theta")?;
+        let mut g = ComputationGraph::new();
+        let asg = g.reader(&db, "assignments");
+        let agg = g.aggregate(
+            asg,
+            FactorAgg { width: k, prior: self.alpha, rng: self.rng.clone(), by_doc: true, sample: true },
+        );
+        g.write(agg, &db, "theta_rows");
+        self.client.create_or_clear_set(&db, "theta_rows")?;
+        self.client.execute_computations(&g)?;
+        // FactorRow → DocProbs (a selection re-typing the rows).
+        self.retype_rows::<DocProbs>("theta_rows", "theta", |row, id, pv| {
+            row.v().set_doc(id)?;
+            row.v().set_probs(pv)
+        })?;
+
+        // --- φ resampling: per-word topic counts, then per-topic Dirichlet ---
+        // Gather per-word counts, resample topic rows on the driver (the
+        // topic count K is tiny), and redistribute the per-word transpose —
+        // the driver-side model update step the paper's GMM/LDA loops do.
+        let mut per_topic: Vec<Vec<f64>> = vec![vec![self.beta; self.vocab]; k];
+        self.client.create_or_clear_set(&db, "word_counts")?;
+        let mut g = ComputationGraph::new();
+        let asg = g.reader(&db, "assignments");
+        let agg = g.aggregate(
+            asg,
+            FactorAgg { width: k, prior: 0.0, rng: self.rng.clone(), by_doc: false, sample: false },
+        );
+        g.write(agg, &db, "word_counts");
+        self.client.execute_computations(&g)?;
+        for row in self.client.iterate_set::<FactorRow>(&db, "word_counts")? {
+            let w = row.v().id() as usize;
+            let pv = row.v().probs();
+            // sample=false rows hold the raw per-word topic counts.
+            for (t, c) in pv.as_slice().iter().enumerate() {
+                per_topic[t][w] += c;
+            }
+        }
+        let mut phi_rows: Vec<Vec<f64>> = Vec::with_capacity(k);
+        for counts in &per_topic {
+            let mut probs = vec![0.0; self.vocab];
+            sampling::sample_dirichlet(&mut *self.rng.lock(), counts, &mut probs);
+            phi_rows.push(probs);
+        }
+        // Transpose to per-word form and redistribute.
+        self.client.create_or_clear_set(&db, "phi_by_word")?;
+        let vocab = self.vocab;
+        let phi_rows = Arc::new(phi_rows);
+        let pr = phi_rows.clone();
+        self.client.store(&db, "phi_by_word", vocab, move |w| {
+            let row = make_object::<WordProbs>()?;
+            row.v().set_word(w as i64)?;
+            let pv = make_object::<PcVec<f64>>()?;
+            pv.reserve(k)?;
+            for t in 0..k {
+                pv.push(pr[t][w])?;
+            }
+            row.v().set_probs(pv)?;
+            Ok(row.erase())
+        })?;
+        Ok(())
+    }
+
+    fn retype_rows<T: PcObjType>(
+        &self,
+        from: &str,
+        to: &str,
+        fill: impl Fn(&Handle<T>, i64, Handle<PcVec<f64>>) -> PcResult<()> + Send + Sync + 'static,
+    ) -> PcResult<()>
+    where
+        T: 'static,
+    {
+        self.client.create_or_clear_set(&self.db, to)?;
+        let rows = self.client.iterate_set::<FactorRow>(&self.db, from)?;
+        self.client.store(&self.db, to, rows.len(), |i| {
+            let r = &rows[i];
+            let out = make_object::<T>()?;
+            let pv = make_object::<PcVec<f64>>()?;
+            let src = r.v().probs();
+            pv.extend_from_slice(src.as_slice())?;
+            fill(&out, r.v().id(), pv)?;
+            Ok(out.erase())
+        })
+    }
+
+    /// Gathers θ (doc → topic distribution).
+    pub fn theta(&self) -> PcResult<Vec<(i64, Vec<f64>)>> {
+        Ok(self
+            .client
+            .iterate_set::<DocProbs>(&self.db, "theta")?
+            .iter()
+            .map(|r| (r.v().doc(), r.v().probs().iter().collect()))
+            .collect())
+    }
+}
+
+// ----------------------------------------------------------------- baseline
+
+/// Table 4's tuning ladder for the baseline LDA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LdaTuning {
+    /// Shuffle joins, serialized stages, generic multinomial.
+    Vanilla,
+    /// + broadcast-join hint.
+    JoinHint,
+    /// + persist the iteration-invariant triples (skip their codec).
+    ForcedPersist,
+    /// + hand-coded multinomial sampler.
+    HandCodedSampler,
+}
+
+/// Baseline (Spark-style) LDA.
+pub struct BaselineLda {
+    eng: SparkLike,
+    pub tuning: LdaTuning,
+    pub topics: usize,
+    pub vocab: usize,
+    triples: Rdd<(i64, i64, i64)>,
+    theta: Vec<Vec<f64>>,
+    phi_by_word: Vec<Vec<f64>>,
+    rng: rand::rngs::StdRng,
+    alpha: f64,
+    beta: f64,
+    docs: usize,
+}
+
+impl BaselineLda {
+    #[allow(clippy::too_many_arguments)]
+    pub fn init(
+        eng: &SparkLike,
+        tuning: LdaTuning,
+        triples: Vec<(i64, i64, i64)>,
+        docs: usize,
+        vocab: usize,
+        topics: usize,
+        alpha: f64,
+        beta: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut theta = vec![vec![0.0; topics]; docs];
+        for row in theta.iter_mut() {
+            sampling::sample_dirichlet(&mut rng, &vec![1.0; topics], row);
+        }
+        let mut phi_by_word = vec![vec![0.0; topics]; vocab];
+        for row in phi_by_word.iter_mut() {
+            sampling::sample_dirichlet(&mut rng, &vec![1.0; topics], row);
+        }
+        let rdd = eng.parallelize(triples);
+        let rdd = if tuning >= LdaTuning::ForcedPersist { rdd.cache() } else { rdd };
+        BaselineLda {
+            eng: eng.clone(),
+            tuning,
+            topics,
+            vocab,
+            triples: rdd,
+            theta,
+            phi_by_word,
+            rng,
+            alpha,
+            beta,
+            docs,
+        }
+    }
+
+    pub fn iterate(&mut self) {
+        let k = self.topics;
+        // Model join: distribute θ and φ as keyed RDDs and join, or
+        // broadcast (JoinHint+) — the same dataflow PC's 3-way join runs.
+        let theta_rdd: Rdd<(i64, Vec<f64>)> = self
+            .eng
+            .parallelize(self.theta.iter().cloned().enumerate().map(|(d, v)| (d as i64, v)).collect());
+        let phi_rdd: Rdd<(i64, Vec<f64>)> = self.eng.parallelize(
+            self.phi_by_word.iter().cloned().enumerate().map(|(w, v)| (w as i64, v)).collect(),
+        );
+        let use_broadcast = self.tuning >= LdaTuning::JoinHint;
+        let eng = if use_broadcast {
+            let mut cfg = self.eng.config.clone();
+            cfg.broadcast_join_hint = true;
+            SparkLike::new(cfg)
+        } else {
+            self.eng.clone()
+        };
+        let by_doc: Rdd<(i64, (i64, i64))> = self.triples.map(|(d, w, c)| (d, (w, c)));
+        // Rebuild under the (possibly broadcast-hinted) engine.
+        let by_doc = eng.parallelize(by_doc.collect());
+        let theta_rdd = eng.parallelize(theta_rdd.collect());
+        let phi_rdd = eng.parallelize(phi_rdd.collect());
+        let j1 = by_doc.join(&theta_rdd); // (doc, ((word,count), θ_d))
+        let by_word: Rdd<(i64, (i64, i64, Vec<f64>))> =
+            j1.map(|(d, ((w, c), th))| (w, (d, c, th)));
+        let j2 = by_word.join(&phi_rdd); // (word, ((doc,count,θ), φ_w))
+        let seed: u64 = self.rng.random();
+        let fast = self.tuning >= LdaTuning::HandCodedSampler;
+        let assignments: Rdd<(i64, (i64, Vec<f64>))> = j2.map_partitions(move |part| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut out = Vec::with_capacity(part.len());
+            for (w, ((d, c, th), ph)) in part {
+                let weights: Vec<f64> = th.iter().zip(&ph).map(|(a, b)| a * b).collect();
+                let mut counts = vec![0u32; k];
+                if fast {
+                    sampling::sample_multinomial(&mut rng, &weights, c as u32, &mut counts);
+                } else {
+                    sampling::sample_multinomial_generic(&mut rng, &weights, c as u32, &mut counts);
+                }
+                out.push((d, (w, counts.iter().map(|x| *x as f64).collect::<Vec<f64>>())));
+            }
+            out
+        });
+
+        // θ update.
+        let doc_counts = assignments
+            .map(|(d, (_w, counts))| (d, counts))
+            .reduce_by_key(|mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            })
+            .collect();
+        for (d, counts) in doc_counts {
+            let alpha: Vec<f64> = counts.iter().map(|c| c + self.alpha).collect();
+            sampling::sample_dirichlet(&mut self.rng, &alpha, &mut self.theta[d as usize]);
+        }
+        // φ update.
+        let word_counts = assignments
+            .map(|(_d, (w, counts))| (w, counts))
+            .reduce_by_key(|mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            })
+            .collect();
+        let mut per_topic = vec![vec![self.beta; self.vocab]; k];
+        for (w, counts) in word_counts {
+            for (t, c) in counts.iter().enumerate() {
+                per_topic[t][w as usize] += c;
+            }
+        }
+        let mut phi_rows = vec![vec![0.0; self.vocab]; k];
+        for (t, counts) in per_topic.iter().enumerate() {
+            sampling::sample_dirichlet(&mut self.rng, counts, &mut phi_rows[t]);
+        }
+        for w in 0..self.vocab {
+            for t in 0..k {
+                self.phi_by_word[w][t] = phi_rows[t][w];
+            }
+        }
+        let _ = self.docs;
+    }
+
+    pub fn theta(&self) -> &[Vec<f64>] {
+        &self.theta
+    }
+}
+
+/// Semi-synthetic corpus in the 20-newsgroups style: `docs` documents, each
+/// drawn from one of `true_topics` disjoint word pools.
+pub fn synthetic_corpus(
+    docs: usize,
+    vocab: usize,
+    true_topics: usize,
+    words_per_doc: usize,
+    seed: u64,
+) -> Vec<(i64, i64, i64)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pool = vocab / true_topics;
+    let mut triples = Vec::new();
+    for d in 0..docs {
+        let topic = d % true_topics;
+        let mut counts: std::collections::HashMap<i64, i64> = Default::default();
+        for _ in 0..words_per_doc {
+            let w = (topic * pool + rng.random_range(0..pool)) as i64;
+            *counts.entry(w).or_insert(0) += 1;
+        }
+        for (w, c) in counts {
+            triples.push((d as i64, w, c));
+        }
+    }
+    triples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_baseline::{SparkConfig, StorageLevel};
+
+    fn topic_sharpness(theta: &[(i64, Vec<f64>)]) -> f64 {
+        let s: f64 = theta
+            .iter()
+            .map(|(_, p)| p.iter().cloned().fold(0.0, f64::max))
+            .sum();
+        s / theta.len() as f64
+    }
+
+    #[test]
+    fn pc_lda_concentrates_topics() {
+        let triples = synthetic_corpus(40, 60, 2, 50, 3);
+        let client = PcClient::local_small().unwrap();
+        let mut lda = PcLda::init(&client, "lda", &triples, 40, 60, 2, 0.1, 0.1, 7).unwrap();
+        for _ in 0..12 {
+            lda.iterate().unwrap();
+        }
+        let theta = lda.theta().unwrap();
+        assert_eq!(theta.len(), 40);
+        for (_, p) in &theta {
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "θ must be a distribution");
+        }
+        let sharp = topic_sharpness(&theta);
+        assert!(sharp > 0.65, "topics should concentrate, sharpness {sharp}");
+    }
+
+    #[test]
+    fn baseline_ladder_all_rungs_agree_statistically() {
+        let triples = synthetic_corpus(30, 40, 2, 25, 5);
+        for tuning in [
+            LdaTuning::Vanilla,
+            LdaTuning::JoinHint,
+            LdaTuning::ForcedPersist,
+            LdaTuning::HandCodedSampler,
+        ] {
+            let eng = SparkLike::new(SparkConfig {
+                partitions: 2,
+                storage: StorageLevel::Serialized,
+                ..Default::default()
+            });
+            let mut lda = BaselineLda::init(&eng, tuning, triples.clone(), 30, 40, 2, 0.1, 0.1, 9);
+            for _ in 0..6 {
+                lda.iterate();
+            }
+            let theta: Vec<(i64, Vec<f64>)> =
+                lda.theta().iter().cloned().enumerate().map(|(d, p)| (d as i64, p)).collect();
+            let sharp = topic_sharpness(&theta);
+            assert!(sharp > 0.7, "{tuning:?}: sharpness {sharp}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # pc-ml — machine learning on PlinyCompute (§8.5)
+//!
+//! The three iterative algorithms the paper benchmarks, each implemented
+//! twice: on PC (computation graphs over page-resident objects) and on the
+//! managed-runtime baseline (`pc-baseline`), algorithmically equivalent:
+//!
+//! * [`kmeans`] — Appendix A's aggregation-only k-means, with the
+//!   norm lower-bound pruning trick of §8.5.1;
+//! * [`gmm`] — EM for a diagonal-covariance Gaussian mixture via a single
+//!   `AggregateComp` carrying the model, with the log-space trick;
+//! * [`lda`] — the word-based, non-collapsed Gibbs sampler: a join of
+//!   (doc, word, count) triples against per-doc topic probabilities and
+//!   per-word topic probabilities, multinomial assignment sampling, and
+//!   Dirichlet resampling of both factor matrices. The baseline version
+//!   exposes Table 4's tuning ladder (vanilla → join hint → persist →
+//!   hand-coded multinomial).
+//!
+//! Sampling uses [`sampling`] (Marsaglia-Tsang gamma → Dirichlet,
+//! cumulative-scan multinomial), replacing the paper's GSL.
+
+pub mod gmm;
+pub mod kmeans;
+pub mod lda;
+pub mod sampling;

@@ -1,0 +1,154 @@
+//! Statistical sampling routines (the GSL replacement).
+
+use rand::{Rng, RngExt};
+
+/// Marsaglia-Tsang gamma sampler, shape `a > 0`, scale 1.
+pub fn sample_gamma<R: Rng>(rng: &mut R, a: f64) -> f64 {
+    if a < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        return sample_gamma(rng, a + 1.0) * u.powf(1.0 / a);
+    }
+    let d = a - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x: f64 = sample_std_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Box-Muller standard normal.
+pub fn sample_std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples from Dirichlet(alpha) into `out` (normalized gammas).
+pub fn sample_dirichlet<R: Rng>(rng: &mut R, alpha: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(alpha.len(), out.len());
+    let mut sum = 0.0;
+    for (o, &a) in out.iter_mut().zip(alpha) {
+        *o = sample_gamma(rng, a.max(1e-9));
+        sum += *o;
+    }
+    if sum <= 0.0 {
+        let u = 1.0 / out.len() as f64;
+        out.fill(u);
+        return;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// One categorical draw by cumulative scan over unnormalized weights
+/// (the "hand-coded multinomial" of Table 4's last tuning rung).
+pub fn sample_categorical<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut t = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// `n` multinomial draws, accumulated into per-category counts.
+pub fn sample_multinomial<R: Rng>(rng: &mut R, weights: &[f64], n: u32, counts: &mut [u32]) {
+    counts.fill(0);
+    for _ in 0..n {
+        counts[sample_categorical(rng, weights)] += 1;
+    }
+}
+
+/// A deliberately allocation-heavy multinomial used by the *untuned*
+/// baseline rungs (Table 4): it materializes a fresh normalized
+/// distribution and a fresh cumulative vector per draw — the kind of
+/// generic library code the paper's Spark expert had to replace.
+pub fn sample_multinomial_generic<R: Rng>(rng: &mut R, weights: &[f64], n: u32, counts: &mut [u32]) {
+    counts.fill(0);
+    for _ in 0..n {
+        let total: f64 = weights.iter().sum();
+        let normalized: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let cumulative: Vec<f64> = normalized
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w;
+                Some(*acc)
+            })
+            .collect();
+        let u: f64 = rng.random();
+        let idx = cumulative.iter().position(|&c| u <= c).unwrap_or(weights.len() - 1);
+        counts[idx] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn gamma_mean_tracks_shape() {
+        let mut r = rng();
+        for &a in &[0.5, 1.0, 3.0, 10.0] {
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(&mut r, a)).sum::<f64>() / n as f64;
+            assert!((mean - a).abs() < 0.25 * a.max(1.0), "shape {a}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_tracks_alpha() {
+        let mut r = rng();
+        let alpha = [10.0, 1.0, 1.0];
+        let mut out = [0.0; 3];
+        let mut mean = [0.0; 3];
+        for _ in 0..2000 {
+            sample_dirichlet(&mut r, &alpha, &mut out);
+            let s: f64 = out.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            for (m, o) in mean.iter_mut().zip(&out) {
+                *m += o;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= 2000.0;
+        }
+        assert!(mean[0] > 0.7, "alpha-heavy component should dominate: {mean:?}");
+    }
+
+    #[test]
+    fn multinomial_variants_agree_in_distribution() {
+        let mut r = rng();
+        let w = [1.0, 2.0, 7.0];
+        let mut c1 = [0u32; 3];
+        let mut c2 = [0u32; 3];
+        sample_multinomial(&mut r, &w, 50_000, &mut c1);
+        sample_multinomial_generic(&mut r, &w, 50_000, &mut c2);
+        for i in 0..3 {
+            let p1 = c1[i] as f64 / 50_000.0;
+            let p2 = c2[i] as f64 / 50_000.0;
+            let want = w[i] / 10.0;
+            assert!((p1 - want).abs() < 0.02, "fast sampler off at {i}: {p1} vs {want}");
+            assert!((p2 - want).abs() < 0.02, "generic sampler off at {i}: {p2} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! `AnyObj`: the type-erased object type used by the execution engine.
+//!
+//! The engine frequently stores handles to objects whose static type it does
+//! not know — join hash tables hold `Vector<Object>` in the paper's terms
+//! (Appendix D.3). `Handle<AnyObj>` is the Rust analogue: a stored handle
+//! whose deep-copy and drop behaviour dispatch through the type-code
+//! registry, exactly like PC's vTable fixup on dereference (§6.3).
+
+use crate::block::BlockRef;
+use crate::error::{PcError, PcResult};
+use crate::handle::{AnyHandle, Handle};
+use crate::registry::{self, TypeCode};
+use crate::traits::PcObjType;
+
+/// A type-erased PC object. Never constructed directly — only pointed to.
+pub struct AnyObj(());
+
+impl PcObjType for AnyObj {
+    type View<'a> = &'a Handle<AnyObj>;
+
+    fn type_name() -> String {
+        "AnyObj".to_string()
+    }
+
+    fn type_code() -> TypeCode {
+        TypeCode(0x5043_414F) // "PCAO"; only used for registry identity
+    }
+
+    fn init_size() -> u32 {
+        0
+    }
+
+    fn init_at(_b: &BlockRef, _off: u32) -> PcResult<()> {
+        Err(PcError::Catalog("AnyObj cannot be constructed; it is a pointee-only type".into()))
+    }
+
+    /// Deep copy dispatches on the *target's* header type code through the
+    /// registry — dynamic dispatch via the catalog.
+    fn deep_copy_obj(src: &BlockRef, soff: u32, dst: &BlockRef) -> PcResult<u32> {
+        let code = src.obj_code(soff);
+        let vt = registry::require_vtable(code)?;
+        (vt.deep_copy)(src, soff, dst)
+    }
+
+    fn drop_obj(b: &BlockRef, off: u32) {
+        let code = b.obj_code(off);
+        if let Some(vt) = registry::lookup_vtable(code) {
+            (vt.drop_obj)(b, off);
+        }
+    }
+
+    fn make_view(h: &Handle<Self>) -> Self::View<'_> {
+        h
+    }
+}
+
+impl Handle<AnyObj> {
+    /// Re-types an erased handle (no check; the engine verified the column
+    /// type at batch boundaries).
+    pub fn assume<T: PcObjType>(&self) -> Handle<T> {
+        AnyHandle::new(self.block().clone(), self.offset()).downcast_unchecked()
+    }
+}
+
+impl AnyHandle {
+    /// Views this handle as a `Handle<AnyObj>` for storage in containers.
+    pub fn as_any_obj(&self) -> Handle<AnyObj> {
+        self.downcast_unchecked::<AnyObj>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{make_object, AllocScope, PcMap, PcVec};
+
+    #[test]
+    fn erased_handles_store_and_deep_copy_by_header_code() {
+        let _s = AllocScope::new(1 << 18);
+        let v = make_object::<PcVec<f64>>().unwrap();
+        v.extend_from_slice(&[1.0, 2.0]).unwrap();
+
+        // A join-table shape: Map<u64, Vector<AnyObj>>.
+        let table = make_object::<PcMap<u64, Handle<PcVec<Handle<AnyObj>>>>>().unwrap();
+        let bucket = make_object::<PcVec<Handle<AnyObj>>>().unwrap();
+        bucket.push(v.erase().as_any_obj()).unwrap();
+        table.insert(42u64, bucket).unwrap();
+
+        // Deep copy the whole table to another block; the erased element must
+        // be copied through the registry dispatch.
+        let dst = crate::BlockRef::new(1 << 18, crate::AllocPolicy::LightweightReuse);
+        let copy = table.deep_copy_to(&dst).unwrap();
+        let bucket = copy.get(&42u64).unwrap();
+        assert_eq!(bucket.len(), 1);
+        let vec2: Handle<PcVec<f64>> = bucket.get(0).assume();
+        assert_eq!(vec2.as_slice(), &[1.0, 2.0]);
+        assert!(vec2.block().same_block(&dst));
+    }
+}

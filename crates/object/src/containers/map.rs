@@ -1,0 +1,438 @@
+//! `PcMap<K, V>`: the page-resident hash map (PC's `Map`).
+//!
+//! This is the container at the heart of PC's distributed aggregation
+//! (§3, Appendix D.2): each worker thread pre-aggregates into `Map` objects
+//! allocated on output pages, the pages are shuffled wholesale, and the
+//! receiving side merges the maps — with zero serialization at any point.
+
+use super::{alloc_array, free_array};
+use crate::block::BlockRef;
+use crate::error::PcResult;
+use crate::handle::Handle;
+use crate::traits::{stored_footprint, PcKey, PcObjType, PcValue};
+use std::marker::PhantomData;
+
+/// Open-addressing hash map stored on a page.
+///
+/// Payload layout: `{ len: u32, cap: u32, table: u32 }`; the table is a raw
+/// array of `cap` entries, each `{ hash: u64 (MSB = occupied), key slot,
+/// value slot }`, linear probed, grown at 70% load.
+///
+/// ```
+/// use pc_object::{AllocScope, PcMap, make_object};
+/// let _s = AllocScope::new(1 << 16);
+/// let m = make_object::<PcMap<i64, f64>>().unwrap();
+/// m.insert(3, 1.5).unwrap();
+/// m.insert(3, 2.5).unwrap();
+/// assert_eq!(m.get(&3), Some(2.5));
+/// assert_eq!(m.len(), 1);
+/// ```
+pub struct PcMap<K: PcKey, V: PcValue>(PhantomData<fn() -> (K, V)>);
+
+const OFF_LEN: u32 = 0;
+const OFF_CAP: u32 = 4;
+const OFF_TABLE: u32 = 8;
+
+const OCCUPIED: u64 = 1 << 63;
+
+#[inline]
+fn entry_stride<K: PcKey, V: PcValue>() -> u32 {
+    8 + stored_footprint::<K>() + stored_footprint::<V>()
+}
+
+impl<K: PcKey, V: PcValue> PcObjType for PcMap<K, V> {
+    type View<'a>
+        = &'a Handle<PcMap<K, V>>
+    where
+        K: 'a,
+        V: 'a;
+
+    fn type_name() -> String {
+        format!("PcMap<{},{}>", K::value_tag(), V::value_tag())
+    }
+
+    fn init_size() -> u32 {
+        12
+    }
+
+    fn init_at(b: &BlockRef, off: u32) -> PcResult<()> {
+        b.zero_range(off, 12);
+        Ok(())
+    }
+
+    fn deep_copy_obj(src: &BlockRef, soff: u32, dst: &BlockRef) -> PcResult<u32> {
+        let cap = src.read_u32(soff + OFF_CAP);
+        let stable = src.read_u32(soff + OFF_TABLE);
+        let stride = entry_stride::<K, V>();
+        let doff = dst.alloc(12, Self::type_code(), 0)?;
+        Self::init_at(dst, doff)?;
+        if cap == 0 {
+            return Ok(doff);
+        }
+        let dtable = alloc_array(dst, cap * stride)?;
+        for i in 0..cap {
+            let se = stable + i * stride;
+            let h = src.read::<u64>(se);
+            if h & OCCUPIED != 0 {
+                let de = dtable + i * stride;
+                dst.write::<u64>(de, h);
+                K::deep_copy_stored(src, se + 8, dst, de + 8)?;
+                V::deep_copy_stored(src, se + 8 + stored_footprint::<K>(), dst, de + 8 + stored_footprint::<K>())?;
+            }
+        }
+        dst.write_u32(doff + OFF_LEN, src.read_u32(soff + OFF_LEN));
+        dst.write_u32(doff + OFF_CAP, cap);
+        dst.write_u32(doff + OFF_TABLE, dtable);
+        Ok(doff)
+    }
+
+    fn drop_obj(b: &BlockRef, off: u32) {
+        let cap = b.read_u32(off + OFF_CAP);
+        let table = b.read_u32(off + OFF_TABLE);
+        if table == 0 {
+            return;
+        }
+        let stride = entry_stride::<K, V>();
+        if K::CONTAINS_HANDLES || V::CONTAINS_HANDLES {
+            for i in 0..cap {
+                let e = table + i * stride;
+                if b.read::<u64>(e) & OCCUPIED != 0 {
+                    K::drop_stored(b, e + 8);
+                    V::drop_stored(b, e + 8 + stored_footprint::<K>());
+                }
+            }
+        }
+        free_array(b, table);
+    }
+
+    fn make_view(h: &Handle<Self>) -> Self::View<'_> {
+        h
+    }
+}
+
+impl<K: PcKey, V: PcValue> Handle<PcMap<K, V>> {
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.block().read_u32(self.offset() + OFF_LEN) as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Table capacity in entries.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.block().read_u32(self.offset() + OFF_CAP) as usize
+    }
+
+    #[inline]
+    fn table(&self) -> u32 {
+        self.block().read_u32(self.offset() + OFF_TABLE)
+    }
+
+    #[inline]
+    fn entry(&self, i: u32) -> u32 {
+        self.table() + i * entry_stride::<K, V>()
+    }
+
+    /// Byte offset of an entry's key slot.
+    #[inline]
+    fn key_slot(e: u32) -> u32 {
+        e + 8
+    }
+
+    /// Byte offset of an entry's value slot.
+    #[inline]
+    fn val_slot(e: u32) -> u32 {
+        e + 8 + stored_footprint::<K>()
+    }
+
+    /// Finds the entry for `key`: returns `(entry_offset, occupied)`. The
+    /// returned offset is the match when occupied, or the insertion point.
+    fn probe(&self, h: u64, key: &K) -> (u32, bool) {
+        let cap = self.capacity() as u32;
+        debug_assert!(cap > 0);
+        let marked = h | OCCUPIED;
+        let b = self.block();
+        let mut i = (h % cap as u64) as u32;
+        loop {
+            let e = self.entry(i);
+            let stored = b.read::<u64>(e);
+            if stored == 0 {
+                return (e, false);
+            }
+            if stored == marked && key.eq_stored(b, Self::key_slot(e)) {
+                return (e, true);
+            }
+            i += 1;
+            if i == cap {
+                i = 0;
+            }
+        }
+    }
+
+    fn grow(&self, want_entries: usize) -> PcResult<()> {
+        let old_cap = self.capacity() as u32;
+        let new_cap = (want_entries * 2).next_power_of_two().max(8) as u32;
+        if new_cap <= old_cap {
+            return Ok(());
+        }
+        let stride = entry_stride::<K, V>();
+        let b = self.block();
+        let new_table = alloc_array(b, new_cap * stride)?;
+        let old_table = self.table();
+        // Rehash by stored hash: whole entries move by byte copy — handle
+        // slots hold page-relative offsets, so no refcount churn is needed.
+        for i in 0..old_cap {
+            let e = old_table + i * stride;
+            let h = b.read::<u64>(e);
+            if h & OCCUPIED == 0 {
+                continue;
+            }
+            let mut j = ((h & !OCCUPIED) % new_cap as u64) as u32;
+            loop {
+                let ne = new_table + j * stride;
+                if b.read::<u64>(ne) == 0 {
+                    b.copy_within(e, ne, stride as usize);
+                    break;
+                }
+                j += 1;
+                if j == new_cap {
+                    j = 0;
+                }
+            }
+        }
+        if old_table != 0 {
+            free_array(b, old_table);
+        }
+        b.write_u32(self.offset() + OFF_CAP, new_cap);
+        b.write_u32(self.offset() + OFF_TABLE, new_table);
+        Ok(())
+    }
+
+    fn ensure_room(&self) -> PcResult<()> {
+        let len = self.len();
+        let cap = self.capacity();
+        if cap == 0 || (len + 1) * 10 > cap * 7 {
+            self.grow(len + 1)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts or replaces; the old value's references are released.
+    pub fn insert(&self, key: K, value: V) -> PcResult<()> {
+        self.ensure_room()?;
+        let h = key.hash_val() & !OCCUPIED;
+        let (e, found) = self.probe(h, &key);
+        let b = self.block();
+        if found {
+            V::drop_stored(b, Self::val_slot(e));
+            value.store(b, Self::val_slot(e))?;
+        } else {
+            // Store key and value BEFORE publishing the slot: a BlockFull
+            // fault mid-store must leave the map consistent (a torn entry
+            // with garbage slot offsets would read out of bounds later).
+            key.store(b, Self::key_slot(e))?;
+            value.store(b, Self::val_slot(e))?;
+            b.write::<u64>(e, h | OCCUPIED);
+            b.write_u32(self.offset() + OFF_LEN, self.len() as u32 + 1);
+        }
+        Ok(())
+    }
+
+    /// Looks up a value by key.
+    pub fn get(&self, key: &K) -> Option<V> {
+        if self.capacity() == 0 {
+            return None;
+        }
+        let h = key.hash_val() & !OCCUPIED;
+        let (e, found) = self.probe(h, key);
+        if found {
+            Some(V::load(self.block(), Self::val_slot(e)))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        if self.capacity() == 0 {
+            return false;
+        }
+        let h = key.hash_val() & !OCCUPIED;
+        self.probe(h, key).1
+    }
+
+    /// The aggregation primitive: if `key` is absent, store `init()`;
+    /// otherwise call `combine` with the block and the value-slot offset so
+    /// the caller can fold in place (this is how PC's `AggregateComp`
+    /// accumulates partial aggregates into per-partition maps).
+    pub fn upsert(
+        &self,
+        key: K,
+        init: impl FnOnce() -> PcResult<V>,
+        combine: impl FnOnce(&BlockRef, u32) -> PcResult<()>,
+    ) -> PcResult<()> {
+        self.ensure_room()?;
+        let h = key.hash_val() & !OCCUPIED;
+        let (e, found) = self.probe(h, &key);
+        let b = self.block();
+        if found {
+            combine(b, Self::val_slot(e))
+        } else {
+            // Publish only after key and value are fully stored (see
+            // `insert` for why).
+            key.store(b, Self::key_slot(e))?;
+            init()?.store(b, Self::val_slot(e))?;
+            b.write::<u64>(e, h | OCCUPIED);
+            b.write_u32(self.offset() + OFF_LEN, self.len() as u32 + 1);
+            Ok(())
+        }
+    }
+
+    /// Hash-first upsert used by the aggregation engine: probes by a
+    /// caller-computed `hash`, comparing stored keys with `matches`; on a
+    /// miss the key is materialized by `make_key` (allocating on the map's
+    /// own block) and the value by `init`. The slot is only marked occupied
+    /// *after* key and value are fully stored, so a `BlockFull` fault in the
+    /// middle leaves the map consistent and the operation retryable on a
+    /// fresh page.
+    pub fn upsert_by(
+        &self,
+        hash: u64,
+        matches: impl Fn(&BlockRef, u32) -> bool,
+        make_key: impl FnOnce(&BlockRef) -> PcResult<K>,
+        init: impl FnOnce(&BlockRef) -> PcResult<V>,
+        combine: impl FnOnce(&BlockRef, u32) -> PcResult<()>,
+    ) -> PcResult<()> {
+        self.ensure_room()?;
+        let h = hash & !OCCUPIED;
+        let b = self.block();
+        let cap = self.capacity() as u32;
+        let marked = h | OCCUPIED;
+        let mut i = (h % cap as u64) as u32;
+        loop {
+            let e = self.entry(i);
+            let stored = b.read::<u64>(e);
+            if stored == 0 {
+                // Miss: store key then value, then publish the slot.
+                let key = make_key(b)?;
+                key.store(b, Self::key_slot(e))?;
+                let val = init(b)?;
+                val.store(b, Self::val_slot(e))?;
+                b.write::<u64>(e, marked);
+                b.write_u32(self.offset() + OFF_LEN, self.len() as u32 + 1);
+                return Ok(());
+            }
+            if stored == marked && matches(b, Self::key_slot(e)) {
+                return combine(b, Self::val_slot(e));
+            }
+            i += 1;
+            if i == cap {
+                i = 0;
+            }
+        }
+    }
+
+    /// Raw slot access for merge loops: calls `f(block, key_slot, val_slot)`
+    /// for every occupied entry.
+    pub fn for_each_slot(&self, mut f: impl FnMut(&BlockRef, u32, u32) -> PcResult<()>) -> PcResult<()> {
+        let cap = self.capacity() as u32;
+        let b = self.block();
+        for i in 0..cap {
+            let e = self.entry(i);
+            if b.read::<u64>(e) & OCCUPIED != 0 {
+                f(b, Self::key_slot(e), Self::val_slot(e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Calls `f(key, value)` for every entry (slot order).
+    pub fn for_each(&self, mut f: impl FnMut(K, V)) {
+        let cap = self.capacity() as u32;
+        let b = self.block();
+        for i in 0..cap {
+            let e = self.entry(i);
+            if b.read::<u64>(e) & OCCUPIED != 0 {
+                f(K::load(b, Self::key_slot(e)), V::load(b, Self::val_slot(e)));
+            }
+        }
+    }
+
+    /// Iterator over `(key, value)` pairs.
+    pub fn iter(&self) -> PcMapIter<'_, K, V> {
+        PcMapIter { map: self, i: 0 }
+    }
+
+    /// Removes a key, releasing its references. Returns whether it existed.
+    ///
+    /// Uses backward-shift deletion to keep probe chains intact.
+    pub fn remove(&self, key: &K) -> bool {
+        if self.capacity() == 0 {
+            return false;
+        }
+        let h = key.hash_val() & !OCCUPIED;
+        let (e, found) = self.probe(h, key);
+        if !found {
+            return false;
+        }
+        let b = self.block();
+        K::drop_stored(b, Self::key_slot(e));
+        V::drop_stored(b, Self::val_slot(e));
+        let cap = self.capacity() as u32;
+        let stride = entry_stride::<K, V>();
+        let table = self.table();
+        let mut hole = (e - table) / stride;
+        let mut i = (hole + 1) % cap;
+        loop {
+            let ie = table + i * stride;
+            let ih = b.read::<u64>(ie);
+            if ih & OCCUPIED == 0 {
+                break;
+            }
+            let home = ((ih & !OCCUPIED) % cap as u64) as u32;
+            // Shift back if the element's home position lies outside
+            // (hole, i] in circular order.
+            let dist_home = (i + cap - home) % cap;
+            let dist_hole = (i + cap - hole) % cap;
+            if dist_home >= dist_hole {
+                b.copy_within(ie, table + hole * stride, stride as usize);
+                hole = i;
+            }
+            i = (i + 1) % cap;
+        }
+        b.write::<u64>(table + hole * stride, 0);
+        b.write_u32(self.offset() + OFF_LEN, self.len() as u32 - 1);
+        true
+    }
+}
+
+/// Iterator over map entries.
+pub struct PcMapIter<'a, K: PcKey, V: PcValue> {
+    map: &'a Handle<PcMap<K, V>>,
+    i: u32,
+}
+
+impl<K: PcKey, V: PcValue> Iterator for PcMapIter<'_, K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        let cap = self.map.capacity() as u32;
+        let b = self.map.block();
+        while self.i < cap {
+            let e = self.map.entry(self.i);
+            self.i += 1;
+            if b.read::<u64>(e) & OCCUPIED != 0 {
+                return Some((
+                    K::load(b, Handle::<PcMap<K, V>>::key_slot(e)),
+                    V::load(b, Handle::<PcMap<K, V>>::val_slot(e)),
+                ));
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for the PC object model.
+
+use std::fmt;
+
+/// Result alias used throughout the object model.
+pub type PcResult<T> = Result<T, PcError>;
+
+/// Errors raised by the PC object model.
+///
+/// `BlockFull` is not really an error in the paper's design: it is the
+/// "out-of-memory fault" that tells the execution engine the current output
+/// page is full and a new one must be rolled (§6.1, Appendix C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcError {
+    /// The active allocation block cannot fit the requested allocation.
+    BlockFull { needed: usize, free: usize },
+    /// No active allocation block is installed on this thread.
+    NoActiveBlock,
+    /// A handle was downcast to the wrong type.
+    TypeMismatch { expected: &'static str, found: u32 },
+    /// A type code was encountered whose type was never registered with the
+    /// catalog (the analogue of a missing `.so` in PC).
+    TypeNotRegistered(u32),
+    /// A sealed page failed validation when being opened.
+    InvalidPage(String),
+    /// The block is still referenced and cannot be sealed.
+    BlockShared,
+    /// The block has no root object set; sealing would ship unreachable data.
+    NoRoot,
+    /// Attempted to dereference a null handle.
+    NullHandle,
+    /// Catalog-level error (duplicate registration, code collision).
+    Catalog(String),
+}
+
+impl fmt::Display for PcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcError::BlockFull { needed, free } => {
+                write!(f, "allocation block full: need {needed} bytes, {free} free")
+            }
+            PcError::NoActiveBlock => write!(f, "no active allocation block on this thread"),
+            PcError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found type code {found:#x}")
+            }
+            PcError::TypeNotRegistered(code) => {
+                write!(f, "type code {code:#x} is not registered with the catalog")
+            }
+            PcError::InvalidPage(why) => write!(f, "invalid page: {why}"),
+            PcError::BlockShared => write!(f, "block is still referenced and cannot be sealed"),
+            PcError::NoRoot => write!(f, "block has no root object"),
+            PcError::NullHandle => write!(f, "null handle dereference"),
+            PcError::Catalog(why) => write!(f, "catalog error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PcError {}

@@ -1,0 +1,77 @@
+//! Hashing utilities used for PC map keys, shuffle partitioning, and stable
+//! type codes.
+//!
+//! PC `String`s deliberately do *not* cache their hash values (§8.4.3 points
+//! this out as a space-for-time trade) — hashes here are always computed on
+//! the fly from the stored bytes.
+
+/// FNV-1a 64-bit hash over a byte slice.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: turns a 64-bit value into a well-mixed hash.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Hash an `i64` key.
+#[inline]
+pub fn hash_i64(v: i64) -> u64 {
+    mix64(v as u64)
+}
+
+/// Hash an `f64` key by its bit pattern (normalizing -0.0 to 0.0).
+#[inline]
+pub fn hash_f64(v: f64) -> u64 {
+    let v = if v == 0.0 { 0.0 } else { v };
+    mix64(v.to_bits())
+}
+
+/// Combine two hashes (for composite keys such as `(row, col)` pairs).
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    mix64(a ^ b.rotate_left(32).wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a reference vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn mix_is_injective_on_small_range() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn f64_zero_normalization() {
+        assert_eq!(hash_f64(0.0), hash_f64(-0.0));
+        assert_ne!(hash_f64(1.0), hash_f64(2.0));
+    }
+}

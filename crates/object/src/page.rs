@@ -1,0 +1,203 @@
+//! Sealed pages: the `Send`, byte-movable form of an allocation block.
+//!
+//! A [`SealedPage`] is the unit of *zero-cost data movement* (§3, §6.1): the
+//! occupied prefix of a block, plus a 16-byte header recording the root
+//! object. It can be
+//!
+//! * moved to another thread (it is `Send`; the buffer changes hands with no
+//!   copy at all),
+//! * flattened to bytes and re-read (`to_bytes` / `from_bytes` — a pure
+//!   `memcpy`, standing in for disk and network movement), and
+//! * re-opened as an *unmanaged* block whose handles are immediately valid.
+//!
+//! There is deliberately no encode/decode step anywhere in this module: the
+//! page's bytes are the one representation of the data.
+
+use crate::block::BlockRef;
+use crate::error::{PcError, PcResult};
+use crate::handle::AnyHandle;
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+/// Magic number marking a PC page ("PCPG").
+pub const PAGE_MAGIC: u32 = 0x50435047;
+
+/// Page buffers are 16-byte aligned so that every 8-aligned offset view
+/// (f64/i64 slices) is valid after any whole-page move.
+pub const PAGE_ALIGN: usize = 16;
+
+/// A heap buffer with guaranteed 16-byte alignment.
+pub struct AlignedBuf {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Allocates a zeroed buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        let layout = Layout::from_size_align(len.max(1), PAGE_ALIGN).expect("valid layout");
+        let ptr = unsafe { alloc_zeroed(layout) };
+        let ptr = NonNull::new(ptr).expect("page allocation failed");
+        AlignedBuf { ptr, len }
+    }
+
+    /// Copies `src` into a fresh aligned buffer.
+    pub fn from_slice(src: &[u8]) -> Self {
+        let buf = Self::zeroed(src.len());
+        unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), buf.ptr.as_ptr(), src.len()) };
+        buf
+    }
+
+    #[inline]
+    pub fn ptr(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.len.max(1), PAGE_ALIGN).expect("valid layout");
+        unsafe { dealloc(self.ptr.as_ptr(), layout) };
+    }
+}
+
+// SAFETY: AlignedBuf uniquely owns its allocation; moving it between threads
+// transfers ownership of plain bytes.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+/// A sealed, self-contained page of PC objects.
+///
+/// The underlying buffer is `Arc`-shared so many readers (worker threads)
+/// can [`open_view`](SealedPage::open_view) the same immutable page with no
+/// copy at all.
+pub struct SealedPage {
+    buf: Arc<AlignedBuf>,
+    used: u32,
+    root: u32,
+}
+
+impl SealedPage {
+    pub(crate) fn from_parts(buf: AlignedBuf, used: u32, root: u32) -> Self {
+        let page = SealedPage { buf: Arc::new(buf), used, root };
+        // Persist the movable header fields into the page bytes so that a
+        // byte-level copy carries them along.
+        page.write_header();
+        page
+    }
+
+    fn write_header(&self) {
+        let p = self.buf.ptr();
+        unsafe {
+            std::ptr::write_unaligned(p as *mut u32, PAGE_MAGIC);
+            std::ptr::write_unaligned(p.add(4) as *mut u32, self.used);
+            std::ptr::write_unaligned(p.add(8) as *mut u32, self.root);
+        }
+    }
+
+    /// The number of occupied bytes (the prefix that must be moved). Shipping
+    /// a page costs exactly this many bytes of copy and zero CPU beyond it.
+    #[inline]
+    pub fn used(&self) -> usize {
+        self.used as usize
+    }
+
+    /// Offset of the root object.
+    #[inline]
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The occupied bytes of the page. This *is* the wire format.
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.buf.as_slice()[..self.used as usize]
+    }
+
+    /// Simulates network/disk movement: flatten to owned bytes (one memcpy).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.payload().to_vec()
+    }
+
+    /// Re-materializes a page from bytes produced by [`to_bytes`]
+    /// (one memcpy; no per-object work of any kind).
+    ///
+    /// [`to_bytes`]: SealedPage::to_bytes
+    pub fn from_bytes(bytes: &[u8]) -> PcResult<Self> {
+        if bytes.len() < 16 {
+            return Err(PcError::InvalidPage("shorter than page header".into()));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        if magic != PAGE_MAGIC {
+            return Err(PcError::InvalidPage(format!("bad magic {magic:#x}")));
+        }
+        let used = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let root = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if used as usize > bytes.len() {
+            return Err(PcError::InvalidPage(format!(
+                "used {used} exceeds buffer length {}",
+                bytes.len()
+            )));
+        }
+        Ok(SealedPage { buf: Arc::new(AlignedBuf::from_slice(bytes)), used, root })
+    }
+
+    /// Opens the page as an unmanaged block plus a handle to its root object.
+    ///
+    /// The receiving side must have the root's type registered (in the full
+    /// system the catalog ships the `.so`; here, the registry must know the
+    /// type code — `pc-storage`'s worker catalogs simulate the faulting).
+    pub fn open(self) -> PcResult<(BlockRef, AnyHandle)> {
+        self.open_view()
+    }
+
+    /// Opens a zero-copy read view of the page: the returned block shares
+    /// the page buffer, so any number of threads may hold views of the same
+    /// page concurrently (each view's handles are thread-local; the bytes
+    /// are immutable).
+    pub fn open_view(&self) -> PcResult<(BlockRef, AnyHandle)> {
+        let root = self.root;
+        if root == 0 {
+            return Err(PcError::NoRoot);
+        }
+        let block = BlockRef::from_shared(self.buf.clone(), self.used, root);
+        let code = block.obj_code(root);
+        if crate::registry::lookup_vtable(code).is_none() {
+            return Err(PcError::TypeNotRegistered(code.0));
+        }
+        let handle = AnyHandle::new(block.clone(), root);
+        Ok((block, handle))
+    }
+
+    /// Opens the page without resolving the root (used by storage scans that
+    /// know the type statically).
+    pub fn open_block(&self) -> BlockRef {
+        BlockRef::from_shared(self.buf.clone(), self.used, self.root)
+    }
+}
+
+impl std::fmt::Debug for SealedPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SealedPage")
+            .field("used", &self.used)
+            .field("root", &self.root)
+            .field("capacity", &self.buf.len())
+            .finish()
+    }
+}

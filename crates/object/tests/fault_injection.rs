@@ -1,0 +1,118 @@
+//! Failure injection: out-of-memory faults must never corrupt page data.
+//!
+//! These are regression tests for the §6.1 "out-of-memory fault" contract:
+//! an operation that fails with `BlockFull` must leave every container
+//! readable and consistent — the execution engine retries on fresh pages,
+//! so a torn entry or half-grown table would surface as corruption later.
+
+use pc_object::{make_object, AllocScope, Handle, PcError, PcMap, PcString, PcVec};
+
+/// Inserting values that no longer fit must fail cleanly and leave every
+/// prior entry intact (the torn-entry regression: publishing a map slot
+/// before its key/value stores once left garbage offsets behind).
+#[test]
+fn map_insert_fault_leaves_map_consistent() {
+    let _s = AllocScope::new(8 * 1024); // tiny page
+    let m = make_object::<PcMap<i64, Handle<PcVec<f64>>>>().unwrap();
+    let mut inserted = 0i64;
+    loop {
+        let make_val = || -> Result<Handle<PcVec<f64>>, PcError> {
+            let v = make_object::<PcVec<f64>>()?;
+            v.extend_from_slice(&[inserted as f64; 32])?;
+            Ok(v)
+        };
+        let r = make_val().and_then(|v| m.insert(inserted, v));
+        match r {
+            Ok(()) => inserted += 1,
+            Err(PcError::BlockFull { .. }) => break,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        assert!(inserted < 10_000, "tiny page cannot hold this much");
+    }
+    assert!(inserted > 0, "at least one insert must fit");
+    // Every successfully inserted entry must read back exactly; the failed
+    // insert must have left no trace.
+    assert_eq!(m.len(), inserted as usize);
+    for k in 0..inserted {
+        let v = m.get(&k).unwrap_or_else(|| panic!("entry {k} lost"));
+        assert_eq!(v.len(), 32);
+        assert_eq!(v.get(0), k as f64);
+    }
+    let mut seen = 0;
+    m.for_each(|k, v| {
+        assert!(k < inserted);
+        assert_eq!(v.get(31), k as f64);
+        seen += 1;
+    });
+    assert_eq!(seen, inserted);
+}
+
+/// Same contract for `upsert_by` (the aggregation path).
+#[test]
+fn upsert_by_fault_is_retryable() {
+    let _s = AllocScope::new(4 * 1024);
+    let m = make_object::<PcMap<i64, Handle<PcVec<f64>>>>().unwrap();
+    let mut upserted = 0i64;
+    loop {
+        let k = upserted;
+        let r = m.upsert_by(
+            pc_object::PcKey::hash_val(&k),
+            |b, slot| b.read::<i64>(slot) == k,
+            |_b| Ok(k),
+            |_b| {
+                let v = make_object::<PcVec<f64>>()?;
+                v.extend_from_slice(&[k as f64; 16])?;
+                Ok(v)
+            },
+            |_b, _slot| Ok(()),
+        );
+        match r {
+            Ok(()) => upserted += 1,
+            Err(PcError::BlockFull { .. }) => break,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(upserted > 0);
+    assert_eq!(m.len(), upserted as usize);
+    for k in 0..upserted {
+        assert_eq!(m.get(&k).unwrap().get(3), k as f64);
+    }
+}
+
+/// Vector pushes that fault must not lose or duplicate prior elements.
+#[test]
+fn vec_push_fault_preserves_prefix() {
+    let _s = AllocScope::new(2 * 1024);
+    let v = make_object::<PcVec<i64>>().unwrap();
+    let mut n = 0i64;
+    loop {
+        match v.push(n) {
+            Ok(()) => n += 1,
+            Err(PcError::BlockFull { .. }) => break,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(n > 0);
+    assert_eq!(v.len(), n as usize);
+    for i in 0..n {
+        assert_eq!(v.get(i as usize), i);
+    }
+}
+
+/// String allocation faults must not corrupt previously allocated strings.
+#[test]
+fn string_alloc_fault_is_clean() {
+    let _s = AllocScope::new(2 * 1024);
+    let mut strings: Vec<Handle<PcString>> = Vec::new();
+    loop {
+        match PcString::make(&format!("value-{:04}", strings.len())) {
+            Ok(h) => strings.push(h),
+            Err(PcError::BlockFull { .. }) => break,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(!strings.is_empty());
+    for (i, s) in strings.iter().enumerate() {
+        assert_eq!(s.as_str(), format!("value-{i:04}"));
+    }
+}

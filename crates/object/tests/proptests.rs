@@ -1,0 +1,115 @@
+//! Property-based tests: the page-resident containers must behave exactly
+//! like their std counterparts under arbitrary operation sequences, and
+//! pages must be bit-stable under byte-level movement.
+
+use pc_object::{make_object, AllocScope, Handle, PcMap, PcString, PcVec, SealedPage};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(i64, f64),
+    Remove(i64),
+    Get(i64),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (0i64..50, any::<f64>().prop_filter("finite", |f| f.is_finite()))
+            .prop_map(|(k, v)| MapOp::Insert(k, v)),
+        (0i64..50).prop_map(MapOp::Remove),
+        (0i64..50).prop_map(MapOp::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pcmap_matches_std_hashmap(ops in proptest::collection::vec(map_op(), 1..300)) {
+        let _scope = AllocScope::new(1 << 20);
+        let m = make_object::<PcMap<i64, f64>>().unwrap();
+        let mut model = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    m.insert(k, v).unwrap();
+                    model.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    let removed = m.remove(&k);
+                    prop_assert_eq!(removed, model.remove(&k).is_some());
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(m.get(&k), model.get(&k).copied());
+                }
+            }
+            prop_assert_eq!(m.len(), model.len());
+        }
+        // Final sweep: iteration yields exactly the model's contents.
+        let mut collected: Vec<(i64, f64)> = m.iter().collect();
+        collected.sort_by_key(|(k, _)| *k);
+        let mut expected: Vec<(i64, f64)> = model.into_iter().collect();
+        expected.sort_by_key(|(k, _)| *k);
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn pcvec_matches_std_vec(values in proptest::collection::vec(any::<i64>(), 0..500)) {
+        let _scope = AllocScope::new(1 << 20);
+        let v = make_object::<PcVec<i64>>().unwrap();
+        for &x in &values {
+            v.push(x).unwrap();
+        }
+        prop_assert_eq!(v.len(), values.len());
+        let collected: Vec<i64> = v.iter().collect();
+        prop_assert_eq!(&collected, &values);
+        if !values.is_empty() {
+            prop_assert_eq!(v.as_slice(), &values[..]);
+        }
+    }
+
+    #[test]
+    fn string_map_survives_wire_roundtrip(
+        entries in proptest::collection::btree_map("[a-z]{1,12}", 0i64..1000, 1..40)
+    ) {
+        // Build a page holding Map<String, i64>, move it through bytes, and
+        // verify every entry — the zero-copy movement invariant.
+        let scope = AllocScope::new(1 << 20);
+        let m = make_object::<PcMap<Handle<PcString>, i64>>().unwrap();
+        for (k, v) in &entries {
+            m.insert(PcString::make(k).unwrap(), *v).unwrap();
+        }
+        scope.block().set_root(&m);
+        drop(m);
+        let block = scope.block().clone();
+        drop(scope);
+        let wire = block.try_seal().unwrap().to_bytes();
+
+        let (_b, root) = SealedPage::from_bytes(&wire).unwrap().open().unwrap();
+        let m = root.downcast::<PcMap<Handle<PcString>, i64>>().unwrap();
+        prop_assert_eq!(m.len(), entries.len());
+        let mut got: Vec<(String, i64)> =
+            m.iter().map(|(k, v)| (k.as_str().to_string(), v)).collect();
+        got.sort();
+        let want: Vec<(String, i64)> = entries.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wire_roundtrip_is_byte_identical(values in proptest::collection::vec(any::<f64>(), 1..200)) {
+        let scope = AllocScope::new(1 << 20);
+        let v = make_object::<PcVec<f64>>().unwrap();
+        for &x in &values {
+            v.push(x).unwrap();
+        }
+        scope.block().set_root(&v);
+        drop(v);
+        let block = scope.block().clone();
+        drop(scope);
+        let page = block.try_seal().unwrap();
+        let wire1 = page.to_bytes();
+        let page2 = SealedPage::from_bytes(&wire1).unwrap();
+        let wire2 = page2.to_bytes();
+        prop_assert_eq!(wire1, wire2, "re-shipping must be bit-stable");
+    }
+}

@@ -1,0 +1,229 @@
+//! The buffer pool (§2, Appendix D.1).
+//!
+//! Pages live in RAM as shared [`SealedPage`]s; under memory pressure,
+//! unpinned pages are evicted to the user-level file store (one file per
+//! page) and faulted back on access. Eviction and reload move raw page
+//! bytes — never a serializer. A page is *pinned* while anyone outside the
+//! pool holds its `Arc`; pinned pages are never evicted (the paper's rule
+//! that input pages stay buffered while vector lists built from them are in
+//! flight).
+
+use parking_lot::Mutex;
+use pc_object::{PcError, PcResult, SealedPage};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Identifies one page of one set.
+pub type PageKey = (u64, usize); // (set id, page number)
+
+/// Buffer pool statistics (exposed for the hot/cold storage experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub resident_bytes: usize,
+    pub resident_pages: usize,
+}
+
+struct PoolInner {
+    resident: HashMap<PageKey, Arc<SealedPage>>,
+    /// LRU order, least-recent first.
+    lru: Vec<PageKey>,
+    used_bytes: usize,
+    stats: PoolStats,
+}
+
+/// A capacity-bounded page cache with spill-to-file eviction.
+pub struct BufferPool {
+    capacity: usize,
+    dir: PathBuf,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` bytes of resident pages,
+    /// spilling into `dir`.
+    pub fn new(capacity: usize, dir: PathBuf) -> PcResult<Self> {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| PcError::Catalog(format!("cannot create pool dir: {e}")))?;
+        Ok(BufferPool {
+            capacity,
+            dir,
+            inner: Mutex::new(PoolInner {
+                resident: HashMap::new(),
+                lru: Vec::new(),
+                used_bytes: 0,
+                stats: PoolStats::default(),
+            }),
+        })
+    }
+
+    fn file_for(&self, key: PageKey) -> PathBuf {
+        self.dir.join(format!("set{}_page{}.pcpage", key.0, key.1))
+    }
+
+    /// Inserts a freshly produced page, evicting cold pages if needed.
+    pub fn put(&self, key: PageKey, page: SealedPage) -> PcResult<Arc<SealedPage>> {
+        let page = Arc::new(page);
+        let mut inner = self.inner.lock();
+        inner.used_bytes += page.used();
+        inner.resident.insert(key, page.clone());
+        inner.lru.push(key);
+        self.evict_if_needed(&mut inner)?;
+        Ok(page)
+    }
+
+    /// Fetches a page, faulting it from the file store if evicted.
+    pub fn get(&self, key: PageKey) -> PcResult<Arc<SealedPage>> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(p) = inner.resident.get(&key).cloned() {
+                inner.stats.hits += 1;
+                // refresh LRU position
+                if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
+                    inner.lru.remove(pos);
+                }
+                inner.lru.push(key);
+                return Ok(p);
+            }
+            inner.stats.misses += 1;
+        }
+        // Fault from file (one read + one memcpy; no decode).
+        let bytes = std::fs::read(self.file_for(key))
+            .map_err(|e| PcError::Catalog(format!("page {key:?} not on disk: {e}")))?;
+        let page = Arc::new(SealedPage::from_bytes(&bytes)?);
+        let mut inner = self.inner.lock();
+        inner.used_bytes += page.used();
+        inner.resident.insert(key, page.clone());
+        inner.lru.push(key);
+        self.evict_if_needed(&mut inner)?;
+        Ok(page)
+    }
+
+    /// Drops all pages of a set (and their spill files).
+    pub fn drop_set(&self, set_id: u64, pages: usize) {
+        let mut inner = self.inner.lock();
+        for n in 0..pages {
+            let key = (set_id, n);
+            if let Some(p) = inner.resident.remove(&key) {
+                inner.used_bytes -= p.used();
+            }
+            inner.lru.retain(|k| *k != key);
+            let _ = std::fs::remove_file(self.file_for(key));
+        }
+    }
+
+    /// Forces every unpinned page out to files (cold-storage experiments).
+    pub fn flush_all(&self) -> PcResult<()> {
+        let mut inner = self.inner.lock();
+        let keys: Vec<PageKey> = inner.lru.clone();
+        for key in keys {
+            self.evict_one(&mut inner, key)?;
+        }
+        Ok(())
+    }
+
+    fn evict_if_needed(&self, inner: &mut PoolInner) -> PcResult<()> {
+        while inner.used_bytes > self.capacity {
+            // Find the least-recently-used unpinned page.
+            let victim = inner
+                .lru
+                .iter()
+                .copied()
+                .find(|k| inner.resident.get(k).map(|p| Arc::strong_count(p) == 1).unwrap_or(false));
+            match victim {
+                Some(key) => self.evict_one(inner, key)?,
+                None => break, // everything pinned; allow temporary overshoot
+            }
+        }
+        Ok(())
+    }
+
+    fn evict_one(&self, inner: &mut PoolInner, key: PageKey) -> PcResult<()> {
+        let Some(page) = inner.resident.get(&key) else { return Ok(()) };
+        if Arc::strong_count(page) > 1 {
+            return Ok(()); // pinned
+        }
+        let path = self.file_for(key);
+        if !path.exists() {
+            std::fs::write(&path, page.to_bytes())
+                .map_err(|e| PcError::Catalog(format!("evict write failed: {e}")))?;
+        }
+        let page = inner.resident.remove(&key).unwrap();
+        inner.used_bytes -= page.used();
+        inner.lru.retain(|k| *k != key);
+        inner.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Writes a page straight to the file store without caching it
+    /// (initial bulk loads in cold-storage experiments).
+    pub fn write_through(&self, key: PageKey, page: &SealedPage) -> PcResult<()> {
+        std::fs::write(self.file_for(key), page.to_bytes())
+            .map_err(|e| PcError::Catalog(format!("write-through failed: {e}")))
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock();
+        PoolStats {
+            resident_bytes: inner.used_bytes,
+            resident_pages: inner.resident.len(),
+            ..inner.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_object::{make_object, AllocScope, PcVec};
+
+    fn page_of(vals: &[f64]) -> SealedPage {
+        let scope = AllocScope::new(1 << 14);
+        let v = make_object::<PcVec<f64>>().unwrap();
+        v.extend_from_slice(vals).unwrap();
+        scope.block().set_root(&v);
+        drop(v);
+        let b = scope.block().clone();
+        drop(scope);
+        b.try_seal().unwrap()
+    }
+
+    #[test]
+    fn eviction_and_refault_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pcpool_test_{}", std::process::id()));
+        let pool = BufferPool::new(8 * 1024, dir.clone()).unwrap();
+        // Insert pages well beyond capacity.
+        for i in 0..20 {
+            pool.put((1, i), page_of(&[i as f64; 256])).unwrap();
+        }
+        let s = pool.stats();
+        assert!(s.evictions > 0, "pool must evict beyond capacity");
+        // Every page must still be readable (faulted from files).
+        for i in 0..20 {
+            let p = pool.get((1, i)).unwrap();
+            let (_b, root) = SealedPage::from_bytes(&p.to_bytes()).unwrap().open().unwrap();
+            let v = root.downcast::<PcVec<f64>>().unwrap();
+            assert_eq!(v.get(0), i as f64);
+        }
+        pool.drop_set(1, 20);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let dir = std::env::temp_dir().join(format!("pcpool_pin_{}", std::process::id()));
+        let pool = BufferPool::new(4 * 1024, dir.clone()).unwrap();
+        let pinned = pool.put((2, 0), page_of(&[7.0; 128])).unwrap();
+        for i in 1..10 {
+            pool.put((2, i), page_of(&[i as f64; 128])).unwrap();
+        }
+        // The pinned page must still be resident (we hold its Arc).
+        let again = pool.get((2, 0)).unwrap();
+        assert!(Arc::ptr_eq(&pinned, &again), "pinned page must not be evicted");
+        pool.drop_set(2, 10);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

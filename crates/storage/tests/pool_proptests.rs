@@ -1,0 +1,87 @@
+//! Property test: the buffer pool must behave like a perfect page store
+//! under arbitrary put/get/flush sequences — eviction and refaulting are
+//! invisible to readers.
+
+use pc_object::{make_object, AllocScope, PcVec, SealedPage};
+use pc_storage::BufferPool;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn page_of(tag: u64) -> SealedPage {
+    let scope = AllocScope::new(8 * 1024);
+    let v = make_object::<PcVec<i64>>().unwrap();
+    for i in 0..64 {
+        v.push((tag * 1000 + i) as i64).unwrap();
+    }
+    scope.block().set_root(&v);
+    drop(v);
+    let b = scope.block().clone();
+    drop(scope);
+    b.try_seal().unwrap()
+}
+
+fn read_tag(page: &SealedPage) -> u64 {
+    let (_b, root) = page.open_view().unwrap();
+    let v = root.downcast::<PcVec<i64>>().unwrap();
+    (v.get(0) as u64) / 1000
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8),
+    Get(u8),
+    Flush,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12).prop_map(Op::Put),
+        (0u8..12).prop_map(Op::Get),
+        Just(Op::Flush),
+    ]
+}
+
+static POOL_ID: AtomicU64 = AtomicU64::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pool_is_transparent_under_pressure(ops in proptest::collection::vec(op(), 1..60)) {
+        let dir = std::env::temp_dir().join(format!(
+            "pcpool_prop_{}_{}",
+            std::process::id(),
+            POOL_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        // Capacity fits only ~4 pages: constant eviction pressure.
+        let pool = BufferPool::new(4 * 1024, dir.clone()).unwrap();
+        let mut stored: std::collections::HashMap<u8, u64> = Default::default();
+        let mut versions: std::collections::HashMap<u8, usize> = Default::default();
+        for o in ops {
+            match o {
+                Op::Put(k) => {
+                    // New version of logical page k at a fresh page number
+                    // (set pages are append-only in the storage manager).
+                    let ver = versions.entry(k).or_insert(0);
+                    *ver += 1;
+                    let tag = (k as u64) * 100 + *ver as u64;
+                    pool.put((k as u64, *ver), page_of(tag)).unwrap();
+                    stored.insert(k, tag);
+                }
+                Op::Get(k) => {
+                    if let (Some(&tag), Some(&ver)) = (stored.get(&k), versions.get(&k)) {
+                        let page = pool.get((k as u64, ver)).unwrap();
+                        prop_assert_eq!(read_tag(&page), tag);
+                    }
+                }
+                Op::Flush => pool.flush_all().unwrap(),
+            }
+        }
+        // Everything ever stored is still readable.
+        for (k, tag) in &stored {
+            let page = pool.get((*k as u64, versions[k])).unwrap();
+            prop_assert_eq!(read_tag(&page), *tag);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,275 @@
+//! The TCAP statement and program representation.
+
+use std::fmt;
+
+/// A vector-list declaration: the left-hand side of a statement,
+/// e.g. `WDNm_1(dep,emp,sup,nm1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VecListDecl {
+    pub name: String,
+    pub cols: Vec<String>,
+}
+
+impl VecListDecl {
+    pub fn new(name: impl Into<String>, cols: &[&str]) -> Self {
+        VecListDecl { name: name.into(), cols: cols.iter().map(|s| s.to_string()).collect() }
+    }
+}
+
+/// A reference to (a subset of) the columns of a named vector list,
+/// e.g. `In(dep)` or `WDNm_1(dep,emp,sup,nm1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    pub list: String,
+    pub cols: Vec<String>,
+}
+
+impl ColRef {
+    pub fn new(list: impl Into<String>, cols: &[&str]) -> Self {
+        ColRef { list: list.into(), cols: cols.iter().map(|s| s.to_string()).collect() }
+    }
+}
+
+/// Key-value metadata attached to a TCAP operation. "Only informational and
+/// does not affect execution... but vital during optimization" (§5.2).
+pub type Meta = Vec<(String, String)>;
+
+/// Looks up a metadata key.
+pub fn meta_get<'a>(meta: &'a Meta, key: &str) -> Option<&'a str> {
+    meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// One TCAP operation (the right-hand side of a statement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcapOp {
+    /// Reads a stored set into the initial vector list.
+    /// `In(emp) <= INPUT('mydb', 'myset', 'Reader_1', []);`
+    Input { db: String, set: String, computation: String, meta: Meta },
+    /// Applies a compiled pipeline stage to `input` columns, appending one
+    /// new column; `copy` columns are shallow-copied through.
+    Apply { input: ColRef, copy: ColRef, computation: String, stage: String, meta: Meta },
+    /// Keeps only the rows whose `bool_col` is true.
+    Filter { bool_col: ColRef, copy: ColRef, computation: String, meta: Meta },
+    /// Hashes the given column(s) into a new hash column (join key prep).
+    Hash { input: ColRef, copy: ColRef, computation: String, meta: Meta },
+    /// Equi-join on two hash columns; emits the union of both copy lists.
+    Join {
+        lhs_hash: ColRef,
+        lhs_copy: ColRef,
+        rhs_hash: ColRef,
+        rhs_copy: ColRef,
+        computation: String,
+        meta: Meta,
+    },
+    /// Applies a set-valued stage: each input row yields zero or more output
+    /// rows; `copy` columns are replicated accordingly (lowering of
+    /// `MultiSelectionComp`; an op-set extension documented in DESIGN.md).
+    FlatMap { input: ColRef, copy: ColRef, computation: String, stage: String, meta: Meta },
+    /// Aggregates `value` by `key` (the pipe sink of an `AggregateComp`).
+    Aggregate { key: ColRef, value: ColRef, computation: String, meta: Meta },
+    /// Writes a column of objects to a stored set.
+    Output { input: ColRef, db: String, set: String, computation: String, meta: Meta },
+}
+
+impl TcapOp {
+    /// Name of the `Computation` object this op was compiled from.
+    pub fn computation(&self) -> &str {
+        match self {
+            TcapOp::Input { computation, .. }
+            | TcapOp::Apply { computation, .. }
+            | TcapOp::Filter { computation, .. }
+            | TcapOp::Hash { computation, .. }
+            | TcapOp::Join { computation, .. }
+            | TcapOp::FlatMap { computation, .. }
+            | TcapOp::Aggregate { computation, .. }
+            | TcapOp::Output { computation, .. } => computation,
+        }
+    }
+
+    /// The operation's metadata map.
+    pub fn meta(&self) -> &Meta {
+        match self {
+            TcapOp::Input { meta, .. }
+            | TcapOp::Apply { meta, .. }
+            | TcapOp::Filter { meta, .. }
+            | TcapOp::Hash { meta, .. }
+            | TcapOp::Join { meta, .. }
+            | TcapOp::FlatMap { meta, .. }
+            | TcapOp::Aggregate { meta, .. }
+            | TcapOp::Output { meta, .. } => meta,
+        }
+    }
+
+    /// Names of the vector lists this op consumes.
+    pub fn input_lists(&self) -> Vec<&str> {
+        match self {
+            TcapOp::Input { .. } => vec![],
+            TcapOp::Apply { input, copy, .. }
+            | TcapOp::FlatMap { input, copy, .. }
+            | TcapOp::Hash { input, copy, .. } => {
+                let mut v = vec![input.list.as_str()];
+                if copy.list != input.list {
+                    v.push(copy.list.as_str());
+                }
+                v
+            }
+            TcapOp::Filter { bool_col, copy, .. } => {
+                let mut v = vec![bool_col.list.as_str()];
+                if copy.list != bool_col.list {
+                    v.push(copy.list.as_str());
+                }
+                v
+            }
+            TcapOp::Join { lhs_hash, rhs_hash, .. } => {
+                vec![lhs_hash.list.as_str(), rhs_hash.list.as_str()]
+            }
+            TcapOp::Aggregate { key, value, .. } => {
+                let mut v = vec![key.list.as_str()];
+                if value.list != key.list {
+                    v.push(value.list.as_str());
+                }
+                v
+            }
+            TcapOp::Output { input, .. } => vec![input.list.as_str()],
+        }
+    }
+}
+
+/// One TCAP statement: `output <= OP(...);`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcapStmt {
+    pub output: VecListDecl,
+    pub op: TcapOp,
+}
+
+/// A complete TCAP program: an ordered list of statements forming a DAG.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TcapProgram {
+    pub stmts: Vec<TcapStmt>,
+}
+
+impl TcapProgram {
+    pub fn new(stmts: Vec<TcapStmt>) -> Self {
+        TcapProgram { stmts }
+    }
+
+    /// Finds the statement producing list `name`.
+    pub fn producer(&self, name: &str) -> Option<&TcapStmt> {
+        self.stmts.iter().find(|s| s.output.name == name)
+    }
+
+    /// Index of the statement producing list `name`.
+    pub fn producer_index(&self, name: &str) -> Option<usize> {
+        self.stmts.iter().position(|s| s.output.name == name)
+    }
+
+    /// All statements consuming list `name`.
+    pub fn consumers(&self, name: &str) -> Vec<usize> {
+        self.stmts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.op.input_lists().contains(&name))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Mints a list name not yet used in the program.
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let mut i = 1;
+        loop {
+            let candidate = format!("{prefix}_{i}");
+            if self.producer(&candidate).is_none() {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+}
+
+// ----------------------------------------------------------------- printing
+
+fn fmt_cols(f: &mut fmt::Formatter<'_>, cols: &[String]) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, c) in cols.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{c}")?;
+    }
+    write!(f, ")")
+}
+
+impl fmt::Display for VecListDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        fmt_cols(f, &self.cols)
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.list)?;
+        fmt_cols(f, &self.cols)
+    }
+}
+
+fn fmt_meta(f: &mut fmt::Formatter<'_>, meta: &Meta) -> fmt::Result {
+    write!(f, "[")?;
+    for (i, (k, v)) in meta.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "('{k}', '{v}')")?;
+    }
+    write!(f, "]")
+}
+
+impl fmt::Display for TcapStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <= ", self.output)?;
+        match &self.op {
+            TcapOp::Input { db, set, computation, meta } => {
+                write!(f, "INPUT('{db}', '{set}', '{computation}', ")?;
+                fmt_meta(f, meta)?;
+            }
+            TcapOp::Apply { input, copy, computation, stage, meta } => {
+                write!(f, "APPLY({input}, {copy}, '{computation}', '{stage}', ")?;
+                fmt_meta(f, meta)?;
+            }
+            TcapOp::Filter { bool_col, copy, computation, meta } => {
+                write!(f, "FILTER({bool_col}, {copy}, '{computation}', ")?;
+                fmt_meta(f, meta)?;
+            }
+            TcapOp::Hash { input, copy, computation, meta } => {
+                write!(f, "HASH({input}, {copy}, '{computation}', ")?;
+                fmt_meta(f, meta)?;
+            }
+            TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, computation, meta } => {
+                write!(f, "JOIN({lhs_hash}, {lhs_copy}, {rhs_hash}, {rhs_copy}, '{computation}', ")?;
+                fmt_meta(f, meta)?;
+            }
+            TcapOp::FlatMap { input, copy, computation, stage, meta } => {
+                write!(f, "FLATMAP({input}, {copy}, '{computation}', '{stage}', ")?;
+                fmt_meta(f, meta)?;
+            }
+            TcapOp::Aggregate { key, value, computation, meta } => {
+                write!(f, "AGGREGATE({key}, {value}, '{computation}', ")?;
+                fmt_meta(f, meta)?;
+            }
+            TcapOp::Output { input, db, set, computation, meta } => {
+                write!(f, "OUTPUT({input}, '{db}', '{set}', '{computation}', ")?;
+                fmt_meta(f, meta)?;
+            }
+        }
+        write!(f, ");")
+    }
+}
+
+impl fmt::Display for TcapProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stmts {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,35 @@
+//! # pc-tcap — the TCAP intermediate language
+//!
+//! TCAP ("tee-cap") is the functional, relational-algebra-like domain
+//! specific language that PlinyCompute compiles all user computations into
+//! (§5.2, §7). A TCAP program is a DAG of statements, each producing a named
+//! *vector list* from the vector lists of earlier statements:
+//!
+//! ```text
+//! WDNm_1(dep,emp,sup,nm1) <= APPLY(In(dep), In(dep,emp,sup), 'Join_2212',
+//!     'att_acc_1', [('type', 'attAccess'), ('attName', 'deptName')]);
+//! WBl_1(dep,emp,sup,bl) <= APPLY(WDNm_1(nm1), WDNm_1(dep,emp,sup), 'Join_2212',
+//!     '==_3', [('type', 'equalityCheck')]);
+//! Flt_1(dep,emp,sup) <= FILTER(WBl_1(bl), WBl_1(dep,emp,sup), 'Join_2212', []);
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`ir`] — the statement/operation types and [`TcapProgram`];
+//! * [`parse`] — a parser for the paper's concrete syntax;
+//! * printing via `Display`, matching the paper's syntax token for token;
+//! * [`analyze`] — DAG structure, ancestor queries, and column provenance;
+//! * [`optimize`](crate::optimize()) — the rule-based optimizer of §7 (redundant-method-call
+//!   elimination, selection push-down past joins, dead-column pruning),
+//!   fired iteratively to a fixpoint. The original system implements these
+//!   rules in Prolog; the semantics here follow the paper's §7 examples.
+
+pub mod analyze;
+pub mod ir;
+pub mod optimize;
+pub mod parse;
+
+pub use analyze::{Provenance, TcapGraph};
+pub use ir::{ColRef, TcapOp, TcapProgram, TcapStmt, VecListDecl};
+pub use optimize::{optimize, optimize_with, OptimizerReport, OptimizerRule};
+pub use parse::{parse_program, ParseError};

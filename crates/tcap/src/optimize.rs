@@ -1,0 +1,700 @@
+//! The rule-based TCAP optimizer (§7).
+//!
+//! The original system fires Prolog rules iteratively "until the plan cannot
+//! be improved further". This module implements the same scheme as a Rust
+//! rewrite engine with three rules, each taken from §7:
+//!
+//! 1. **Redundant call elimination** — two `APPLY`s of type
+//!    `methodCall`/`attAccess` invoking the same method on the same data
+//!    column, one an ancestor of the other: the descendant is removed and the
+//!    ancestor's result carried through the graph (method calls are assumed
+//!    purely functional, as the paper requires).
+//! 2. **Selection push-down past joins** — a conjunct of a post-join
+//!    predicate that depends on only one join input is recomputed on that
+//!    input *before* the hash/join, with a new `FILTER`.
+//! 3. **Dead-column pruning** — columns never referenced downstream are
+//!    dropped from copy lists; statements whose outputs are never consumed
+//!    are removed (narrower vector lists = less shallow-copy work).
+//!
+//! Every rule validates the exact shape it rewrites and bails conservatively
+//! otherwise — an optimizer must never change program meaning.
+
+use crate::analyze::{ColId, Provenance, TcapGraph};
+use crate::ir::{meta_get, ColRef, TcapOp, TcapProgram, TcapStmt};
+use std::collections::{BTreeSet, HashMap};
+
+/// Which rules fired, how many times.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptimizerReport {
+    pub redundant_applies_removed: usize,
+    pub selections_pushed_down: usize,
+    pub dead_columns_pruned: usize,
+    pub dead_statements_removed: usize,
+    pub iterations: usize,
+}
+
+/// An individual optimizer rule (exposed for ablation benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerRule {
+    RedundantApply,
+    SelectionPushdown,
+    DeadColumns,
+}
+
+/// Optimizes `prog` in place with all rules, to fixpoint.
+pub fn optimize(prog: &mut TcapProgram) -> OptimizerReport {
+    optimize_with(prog, &[OptimizerRule::RedundantApply, OptimizerRule::SelectionPushdown, OptimizerRule::DeadColumns])
+}
+
+/// Optimizes with a chosen subset of rules (ablation support).
+pub fn optimize_with(prog: &mut TcapProgram, rules: &[OptimizerRule]) -> OptimizerReport {
+    let mut report = OptimizerReport::default();
+    for _ in 0..100 {
+        report.iterations += 1;
+        let mut changed = false;
+        if rules.contains(&OptimizerRule::RedundantApply) && remove_redundant_apply(prog) {
+            report.redundant_applies_removed += 1;
+            changed = true;
+        }
+        if rules.contains(&OptimizerRule::SelectionPushdown) && push_down_selection(prog) {
+            report.selections_pushed_down += 1;
+            changed = true;
+        }
+        if rules.contains(&OptimizerRule::DeadColumns) {
+            let (cols, stmts) = prune_dead(prog);
+            if cols + stmts > 0 {
+                report.dead_columns_pruned += cols;
+                report.dead_statements_removed += stmts;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    report
+}
+
+// ------------------------------------------------------------- ref renaming
+
+/// Rewrites every input reference to `old_list` so it reads `new_list`,
+/// applying `col_renames` to the referenced column names.
+fn rename_refs(prog: &mut TcapProgram, old_list: &str, new_list: &str, col_renames: &HashMap<String, String>) {
+    let fix = |r: &mut ColRef| {
+        if r.list == old_list {
+            r.list = new_list.to_string();
+            for c in r.cols.iter_mut() {
+                if let Some(n) = col_renames.get(c) {
+                    *c = n.clone();
+                }
+            }
+        }
+    };
+    for s in prog.stmts.iter_mut() {
+        match &mut s.op {
+            TcapOp::Input { .. } => {}
+            TcapOp::Apply { input, copy, .. }
+            | TcapOp::FlatMap { input, copy, .. }
+            | TcapOp::Hash { input, copy, .. } => {
+                fix(input);
+                fix(copy);
+            }
+            TcapOp::Filter { bool_col, copy, .. } => {
+                fix(bool_col);
+                fix(copy);
+            }
+            TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, .. } => {
+                fix(lhs_hash);
+                fix(lhs_copy);
+                fix(rhs_hash);
+                fix(rhs_copy);
+            }
+            TcapOp::Aggregate { key, value, .. } => {
+                fix(key);
+                fix(value);
+            }
+            TcapOp::Output { input, .. } => fix(input),
+        }
+    }
+}
+
+/// The column an APPLY/HASH/FLATMAP appends (output decl minus copied cols).
+fn created_col(s: &TcapStmt) -> Option<String> {
+    let copy_cols: &[String] = match &s.op {
+        TcapOp::Apply { copy, .. } | TcapOp::FlatMap { copy, .. } | TcapOp::Hash { copy, .. } => {
+            &copy.cols
+        }
+        _ => return None,
+    };
+    let mut created = s.output.cols.iter().filter(|c| !copy_cols.contains(c));
+    let first = created.next()?.clone();
+    if created.next().is_some() {
+        return None; // multi-column appends not handled by the CSE rule
+    }
+    Some(first)
+}
+
+/// The list a statement primarily flows from (its copy source).
+fn primary_source(s: &TcapStmt) -> Option<&str> {
+    match &s.op {
+        TcapOp::Apply { copy, .. }
+        | TcapOp::FlatMap { copy, .. }
+        | TcapOp::Hash { copy, .. }
+        | TcapOp::Filter { copy, .. } => Some(&copy.list),
+        _ => None,
+    }
+}
+
+// -------------------------------------------------- rule 1: redundant apply
+
+/// §7's first rule: if two APPLYs both invoke the same `methodName`
+/// (or access the same `attName`), one is the ancestor of the other, and
+/// both operate on the same data column, the descendant is removed and the
+/// ancestor's result carried through the graph.
+fn remove_redundant_apply(prog: &mut TcapProgram) -> bool {
+    let g = TcapGraph::build(prog);
+    let prov = Provenance::build(prog);
+
+    let call_sig = |s: &TcapStmt| -> Option<(String, String, Vec<ColId>)> {
+        if let TcapOp::Apply { input, meta, .. } = &s.op {
+            let ty = meta_get(meta, "type")?;
+            let name = match ty {
+                "methodCall" => meta_get(meta, "methodName")?,
+                "attAccess" => meta_get(meta, "attName")?,
+                _ => return None,
+            };
+            let ids: Option<Vec<ColId>> = input
+                .cols
+                .iter()
+                .map(|c| prov.id.get(&(input.list.clone(), c.clone())).cloned())
+                .collect();
+            Some((ty.to_string(), name.to_string(), ids?))
+        } else {
+            None
+        }
+    };
+
+    for j in 0..prog.stmts.len() {
+        let Some(sig_j) = call_sig(&prog.stmts[j]) else { continue };
+        for i in 0..prog.stmts.len() {
+            if i == j || !g.is_ancestor(i, j) {
+                continue;
+            }
+            let Some(sig_i) = call_sig(&prog.stmts[i]) else { continue };
+            if sig_i != sig_j {
+                continue;
+            }
+            let Some(i_col) = created_col(&prog.stmts[i]) else { continue };
+            let Some(j_col) = created_col(&prog.stmts[j]) else { continue };
+            if try_eliminate(prog, i, j, &i_col, &j_col) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Carries statement `i`'s result column to `j`'s position and removes `j`.
+fn try_eliminate(prog: &mut TcapProgram, i: usize, j: usize, i_col: &str, j_col: &str) -> bool {
+    // Walk j's copy-source chain back to i, collecting the intermediate
+    // statements that must carry i's column through.
+    let i_list = prog.stmts[i].output.name.clone();
+    let mut chain: Vec<usize> = Vec::new();
+    let mut cur = match primary_source(&prog.stmts[j]) {
+        Some(l) => l.to_string(),
+        None => return false,
+    };
+    while cur != i_list {
+        let Some(k) = prog.producer_index(&cur) else { return false };
+        // Only linear APPLY/FILTER/HASH chains are handled.
+        let Some(src) = primary_source(&prog.stmts[k]) else { return false };
+        // Collision: an unrelated column with i's name already flows here.
+        if prog.stmts[k].output.cols.iter().any(|c| c == i_col) {
+            return false;
+        }
+        chain.push(k);
+        cur = src.to_string();
+    }
+
+    // Carry i_col through every intermediate statement.
+    for &k in chain.iter().rev() {
+        let s = &mut prog.stmts[k];
+        s.output.cols.push(i_col.to_string());
+        match &mut s.op {
+            TcapOp::Apply { copy, .. }
+            | TcapOp::FlatMap { copy, .. }
+            | TcapOp::Hash { copy, .. }
+            | TcapOp::Filter { copy, .. } => copy.cols.push(i_col.to_string()),
+            _ => return false,
+        }
+    }
+
+    // Remove j; downstream reads of j's output move to j's source list, and
+    // j's created column becomes i's column.
+    let j_out = prog.stmts[j].output.name.clone();
+    let j_src = primary_source(&prog.stmts[j]).unwrap().to_string();
+    let mut renames = HashMap::new();
+    renames.insert(j_col.to_string(), i_col.to_string());
+    prog.stmts.remove(j);
+    rename_refs(prog, &j_out, &j_src, &renames);
+    true
+}
+
+// --------------------------------------------- rule 2: selection push-down
+
+/// §7's second rule: a conjunct `b_i` of a post-join boolean predicate that
+/// depends on only one join input is recomputed before that input's HASH,
+/// guarded by a new FILTER, and dropped from the post-join predicate.
+fn push_down_selection(prog: &mut TcapProgram) -> bool {
+    let prov = Provenance::build(prog);
+
+    // Find: FILTER  <-  bool_and APPLY  <-  ...  <-  JOIN
+    for fi in 0..prog.stmts.len() {
+        let TcapOp::Filter { bool_col, .. } = &prog.stmts[fi].op else { continue };
+        let Some(ai) = prog.producer_index(&bool_col.list) else { continue };
+        let TcapOp::Apply { input: and_in, meta, .. } = &prog.stmts[ai].op else { continue };
+        if meta_get(meta, "type") != Some("bool_and") || and_in.cols.len() != 2 {
+            continue;
+        }
+        // Nearest JOIN ancestor along the copy chain.
+        let mut cur = prog.stmts[ai].output.name.clone();
+        let join_idx = loop {
+            let Some(k) = prog.producer_index(&cur) else { break None };
+            match &prog.stmts[k].op {
+                TcapOp::Join { .. } => break Some(k),
+                _ => match primary_source(&prog.stmts[k]) {
+                    Some(src) => cur = src.to_string(),
+                    None => break None,
+                },
+            }
+        };
+        let Some(ji) = join_idx else { continue };
+
+        // Identify the base columns reachable from each side of the join.
+        let TcapOp::Join { lhs_hash, rhs_hash, .. } = &prog.stmts[ji].op else { continue };
+        let (lhs_src, lhs_bases) = side_info(prog, &prov, &lhs_hash.list);
+        let (rhs_src, rhs_bases) = side_info(prog, &prov, &rhs_hash.list);
+        let (Some(lhs_src), Some(rhs_src)) = (lhs_src, rhs_src) else { continue };
+
+        let and_list = and_in.list.clone();
+        let operands = and_in.cols.clone();
+        for (oi, conjunct) in operands.iter().enumerate() {
+            let deps = prov.base_deps(&and_list, conjunct);
+            if deps.is_empty() {
+                continue;
+            }
+            let side = if deps.is_subset(&lhs_bases) {
+                Some((lhs_src.clone(), 0))
+            } else if deps.is_subset(&rhs_bases) {
+                Some((rhs_src.clone(), 1))
+            } else {
+                None
+            };
+            let Some((src_list, side_idx)) = side else { continue };
+            let other = operands[1 - oi].clone();
+            if try_push(prog, &prov, fi, ai, ji, conjunct, &other, &src_list, side_idx) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Walks up a join side's chain to its source list (INPUT or prior sink
+/// output) and collects the base column ids flowing on that side.
+fn side_info(prog: &TcapProgram, prov: &Provenance, hash_list: &str) -> (Option<String>, BTreeSet<ColId>) {
+    let mut bases = BTreeSet::new();
+    let mut cur = hash_list.to_string();
+    loop {
+        let Some(k) = prog.producer_index(&cur) else { return (None, bases) };
+        let s = &prog.stmts[k];
+        for c in &s.output.cols {
+            bases.extend(prov.base_deps(&s.output.name, c));
+        }
+        match &s.op {
+            TcapOp::Input { .. } | TcapOp::Join { .. } | TcapOp::Aggregate { .. } => {
+                return (Some(s.output.name.clone()), bases)
+            }
+            _ => match primary_source(s) {
+                Some(src) => cur = src.to_string(),
+                None => return (None, bases),
+            },
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_push(
+    prog: &mut TcapProgram,
+    prov: &Provenance,
+    fi: usize,
+    ai: usize,
+    ji: usize,
+    conjunct: &str,
+    other_operand: &str,
+    src_list: &str,
+    _side_idx: usize,
+) -> bool {
+    // 1. Collect the post-join statements computing `conjunct`: walk the
+    //    closure of producer APPLYs between the join and the AND, *backwards*
+    //    so that dependencies discovered late (e.g. the method call feeding a
+    //    comparison) are still picked up.
+    let join_out = prog.stmts[ji].output.name.clone();
+    let mut want: BTreeSet<String> = BTreeSet::from([conjunct.to_string()]);
+    let mut chain: Vec<usize> = Vec::new();
+    for k in ((ji + 1)..ai).rev() {
+        let s = &prog.stmts[k];
+        let Some(created) = created_col(s) else { continue };
+        if !want.contains(&created) {
+            continue;
+        }
+        let TcapOp::Apply { input, .. } = &s.op else { return false };
+        chain.push(k);
+        // Inputs that are themselves computed post-join must be produced too.
+        for c in &input.cols {
+            let id = prov.id.get(&(input.list.clone(), c.clone()));
+            if let Some((def, _)) = id {
+                if *def > ji {
+                    want.insert(c.clone());
+                }
+            }
+        }
+    }
+    chain.reverse(); // back to program order
+    // Everything wanted must be found among the chain's created columns.
+    let produced: BTreeSet<String> =
+        chain.iter().filter_map(|&k| created_col(&prog.stmts[k])).collect();
+    if !want.iter().all(|c| produced.contains(c)) {
+        return false;
+    }
+    if produced.len() != chain.len() {
+        return false; // duplicate column names; cannot reason by name
+    }
+    // The chain's created columns may be *copied* through later vector lists
+    // (they will be stripped below), but no non-chain statement other than
+    // the AND may *compute* on them.
+    for (k, s) in prog.stmts.iter().enumerate() {
+        if chain.contains(&k) || k == ai {
+            continue;
+        }
+        let compute_cols: Vec<&ColRef> = match &s.op {
+            TcapOp::Apply { input, .. }
+            | TcapOp::FlatMap { input, .. }
+            | TcapOp::Hash { input, .. } => vec![input],
+            TcapOp::Filter { bool_col, .. } => vec![bool_col],
+            TcapOp::Join { lhs_hash, rhs_hash, .. } => vec![lhs_hash, rhs_hash],
+            TcapOp::Aggregate { key, value, .. } => vec![key, value],
+            TcapOp::Output { input, .. } => vec![input],
+            TcapOp::Input { .. } => vec![],
+        };
+        for r in compute_cols {
+            if r.cols.iter().any(|c| produced.contains(c)) {
+                return false;
+            }
+        }
+    }
+
+    // 2. Clone the chain onto the join input side, reading from `src_list`.
+    let src_cols = prog.producer(src_list).map(|s| s.output.cols.clone()).unwrap_or_default();
+    let mut cur_list = src_list.to_string();
+    let mut cur_cols = src_cols.clone();
+    let mut new_stmts: Vec<TcapStmt> = Vec::new();
+    for &k in &chain {
+        let TcapOp::Apply { input, computation, stage, meta, .. } = prog.stmts[k].op.clone()
+        else {
+            return false;
+        };
+        // every input column must already flow in the side chain
+        if !input.cols.iter().all(|c| cur_cols.contains(c)) {
+            return false;
+        }
+        let created = created_col(&prog.stmts[k]).unwrap();
+        let out_name = fresh_among(prog, &new_stmts, "PshD");
+        let mut out_cols = cur_cols.clone();
+        out_cols.push(created.clone());
+        new_stmts.push(TcapStmt {
+            output: crate::ir::VecListDecl { name: out_name.clone(), cols: out_cols.clone() },
+            op: TcapOp::Apply {
+                input: ColRef { list: cur_list.clone(), cols: input.cols.clone() },
+                copy: ColRef { list: cur_list.clone(), cols: cur_cols.clone() },
+                computation: computation.clone(),
+                stage: stage.clone(),
+                meta: meta.clone(),
+            },
+        });
+        cur_list = out_name;
+        cur_cols = out_cols;
+    }
+    // New FILTER restoring the side's original column set.
+    let filter_name = prog.fresh_name("PshF");
+    let computation = prog.stmts[ji].op.computation().to_string();
+    new_stmts.push(TcapStmt {
+        output: crate::ir::VecListDecl { name: filter_name.clone(), cols: src_cols.clone() },
+        op: TcapOp::Filter {
+            bool_col: ColRef { list: cur_list.clone(), cols: vec![conjunct.to_string()] },
+            copy: ColRef { list: cur_list.clone(), cols: src_cols.clone() },
+            computation,
+            meta: vec![(String::from("type"), String::from("pushed_selection"))],
+        },
+    });
+
+    // 3. Splice: insert the new statements right after the side's source
+    //    statement; rewire the side chain's first consumer of `src_list`
+    //    (other than the new statements) to read the filtered list.
+    let src_idx = prog.producer_index(src_list).unwrap();
+    let n_new = new_stmts.len();
+    for (off, s) in new_stmts.into_iter().enumerate() {
+        prog.stmts.insert(src_idx + 1 + off, s);
+    }
+    // Remap old consumers of src_list on this side (skip the cloned chain we
+    // just inserted, which must keep reading the raw source).
+    let first_new = src_idx + 1;
+    let last_new = src_idx + n_new;
+    let consumers: Vec<usize> = prog
+        .consumers(src_list)
+        .into_iter()
+        .filter(|&c| c < first_new || c > last_new)
+        .collect();
+    for c in consumers {
+        remap_one(&mut prog.stmts[c], src_list, &filter_name);
+    }
+
+    // 4. Remove the post-join conjunct chain and collapse the AND.
+    //    (Indices of chain/ai/fi all shifted by n_new.)
+    let shift = |k: usize| if k > src_idx { k + n_new } else { k };
+    let ai = shift(ai);
+    let fi = shift(fi);
+    let mut to_remove: Vec<usize> = chain.iter().map(|&k| shift(k)).collect();
+
+    // Rewire each removed stmt's output to its copy source.
+    for &k in to_remove.iter() {
+        let out = prog.stmts[k].output.name.clone();
+        let src = primary_source(&prog.stmts[k]).unwrap().to_string();
+        rename_refs(prog, &out, &src, &HashMap::new());
+    }
+    // Collapse AND: downstream (the FILTER) reads the surviving operand.
+    let and_out = prog.stmts[ai].output.name.clone();
+    let and_src = primary_source(&prog.stmts[ai]).unwrap().to_string();
+    let and_created = created_col(&prog.stmts[ai]).unwrap();
+    let mut renames = HashMap::new();
+    renames.insert(and_created, other_operand.to_string());
+    rename_refs(prog, &and_out, &and_src, &renames);
+    let _ = fi;
+    to_remove.push(ai);
+    to_remove.sort_unstable();
+    for k in to_remove.into_iter().rev() {
+        prog.stmts.remove(k);
+    }
+    // 5. The chain's created columns were copied through later vector lists;
+    //    strip them from every statement downstream of the join (they no
+    //    longer exist post-join). Downstream-ness is computed by a BFS over
+    //    list names so the pushed pre-join chain is untouched.
+    let mut downstream_lists: BTreeSet<String> = BTreeSet::from([join_out.clone()]);
+    loop {
+        let mut grew = false;
+        for s in prog.stmts.iter() {
+            if s.op.input_lists().iter().any(|l| downstream_lists.contains(*l))
+                && downstream_lists.insert(s.output.name.clone())
+            {
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    for s in prog.stmts.iter_mut() {
+        let in_downstream = s.op.input_lists().iter().any(|l| downstream_lists.contains(*l))
+            || downstream_lists.contains(&s.output.name);
+        if !in_downstream {
+            continue;
+        }
+        let strip = |r: &mut ColRef| {
+            if downstream_lists.contains(&r.list) {
+                r.cols.retain(|c| !produced.contains(c));
+            }
+        };
+        match &mut s.op {
+            TcapOp::Input { .. } => {}
+            TcapOp::Apply { input, copy, .. }
+            | TcapOp::FlatMap { input, copy, .. }
+            | TcapOp::Hash { input, copy, .. } => {
+                strip(input);
+                strip(copy);
+            }
+            TcapOp::Filter { bool_col, copy, .. } => {
+                strip(bool_col);
+                strip(copy);
+            }
+            TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, .. } => {
+                strip(lhs_hash);
+                strip(lhs_copy);
+                strip(rhs_hash);
+                strip(rhs_copy);
+            }
+            TcapOp::Aggregate { key, value, .. } => {
+                strip(key);
+                strip(value);
+            }
+            TcapOp::Output { input, .. } => strip(input),
+        }
+        if downstream_lists.contains(&s.output.name) {
+            s.output.cols.retain(|c| !produced.contains(c));
+        }
+    }
+    true
+}
+
+/// A list name unused both in `prog` and among not-yet-inserted statements.
+fn fresh_among(prog: &TcapProgram, pending: &[TcapStmt], prefix: &str) -> String {
+    let mut i = 1;
+    loop {
+        let candidate = format!("{prefix}_{i}");
+        if prog.producer(&candidate).is_none()
+            && !pending.iter().any(|s| s.output.name == candidate)
+        {
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+/// Rewrites one statement's references from `old` to `new` (no col renames).
+fn remap_one(s: &mut TcapStmt, old: &str, new: &str) {
+    let fix = |r: &mut ColRef| {
+        if r.list == old {
+            r.list = new.to_string();
+        }
+    };
+    match &mut s.op {
+        TcapOp::Input { .. } => {}
+        TcapOp::Apply { input, copy, .. }
+        | TcapOp::FlatMap { input, copy, .. }
+        | TcapOp::Hash { input, copy, .. } => {
+            fix(input);
+            fix(copy);
+        }
+        TcapOp::Filter { bool_col, copy, .. } => {
+            fix(bool_col);
+            fix(copy);
+        }
+        TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, .. } => {
+            fix(lhs_hash);
+            fix(lhs_copy);
+            fix(rhs_hash);
+            fix(rhs_copy);
+        }
+        TcapOp::Aggregate { key, value, .. } => {
+            fix(key);
+            fix(value);
+        }
+        TcapOp::Output { input, .. } => fix(input),
+    }
+}
+
+// ------------------------------------------------- rule 3: dead col/stmt
+
+/// Drops columns never referenced by any consumer and removes statements
+/// that no OUTPUT sink transitively depends on. Returns (columns pruned,
+/// stmts removed). Programs without OUTPUT statements (fragments, as in the
+/// §7 examples) are left untouched — there is no liveness root to prune
+/// against.
+fn prune_dead(prog: &mut TcapProgram) -> (usize, usize) {
+    let mut pruned_cols = 0;
+    let mut removed = 0;
+
+    if !prog.stmts.iter().any(|s| matches!(s.op, TcapOp::Output { .. })) {
+        return (0, 0);
+    }
+
+    // Liveness: backward closure from OUTPUT statements.
+    let g = TcapGraph::build(prog);
+    let mut live = vec![false; prog.stmts.len()];
+    let mut stack: Vec<usize> = prog
+        .stmts
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.op, TcapOp::Output { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    while let Some(i) = stack.pop() {
+        if live[i] {
+            continue;
+        }
+        live[i] = true;
+        for &p in &g.preds[i] {
+            stack.push(p);
+        }
+    }
+    let mut i = prog.stmts.len();
+    while i > 0 {
+        i -= 1;
+        if !live[i] {
+            prog.stmts.remove(i);
+            removed += 1;
+        }
+    }
+
+    // Dead copied columns.
+    let mut referenced: BTreeSet<(String, String)> = BTreeSet::new();
+    for s in &prog.stmts {
+        let mut add = |r: &ColRef| {
+            for c in &r.cols {
+                referenced.insert((r.list.clone(), c.clone()));
+            }
+        };
+        match &s.op {
+            TcapOp::Input { .. } => {}
+            TcapOp::Apply { input, copy, .. }
+            | TcapOp::FlatMap { input, copy, .. }
+            | TcapOp::Hash { input, copy, .. } => {
+                add(input);
+                add(copy);
+            }
+            TcapOp::Filter { bool_col, copy, .. } => {
+                add(bool_col);
+                add(copy);
+            }
+            TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, .. } => {
+                add(lhs_hash);
+                add(lhs_copy);
+                add(rhs_hash);
+                add(rhs_copy);
+            }
+            TcapOp::Aggregate { key, value, .. } => {
+                add(key);
+                add(value);
+            }
+            TcapOp::Output { input, .. } => add(input),
+        }
+    }
+    for s in prog.stmts.iter_mut() {
+        if matches!(s.op, TcapOp::Input { .. }) {
+            continue; // base object columns always stay
+        }
+        let name = s.output.name.clone();
+        let keep = |c: &String| referenced.contains(&(name.clone(), c.clone()));
+        // Only prune *copied* columns; created columns define the statement.
+        let copy_cols: Vec<String> = match &s.op {
+            TcapOp::Apply { copy, .. }
+            | TcapOp::FlatMap { copy, .. }
+            | TcapOp::Hash { copy, .. }
+            | TcapOp::Filter { copy, .. } => copy.cols.clone(),
+            _ => continue,
+        };
+        let dead: Vec<String> = copy_cols.iter().filter(|c| !keep(c)).cloned().collect();
+        if dead.is_empty() {
+            continue;
+        }
+        pruned_cols += dead.len();
+        s.output.cols.retain(|c| !dead.contains(c));
+        match &mut s.op {
+            TcapOp::Apply { copy, .. }
+            | TcapOp::FlatMap { copy, .. }
+            | TcapOp::Hash { copy, .. }
+            | TcapOp::Filter { copy, .. } => copy.cols.retain(|c| !dead.contains(c)),
+            _ => {}
+        }
+    }
+    (pruned_cols, removed)
+}

@@ -1,0 +1,385 @@
+//! Parser for TCAP's concrete syntax (the exact notation of §5.2 and §7).
+//!
+//! The grammar is:
+//!
+//! ```text
+//! program  := stmt*
+//! stmt     := decl '<=' op ';'
+//! decl     := IDENT '(' [IDENT (',' IDENT)*] ')'
+//! op       := OPNAME '(' arg (',' arg)* ')'
+//! arg      := decl | STRING | meta
+//! meta     := '[' [pair (',' pair)*] ']'
+//! pair     := '(' STRING ',' STRING ')'
+//! STRING   := '\'' ... '\''
+//! ```
+//!
+//! Comments run from `/*` to `*/` or from `--` to end of line.
+
+use crate::ir::{ColRef, Meta, TcapOp, TcapProgram, TcapStmt, VecListDecl};
+use std::fmt;
+
+/// A TCAP parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TCAP parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Arrow, // <=
+    Semi,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let end = src[i..].find("*/").map(|p| i + p + 2).ok_or(ParseError {
+                    pos: i,
+                    message: "unterminated comment".into(),
+                })?;
+                i = end;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            '[' => {
+                toks.push((i, Tok::LBracket));
+                i += 1;
+            }
+            ']' => {
+                toks.push((i, Tok::RBracket));
+                i += 1;
+            }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            ';' => {
+                toks.push((i, Tok::Semi));
+                i += 1;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push((i, Tok::Arrow));
+                i += 2;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError { pos: i, message: "unterminated string".into() });
+                }
+                toks.push((i, Tok::Str(src[start..j].to_string())));
+                i = j + 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError { pos: i, message: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.i).map(|(p, _)| *p).unwrap_or(usize::MAX)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { pos: self.pos(), message: message.into() })
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        match self.toks.get(self.i) {
+            Some((_, t)) if *t == want => {
+                self.i += 1;
+                Ok(())
+            }
+            Some((p, t)) => {
+                Err(ParseError { pos: *p, message: format!("expected {want:?}, found {t:?}") })
+            }
+            None => Err(ParseError { pos: usize::MAX, message: format!("expected {want:?}, found EOF") }),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.toks.get(self.i).cloned() {
+            Some((_, Tok::Ident(s))) => {
+                self.i += 1;
+                Ok(s)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match self.toks.get(self.i).cloned() {
+            Some((_, Tok::Str(s))) => {
+                self.i += 1;
+                Ok(s)
+            }
+            _ => self.err("expected quoted string"),
+        }
+    }
+
+    /// `name(col, col, ...)`
+    fn col_ref(&mut self) -> Result<ColRef, ParseError> {
+        let list = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut cols = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                cols.push(self.ident()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(ColRef { list, cols })
+    }
+
+    fn meta(&mut self) -> Result<Meta, ParseError> {
+        self.expect(Tok::LBracket)?;
+        let mut meta = Vec::new();
+        if self.peek() != Some(&Tok::RBracket) {
+            loop {
+                self.expect(Tok::LParen)?;
+                let k = self.string()?;
+                self.expect(Tok::Comma)?;
+                let v = self.string()?;
+                self.expect(Tok::RParen)?;
+                meta.push((k, v));
+                if self.peek() == Some(&Tok::Comma) {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RBracket)?;
+        Ok(meta)
+    }
+
+    fn comma(&mut self) -> Result<(), ParseError> {
+        self.expect(Tok::Comma)
+    }
+
+    fn stmt(&mut self) -> Result<TcapStmt, ParseError> {
+        let decl = self.col_ref()?;
+        let output = VecListDecl { name: decl.list, cols: decl.cols };
+        self.expect(Tok::Arrow)?;
+        let opname = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let op = match opname.as_str() {
+            "INPUT" => {
+                let db = self.string()?;
+                self.comma()?;
+                let set = self.string()?;
+                self.comma()?;
+                let computation = self.string()?;
+                self.comma()?;
+                let meta = self.meta()?;
+                TcapOp::Input { db, set, computation, meta }
+            }
+            "APPLY" | "FLATMAP" => {
+                let input = self.col_ref()?;
+                self.comma()?;
+                let copy = self.col_ref()?;
+                self.comma()?;
+                let computation = self.string()?;
+                self.comma()?;
+                let stage = self.string()?;
+                self.comma()?;
+                let meta = self.meta()?;
+                if opname == "APPLY" {
+                    TcapOp::Apply { input, copy, computation, stage, meta }
+                } else {
+                    TcapOp::FlatMap { input, copy, computation, stage, meta }
+                }
+            }
+            "FILTER" => {
+                let bool_col = self.col_ref()?;
+                self.comma()?;
+                let copy = self.col_ref()?;
+                self.comma()?;
+                let computation = self.string()?;
+                self.comma()?;
+                let meta = self.meta()?;
+                TcapOp::Filter { bool_col, copy, computation, meta }
+            }
+            "HASH" => {
+                let input = self.col_ref()?;
+                self.comma()?;
+                let copy = self.col_ref()?;
+                self.comma()?;
+                let computation = self.string()?;
+                self.comma()?;
+                let meta = self.meta()?;
+                TcapOp::Hash { input, copy, computation, meta }
+            }
+            "JOIN" => {
+                let lhs_hash = self.col_ref()?;
+                self.comma()?;
+                let lhs_copy = self.col_ref()?;
+                self.comma()?;
+                let rhs_hash = self.col_ref()?;
+                self.comma()?;
+                let rhs_copy = self.col_ref()?;
+                self.comma()?;
+                let computation = self.string()?;
+                self.comma()?;
+                let meta = self.meta()?;
+                TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, computation, meta }
+            }
+            "AGGREGATE" => {
+                let key = self.col_ref()?;
+                self.comma()?;
+                let value = self.col_ref()?;
+                self.comma()?;
+                let computation = self.string()?;
+                self.comma()?;
+                let meta = self.meta()?;
+                TcapOp::Aggregate { key, value, computation, meta }
+            }
+            "OUTPUT" => {
+                let input = self.col_ref()?;
+                self.comma()?;
+                let db = self.string()?;
+                self.comma()?;
+                let set = self.string()?;
+                self.comma()?;
+                let computation = self.string()?;
+                self.comma()?;
+                let meta = self.meta()?;
+                TcapOp::Output { input, db, set, computation, meta }
+            }
+            other => return self.err(format!("unknown TCAP operation {other}")),
+        };
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Semi)?;
+        Ok(TcapStmt { output, op })
+    }
+}
+
+/// Parses a TCAP program from its concrete syntax.
+pub fn parse_program(src: &str) -> Result<TcapProgram, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let mut stmts = Vec::new();
+    while p.peek().is_some() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(TcapProgram { stmts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECTION_5_2: &str = r#"
+WDNm_1(dep,emp,sup,nm1) <= APPLY(In(dep), In(dep,emp,sup), 'Join_2212', 'att_acc_1',
+    [('type', 'attAccess'), ('attName', 'deptName')]);
+WDNm_2(dep,emp,sup,nm1,nm2) <= APPLY(WDNm_1(emp), WDNm_1(dep,emp,sup,nm1), 'Join_2212',
+    'method_call_2', [('type', 'methodCall'), ('methodName', 'getDeptName')]);
+WBl_1(dep,emp,sup,bl) <= APPLY(WDNm_2(nm1,nm2), WDNm_2(dep,emp,sup), 'Join_2212', '==_3',
+    [('type', 'equalityCheck')]);
+Flt_1(dep,emp,sup) <= FILTER(WBl_1(bl), WBl_1(dep,emp,sup), 'Join_2212', []);
+"#;
+
+    #[test]
+    fn parses_the_papers_section_5_2_example() {
+        let prog = parse_program(SECTION_5_2).unwrap();
+        assert_eq!(prog.stmts.len(), 4);
+        assert_eq!(prog.stmts[0].output.name, "WDNm_1");
+        assert_eq!(prog.stmts[0].output.cols, vec!["dep", "emp", "sup", "nm1"]);
+        match &prog.stmts[0].op {
+            TcapOp::Apply { input, stage, meta, .. } => {
+                assert_eq!(input.list, "In");
+                assert_eq!(input.cols, vec!["dep"]);
+                assert_eq!(stage, "att_acc_1");
+                assert_eq!(crate::ir::meta_get(meta, "attName"), Some("deptName"));
+            }
+            other => panic!("expected APPLY, got {other:?}"),
+        }
+        match &prog.stmts[3].op {
+            TcapOp::Filter { bool_col, .. } => assert_eq!(bool_col.cols, vec!["bl"]),
+            other => panic!("expected FILTER, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let prog = parse_program(SECTION_5_2).unwrap();
+        let printed = prog.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "/* additional code here */\n-- line comment\nIn(emp) <= INPUT('db', 'set', 'Reader_1', []);";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.stmts.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_program("Bogus(x) <= NOPE(In(x), 'a', []);").unwrap_err();
+        assert!(err.message.contains("unknown TCAP operation"));
+    }
+}

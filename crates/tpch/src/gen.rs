@@ -1,0 +1,180 @@
+//! The denormalized TPC-H generator: one neutral in-memory instance feeds
+//! both the PC and baseline representations.
+
+use rand::{RngExt, SeedableRng};
+
+/// Scale parameters (the paper's 2.4M–24M customers, scaled down).
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    pub customers: usize,
+    pub orders_per_customer: usize,
+    pub lines_per_order: usize,
+    pub parts: usize,
+    pub suppliers: usize,
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            customers: 1000,
+            orders_per_customer: 3,
+            lines_per_order: 4,
+            parts: 500,
+            suppliers: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// One line item: references into the part/supplier dimension tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineData {
+    pub part_id: i64,
+    pub supplier_id: i64,
+    pub line_number: i64,
+}
+
+/// One order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderData {
+    pub order_key: i64,
+    pub lines: Vec<LineData>,
+}
+
+/// One denormalized customer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomerData {
+    pub cust_key: i64,
+    pub name: String,
+    pub orders: Vec<OrderData>,
+}
+
+/// Deterministically generates a denormalized instance.
+pub fn generate(cfg: &TpchConfig) -> Vec<CustomerData> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut order_key = 0i64;
+    (0..cfg.customers)
+        .map(|c| CustomerData {
+            cust_key: c as i64,
+            name: format!("Customer#{c:06}"),
+            orders: (0..cfg.orders_per_customer)
+                .map(|_| {
+                    order_key += 1;
+                    OrderData {
+                        order_key,
+                        lines: (0..cfg.lines_per_order)
+                            .map(|ln| LineData {
+                                part_id: rng.random_range(0..cfg.parts as i64),
+                                supplier_id: rng.random_range(0..cfg.suppliers as i64),
+                                line_number: ln as i64,
+                            })
+                            .collect(),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Supplier display name (matches the PC and baseline sides).
+pub fn supplier_name(id: i64) -> String {
+    format!("Supplier#{id:04}")
+}
+
+/// Reference implementation of customers-per-supplier: supplier name →
+/// (customer name → sorted unique part ids). Used to validate both engines.
+pub fn reference_customers_per_supplier(
+    data: &[CustomerData],
+) -> std::collections::BTreeMap<String, std::collections::BTreeMap<String, Vec<i64>>> {
+    let mut out: std::collections::BTreeMap<String, std::collections::BTreeMap<String, Vec<i64>>> =
+        Default::default();
+    for c in data {
+        for o in &c.orders {
+            for l in &o.lines {
+                out.entry(supplier_name(l.supplier_id))
+                    .or_default()
+                    .entry(c.name.clone())
+                    .or_default()
+                    .push(l.part_id);
+            }
+        }
+    }
+    for m in out.values_mut() {
+        for v in m.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+    }
+    out
+}
+
+/// Jaccard similarity between two sorted, deduplicated id lists.
+pub fn jaccard(a: &[i64], b: &[i64]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+/// A customer's sorted unique part ids.
+pub fn unique_parts(c: &CustomerData) -> Vec<i64> {
+    let mut v: Vec<i64> =
+        c.orders.iter().flat_map(|o| o.lines.iter().map(|l| l.part_id)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Reference top-k: `(similarity, cust_key)` best-first.
+pub fn reference_top_k(data: &[CustomerData], query: &[i64], k: usize) -> Vec<(f64, i64)> {
+    let mut q = query.to_vec();
+    q.sort_unstable();
+    q.dedup();
+    let mut scored: Vec<(f64, i64)> =
+        data.iter().map(|c| (jaccard(&unique_parts(c), &q), c.cust_key)).collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TpchConfig { customers: 10, ..Default::default() };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_results_are_consistent() {
+        let data = generate(&TpchConfig { customers: 20, ..Default::default() });
+        let cps = reference_customers_per_supplier(&data);
+        assert!(!cps.is_empty());
+        let top = reference_top_k(&data, &unique_parts(&data[0]), 5);
+        assert_eq!(top.len(), 5);
+        assert_eq!(top[0].1, 0, "the query customer matches itself best");
+        assert!((top[0].0 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,22 @@
+//! # pc-tpch — denormalized TPC-H and the big-object workloads (§8.4)
+//!
+//! The paper denormalizes TPC-H into nested objects — `Customer` holds
+//! `Order`s, which hold `LineItem`s, which embed `Part` and `Supplier` —
+//! and runs two computations over them:
+//!
+//! * **customers-per-supplier** — for every supplier, the map from each of
+//!   its customers to the list of part ids bought (a `MultiSelectionComp`
+//!   exploding customers into per-supplier records, then a group-by into a
+//!   nested `Map<String, Vec<i64>>` built directly on aggregation pages);
+//! * **top-k Jaccard** — each customer's deduplicated part set scored
+//!   against a query set; a top-k aggregation keeps the best k.
+//!
+//! [`gen`] produces the same synthetic instance for both the PC object
+//! representation and the baseline's codec-backed structs, so Table 3's
+//! comparison is apples-to-apples.
+
+pub mod baseline_impl;
+pub mod gen;
+pub mod pc_impl;
+
+pub use gen::{generate, CustomerData, TpchConfig};

@@ -1,0 +1,365 @@
+//! The PC-side TPC-H representation and both workloads.
+
+use crate::gen::{supplier_name, CustomerData};
+use pc_core::prelude::*;
+use pc_lambda::kernel::FlatMap1;
+use pc_object::PcValue;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+pc_object! {
+    /// A line item with its embedded part and supplier ids (the paper nests
+    /// full Part/Supplier objects; ids plus the name convention carry the
+    /// same information through the workloads).
+    pub struct LineItem / LineItemView {
+        (part_id, set_part_id): i64,
+        (supplier_id, set_supplier_id): i64,
+        (line_number, set_line_number): i64,
+    }
+}
+
+pc_object! {
+    pub struct Order / OrderView {
+        (order_key, set_order_key): i64,
+        (lineitems, set_lineitems): Handle<PcVec<Handle<LineItem>>>,
+    }
+}
+
+pc_object! {
+    pub struct Customer / CustomerView {
+        (cust_key, set_cust_key): i64,
+        (name, set_name): Handle<PcString>,
+        (orders, set_orders): Handle<PcVec<Handle<Order>>>,
+    }
+}
+
+pc_object! {
+    /// One (supplier, customer, parts) record emitted by the
+    /// multi-selection (the paper's `SupplierInfo`).
+    pub struct SupplierInfo / SupplierInfoView {
+        (supplier, set_supplier): Handle<PcString>,
+        (customer, set_customer): Handle<PcString>,
+        (parts, set_parts): Handle<PcVec<i64>>,
+    }
+}
+
+pc_object! {
+    /// Aggregated: a supplier plus the map customer → part ids
+    /// (`Map<String, Handle<Vector<int>>>` in the paper).
+    pub struct SupplierCustomers / SupplierCustomersView {
+        (supplier, set_supplier): Handle<PcString>,
+        (customers, set_customers): Handle<PcMap<Handle<PcString>, Handle<PcVec<i64>>>>,
+    }
+}
+
+pc_object! {
+    /// Top-k result entry.
+    pub struct TopMatch / TopMatchView {
+        (similarity, set_similarity): f64,
+        (cust_key, set_cust_key): i64,
+        (parts, set_parts): Handle<PcVec<i64>>,
+    }
+}
+
+/// Loads the denormalized instance into a PC set.
+pub fn load(client: &PcClient, db: &str, set: &str, data: &[CustomerData]) -> PcResult<()> {
+    client.create_or_clear_set(db, set)?;
+    client.store(db, set, data.len(), |i| {
+        let c = &data[i];
+        let cust = make_object::<Customer>()?;
+        cust.v().set_cust_key(c.cust_key)?;
+        cust.v().set_name(PcString::make(&c.name)?)?;
+        let orders = make_object::<PcVec<Handle<Order>>>()?;
+        for o in &c.orders {
+            let order = make_object::<Order>()?;
+            order.v().set_order_key(o.order_key)?;
+            let lines = make_object::<PcVec<Handle<LineItem>>>()?;
+            for l in &o.lines {
+                let li = make_object::<LineItem>()?;
+                li.v().set_part_id(l.part_id)?;
+                li.v().set_supplier_id(l.supplier_id)?;
+                li.v().set_line_number(l.line_number)?;
+                lines.push(li)?;
+            }
+            order.v().set_lineitems(lines)?;
+            orders.push(order)?;
+        }
+        cust.v().set_orders(orders)?;
+        Ok(cust.erase())
+    })
+}
+
+/// Group-by supplier: folds `SupplierInfo` records into nested
+/// `Map<customer, Vec<partID>>` objects living on aggregation pages
+/// (the paper's `CustomerSupplierPartGroupBy`).
+struct GroupBySupplier;
+
+impl AggregateSpec for GroupBySupplier {
+    type In = SupplierInfo;
+    type Key = String;
+    type Val = Handle<PcMap<Handle<PcString>, Handle<PcVec<i64>>>>;
+    type Out = SupplierCustomers;
+
+    fn key_of(&self, rec: &Handle<SupplierInfo>) -> PcResult<String> {
+        Ok(rec.v().supplier().as_str().to_string())
+    }
+
+    fn init(
+        &self,
+        b: &BlockRef,
+        rec: &Handle<SupplierInfo>,
+    ) -> PcResult<Handle<PcMap<Handle<PcString>, Handle<PcVec<i64>>>>> {
+        let m = b.make_object::<PcMap<Handle<PcString>, Handle<PcVec<i64>>>>()?;
+        // Cross-block stores deep-copy the customer name and part list onto
+        // the aggregation page (§6.4) — no serialization anywhere.
+        m.insert(rec.v().customer(), rec.v().parts())?;
+        Ok(m)
+    }
+
+    fn combine(&self, b: &BlockRef, slot: u32, rec: &Handle<SupplierInfo>) -> PcResult<()> {
+        let m = <Self::Val as PcValue>::load(b, slot);
+        let cust = rec.v().customer();
+        match m.get(&cust) {
+            None => m.insert(cust, rec.v().parts()),
+            Some(list) => {
+                for p in rec.v().parts().iter() {
+                    push_unique(&list, p)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn merge(&self, dst: &BlockRef, dst_slot: u32, src: &BlockRef, src_slot: u32) -> PcResult<()> {
+        let dm = <Self::Val as PcValue>::load(dst, dst_slot);
+        let sm = <Self::Val as PcValue>::load(src, src_slot);
+        let mut pairs: Vec<(Handle<PcString>, Handle<PcVec<i64>>)> = Vec::new();
+        sm.for_each(|k, v| pairs.push((k, v)));
+        for (k, v) in pairs {
+            match dm.get(&k) {
+                None => dm.insert(k, v)?,
+                Some(list) => {
+                    for p in v.iter() {
+                        push_unique(&list, p)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(&self, key: &String, b: &BlockRef, slot: u32) -> PcResult<Handle<SupplierCustomers>> {
+        let m = <Self::Val as PcValue>::load(b, slot);
+        let out = make_object::<SupplierCustomers>()?;
+        out.v().set_supplier(PcString::make(key)?)?;
+        out.v().set_customers(m)?; // deep copy onto the output page
+        Ok(out)
+    }
+}
+
+fn push_unique(list: &Handle<PcVec<i64>>, p: i64) -> PcResult<()> {
+    if !list.iter().any(|x| x == p) {
+        list.push(p)?;
+    }
+    Ok(())
+}
+
+/// Workload 1: customers-per-supplier. Returns (supplier, customer count)
+/// pairs (the paper finishes with a count over each map).
+pub fn customers_per_supplier(
+    client: &PcClient,
+    db: &str,
+    set: &str,
+) -> PcResult<Vec<(String, usize)>> {
+    client.create_or_clear_set(db, "cps_out")?;
+    let mut g = ComputationGraph::new();
+    let customers = g.reader(db, set);
+    // MultiSelection: one SupplierInfo per (customer, supplier) pair.
+    let fm = FlatMap1::<Customer, AnyHandle, _> {
+        f: |c: &Handle<Customer>| {
+            // Gather per-supplier unique parts for this customer.
+            let mut per: std::collections::BTreeMap<i64, Vec<i64>> = Default::default();
+            let orders = c.v().orders();
+            for o in orders.iter() {
+                let lines = o.v().lineitems();
+                for l in lines.iter() {
+                    let e = per.entry(l.v().supplier_id()).or_default();
+                    let pid = l.v().part_id();
+                    if !e.contains(&pid) {
+                        e.push(pid);
+                    }
+                }
+            }
+            let name = c.v().name();
+            let mut out = Vec::with_capacity(per.len());
+            for (supp, parts) in per {
+                let si = make_object::<SupplierInfo>()?;
+                si.v().set_supplier(PcString::make(&supplier_name(supp))?)?;
+                si.v().set_customer(PcString::make(name.as_str())?)?;
+                let pv = make_object::<PcVec<i64>>()?;
+                pv.extend_from_slice(&parts)?;
+                si.v().set_parts(pv)?;
+                out.push(si.erase());
+            }
+            Ok(out)
+        },
+        _pd: PhantomData,
+    };
+    let infos = g.multi_selection(customers, None, "CustomerMultiSelection", Arc::new(fm));
+    let agg = g.aggregate(infos, GroupBySupplier);
+    g.write(agg, db, "cps_out");
+    client.execute_computations(&g)?;
+
+    let mut out = Vec::new();
+    for sc in client.iterate_set::<SupplierCustomers>(db, "cps_out")? {
+        let sup = sc.v().supplier();
+        let map = sc.v().customers();
+        out.push((sup.as_str().to_string(), map.len()));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Full nested result of workload 1 (for validation).
+pub fn customers_per_supplier_full(
+    client: &PcClient,
+    db: &str,
+) -> PcResult<std::collections::BTreeMap<String, std::collections::BTreeMap<String, Vec<i64>>>> {
+    let mut out: std::collections::BTreeMap<String, std::collections::BTreeMap<String, Vec<i64>>> =
+        Default::default();
+    for sc in client.iterate_set::<SupplierCustomers>(db, "cps_out")? {
+        let sup = sc.v().supplier().as_str().to_string();
+        let map = sc.v().customers();
+        let entry = out.entry(sup).or_default();
+        map.for_each(|k, v| {
+            let mut parts: Vec<i64> = v.iter().collect();
+            parts.sort_unstable();
+            parts.dedup();
+            entry.insert(k.as_str().to_string(), parts);
+        });
+    }
+    Ok(out)
+}
+
+/// Top-k aggregation state: a packed `[sim, custkey]*` vector kept sorted
+/// best-first and truncated at k (the paper's `TopKQueue`).
+struct TopKAgg {
+    k: usize,
+    query: Vec<i64>,
+}
+
+impl AggregateSpec for TopKAgg {
+    type In = Customer;
+    type Key = i64;
+    type Val = Handle<PcVec<f64>>;
+    type Out = TopMatch;
+
+    fn key_of(&self, _rec: &Handle<Customer>) -> PcResult<i64> {
+        Ok(0)
+    }
+
+    fn init(&self, b: &BlockRef, rec: &Handle<Customer>) -> PcResult<Handle<PcVec<f64>>> {
+        let v = b.make_object::<PcVec<f64>>()?;
+        v.reserve(2 * (self.k + 1))?;
+        let (sim, key) = self.score(rec);
+        v.extend_from_slice(&[sim, key as f64])?;
+        Ok(v)
+    }
+
+    fn combine(&self, b: &BlockRef, slot: u32, rec: &Handle<Customer>) -> PcResult<()> {
+        let acc = <Self::Val as PcValue>::load(b, slot);
+        let (sim, key) = self.score(rec);
+        insert_topk(&acc, self.k, sim, key as f64)
+    }
+
+    fn merge(&self, dst: &BlockRef, dst_slot: u32, src: &BlockRef, src_slot: u32) -> PcResult<()> {
+        let a = <Self::Val as PcValue>::load(dst, dst_slot);
+        let s = <Self::Val as PcValue>::load(src, src_slot);
+        let pairs: Vec<f64> = s.iter().collect();
+        for ch in pairs.chunks(2) {
+            insert_topk(&a, self.k, ch[0], ch[1])?;
+        }
+        Ok(())
+    }
+
+    fn finalize(&self, _key: &i64, b: &BlockRef, slot: u32) -> PcResult<Handle<TopMatch>> {
+        // Emit the whole queue as one packed TopMatch carrying the pairs;
+        // the client unpacks it (one group → one output object).
+        let acc = <Self::Val as PcValue>::load(b, slot);
+        let out = make_object::<TopMatch>()?;
+        out.v().set_similarity(-1.0)?;
+        out.v().set_cust_key(-1)?;
+        let pv = make_object::<PcVec<i64>>()?;
+        let packed: Vec<f64> = acc.iter().collect();
+        for ch in packed.chunks(2) {
+            pv.push((ch[0] * 1e12) as i64)?;
+            pv.push(ch[1] as i64)?;
+        }
+        out.v().set_parts(pv)?;
+        Ok(out)
+    }
+}
+
+impl TopKAgg {
+    fn score(&self, rec: &Handle<Customer>) -> (f64, i64) {
+        let mut parts: Vec<i64> = Vec::new();
+        let orders = rec.v().orders();
+        for o in orders.iter() {
+            let lines = o.v().lineitems();
+            for l in lines.iter() {
+                parts.push(l.v().part_id());
+            }
+        }
+        parts.sort_unstable();
+        parts.dedup();
+        (crate::gen::jaccard(&parts, &self.query), rec.v().cust_key())
+    }
+}
+
+/// Inserts (sim, key) into the packed sorted queue, keeping the best k.
+fn insert_topk(acc: &Handle<PcVec<f64>>, k: usize, sim: f64, key: f64) -> PcResult<()> {
+    let mut pairs: Vec<(f64, f64)> = {
+        let s: Vec<f64> = acc.iter().collect();
+        s.chunks(2).map(|c| (c[0], c[1])).collect()
+    };
+    pairs.push((sim, key));
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.partial_cmp(&b.1).unwrap()));
+    pairs.truncate(k);
+    acc.clear();
+    for (s, c) in pairs {
+        acc.push(s)?;
+        acc.push(c)?;
+    }
+    Ok(())
+}
+
+/// Workload 2: top-k Jaccard. Returns `(similarity, cust_key)` best-first.
+pub fn top_k_jaccard(
+    client: &PcClient,
+    db: &str,
+    set: &str,
+    query: &[i64],
+    k: usize,
+) -> PcResult<Vec<(f64, i64)>> {
+    let mut q = query.to_vec();
+    q.sort_unstable();
+    q.dedup();
+    client.create_or_clear_set(db, "topk_out")?;
+    let mut g = ComputationGraph::new();
+    let customers = g.reader(db, set);
+    let agg = g.aggregate(customers, TopKAgg { k, query: q });
+    g.write(agg, db, "topk_out");
+    client.execute_computations(&g)?;
+
+    let mut out = Vec::new();
+    for m in client.iterate_set::<TopMatch>(db, "topk_out")? {
+        let packed = m.v().parts();
+        let vals: Vec<i64> = packed.iter().collect();
+        for ch in vals.chunks(2) {
+            out.push((ch[0] as f64 / 1e12, ch[1]));
+        }
+    }
+    out.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    out.truncate(k);
+    Ok(out)
+}

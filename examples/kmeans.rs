@@ -1,0 +1,26 @@
+//! k-means example (Appendix A): the aggregation-only clustering loop.
+//!
+//! ```text
+//! cargo run --release --example kmeans
+//! ```
+
+use pc_ml::kmeans::{synthetic_points, PcKMeans};
+use plinycompute::prelude::*;
+
+fn main() -> PcResult<()> {
+    let client = PcClient::local()?;
+    let points = synthetic_points(20_000, 10, 5, 42);
+    let mut km = PcKMeans::init(&client, "ml", "points", &points, 5)?;
+    for iter in 0..8 {
+        km.iterate()?;
+        let spread: f64 = km
+            .centroids
+            .iter()
+            .map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .sum();
+        println!("iteration {iter}: centroid norm sum {spread:.3}");
+    }
+    println!("final centroids (first coordinates): {:?}",
+        km.centroids.iter().map(|c| (c[0] * 100.0).round() / 100.0).collect::<Vec<_>>());
+    Ok(())
+}

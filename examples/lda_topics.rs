@@ -1,0 +1,28 @@
+//! LDA example (§8.5): the word-based non-collapsed Gibbs sampler over a
+//! semi-synthetic corpus, run on the distributed engine.
+//!
+//! ```text
+//! cargo run --release --example lda_topics
+//! ```
+
+use pc_ml::lda::{synthetic_corpus, PcLda};
+use plinycompute::prelude::*;
+
+fn main() -> PcResult<()> {
+    let client = PcClient::local()?;
+    let (docs, vocab, topics) = (200, 400, 4);
+    let triples = synthetic_corpus(docs, vocab, topics, 60, 13);
+    println!("{} (doc, word, count) triples", triples.len());
+    let mut lda = PcLda::init(&client, "lda", &triples, docs, vocab, topics, 0.1, 0.1, 5)?;
+    for iter in 0..10 {
+        lda.iterate()?;
+        let theta = lda.theta()?;
+        let sharpness: f64 = theta
+            .iter()
+            .map(|(_, p)| p.iter().cloned().fold(0.0, f64::max))
+            .sum::<f64>()
+            / theta.len() as f64;
+        println!("iteration {iter}: mean max-topic probability {sharpness:.3}");
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! lilLinAlg example: the paper's distributed least squares one-liner.
+//!
+//! ```text
+//! cargo run --release --example linear_algebra
+//! ```
+
+use lillinalg::{DenseMatrix, DistMatrix, LilLinAlg};
+use plinycompute::prelude::*;
+use rand::{RngExt, SeedableRng};
+
+fn main() -> PcResult<()> {
+    let client = PcClient::local()?;
+    let (n, d) = (2000, 20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let x = DenseMatrix {
+        rows: n,
+        cols: d,
+        data: (0..n * d).map(|_| rng.random::<f64>() - 0.5).collect(),
+    };
+    let beta_true =
+        DenseMatrix::from_rows((0..d).map(|i| vec![(i % 7) as f64 - 3.0]).collect());
+    let y = x.matmul(&beta_true);
+
+    let mut la = LilLinAlg::new(client.clone());
+    la.load("X", DistMatrix::from_dense(&client, "la", "X", &x, 256, d)?);
+    la.load("y", DistMatrix::from_dense(&client, "la", "y", &y, 256, 1)?);
+
+    // The paper's program, verbatim.
+    la.run("beta = (X '* X)^-1 %*% (X '* y)")?;
+    let beta = la.get("beta").unwrap().to_dense()?;
+
+    println!("recovered beta (first 7): {:?}", &beta.data[..7]);
+    println!("max |beta - beta*| = {:.2e}", beta.max_abs_diff(&beta_true));
+    assert!(beta.max_abs_diff(&beta_true) < 1e-6);
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Denormalized TPC-H example (§8.4): customers-per-supplier and the
+//! top-k Jaccard similarity search over nested Customer objects.
+//!
+//! ```text
+//! cargo run --release --example tpch_topk
+//! ```
+
+use pc_tpch::gen::{generate, unique_parts, TpchConfig};
+use pc_tpch::pc_impl;
+use plinycompute::prelude::*;
+
+fn main() -> PcResult<()> {
+    let client = PcClient::local()?;
+    let data = generate(&TpchConfig { customers: 2000, ..Default::default() });
+    pc_impl::load(&client, "tpch", "customers", &data)?;
+    println!("loaded {} nested Customer objects", client.set_size("tpch", "customers"));
+
+    let counts = pc_impl::customers_per_supplier(&client, "tpch", "customers")?;
+    println!("customers-per-supplier ({} suppliers); first three:", counts.len());
+    for (s, n) in counts.iter().take(3) {
+        println!("  {s}: {n} customers");
+    }
+
+    let query = unique_parts(&data[42]);
+    let top = pc_impl::top_k_jaccard(&client, "tpch", "customers", &query, 8)?;
+    println!("top-8 customers by Jaccard similarity to customer 42's parts:");
+    for (sim, cust) in &top {
+        println!("  customer {cust}: {sim:.4}");
+    }
+    assert_eq!(top[0].1, 42, "the query customer matches itself best");
+    Ok(())
+}

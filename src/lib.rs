@@ -1,0 +1,45 @@
+//! # plinycompute — a Rust reproduction of PlinyCompute (SIGMOD 2018)
+//!
+//! *"PlinyCompute: A Platform for High-Performance, Distributed,
+//! Data-Intensive Tool Development"* (Zou et al.), rebuilt from scratch in
+//! Rust. See the README for the architecture tour and DESIGN.md for the
+//! paper-to-crate inventory.
+//!
+//! The facade re-exports the whole system; applications usually start with
+//! [`prelude`]:
+//!
+//! ```
+//! use plinycompute::prelude::*;
+//!
+//! pc_object! {
+//!     pub struct Point / PointView {
+//!         (x, set_x): f64,
+//!     }
+//! }
+//!
+//! let client = PcClient::local_small().unwrap();
+//! client.create_set("db", "points").unwrap();
+//! client
+//!     .store("db", "points", 10, |i| {
+//!         let p = make_object::<Point>()?;
+//!         p.v().set_x(i as f64)?;
+//!         Ok(p.erase())
+//!     })
+//!     .unwrap();
+//! assert_eq!(client.set_size("db", "points"), 10);
+//! ```
+
+pub use pc_core::prelude;
+pub use pc_core::PcClient;
+
+pub use lillinalg;
+pub use pc_baseline as baseline;
+pub use pc_cluster as cluster;
+pub use pc_core as core;
+pub use pc_exec as exec;
+pub use pc_lambda as lambda;
+pub use pc_ml as ml;
+pub use pc_object as object;
+pub use pc_storage as storage;
+pub use pc_tcap as tcap;
+pub use pc_tpch as tpch;
