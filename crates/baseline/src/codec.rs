@@ -154,8 +154,11 @@ mod tests {
 
     #[test]
     fn roundtrip_nested() {
-        let v: Vec<(String, Vec<i64>)> =
-            vec![("a".into(), vec![1, 2, 3]), ("bb".into(), vec![]), ("".into(), vec![-5])];
+        let v: Vec<(String, Vec<i64>)> = vec![
+            ("a".into(), vec![1, 2, 3]),
+            ("bb".into(), vec![]),
+            ("".into(), vec![-5]),
+        ];
         let bytes = encode_partition(&v);
         let back: Vec<(String, Vec<i64>)> = decode_partition(&bytes);
         assert_eq!(v, back);

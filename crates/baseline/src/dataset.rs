@@ -33,14 +33,21 @@ impl<T: Codec> Dataset<T> {
     }
 
     pub fn count(&self) -> usize {
-        self.parts.iter().map(|p| decode_partition::<T>(p).len()).sum()
+        self.parts
+            .iter()
+            .map(|p| decode_partition::<T>(p).len())
+            .sum()
     }
 
     /// The conversion Spark mllib performs before iterating: fully decode
     /// every partition and re-materialize as an RDD. This is the Table 6
     /// "Dataset API" penalty.
     pub fn to_rdd(&self) -> Rdd<T> {
-        let rows: Vec<T> = self.parts.iter().flat_map(|p| decode_partition::<T>(p)).collect();
+        let rows: Vec<T> = self
+            .parts
+            .iter()
+            .flat_map(|p| decode_partition::<T>(p))
+            .collect();
         self.eng.parallelize(rows)
     }
 }

@@ -58,7 +58,10 @@ struct EngineStats {
 
 impl SparkLike {
     pub fn new(config: SparkConfig) -> Self {
-        SparkLike { config, stats: Arc::new(EngineStats::default()) }
+        SparkLike {
+            config,
+            stats: Arc::new(EngineStats::default()),
+        }
     }
 
     pub fn bytes_serialized(&self) -> u64 {
@@ -94,7 +97,9 @@ impl<T: Codec> Partition<T> {
     fn read(&self, eng: &SparkLike) -> Vec<T> {
         match self {
             Partition::Ser(bytes) => {
-                eng.stats.bytes_serialized.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                eng.stats
+                    .bytes_serialized
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
                 decode_partition(bytes)
             }
             Partition::Deser(v) => v.as_ref().clone(),
@@ -110,7 +115,10 @@ pub struct Rdd<T: Codec> {
 
 impl<T: Codec> Clone for Rdd<T> {
     fn clone(&self) -> Self {
-        Rdd { eng: self.eng.clone(), parts: self.parts.clone() }
+        Rdd {
+            eng: self.eng.clone(),
+            parts: self.parts.clone(),
+        }
     }
 }
 
@@ -128,7 +136,9 @@ impl<T: Codec> Rdd<T> {
                 Arc::new(match storage {
                     StorageLevel::Serialized => {
                         let bytes = encode_partition(&v);
-                        eng.stats.bytes_serialized.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                        eng.stats
+                            .bytes_serialized
+                            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
                         Partition::Ser(bytes)
                     }
                     StorageLevel::Deserialized => Partition::Deser(Arc::new(v)),
@@ -144,10 +154,7 @@ impl<T: Codec> Rdd<T> {
 
     /// Runs `f` over each partition in parallel, producing a new RDD stored
     /// at the engine's storage level (the per-stage codec cost).
-    pub fn map_partitions<U: Codec>(
-        &self,
-        f: impl Fn(Vec<T>) -> Vec<U> + Send + Sync,
-    ) -> Rdd<U> {
+    pub fn map_partitions<U: Codec>(&self, f: impl Fn(Vec<T>) -> Vec<U> + Send + Sync) -> Rdd<U> {
         let eng = &self.eng;
         let outs: Vec<Vec<U>> = std::thread::scope(|s| {
             let handles: Vec<_> = self
@@ -157,12 +164,17 @@ impl<T: Codec> Rdd<T> {
                     let f = &f;
                     s.spawn(move || {
                         let input = p.read(eng);
-                        eng.stats.records_processed.fetch_add(input.len() as u64, Ordering::Relaxed);
+                        eng.stats
+                            .records_processed
+                            .fetch_add(input.len() as u64, Ordering::Relaxed);
                         f(input)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("partition task")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition task"))
+                .collect()
         });
         Rdd::from_vecs(self.eng.clone(), outs, self.eng.config.storage)
     }
@@ -175,10 +187,7 @@ impl<T: Codec> Rdd<T> {
         self.map_partitions(|v| v.into_iter().filter(|x| f(x)).collect())
     }
 
-    pub fn flat_map<U: Codec>(
-        &self,
-        f: impl Fn(T) -> Vec<U> + Send + Sync,
-    ) -> Rdd<U> {
+    pub fn flat_map<U: Codec>(&self, f: impl Fn(T) -> Vec<U> + Send + Sync) -> Rdd<U> {
         self.map_partitions(|v| v.into_iter().flat_map(&f).collect())
     }
 
@@ -230,14 +239,22 @@ where
                             let b = (key_hash(&kv.0) % n as u64) as usize;
                             buckets[b].push(kv);
                         }
-                        buckets.into_iter().map(|b| encode_partition(&b)).collect::<Vec<_>>()
+                        buckets
+                            .into_iter()
+                            .map(|b| encode_partition(&b))
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("map side")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("map side"))
+                .collect()
         });
         for bl in shuffled.iter().flatten() {
-            eng.stats.bytes_shuffled.fetch_add(bl.len() as u64, Ordering::Relaxed);
+            eng.stats
+                .bytes_shuffled
+                .fetch_add(bl.len() as u64, Ordering::Relaxed);
         }
         // Reduce side.
         let reduced: Vec<Vec<(K, V)>> = std::thread::scope(|s| {
@@ -263,7 +280,10 @@ where
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("reduce side")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reduce side"))
+                .collect()
         });
         Rdd::from_vecs(self.eng.clone(), reduced, self.eng.config.storage)
     }
@@ -326,7 +346,10 @@ where
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("join task")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join task"))
+                .collect()
         });
         Rdd::from_vecs(self.eng.clone(), joined, self.eng.config.storage)
     }
@@ -363,7 +386,9 @@ where
             .into_iter()
             .map(|m| {
                 let blob = encode_partition(&m.into_inner());
-                eng.stats.bytes_shuffled.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                eng.stats
+                    .bytes_shuffled
+                    .fetch_add(blob.len() as u64, Ordering::Relaxed);
                 blob
             })
             .collect()
@@ -375,7 +400,11 @@ mod tests {
     use super::*;
 
     fn eng(storage: StorageLevel) -> SparkLike {
-        SparkLike::new(SparkConfig { partitions: 3, storage, ..Default::default() })
+        SparkLike::new(SparkConfig {
+            partitions: 3,
+            storage,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -388,7 +417,10 @@ mod tests {
         got.sort_unstable();
         want.sort_unstable();
         assert_eq!(got, want);
-        assert!(e.bytes_serialized() > 0, "serialized storage must run the codec");
+        assert!(
+            e.bytes_serialized() > 0,
+            "serialized storage must run the codec"
+        );
     }
 
     #[test]
@@ -398,7 +430,10 @@ mod tests {
         let before = e.bytes_serialized();
         let _ = r.map(|x| x + 1).count();
         // The map's *input* read was codec-free; only the output re-encoded.
-        assert!(e.bytes_serialized() > before, "stage output still serializes");
+        assert!(
+            e.bytes_serialized() > before,
+            "stage output still serializes"
+        );
     }
 
     #[test]

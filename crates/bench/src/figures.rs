@@ -34,9 +34,11 @@ fn join_graph() -> ComputationGraph {
     let sel = make_lambda_from_member::<Dep, String>(0, "deptName", |d| {
         d.v().dept_name().as_str().to_string()
     })
-    .eq(make_lambda_from_method::<Emp, String>(1, "getDeptName", |e| {
-        e.v().dept().as_str().to_string()
-    }))
+    .eq(make_lambda_from_method::<Emp, String>(
+        1,
+        "getDeptName",
+        |e| e.v().dept().as_str().to_string(),
+    ))
     .and(
         make_lambda_from_member::<Dep, String>(0, "deptName", |d| {
             d.v().dept_name().as_str().to_string()
@@ -106,15 +108,25 @@ pub fn figure3() {
 /// Figure 4: the live component topology of a running cluster.
 pub fn figure4() {
     println!("Figure 4: PC distributed runtime (live topology)\n");
-    let client = PcClient::connect(ClusterConfig { workers: 4, ..Default::default() }).unwrap();
+    let client = PcClient::connect(ClusterConfig {
+        workers: 4,
+        ..Default::default()
+    })
+    .unwrap();
     println!("master node:");
-    println!("  catalog manager        (sets: {})", client.cluster().catalog.list_sets().len());
+    println!(
+        "  catalog manager        (sets: {})",
+        client.cluster().catalog.list_sets().len()
+    );
     println!("  distributed storage manager");
     println!("  TCAP optimizer         (rule-based, fixpoint)");
     println!("  distributed query scheduler (JobStages)");
     for w in &client.cluster().workers {
         println!("worker {}:", w.id);
-        println!("  front-end: local catalog (type fetches: {}), local storage + buffer pool", w.types.fetches());
+        println!(
+            "  front-end: local catalog (type fetches: {}), local storage + buffer pool",
+            w.types.fetches()
+        );
         println!("  backend:   executor threads (vectorized pipelines over user code)");
     }
 }
@@ -127,7 +139,11 @@ pub fn figure5() {
         workers: 3,
         threads_per_worker: 2,
         combine_threads: 2,
-        exec: ExecConfig { batch_size: 256, page_size: 1 << 16, agg_partitions: 6 },
+        exec: ExecConfig {
+            batch_size: 256,
+            page_size: 1 << 16,
+            agg_partitions: 6,
+        },
         broadcast_threshold: 16 << 20,
     })
     .unwrap();

@@ -17,14 +17,22 @@ fn bench_client() -> PcClient {
         workers: 2,
         threads_per_worker: 2,
         combine_threads: 2,
-        exec: ExecConfig { batch_size: 1024, page_size: 1 << 20, agg_partitions: 4 },
+        exec: ExecConfig {
+            batch_size: 1024,
+            page_size: 1 << 20,
+            agg_partitions: 4,
+        },
         broadcast_threshold: 64 << 20,
     })
     .expect("cluster boot")
 }
 
 fn spark(storage: StorageLevel) -> SparkLike {
-    SparkLike::new(SparkConfig { partitions: 4, storage, ..Default::default() })
+    SparkLike::new(SparkConfig {
+        partitions: 4,
+        storage,
+        ..Default::default()
+    })
 }
 
 /// Table 1: the baseline configurations each experiment runs with (the
@@ -32,7 +40,16 @@ fn spark(storage: StorageLevel) -> SparkLike {
 pub fn table1() {
     println!("Table 1: workload-specific baseline configurations");
     let w = [14usize, 12, 14, 14, 14];
-    row(&["workload".into(), "partitions".into(), "storage".into(), "join hint".into(), "persist".into()], &w);
+    row(
+        &[
+            "workload".into(),
+            "partitions".into(),
+            "storage".into(),
+            "join hint".into(),
+            "persist".into(),
+        ],
+        &w,
+    );
     for (name, parts, storage, hint, persist) in [
         ("lilLinAlg", 4, "serialized", "auto", "no"),
         ("TPC-H", 4, "serialized/RAM", "-", "no"),
@@ -41,7 +58,13 @@ pub fn table1() {
         ("k-means", 4, "serialized", "-", "no"),
     ] {
         row(
-            &[name.into(), parts.to_string(), storage.into(), hint.into(), persist.into()],
+            &[
+                name.into(),
+                parts.to_string(),
+                storage.into(),
+                hint.into(),
+                persist.into(),
+            ],
             &w,
         );
     }
@@ -49,7 +72,11 @@ pub fn table1() {
 
 fn rand_dense(r: usize, c: usize, seed: u64) -> DenseMatrix {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    DenseMatrix { rows: r, cols: c, data: (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect() }
+    DenseMatrix {
+        rows: r,
+        cols: c,
+        data: (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect(),
+    }
 }
 
 /// Gram matrix on the row-RDD baseline (mllib-like): per-partition partial
@@ -87,16 +114,27 @@ fn baseline_gram(eng: &SparkLike, rows: &Rdd<Vec<f64>>, d: usize) -> Vec<f64> {
 /// solver ("SystemML local mode"), and a chunked+codec engine ("SciDB").
 pub fn table2(quick: bool) {
     println!("Table 2: linear algebra benchmark (lower is better)");
-    let dims: &[(usize, usize)] =
-        if quick { &[(10, 4000), (100, 2000)] } else { &[(10, 20000), (100, 8000), (1000, 2000)] };
+    let dims: &[(usize, usize)] = if quick {
+        &[(10, 4000), (100, 2000)]
+    } else {
+        &[(10, 20000), (100, 8000), (1000, 2000)]
+    };
     let w = [10usize, 6, 14, 14, 16, 14];
     row(
-        &["task".into(), "dim".into(), "PC(lilLinAlg)".into(), "row-RDD".into(), "local(SystemML)".into(), "chunk(SciDB)".into()],
+        &[
+            "task".into(),
+            "dim".into(),
+            "PC(lilLinAlg)".into(),
+            "row-RDD".into(),
+            "local(SystemML)".into(),
+            "chunk(SciDB)".into(),
+        ],
         &w,
     );
     for &(d, n) in dims {
         let x = rand_dense(n, d, 7);
-        let beta_true = DenseMatrix::from_rows((0..d).map(|i| vec![(i % 5) as f64 - 2.0]).collect());
+        let beta_true =
+            DenseMatrix::from_rows((0..d).map(|i| vec![(i % 5) as f64 - 2.0]).collect());
         let y = x.matmul(&beta_true);
         let client = bench_client();
         let block_rows = (n / 8).max(64);
@@ -104,13 +142,22 @@ pub fn table2(quick: bool) {
         let dy = DistMatrix::from_dense(&client, "la", "y", &y, block_rows, 1).unwrap();
 
         let eng = spark(StorageLevel::Serialized);
-        let rows_rdd: Rdd<Vec<f64>> =
-            eng.parallelize((0..n).map(|i| x.data[i * d..(i + 1) * d].to_vec()).collect());
-        let xy: Rdd<(Vec<f64>, f64)> = eng
-            .parallelize((0..n).map(|i| (x.data[i * d..(i + 1) * d].to_vec(), y.data[i])).collect());
+        let rows_rdd: Rdd<Vec<f64>> = eng.parallelize(
+            (0..n)
+                .map(|i| x.data[i * d..(i + 1) * d].to_vec())
+                .collect(),
+        );
+        let xy: Rdd<(Vec<f64>, f64)> = eng.parallelize(
+            (0..n)
+                .map(|i| (x.data[i * d..(i + 1) * d].to_vec(), y.data[i]))
+                .collect(),
+        );
         // Chunked ("SciDB"): blocks of 512 rows, codec at every boundary.
         let chunked: Rdd<Vec<f64>> = eng.parallelize(
-            x.data.chunks(512 * d).map(|c| c.to_vec()).collect::<Vec<Vec<f64>>>(),
+            x.data
+                .chunks(512 * d)
+                .map(|c| c.to_vec())
+                .collect::<Vec<Vec<f64>>>(),
         );
 
         // ---- Gram matrix ----
@@ -137,7 +184,14 @@ pub fn table2(quick: bool) {
                 })
         });
         row(
-            &["gram".into(), d.to_string(), fmt_dur(t_pc), fmt_dur(t_rdd), fmt_dur(t_local), fmt_dur(t_chunk)],
+            &[
+                "gram".into(),
+                d.to_string(),
+                fmt_dur(t_pc),
+                fmt_dur(t_rdd),
+                fmt_dur(t_local),
+                fmt_dur(t_chunk),
+            ],
             &w,
         );
 
@@ -165,22 +219,45 @@ pub fn table2(quick: bool) {
                     a
                 })
                 .unwrap();
-            let gram = DenseMatrix { rows: d, cols: d, data: g };
+            let gram = DenseMatrix {
+                rows: d,
+                cols: d,
+                data: g,
+            };
             let inv = gram.inverse().unwrap();
-            inv.matmul(&DenseMatrix { rows: d, cols: 1, data: xty })
+            inv.matmul(&DenseMatrix {
+                rows: d,
+                cols: 1,
+                data: xty,
+            })
         });
         let (_, t_local) = time_once(|| {
             let mut g = vec![0.0; d * d];
             kernels::matmul_at_b(&x.data, &x.data, &mut g, n, d, d);
             let mut xty = vec![0.0; d];
             kernels::matmul_at_b(&x.data, &y.data, &mut xty, n, d, 1);
-            DenseMatrix { rows: d, cols: d, data: g }
-                .inverse()
-                .unwrap()
-                .matmul(&DenseMatrix { rows: d, cols: 1, data: xty })
+            DenseMatrix {
+                rows: d,
+                cols: d,
+                data: g,
+            }
+            .inverse()
+            .unwrap()
+            .matmul(&DenseMatrix {
+                rows: d,
+                cols: 1,
+                data: xty,
+            })
         });
         row(
-            &["linreg".into(), d.to_string(), fmt_dur(t_pc), fmt_dur(t_rdd), fmt_dur(t_local), "-".into()],
+            &[
+                "linreg".into(),
+                d.to_string(),
+                fmt_dur(t_pc),
+                fmt_dur(t_rdd),
+                fmt_dur(t_local),
+                "-".into(),
+            ],
             &w,
         );
 
@@ -190,7 +267,9 @@ pub fn table2(quick: bool) {
         let (_, t_pc) = time_once(|| {
             // Distributed scan over MatrixBlocks: min distance per chunk,
             // then a driver min — the scan shape lilLinAlg compiles to.
-            let blocks = client.iterate_set::<lillinalg::MatrixBlock>("la", "x").unwrap();
+            let blocks = client
+                .iterate_set::<lillinalg::MatrixBlock>("la", "x")
+                .unwrap();
             let mut best = (f64::INFINITY, 0i64);
             for b in blocks {
                 let h = b.v().height() as usize;
@@ -198,8 +277,11 @@ pub fn table2(quick: bool) {
                 let vals = b.v().values();
                 let s = vals.as_slice();
                 for r in 0..h {
-                    let dist: f64 =
-                        s[r * wd..(r + 1) * wd].iter().zip(&q1).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let dist: f64 = s[r * wd..(r + 1) * wd]
+                        .iter()
+                        .zip(&q1)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
                     if dist < best.0 {
                         best = (dist, b.v().chunk_row() * block_rows as i64 + r as i64);
                     }
@@ -234,7 +316,14 @@ pub fn table2(quick: bool) {
             best
         });
         row(
-            &["nn".into(), d.to_string(), fmt_dur(t_pc), fmt_dur(t_rdd), fmt_dur(t_local), "-".into()],
+            &[
+                "nn".into(),
+                d.to_string(),
+                fmt_dur(t_pc),
+                fmt_dur(t_rdd),
+                fmt_dur(t_local),
+                "-".into(),
+            ],
             &w,
         );
     }
@@ -244,14 +333,27 @@ pub fn table2(quick: bool) {
 /// vs baseline in-RAM deserialized, across scale points.
 pub fn table3(quick: bool) {
     println!("Table 3: PC vs baseline for large-scale OO computation");
-    let sizes: &[usize] = if quick { &[500, 1000] } else { &[1000, 2000, 4000, 8000] };
+    let sizes: &[usize] = if quick {
+        &[500, 1000]
+    } else {
+        &[1000, 2000, 4000, 8000]
+    };
     let w = [10usize, 8, 16, 20, 22];
     row(
-        &["query".into(), "custs".into(), "PC hot storage".into(), "base: hot serialized".into(), "base: in-RAM deserialized".into()],
+        &[
+            "query".into(),
+            "custs".into(),
+            "PC hot storage".into(),
+            "base: hot serialized".into(),
+            "base: in-RAM deserialized".into(),
+        ],
         &w,
     );
     for &n in sizes {
-        let data = generate(&TpchConfig { customers: n, ..Default::default() });
+        let data = generate(&TpchConfig {
+            customers: n,
+            ..Default::default()
+        });
         let client = bench_client();
         pc_impl::load(&client, "tpch", "customers", &data).unwrap();
         let eng_ser = spark(StorageLevel::Serialized);
@@ -259,25 +361,48 @@ pub fn table3(quick: bool) {
         let eng_ram = spark(StorageLevel::Deserialized);
         let rdd_ram = eng_ram.parallelize(baseline_impl::to_rows(&data)).cache();
 
-        let (_, t_pc) = time_once(|| pc_impl::customers_per_supplier(&client, "tpch", "customers").unwrap());
+        let (_, t_pc) =
+            time_once(|| pc_impl::customers_per_supplier(&client, "tpch", "customers").unwrap());
         let (_, t_ser) = time_once(|| baseline_impl::customers_per_supplier(&rdd_ser));
         let (_, t_ram) = time_once(|| baseline_impl::customers_per_supplier(&rdd_ram));
-        row(&["cps".into(), n.to_string(), fmt_dur(t_pc), fmt_dur(t_ser), fmt_dur(t_ram)], &w);
+        row(
+            &[
+                "cps".into(),
+                n.to_string(),
+                fmt_dur(t_pc),
+                fmt_dur(t_ser),
+                fmt_dur(t_ram),
+            ],
+            &w,
+        );
 
         let query = unique_parts(&data[0]);
         let k = (n / 50).max(4);
-        let (_, t_pc) = time_once(|| pc_impl::top_k_jaccard(&client, "tpch", "customers", &query, k).unwrap());
+        let (_, t_pc) =
+            time_once(|| pc_impl::top_k_jaccard(&client, "tpch", "customers", &query, k).unwrap());
         let (_, t_ser) = time_once(|| baseline_impl::top_k_jaccard(&rdd_ser, &query, k));
         let (_, t_ram) = time_once(|| baseline_impl::top_k_jaccard(&rdd_ram, &query, k));
-        row(&["topk".into(), n.to_string(), fmt_dur(t_pc), fmt_dur(t_ser), fmt_dur(t_ram)], &w);
+        row(
+            &[
+                "topk".into(),
+                n.to_string(),
+                fmt_dur(t_pc),
+                fmt_dur(t_ser),
+                fmt_dur(t_ram),
+            ],
+            &w,
+        );
     }
 }
 
 /// Table 4: LDA per-iteration times, PC vs the baseline tuning ladder.
 pub fn table4(quick: bool) {
     println!("Table 4: PC vs baseline for LDA (per-iteration average)");
-    let (docs, vocab, topics, wpd, iters) =
-        if quick { (60, 120, 5, 40, 2) } else { (400, 2000, 20, 120, 3) };
+    let (docs, vocab, topics, wpd, iters) = if quick {
+        (60, 120, 5, 40, 2)
+    } else {
+        (400, 2000, 20, 120, 3)
+    };
     let triples = synthetic_corpus(docs, vocab, 4, wpd, 11);
     let w = [26usize, 14];
     row(&["system".into(), "per-iteration".into()], &w);
@@ -299,8 +424,17 @@ pub fn table4(quick: bool) {
         ("base 4: +hand-coded mult", LdaTuning::HandCodedSampler),
     ] {
         let eng = spark(StorageLevel::Serialized);
-        let mut lda =
-            BaselineLda::init(&eng, tuning, triples.clone(), docs, vocab, topics, 0.1, 0.1, 5);
+        let mut lda = BaselineLda::init(
+            &eng,
+            tuning,
+            triples.clone(),
+            docs,
+            vocab,
+            topics,
+            0.1,
+            0.1,
+            5,
+        );
         lda.iterate();
         let (_, t) = time_once(|| {
             for _ in 0..iters {
@@ -314,10 +448,21 @@ pub fn table4(quick: bool) {
 /// Table 5: GMM per-iteration times across (dim, n) cases.
 pub fn table5(quick: bool) {
     println!("Table 5: PC vs baseline for GMM (per-iteration average)");
-    let cases: &[(usize, usize)] =
-        if quick { &[(20, 2000), (50, 1000)] } else { &[(100, 20000), (300, 4000), (500, 2000)] };
+    let cases: &[(usize, usize)] = if quick {
+        &[(20, 2000), (50, 1000)]
+    } else {
+        &[(100, 20000), (300, 4000), (500, 2000)]
+    };
     let w = [8usize, 10, 14, 14];
-    row(&["dim".into(), "points".into(), "PC".into(), "baseline".into()], &w);
+    row(
+        &[
+            "dim".into(),
+            "points".into(),
+            "PC".into(),
+            "baseline".into(),
+        ],
+        &w,
+    );
     for &(d, n) in cases {
         let pts = synthetic_points(n, d, 10, 3);
         let client = bench_client();
@@ -337,7 +482,15 @@ pub fn table5(quick: bool) {
                 base.iterate();
             }
         });
-        row(&[d.to_string(), n.to_string(), fmt_dur(t_pc / iters), fmt_dur(t_b / iters)], &w);
+        row(
+            &[
+                d.to_string(),
+                n.to_string(),
+                fmt_dur(t_pc / iters),
+                fmt_dur(t_b / iters),
+            ],
+            &w,
+        );
     }
 }
 
@@ -345,11 +498,21 @@ pub fn table5(quick: bool) {
 /// API pays an RDD conversion before iterating.
 pub fn table6(quick: bool) {
     println!("Table 6: PC vs baseline for k-means");
-    let cases: &[(usize, usize)] =
-        if quick { &[(10, 20000), (100, 4000)] } else { &[(10, 200000), (100, 40000), (1000, 4000)] };
+    let cases: &[(usize, usize)] = if quick {
+        &[(10, 20000), (100, 4000)]
+    } else {
+        &[(10, 200000), (100, 40000), (1000, 4000)]
+    };
     let w = [8usize, 10, 10, 16, 16, 16];
     row(
-        &["dim".into(), "points".into(), "phase".into(), "PC".into(), "base RDD".into(), "base Dataset".into()],
+        &[
+            "dim".into(),
+            "points".into(),
+            "phase".into(),
+            "PC".into(),
+            "base RDD".into(),
+            "base Dataset".into(),
+        ],
         &w,
     );
     for &(d, n) in cases {
@@ -374,13 +537,23 @@ pub fn table6(quick: bool) {
                 // Dataset path: ingest relationally, convert to RDD to iterate.
                 let ds = pc_baseline::Dataset::from_rows(&eng2, p);
                 let rdd = ds.to_rdd();
-                BaselineKMeans { points: rdd, centroids: Vec::new() }
+                BaselineKMeans {
+                    points: rdd,
+                    centroids: Vec::new(),
+                }
             });
             (m, t)
         };
         ds_base.centroids = pts.iter().take(10).cloned().collect();
         row(
-            &[d.to_string(), n.to_string(), "init".into(), fmt_dur(t_pc_init), fmt_dur(t_rdd_init), fmt_dur(t_ds_init)],
+            &[
+                d.to_string(),
+                n.to_string(),
+                "init".into(),
+                fmt_dur(t_pc_init),
+                fmt_dur(t_rdd_init),
+                fmt_dur(t_ds_init),
+            ],
             &w,
         );
         let iters = 2u32;
@@ -400,7 +573,14 @@ pub fn table6(quick: bool) {
             }
         });
         row(
-            &[d.to_string(), n.to_string(), "iter".into(), fmt_dur(t_pc / iters), fmt_dur(t_rdd / iters), fmt_dur(t_ds / iters)],
+            &[
+                d.to_string(),
+                n.to_string(),
+                "iter".into(),
+                fmt_dur(t_pc / iters),
+                fmt_dur(t_rdd / iters),
+                fmt_dur(t_ds / iters),
+            ],
             &w,
         );
     }
@@ -411,7 +591,10 @@ pub fn table7() {
     println!("Table 7: lines of source code per workload (this repository)");
     let w = [28usize, 10, 30];
     row(&["application".into(), "SLOC".into(), "files".into()], &w);
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().to_path_buf();
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .to_path_buf();
     let count = |files: &[&str]| -> usize {
         files
             .iter()
@@ -423,9 +606,19 @@ pub fn table7() {
             .sum()
     };
     for (name, files) in [
-        ("lilLinAlg (on PC)", vec!["lillinalg/src/matrix.rs", "lillinalg/src/dsl.rs", "lillinalg/src/kernels.rs"]),
+        (
+            "lilLinAlg (on PC)",
+            vec![
+                "lillinalg/src/matrix.rs",
+                "lillinalg/src/dsl.rs",
+                "lillinalg/src/kernels.rs",
+            ],
+        ),
         ("TPC-H both queries (PC)", vec!["tpch/src/pc_impl.rs"]),
-        ("TPC-H both queries (base)", vec!["tpch/src/baseline_impl.rs"]),
+        (
+            "TPC-H both queries (base)",
+            vec!["tpch/src/baseline_impl.rs"],
+        ),
         ("LDA (PC + base)", vec!["ml/src/lda.rs"]),
         ("GMM (PC + base)", vec!["ml/src/gmm.rs"]),
         ("k-means (PC + base)", vec!["ml/src/kmeans.rs"]),
@@ -439,17 +632,32 @@ pub fn table7() {
 /// ("Eigen/breeze") kernels.
 pub fn table8(quick: bool) {
     println!("Table 8: single-thread matmul kernels");
-    let sizes: &[usize] = if quick { &[128, 256] } else { &[256, 512, 1024] };
+    let sizes: &[usize] = if quick {
+        &[128, 256]
+    } else {
+        &[256, 512, 1024]
+    };
     let w = [12usize, 16, 18];
-    row(&["size".into(), "naive (GSL)".into(), "blocked (Eigen)".into()], &w);
+    row(
+        &[
+            "size".into(),
+            "naive (GSL)".into(),
+            "blocked (Eigen)".into(),
+        ],
+        &w,
+    );
     for &n in sizes {
         let a = rand_dense(n, n, 1);
         let b = rand_dense(n, n, 2);
         let mut c = vec![0.0; n * n];
         let (_, t_naive) = time_once(|| kernels::matmul_naive(&a.data, &b.data, &mut c, n, n, n));
         c.fill(0.0);
-        let (_, t_blocked) = time_once(|| kernels::matmul_blocked(&a.data, &b.data, &mut c, n, n, n));
-        row(&[format!("{n}x{n}"), fmt_dur(t_naive), fmt_dur(t_blocked)], &w);
+        let (_, t_blocked) =
+            time_once(|| kernels::matmul_blocked(&a.data, &b.data, &mut c, n, n, n));
+        row(
+            &[format!("{n}x{n}"), fmt_dur(t_naive), fmt_dur(t_blocked)],
+            &w,
+        );
     }
 }
 

@@ -82,12 +82,13 @@ impl PcCluster {
         ));
         let mut workers = Vec::with_capacity(config.workers);
         for id in 0..config.workers {
-            let storage = StorageManager::new(
-                catalog.clone(),
-                1 << 30,
-                base.join(format!("worker{id}")),
-            )?;
-            workers.push(WorkerNode { id, storage, types: WorkerTypeCatalog::new() });
+            let storage =
+                StorageManager::new(catalog.clone(), 1 << 30, base.join(format!("worker{id}")))?;
+            workers.push(WorkerNode {
+                id,
+                storage,
+                types: WorkerTypeCatalog::new(),
+            });
         }
         Ok(PcCluster {
             config,
@@ -104,7 +105,8 @@ impl PcCluster {
     /// receiving side's page is valid with zero per-object work.
     pub fn ship(&self, page: &SealedPage) -> PcResult<SealedPage> {
         let bytes = page.to_bytes();
-        self.bytes_shuffled.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.bytes_shuffled
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.pages_shuffled.fetch_add(1, Ordering::Relaxed);
         SealedPage::from_bytes(&bytes)
     }
@@ -144,7 +146,8 @@ impl PcCluster {
     /// allocation block travels in its entirety, no pre-processing (§3).
     pub fn send_pages(&self, db: &str, set: &str, pages: Vec<SealedPage>) -> PcResult<()> {
         for page in pages {
-            let w = (self.round_robin.fetch_add(1, Ordering::Relaxed) as usize) % self.workers.len();
+            let w =
+                (self.round_robin.fetch_add(1, Ordering::Relaxed) as usize) % self.workers.len();
             let shipped = self.ship(&page)?;
             self.workers[w].storage.append_page(db, set, shipped)?;
         }
@@ -175,7 +178,10 @@ impl PcCluster {
 
     /// Total objects in a set (catalog metadata).
     pub fn set_size(&self, db: &str, set: &str) -> u64 {
-        self.catalog.set_meta(db, set).map(|m| m.objects).unwrap_or(0)
+        self.catalog
+            .set_meta(db, set)
+            .map(|m| m.objects)
+            .unwrap_or(0)
     }
 
     // ------------------------------------------------------------ execution
@@ -217,7 +223,9 @@ impl PcCluster {
     pub(crate) fn local_pages(&self, w: usize, source: &Source) -> PcResult<Vec<Arc<SealedPage>>> {
         match source {
             Source::Set { db, set, .. } => self.workers[w].storage.scan(db, set),
-            Source::Intermediate { list, .. } => self.workers[w].storage.scan(pc_exec::TMP_DB, list),
+            Source::Intermediate { list, .. } => {
+                self.workers[w].storage.scan(pc_exec::TMP_DB, list)
+            }
         }
     }
 

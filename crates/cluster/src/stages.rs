@@ -31,7 +31,11 @@ type TableStore = HashMap<String, (usize, Vec<Arc<SealedPage>>)>;
 /// the producing thread (handles never cross threads — §6.5).
 enum SendableOutput {
     Pages(Vec<SealedPage>),
-    TablePages { groups: u64, bytes: usize, pages: Vec<SealedPage> },
+    TablePages {
+        groups: u64,
+        bytes: usize,
+        pages: Vec<SealedPage>,
+    },
     AggPartitions(Vec<(usize, SealedPage)>),
 }
 
@@ -40,7 +44,11 @@ fn make_sendable(out: PipelineOutput) -> PcResult<SendableOutput> {
         PipelineOutput::Pages(p) => SendableOutput::Pages(p),
         PipelineOutput::BuiltTable(t) => {
             let (groups, bytes) = (t.groups, t.bytes());
-            SendableOutput::TablePages { groups, bytes, pages: t.into_pages()? }
+            SendableOutput::TablePages {
+                groups,
+                bytes,
+                pages: t.into_pages()?,
+            }
         }
         PipelineOutput::AggPartitions(p) => SendableOutput::AggPartitions(p),
     })
@@ -105,7 +113,10 @@ pub fn run_stage_distributed(
                             Ok((vec![make_sendable(out)?], stats))
                         }));
                     }
-                    handles.into_iter().map(|h| h.join().expect("pipelining thread")).collect()
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("pipelining thread"))
+                        .collect()
                 });
                 let mut outs = Vec::new();
                 let mut stats = ExecStats::default();
@@ -117,7 +128,10 @@ pub fn run_stage_distributed(
                 Ok((outs, stats))
             }));
         }
-        joins.into_iter().map(|j| j.join().expect("worker thread")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("worker thread"))
+            .collect()
     });
 
     let mut stats = ExecStats::default();
@@ -133,18 +147,27 @@ pub fn run_stage_distributed(
         Sink::Output { .. } | Sink::Materialize { .. } => {
             for (w, outs) in per_worker_outputs.into_iter().enumerate() {
                 for out in outs {
-                    let SendableOutput::Pages(pages) = out else { unreachable!() };
+                    let SendableOutput::Pages(pages) = out else {
+                        unreachable!()
+                    };
                     cluster.store_output(w, &p.sink, pages)?;
                 }
             }
         }
-        Sink::JoinBuild { table, obj_cols, .. } => {
+        Sink::JoinBuild {
+            table, obj_cols, ..
+        } => {
             // Gather every worker's build pages at the master and broadcast.
             let mut gathered: Vec<Arc<SealedPage>> = Vec::new();
             let mut total_bytes = 0usize;
             for outs in per_worker_outputs {
                 for out in outs {
-                    let SendableOutput::TablePages { groups, bytes, pages } = out else {
+                    let SendableOutput::TablePages {
+                        groups,
+                        bytes,
+                        pages,
+                    } = out
+                    else {
                         unreachable!()
                     };
                     stats.join_groups += groups;
@@ -203,7 +226,9 @@ fn run_aggregation_stage(
             joins.push(scope.spawn(move || -> PcResult<Vec<(usize, SealedPage)>> {
                 let mut by_part: HashMap<usize, Vec<SealedPage>> = HashMap::new();
                 for out in outs {
-                    let SendableOutput::AggPartitions(parts) = out else { unreachable!() };
+                    let SendableOutput::AggPartitions(parts) = out else {
+                        unreachable!()
+                    };
                     for (part, page) in parts {
                         by_part.entry(part).or_default().push(page);
                     }
@@ -229,7 +254,10 @@ fn run_aggregation_stage(
                 Ok(shipped)
             }));
         }
-        joins.into_iter().map(|j| j.join().expect("combining thread")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("combining thread"))
+            .collect()
     });
 
     // Shuffle: partition p's pages go to worker p % W over the byte-copy
@@ -260,7 +288,10 @@ fn run_aggregation_stage(
                 Ok((groups, writer.finish()?))
             }));
         }
-        joins.into_iter().map(|j| j.join().expect("aggregation thread")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("aggregation thread"))
+            .collect()
     });
 
     let (db, set): (String, String) = match dest {

@@ -38,7 +38,11 @@ fn cluster() -> PcCluster {
         workers: 3,
         threads_per_worker: 2,
         combine_threads: 2,
-        exec: ExecConfig { batch_size: 32, page_size: 1 << 15, agg_partitions: 5 },
+        exec: ExecConfig {
+            batch_size: 32,
+            page_size: 1 << 15,
+            agg_partitions: 5,
+        },
         broadcast_threshold: 1 << 20,
     })
     .unwrap()
@@ -61,11 +65,17 @@ fn load_emps(c: &PcCluster, n: usize) {
 }
 
 fn salaries(n: usize) -> Vec<(i64, i64)> {
-    (0..n).map(|i| (30_000 + (i as i64 * 977) % 90_000, (i % 7) as i64)).collect()
+    (0..n)
+        .map(|i| (30_000 + (i as i64 * 977) % 90_000, (i % 7) as i64))
+        .collect()
 }
 
 fn read_objs<T: pc_object::PcObjType>(c: &PcCluster, db: &str, set: &str) -> Vec<Handle<T>> {
-    c.scan_objects(db, set).unwrap().iter().map(|h| h.downcast_unchecked::<T>()).collect()
+    c.scan_objects(db, set)
+        .unwrap()
+        .iter()
+        .map(|h| h.downcast_unchecked::<T>())
+        .collect()
 }
 
 #[test]
@@ -89,8 +99,8 @@ fn distributed_selection() {
 
     let mut g = ComputationGraph::new();
     let emps = g.reader("db", "emps");
-    let sel = make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary())
-        .gt_const(70_000i64);
+    let sel =
+        make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary()).gt_const(70_000i64);
     let proj = make_lambda::<Emp, _>(0, "identity", |e| Ok(e.clone().erase()));
     let rich = g.selection(emps, sel, proj);
     g.write(rich, "db", "rich");
@@ -99,11 +109,17 @@ fn distributed_selection() {
     c.execute(&q).unwrap();
 
     let got = read_objs::<Emp>(&c, "db", "rich");
-    let want = salaries(600).into_iter().filter(|(s, _)| *s > 70_000).count();
+    let want = salaries(600)
+        .into_iter()
+        .filter(|(s, _)| *s > 70_000)
+        .count();
     assert_eq!(got.len(), want);
     // Results remain distributed: no single worker should hold everything.
-    let holders =
-        c.workers.iter().filter(|w| w.storage.page_count("db", "rich") > 0).count();
+    let holders = c
+        .workers
+        .iter()
+        .filter(|w| w.storage.page_count("db", "rich") > 0)
+        .count();
     assert!(holders >= 2, "output pages should stay on their workers");
 }
 
@@ -159,7 +175,10 @@ fn distributed_aggregation_shuffles_map_pages() {
 
     let q = compile(&g).unwrap();
     let run = c.execute(&q).unwrap();
-    assert!(run.bytes_shuffled > 0, "aggregation must shuffle partition pages");
+    assert!(
+        run.bytes_shuffled > 0,
+        "aggregation must shuffle partition pages"
+    );
     assert_eq!(run.exec.agg_groups, 7);
 
     let got = read_objs::<DeptStat>(&c, "db", "stats");
@@ -199,8 +218,9 @@ fn distributed_broadcast_join() {
     let depts = g.reader("db", "depts");
     let emps = g.reader("db", "emps");
     // depts (small) is input 0 → the build side; emps streams and probes.
-    let sel = make_lambda_from_member::<Dept, i64>(0, "id", |d| d.v().id())
-        .eq(make_lambda_from_member::<Emp, i64>(1, "deptId", |e| e.v().dept_id()));
+    let sel = make_lambda_from_member::<Dept, i64>(0, "id", |d| d.v().id()).eq(
+        make_lambda_from_member::<Emp, i64>(1, "deptId", |e| e.v().dept_id()),
+    );
     let proj = make_lambda2::<Dept, Emp, _>((0, 1), "pair", |d, e| {
         let v = make_object::<PcVec<i64>>()?;
         v.push(d.v().id())?;
@@ -213,10 +233,17 @@ fn distributed_broadcast_join() {
 
     let q = compile(&g).unwrap();
     let run = c.execute(&q).unwrap();
-    assert!(run.tables_broadcast >= 1, "join must broadcast its build side");
+    assert!(
+        run.tables_broadcast >= 1,
+        "join must broadcast its build side"
+    );
 
     let got = read_objs::<PcVec<i64>>(&c, "db", "pairs");
-    assert_eq!(got.len(), 400, "every employee matches exactly one department");
+    assert_eq!(
+        got.len(),
+        400,
+        "every employee matches exactly one department"
+    );
     let mut total = 0i64;
     for v in &got {
         assert_eq!(v.get(0), v.get(1));
@@ -233,8 +260,8 @@ fn worker_type_catalogs_fault_like_so_shipping() {
 
     let mut g = ComputationGraph::new();
     let emps = g.reader("db", "emps");
-    let sel = make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary())
-        .ge_const(0i64);
+    let sel =
+        make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary()).ge_const(0i64);
     let proj = make_lambda::<Emp, _>(0, "identity", |e| Ok(e.clone().erase()));
     let all = g.selection(emps, sel, proj);
     g.write(all, "db", "out");
@@ -243,7 +270,11 @@ fn worker_type_catalogs_fault_like_so_shipping() {
     c.execute(&q).unwrap();
     // Every worker that processed pages resolved the root type exactly once.
     for w in &c.workers {
-        assert!(w.types.fetches() <= 2, "type fetched repeatedly on worker {}", w.id);
+        assert!(
+            w.types.fetches() <= 2,
+            "type fetched repeatedly on worker {}",
+            w.id
+        );
     }
     let _ = <AnyObj as pc_object::PcObjType>::type_code();
 }
@@ -257,21 +288,35 @@ fn queries_survive_cold_storage() {
     for w in &c.workers {
         w.storage.flush_all().unwrap();
     }
-    let misses_before: u64 = c.workers.iter().map(|w| w.storage.pool().stats().misses).sum();
+    let misses_before: u64 = c
+        .workers
+        .iter()
+        .map(|w| w.storage.pool().stats().misses)
+        .sum();
     c.create_or_clear_set("db", "cold_out").unwrap();
 
     let mut g = ComputationGraph::new();
     let emps = g.reader("db", "emps");
-    let sel = make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary())
-        .gt_const(50_000i64);
+    let sel =
+        make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary()).gt_const(50_000i64);
     let proj = make_lambda::<Emp, _>(0, "identity", |e| Ok(e.clone().erase()));
     let out = g.selection(emps, sel, proj);
     g.write(out, "db", "cold_out");
     c.execute(&compile(&g).unwrap()).unwrap();
 
     let got = read_objs::<Emp>(&c, "db", "cold_out");
-    let want = salaries(300).into_iter().filter(|(s, _)| *s > 50_000).count();
+    let want = salaries(300)
+        .into_iter()
+        .filter(|(s, _)| *s > 50_000)
+        .count();
     assert_eq!(got.len(), want);
-    let misses_after: u64 = c.workers.iter().map(|w| w.storage.pool().stats().misses).sum();
-    assert!(misses_after > misses_before, "cold scan must fault pages from files");
+    let misses_after: u64 = c
+        .workers
+        .iter()
+        .map(|w| w.storage.pool().stats().misses)
+        .sum();
+    assert!(
+        misses_after > misses_before,
+        "cold scan must fault pages from files"
+    );
 }

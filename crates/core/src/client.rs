@@ -17,7 +17,10 @@ impl PcClient {
     /// Connects to (boots) a cluster with the given shape.
     pub fn connect(config: ClusterConfig) -> PcResult<Self> {
         let page_size = config.exec.page_size;
-        Ok(PcClient { cluster: Arc::new(PcCluster::new(config)?), page_size })
+        Ok(PcClient {
+            cluster: Arc::new(PcCluster::new(config)?),
+            page_size,
+        })
     }
 
     /// A 4-worker local cluster with default tuning.
@@ -31,7 +34,11 @@ impl PcClient {
             workers: 1,
             threads_per_worker: 1,
             combine_threads: 1,
-            exec: ExecConfig { batch_size: 256, page_size: 1 << 18, agg_partitions: 2 },
+            exec: ExecConfig {
+                batch_size: 256,
+                page_size: 1 << 18,
+                agg_partitions: 2,
+            },
             broadcast_threshold: 16 << 20,
         })
     }

@@ -26,7 +26,12 @@ pub struct JoinTable {
 
 impl JoinTable {
     pub fn new(arity: usize, page_size: usize) -> Self {
-        JoinTable { arity, page_size, pages: Vec::new(), groups: 0 }
+        JoinTable {
+            arity,
+            page_size,
+            pages: Vec::new(),
+            groups: 0,
+        }
     }
 
     pub fn arity(&self) -> usize {
@@ -68,7 +73,9 @@ impl JoinTable {
                 Err(e) => return Err(e),
             }
         }
-        Err(PcError::Catalog("join group exceeds the maximum page size".into()))
+        Err(PcError::Catalog(
+            "join group exceeds the maximum page size".into(),
+        ))
     }
 
     fn try_insert_last(&mut self, hash: u64, objs: &[AnyHandle]) -> PcResult<()> {
@@ -99,7 +106,11 @@ impl JoinTable {
     }
 
     /// Calls `f` with each match group for `hash`.
-    pub fn probe(&self, hash: u64, mut f: impl FnMut(&[AnyHandle]) -> PcResult<()>) -> PcResult<()> {
+    pub fn probe(
+        &self,
+        hash: u64,
+        mut f: impl FnMut(&[AnyHandle]) -> PcResult<()>,
+    ) -> PcResult<()> {
         for (_block, map) in &self.pages {
             if let Some(bucket) = map.get(&hash) {
                 let len = bucket.len();
@@ -184,7 +195,11 @@ mod tests {
             let hash = (i % 2) as u64 + 1;
             t.insert(hash, &[v.erase()]).unwrap();
         }
-        assert!(t.page_count() > 1, "tiny pages must span ({} page)", t.page_count());
+        assert!(
+            t.page_count() > 1,
+            "tiny pages must span ({} page)",
+            t.page_count()
+        );
         let mut seen = 0;
         t.probe(1, |group| {
             let v: Handle<PcVec<i64>> = group[0].downcast_unchecked::<AnyObj>().assume();

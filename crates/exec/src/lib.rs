@@ -23,5 +23,7 @@ pub mod vlist;
 
 pub use jointable::JoinTable;
 pub use local::{run_pipeline_stage, ExecConfig, ExecStats, LocalExecutor, PipelineOutput, TMP_DB};
-pub use plan::{describe_decompositions, plan, AggDest, PipeOp, PipelineSpec, PhysicalPlan, Sink, Source};
+pub use plan::{
+    describe_decompositions, plan, AggDest, PhysicalPlan, PipeOp, PipelineSpec, Sink, Source,
+};
 pub use vlist::VectorList;

@@ -16,8 +16,8 @@ use crate::jointable::JoinTable;
 use crate::plan::{plan, AggDest, PhysicalPlan, PipeOp, PipelineSpec, Sink, Source};
 use crate::vlist::VectorList;
 use pc_lambda::{
-    Column, ColumnKernel, CompiledQuery, ErasedAgg, ErasedAggSink, ExecCtx, SetWriter,
-    StageKernel, StageLibrary,
+    Column, ColumnKernel, CompiledQuery, ErasedAgg, ErasedAggSink, ExecCtx, SetWriter, StageKernel,
+    StageLibrary,
 };
 use pc_object::{
     AllocPolicy, AllocScope, AnyHandle, AnyObj, BlockRef, Handle, PcError, PcResult, PcVec,
@@ -41,7 +41,11 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { batch_size: 1024, page_size: 1 << 20, agg_partitions: 4 }
+        ExecConfig {
+            batch_size: 1024,
+            page_size: 1 << 20,
+            agg_partitions: 4,
+        }
     }
 }
 
@@ -132,7 +136,16 @@ pub fn run_pipeline_stage(
             vl.push(&source_col, Column::Obj(handles));
             at = hi;
 
-            run_batch(p, stages, tables, &mut vl, &mut writer, &mut agg_sink, &mut build_table, &mut scratch)?;
+            run_batch(
+                p,
+                stages,
+                tables,
+                &mut vl,
+                &mut writer,
+                &mut agg_sink,
+                &mut build_table,
+                &mut scratch,
+            )?;
             stats.batches += 1;
             // Batch boundary: the vector list dies, zombies release.
             vl.clear();
@@ -180,7 +193,13 @@ fn run_batch(
             return Ok(());
         }
         match op {
-            PipeOp::Apply { comp, stage, inputs, out, keep } => {
+            PipeOp::Apply {
+                comp,
+                stage,
+                inputs,
+                out,
+                keep,
+            } => {
                 let kernel = match stages.get(comp, stage) {
                     Some(StageKernel::Map(k)) => k.clone(),
                     _ => {
@@ -198,7 +217,13 @@ fn run_batch(
                 vl.filter(&mask);
                 retain_with_hashes(vl, keep);
             }
-            PipeOp::FlatMap { comp, stage, input, out, keep } => {
+            PipeOp::FlatMap {
+                comp,
+                stage,
+                input,
+                out,
+                keep,
+            } => {
                 let kernel = match stages.get(comp, stage) {
                     Some(StageKernel::FlatMap(k)) => k.clone(),
                     _ => {
@@ -225,8 +250,9 @@ fn run_batch(
                         Err(e) => return Err(e),
                     }
                 }
-                let (col, counts) = result
-                    .ok_or_else(|| PcError::Catalog("flatmap exceeded page-fault retries".into()))?;
+                let (col, counts) = result.ok_or_else(|| {
+                    PcError::Catalog("flatmap exceeded page-fault retries".into())
+                })?;
                 vl.replicate(&counts);
                 vl.push(out, col);
                 retain_with_hashes(vl, keep);
@@ -239,7 +265,12 @@ fn run_batch(
                 vl.push(out, col);
                 retain_with_hashes(vl, keep);
             }
-            PipeOp::Probe { table, hash_col, build_cols, keep } => {
+            PipeOp::Probe {
+                table,
+                hash_col,
+                build_cols,
+                keep,
+            } => {
                 let t = tables
                     .get(table)
                     .ok_or_else(|| PcError::Catalog(format!("join table {table} not built")))?;
@@ -277,7 +308,9 @@ fn run_batch(
         Sink::AggProduce { col, .. } => {
             agg_sink.as_mut().unwrap().absorb(vl.col(col)?)?;
         }
-        Sink::JoinBuild { hash_col, obj_cols, .. } => {
+        Sink::JoinBuild {
+            hash_col, obj_cols, ..
+        } => {
             let t = build_table.as_mut().unwrap();
             let hashes: Vec<u64> = vl.col(hash_col)?.as_u64()?.to_vec();
             let cols: Vec<Vec<AnyHandle>> = obj_cols
@@ -330,7 +363,10 @@ fn apply_with_retry(
         let block = kernel_block(writer, scratch)?;
         let scope = AllocScope::install(block.clone());
         let mut ctx = ExecCtx::new(block);
-        let cols: Vec<&Column> = inputs.iter().map(|n| vl.col(n)).collect::<PcResult<Vec<_>>>()?;
+        let cols: Vec<&Column> = inputs
+            .iter()
+            .map(|n| vl.col(n))
+            .collect::<PcResult<Vec<_>>>()?;
         let r = kernel.apply(&cols, &mut ctx);
         drop(scope);
         match r {
@@ -343,7 +379,9 @@ fn apply_with_retry(
             Err(e) => return Err(e),
         }
     }
-    Err(PcError::Catalog("pipeline stage exceeded page-fault retries".into()))
+    Err(PcError::Catalog(
+        "pipeline stage exceeded page-fault retries".into(),
+    ))
 }
 
 /// Hash columns the join ops still need may be missing from `keep` when the
@@ -438,13 +476,17 @@ impl LocalExecutor {
                     }
                 }
                 PipelineOutput::BuiltTable(t) => {
-                    let Sink::JoinBuild { table, .. } = &p.sink else { unreachable!() };
+                    let Sink::JoinBuild { table, .. } = &p.sink else {
+                        unreachable!()
+                    };
                     tables.insert(table.clone(), t);
                 }
                 PipelineOutput::AggPartitions(parts) => {
                     // Local consuming stage (AggregationJobStage): merge all
                     // partition pages, then materialize groups.
-                    let Sink::AggProduce { comp, dest, .. } = &p.sink else { unreachable!() };
+                    let Sink::AggProduce { comp, dest, .. } = &p.sink else {
+                        unreachable!()
+                    };
                     let agg = aggs.get(comp).unwrap();
                     let mut merger = agg.new_merger(self.config.page_size);
                     for (_part, page) in parts {

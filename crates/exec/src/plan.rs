@@ -23,7 +23,11 @@ use pc_tcap::ir::{TcapOp, TcapProgram};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Source {
     /// A stored set.
-    Set { db: String, set: String, col: String },
+    Set {
+        db: String,
+        set: String,
+        col: String,
+    },
     /// A materialized intermediate (stored under the `__tmp` database).
     Intermediate { list: String, col: String },
 }
@@ -33,16 +37,37 @@ pub enum Source {
 pub enum PipeOp {
     /// Run a compiled stage over `inputs`, appending `out`; then restrict
     /// the vector list to `keep`.
-    Apply { comp: String, stage: String, inputs: Vec<String>, out: String, keep: Vec<String> },
+    Apply {
+        comp: String,
+        stage: String,
+        inputs: Vec<String>,
+        out: String,
+        keep: Vec<String>,
+    },
     /// Keep rows where `bool_col` is true; restrict to `keep`.
     Filter { bool_col: String, keep: Vec<String> },
     /// Set-valued stage: replaces the row set.
-    FlatMap { comp: String, stage: String, input: String, out: String, keep: Vec<String> },
+    FlatMap {
+        comp: String,
+        stage: String,
+        input: String,
+        out: String,
+        keep: Vec<String>,
+    },
     /// Hash a key column into `out`.
-    Hash { input: String, out: String, keep: Vec<String> },
+    Hash {
+        input: String,
+        out: String,
+        keep: Vec<String>,
+    },
     /// Probe the hash table built for join `table`; appends the build-side
     /// object columns `build_cols` and fans out matches.
-    Probe { table: String, hash_col: String, build_cols: Vec<String>, keep: Vec<String> },
+    Probe {
+        table: String,
+        hash_col: String,
+        build_cols: Vec<String>,
+        keep: Vec<String>,
+    },
 }
 
 /// Where the aggregation result goes.
@@ -58,11 +83,23 @@ pub enum AggDest {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Sink {
     /// Write the `col` objects to a stored set.
-    Output { db: String, set: String, col: String },
+    Output {
+        db: String,
+        set: String,
+        col: String,
+    },
     /// Build the hash table for join `table` from `hash_col` + `obj_cols`.
-    JoinBuild { table: String, hash_col: String, obj_cols: Vec<String> },
+    JoinBuild {
+        table: String,
+        hash_col: String,
+        obj_cols: Vec<String>,
+    },
     /// Pre-aggregate into partitioned maps (the producing stage).
-    AggProduce { comp: String, col: String, dest: AggDest },
+    AggProduce {
+        comp: String,
+        col: String,
+        dest: AggDest,
+    },
     /// Materialize a multi-consumer edge.
     Materialize { list: String, col: String },
 }
@@ -92,9 +129,10 @@ impl PipelineSpec {
     pub fn produces(&self) -> Option<String> {
         match &self.sink {
             Sink::JoinBuild { table, .. } => Some(format!("table:{table}")),
-            Sink::AggProduce { dest: AggDest::Intermediate { list }, .. } => {
-                Some(format!("list:{list}"))
-            }
+            Sink::AggProduce {
+                dest: AggDest::Intermediate { list },
+                ..
+            } => Some(format!("list:{list}")),
             Sink::Materialize { list, .. } => Some(format!("list:{list}")),
             _ => None,
         }
@@ -102,8 +140,11 @@ impl PipelineSpec {
 
     /// What this pipeline requires before running.
     pub fn requires(&self) -> Vec<String> {
-        let mut r: Vec<String> =
-            self.probes().into_iter().map(|t| format!("table:{t}")).collect();
+        let mut r: Vec<String> = self
+            .probes()
+            .into_iter()
+            .map(|t| format!("table:{t}"))
+            .collect();
         if let Source::Intermediate { list, .. } = &self.source {
             r.push(format!("list:{list}"));
         }
@@ -124,17 +165,28 @@ impl std::fmt::Display for PhysicalPlan {
             writeln!(f, "  source: {:?}", p.source)?;
             for op in &p.ops {
                 match op {
-                    PipeOp::Apply { comp, stage, inputs, out, .. } => {
-                        writeln!(f, "  apply {comp}.{stage}({inputs:?}) -> {out}")?
-                    }
+                    PipeOp::Apply {
+                        comp,
+                        stage,
+                        inputs,
+                        out,
+                        ..
+                    } => writeln!(f, "  apply {comp}.{stage}({inputs:?}) -> {out}")?,
                     PipeOp::Filter { bool_col, .. } => writeln!(f, "  filter on {bool_col}")?,
-                    PipeOp::FlatMap { comp, stage, input, out, .. } => {
-                        writeln!(f, "  flatmap {comp}.{stage}({input}) -> {out}")?
-                    }
+                    PipeOp::FlatMap {
+                        comp,
+                        stage,
+                        input,
+                        out,
+                        ..
+                    } => writeln!(f, "  flatmap {comp}.{stage}({input}) -> {out}")?,
                     PipeOp::Hash { input, out, .. } => writeln!(f, "  hash {input} -> {out}")?,
-                    PipeOp::Probe { table, hash_col, build_cols, .. } => {
-                        writeln!(f, "  probe {table} on {hash_col} -> {build_cols:?}")?
-                    }
+                    PipeOp::Probe {
+                        table,
+                        hash_col,
+                        build_cols,
+                        ..
+                    } => writeln!(f, "  probe {table} on {hash_col} -> {build_cols:?}")?,
                 }
             }
             writeln!(f, "  sink: {:?}", p.sink)?;
@@ -152,7 +204,14 @@ pub fn plan(prog: &TcapProgram) -> PcResult<PhysicalPlan> {
     for s in &prog.stmts {
         if let TcapOp::Input { db, set, .. } = &s.op {
             let col = s.output.cols.first().cloned().unwrap_or_default();
-            seeds.push((Source::Set { db: db.clone(), set: set.clone(), col }, s.output.name.clone()));
+            seeds.push((
+                Source::Set {
+                    db: db.clone(),
+                    set: set.clone(),
+                    col,
+                },
+                s.output.name.clone(),
+            ));
         }
     }
 
@@ -171,7 +230,12 @@ pub fn plan(prog: &TcapProgram) -> PcResult<PhysicalPlan> {
                 let s = &prog.stmts[cur_stmt];
                 let keep = s.output.cols.clone();
                 match &s.op {
-                    TcapOp::Apply { input, computation, stage, .. } => {
+                    TcapOp::Apply {
+                        input,
+                        computation,
+                        stage,
+                        ..
+                    } => {
                         ops.push(PipeOp::Apply {
                             comp: computation.clone(),
                             stage: stage.clone(),
@@ -181,9 +245,17 @@ pub fn plan(prog: &TcapProgram) -> PcResult<PhysicalPlan> {
                         });
                     }
                     TcapOp::Filter { bool_col, .. } => {
-                        ops.push(PipeOp::Filter { bool_col: bool_col.cols[0].clone(), keep });
+                        ops.push(PipeOp::Filter {
+                            bool_col: bool_col.cols[0].clone(),
+                            keep,
+                        });
                     }
-                    TcapOp::FlatMap { input, computation, stage, .. } => {
+                    TcapOp::FlatMap {
+                        input,
+                        computation,
+                        stage,
+                        ..
+                    } => {
                         ops.push(PipeOp::FlatMap {
                             comp: computation.clone(),
                             stage: stage.clone(),
@@ -199,7 +271,12 @@ pub fn plan(prog: &TcapProgram) -> PcResult<PhysicalPlan> {
                             keep,
                         });
                     }
-                    TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, .. } => {
+                    TcapOp::Join {
+                        lhs_hash,
+                        lhs_copy,
+                        rhs_hash,
+                        ..
+                    } => {
                         if cur_list == lhs_hash.list {
                             // Build side: pipeline ends here (Appendix D.3
                             // builds from the first n-1 inputs).
@@ -218,7 +295,9 @@ pub fn plan(prog: &TcapProgram) -> PcResult<PhysicalPlan> {
                             keep,
                         });
                     }
-                    TcapOp::Aggregate { computation, key, .. } => {
+                    TcapOp::Aggregate {
+                        computation, key, ..
+                    } => {
                         // Fuse with a sole downstream OUTPUT when possible.
                         let out_list = s.output.name.clone();
                         let consumers = prog.consumers(&out_list);
@@ -226,7 +305,10 @@ pub fn plan(prog: &TcapProgram) -> PcResult<PhysicalPlan> {
                             && matches!(prog.stmts[consumers[0]].op, TcapOp::Output { .. });
                         let dest = if only_output {
                             if let TcapOp::Output { db, set, .. } = &prog.stmts[consumers[0]].op {
-                                AggDest::Set { db: db.clone(), set: set.clone() }
+                                AggDest::Set {
+                                    db: db.clone(),
+                                    set: set.clone(),
+                                }
                             } else {
                                 unreachable!()
                             }
@@ -238,7 +320,9 @@ pub fn plan(prog: &TcapProgram) -> PcResult<PhysicalPlan> {
                                 },
                                 out_list.clone(),
                             ));
-                            AggDest::Intermediate { list: out_list.clone() }
+                            AggDest::Intermediate {
+                                list: out_list.clone(),
+                            }
                         };
                         break Sink::AggProduce {
                             comp: computation.clone(),
@@ -289,7 +373,12 @@ pub fn plan(prog: &TcapProgram) -> PcResult<PhysicalPlan> {
                     }
                 }
             };
-            pipelines.push(PipelineSpec { id: pipelines.len(), source: source.clone(), ops, sink });
+            pipelines.push(PipelineSpec {
+                id: pipelines.len(),
+                source: source.clone(),
+                ops,
+                sink,
+            });
         }
     }
 
@@ -339,14 +428,20 @@ fn order_pipelines(pipelines: &mut Vec<PipelineSpec>) -> PcResult<()> {
 /// human-readable summaries; the executor always runs the default
 /// (left/composite side builds, per Appendix D.3).
 pub fn describe_decompositions(prog: &TcapProgram) -> Vec<String> {
-    let joins: Vec<&pc_tcap::ir::TcapStmt> =
-        prog.stmts.iter().filter(|s| matches!(s.op, TcapOp::Join { .. })).collect();
+    let joins: Vec<&pc_tcap::ir::TcapStmt> = prog
+        .stmts
+        .iter()
+        .filter(|s| matches!(s.op, TcapOp::Join { .. }))
+        .collect();
     let mut out = Vec::new();
     let n = joins.len();
     for mask in 0..(1usize << n) {
         let mut desc = format!("decomposition {}:\n", mask);
         for (k, j) in joins.iter().enumerate() {
-            if let TcapOp::Join { lhs_hash, rhs_hash, .. } = &j.op {
+            if let TcapOp::Join {
+                lhs_hash, rhs_hash, ..
+            } = &j.op
+            {
                 let (build, probe) = if mask & (1 << k) == 0 {
                     (&lhs_hash.list, &rhs_hash.list)
                 } else {

@@ -14,7 +14,9 @@ impl VectorList {
     }
 
     pub fn with(name: &str, col: Column) -> Self {
-        VectorList { cols: vec![(name.to_string(), col)] }
+        VectorList {
+            cols: vec![(name.to_string(), col)],
+        }
     }
 
     /// Number of rows (0 when empty).

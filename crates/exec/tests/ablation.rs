@@ -4,8 +4,7 @@
 
 use pc_exec::{plan, ExecConfig, LocalExecutor, PipeOp, Sink};
 use pc_lambda::{
-    compile, make_lambda, make_lambda2, make_lambda_from_member, make_lambda_from_method,
-    ComputationGraph,
+    compile, make_lambda2, make_lambda_from_member, make_lambda_from_method, ComputationGraph,
 };
 use pc_object::{make_object, pc_object, AnyObj, Handle, PcVec, SealedPage};
 use pc_storage::StorageManager;
@@ -27,7 +26,14 @@ pc_object! {
 
 fn setup(label: &str) -> LocalExecutor {
     let storage = StorageManager::in_temp(label).unwrap();
-    LocalExecutor::new(storage, ExecConfig { batch_size: 32, page_size: 1 << 15, agg_partitions: 2 })
+    LocalExecutor::new(
+        storage,
+        ExecConfig {
+            batch_size: 32,
+            page_size: 1 << 15,
+            agg_partitions: 2,
+        },
+    )
 }
 
 fn load(ex: &LocalExecutor) {
@@ -67,7 +73,9 @@ fn query() -> ComputationGraph {
     let items = g.reader("db", "items");
     let tags = g.reader("db", "tags");
     let sel = make_lambda_from_member::<Item, i64>(0, "key", |x| x.v().key())
-        .eq(make_lambda_from_member::<Tag, i64>(1, "key", |t| t.v().key()))
+        .eq(make_lambda_from_member::<Tag, i64>(1, "key", |t| {
+            t.v().key()
+        }))
         .and(
             make_lambda_from_method::<Item, i64>(0, "getWeight", |x| x.v().weight())
                 .gt_const(60i64),
@@ -97,7 +105,10 @@ fn run_with(rules: &[OptimizerRule], label: &str) -> Vec<(i64, i64, i64)> {
     ex.execute(&q).unwrap();
     let mut rows = Vec::new();
     for page in ex.storage.scan("db", "out").unwrap() {
-        let (_b, root) = SealedPage::from_bytes(&page.to_bytes()).unwrap().open().unwrap();
+        let (_b, root) = SealedPage::from_bytes(&page.to_bytes())
+            .unwrap()
+            .open()
+            .unwrap();
         let v = root.downcast::<PcVec<Handle<AnyObj>>>().unwrap();
         for h in v.iter() {
             let row: Handle<PcVec<i64>> = h.assume();
@@ -117,7 +128,11 @@ fn every_rule_combination_preserves_results() {
         (&[OptimizerRule::SelectionPushdown][..], "abl_push"),
         (&[OptimizerRule::DeadColumns][..], "abl_dead"),
         (
-            &[OptimizerRule::RedundantApply, OptimizerRule::SelectionPushdown, OptimizerRule::DeadColumns][..],
+            &[
+                OptimizerRule::RedundantApply,
+                OptimizerRule::SelectionPushdown,
+                OptimizerRule::DeadColumns,
+            ][..],
             "abl_all",
         ),
     ] {
@@ -132,7 +147,11 @@ fn optimization_shrinks_the_program() {
     let unopt = q1.tcap.stmts.len();
     optimize_with(
         &mut q1.tcap,
-        &[OptimizerRule::RedundantApply, OptimizerRule::SelectionPushdown, OptimizerRule::DeadColumns],
+        &[
+            OptimizerRule::RedundantApply,
+            OptimizerRule::SelectionPushdown,
+            OptimizerRule::DeadColumns,
+        ],
     );
     assert!(
         q1.tcap.stmts.len() < unopt,
@@ -154,7 +173,10 @@ fn planner_shapes_match_appendix_c() {
     let probe = &physical.pipelines[1];
     assert!(matches!(probe.sink, Sink::Output { .. }));
     assert!(
-        probe.ops.iter().any(|op| matches!(op, PipeOp::Probe { .. })),
+        probe
+            .ops
+            .iter()
+            .any(|op| matches!(op, PipeOp::Probe { .. })),
         "probe pipeline must run through the join: {probe:?}"
     );
     // The build pipeline must be ordered before its probe.

@@ -8,8 +8,7 @@ use pc_lambda::{
     AggregateSpec, ComputationGraph,
 };
 use pc_object::{
-    make_object, pc_object, AnyObj, BlockRef, Handle, PcResult, PcString, PcVec,
-    SealedPage,
+    make_object, pc_object, AnyObj, BlockRef, Handle, PcResult, PcString, PcVec, SealedPage,
 };
 use pc_storage::StorageManager;
 use std::marker::PhantomData;
@@ -52,7 +51,14 @@ pc_object! {
 
 fn setup(label: &str) -> LocalExecutor {
     let storage = StorageManager::in_temp(label).unwrap();
-    LocalExecutor::new(storage, ExecConfig { batch_size: 64, page_size: 1 << 16, agg_partitions: 3 })
+    LocalExecutor::new(
+        storage,
+        ExecConfig {
+            batch_size: 64,
+            page_size: 1 << 16,
+            agg_partitions: 3,
+        },
+    )
 }
 
 fn load_emps(ex: &LocalExecutor, n: usize) {
@@ -95,7 +101,10 @@ fn load_depts(ex: &LocalExecutor) {
 fn read_all<T: pc_object::PcObjType>(ex: &LocalExecutor, db: &str, set: &str) -> Vec<Handle<T>> {
     let mut out = Vec::new();
     for page in ex.storage.scan(db, set).unwrap() {
-        let (_b, root) = SealedPage::from_bytes(&page.to_bytes()).unwrap().open().unwrap();
+        let (_b, root) = SealedPage::from_bytes(&page.to_bytes())
+            .unwrap()
+            .open()
+            .unwrap();
         let v = root.downcast::<PcVec<Handle<AnyObj>>>().unwrap();
         for h in v.iter() {
             out.push(h.assume::<T>());
@@ -106,7 +115,9 @@ fn read_all<T: pc_object::PcObjType>(ex: &LocalExecutor, db: &str, set: &str) ->
 
 /// Expected salaries per the generator above.
 fn expected_salaries(n: usize) -> Vec<(i64, i64)> {
-    (0..n).map(|i| (30_000 + (i as i64 * 977) % 90_000, (i % 7) as i64)).collect()
+    (0..n)
+        .map(|i| (30_000 + (i as i64 * 977) % 90_000, (i % 7) as i64))
+        .collect()
 }
 
 #[test]
@@ -131,7 +142,11 @@ fn selection_with_redundant_method_calls() {
 
     let mut q = compile(&g).unwrap();
     let report = pc_tcap::optimize(&mut q.tcap);
-    assert!(report.redundant_applies_removed >= 1, "CSE must fire: {report:?}\n{}", q.tcap);
+    assert!(
+        report.redundant_applies_removed >= 1,
+        "CSE must fire: {report:?}\n{}",
+        q.tcap
+    );
 
     let stats = ex.execute(&q).unwrap();
     let got = read_all::<Emp>(&ex, "db", "rich");
@@ -161,7 +176,9 @@ fn two_way_join_with_pushdown() {
     let depts = g.reader("db", "depts");
     // Join on dept id; also require salary > 60000 (pushable to the emp side).
     let sel = make_lambda_from_member::<Emp, i64>(0, "deptId", |e| e.v().dept_id())
-        .eq(make_lambda_from_member::<Dept, i64>(1, "id", |d| d.v().id()))
+        .eq(make_lambda_from_member::<Dept, i64>(1, "id", |d| {
+            d.v().id()
+        }))
         .and(
             make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary())
                 .gt_const(60_000i64),
@@ -178,7 +195,11 @@ fn two_way_join_with_pushdown() {
 
     let mut q = compile(&g).unwrap();
     let report = pc_tcap::optimize(&mut q.tcap);
-    assert!(report.selections_pushed_down >= 1, "pushdown must fire:\n{}", q.tcap);
+    assert!(
+        report.selections_pushed_down >= 1,
+        "pushdown must fire:\n{}",
+        q.tcap
+    );
 
     ex.execute(&q).unwrap();
     let got = read_all::<Placement>(&ex, "db", "placements");
@@ -186,7 +207,11 @@ fn two_way_join_with_pushdown() {
         .into_iter()
         .filter(|(s, _)| *s > 60_000)
         .collect();
-    assert_eq!(got.len(), expected.len(), "one match per qualifying employee");
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "one match per qualifying employee"
+    );
     for p in &got {
         assert!(p.v().salary() > 60_000);
         // dept name must correspond to the employee's department
@@ -296,7 +321,10 @@ fn multi_selection_flatmap() {
     ex.execute(&q).unwrap();
 
     let got = read_all::<PcVec<i64>>(&ex, "db", "tokens");
-    let expected: usize = expected_salaries(100).iter().map(|(_, d)| *d as usize).sum();
+    let expected: usize = expected_salaries(100)
+        .iter()
+        .map(|(_, d)| *d as usize)
+        .sum();
     assert_eq!(got.len(), expected);
     for v in &got {
         assert!(v.get(1) < v.get(0));
@@ -360,15 +388,19 @@ fn tiny_pages_force_rolls_and_stay_correct() {
     let storage = StorageManager::in_temp("tiny").unwrap();
     let ex = LocalExecutor::new(
         storage,
-        ExecConfig { batch_size: 16, page_size: 4096, agg_partitions: 2 },
+        ExecConfig {
+            batch_size: 16,
+            page_size: 4096,
+            agg_partitions: 2,
+        },
     );
     load_emps(&ex, 400);
     ex.storage.create_or_clear_set("db", "all").unwrap();
 
     let mut g = ComputationGraph::new();
     let emps = g.reader("db", "emps");
-    let sel = make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary())
-        .ge_const(0i64);
+    let sel =
+        make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary()).ge_const(0i64);
     let proj = make_lambda::<Emp, _>(0, "identity", |e| Ok(e.clone().erase()));
     let all = g.selection(emps, sel, proj);
     g.write(all, "db", "all");
@@ -378,7 +410,10 @@ fn tiny_pages_force_rolls_and_stay_correct() {
     let stats = ex.execute(&q).unwrap();
     assert_eq!(stats.rows_out, 400);
     assert!(stats.pages_written > 1, "4 KiB pages must roll");
-    assert!(stats.max_zombie_pages <= 2, "Appendix C zombie cap violated");
+    assert!(
+        stats.max_zombie_pages <= 2,
+        "Appendix C zombie cap violated"
+    );
     let got = read_all::<Emp>(&ex, "db", "all");
     assert_eq!(got.len(), 400);
 }

@@ -56,7 +56,10 @@ agg_key_int!(i64, u64, i32, u32);
 impl AggKey for (i32, i32) {
     type Stored = (i32, i32);
     fn hash(&self) -> u64 {
-        pc_hash::combine(pc_hash::hash_i64(self.0 as i64), pc_hash::hash_i64(self.1 as i64))
+        pc_hash::combine(
+            pc_hash::hash_i64(self.0 as i64),
+            pc_hash::hash_i64(self.1 as i64),
+        )
     }
     fn matches(&self, b: &BlockRef, slot: u32) -> bool {
         b.read::<(i32, i32)>(slot) == *self
@@ -119,7 +122,8 @@ pub trait AggregateSpec: Send + Sync + 'static {
 
     /// Materializes the output object for a finished group. Runs with the
     /// output page active, so `make_object` allocates in place.
-    fn finalize(&self, key: &Self::Key, b: &BlockRef, val_slot: u32) -> PcResult<Handle<Self::Out>>;
+    fn finalize(&self, key: &Self::Key, b: &BlockRef, val_slot: u32)
+        -> PcResult<Handle<Self::Out>>;
 }
 
 // --------------------------------------------------------------- erased API
@@ -199,7 +203,12 @@ impl<S: AggregateSpec> ErasedAgg for AggEngine<S> {
     }
 
     fn new_merger(&self, page_size: usize) -> Box<dyn ErasedAggMerger> {
-        Box::new(MergerImpl::<S> { spec: self.0.clone(), page_size, acc: None, _pd: PhantomData })
+        Box::new(MergerImpl::<S> {
+            spec: self.0.clone(),
+            page_size,
+            acc: None,
+            _pd: PhantomData,
+        })
     }
 }
 
@@ -212,7 +221,13 @@ struct SinkImpl<S: AggregateSpec> {
 }
 
 impl<S: AggregateSpec> SinkImpl<S> {
-    fn upsert(&mut self, part: usize, hash: u64, key: &S::Key, rec: &Handle<S::In>) -> PcResult<()> {
+    fn upsert(
+        &mut self,
+        part: usize,
+        hash: u64,
+        key: &S::Key,
+        rec: &Handle<S::In>,
+    ) -> PcResult<()> {
         if self.current[part].is_none() {
             self.current[part] = Some(MapPage::new(self.page_size)?);
         }
@@ -249,7 +264,9 @@ impl<S: AggregateSpec> SinkImpl<S> {
                 Err(e) => return Err(e),
             }
         }
-        Err(pc_object::PcError::Catalog("aggregate value exceeds the maximum page size".into()))
+        Err(pc_object::PcError::Catalog(
+            "aggregate value exceeds the maximum page size".into(),
+        ))
     }
 }
 
@@ -346,7 +363,9 @@ impl<S: AggregateSpec> ErasedAggMerger for MergerImpl<S> {
     }
 
     fn finalize(&mut self, writer: &mut SetWriter) -> PcResult<u64> {
-        let Some(acc) = self.acc.take() else { return Ok(0) };
+        let Some(acc) = self.acc.take() else {
+            return Ok(0);
+        };
         let mut groups = 0u64;
         let mut entries: Vec<(u32, u32)> = Vec::with_capacity(acc.map.len());
         acc.map.for_each_slot(|_b, k, v| {

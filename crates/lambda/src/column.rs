@@ -90,7 +90,11 @@ impl Column {
     /// Keeps only the rows where `keep` is true.
     pub fn filter(&self, keep: &[bool]) -> Column {
         fn f<T: Clone>(v: &[T], keep: &[bool]) -> Vec<T> {
-            v.iter().zip(keep).filter(|(_, &k)| k).map(|(x, _)| x.clone()).collect()
+            v.iter()
+                .zip(keep)
+                .filter(|(_, &k)| k)
+                .map(|(x, _)| x.clone())
+                .collect()
         }
         match self {
             Column::Bool(v) => Column::Bool(f(v, keep)),
@@ -153,7 +157,10 @@ impl Column {
 }
 
 fn type_err(expected: &'static str, found: &Column) -> PcError {
-    PcError::Catalog(format!("column type mismatch: expected {expected}, found {}", found.type_name()))
+    PcError::Catalog(format!(
+        "column type mismatch: expected {expected}, found {}",
+        found.type_name()
+    ))
 }
 
 impl std::fmt::Debug for Column {

@@ -12,7 +12,9 @@
 
 use crate::agg::ErasedAgg;
 use crate::computation::{CompKind, ComputationGraph};
-use crate::kernel::{BinaryKernel, ColumnKernel, ConstCmpKernel, FlatMapKernel, HashKernel, NotKernel};
+use crate::kernel::{
+    BinaryKernel, ColumnKernel, ConstCmpKernel, FlatMapKernel, HashKernel, NotKernel,
+};
 use crate::lambda::LambdaTerm;
 use pc_object::{PcError, PcResult};
 use pc_tcap::ir::{ColRef, TcapOp, TcapProgram, TcapStmt, VecListDecl};
@@ -90,7 +92,12 @@ impl Compiler {
     ) -> PcResult<String> {
         match term {
             LambdaTerm::SelfRef { input } => Ok(input_col(*input)),
-            LambdaTerm::Extract { inputs, op_type, name, kernel } => {
+            LambdaTerm::Extract {
+                inputs,
+                op_type,
+                name,
+                kernel,
+            } => {
                 *n += 1;
                 let stage = match *op_type {
                     "attAccess" => format!("att_acc_{n}"),
@@ -104,11 +111,19 @@ impl Compiler {
                 };
                 let new_col = format!("mt{n}");
                 let in_cols: Vec<String> = inputs.iter().map(|i| input_col(*i)).collect();
-                self.apply(cur, comp, &stage, &in_cols, &new_col, vec![
-                    ("type".into(), op_type.to_string()),
-                    (meta_key.into(), name.clone()),
-                ]);
-                self.stages.register(comp, &stage, StageKernel::Map(kernel.clone()));
+                self.apply(
+                    cur,
+                    comp,
+                    &stage,
+                    &in_cols,
+                    &new_col,
+                    vec![
+                        ("type".into(), op_type.to_string()),
+                        (meta_key.into(), name.clone()),
+                    ],
+                );
+                self.stages
+                    .register(comp, &stage, StageKernel::Map(kernel.clone()));
                 Ok(new_col)
             }
             LambdaTerm::Binary { op, lhs, rhs } => {
@@ -117,11 +132,22 @@ impl Compiler {
                 *n += 1;
                 let stage = format!("{}_{n}", op.tcap_name());
                 let new_col = format!("bl{n}");
-                self.apply(cur, comp, &stage, &[lc, rc], &new_col, vec![
-                    ("type".into(), op.meta_type().to_string()),
-                    ("op".into(), op.tcap_name().to_string()),
-                ]);
-                self.stages.register(comp, &stage, StageKernel::Map(Arc::new(BinaryKernel { op: *op })));
+                self.apply(
+                    cur,
+                    comp,
+                    &stage,
+                    &[lc, rc],
+                    &new_col,
+                    vec![
+                        ("type".into(), op.meta_type().to_string()),
+                        ("op".into(), op.tcap_name().to_string()),
+                    ],
+                );
+                self.stages.register(
+                    comp,
+                    &stage,
+                    StageKernel::Map(Arc::new(BinaryKernel { op: *op })),
+                );
                 Ok(new_col)
             }
             LambdaTerm::Not { inner } => {
@@ -129,10 +155,16 @@ impl Compiler {
                 *n += 1;
                 let stage = format!("!_{n}");
                 let new_col = format!("bl{n}");
-                self.apply(cur, comp, &stage, &[ic], &new_col, vec![
-                    ("type".into(), "bool_not".to_string()),
-                ]);
-                self.stages.register(comp, &stage, StageKernel::Map(Arc::new(NotKernel)));
+                self.apply(
+                    cur,
+                    comp,
+                    &stage,
+                    &[ic],
+                    &new_col,
+                    vec![("type".into(), "bool_not".to_string())],
+                );
+                self.stages
+                    .register(comp, &stage, StageKernel::Map(Arc::new(NotKernel)));
                 Ok(new_col)
             }
             LambdaTerm::ConstCmp { op, value, inner } => {
@@ -140,15 +172,25 @@ impl Compiler {
                 *n += 1;
                 let stage = format!("{}c_{n}", op.tcap_name());
                 let new_col = format!("bl{n}");
-                self.apply(cur, comp, &stage, &[ic], &new_col, vec![
-                    ("type".into(), "const_comparison".to_string()),
-                    ("op".into(), op.tcap_name().to_string()),
-                    ("value".into(), value.to_string()),
-                ]);
+                self.apply(
+                    cur,
+                    comp,
+                    &stage,
+                    &[ic],
+                    &new_col,
+                    vec![
+                        ("type".into(), "const_comparison".to_string()),
+                        ("op".into(), op.tcap_name().to_string()),
+                        ("value".into(), value.to_string()),
+                    ],
+                );
                 self.stages.register(
                     comp,
                     &stage,
-                    StageKernel::Map(Arc::new(ConstCmpKernel { op: *op, value: value.clone() })),
+                    StageKernel::Map(Arc::new(ConstCmpKernel {
+                        op: *op,
+                        value: value.clone(),
+                    })),
                 );
                 Ok(new_col)
             }
@@ -169,10 +211,19 @@ impl Compiler {
         let mut out_cols = cur.cols.clone();
         out_cols.push(new_col.to_string());
         self.stmts.push(TcapStmt {
-            output: VecListDecl { name: out.clone(), cols: out_cols.clone() },
+            output: VecListDecl {
+                name: out.clone(),
+                cols: out_cols.clone(),
+            },
             op: TcapOp::Apply {
-                input: ColRef { list: cur.name.clone(), cols: in_cols.to_vec() },
-                copy: ColRef { list: cur.name.clone(), cols: cur.cols.clone() },
+                input: ColRef {
+                    list: cur.name.clone(),
+                    cols: in_cols.to_vec(),
+                },
+                copy: ColRef {
+                    list: cur.name.clone(),
+                    cols: cur.cols.clone(),
+                },
                 computation: comp.to_string(),
                 stage: stage.to_string(),
                 meta,
@@ -186,10 +237,19 @@ impl Compiler {
     fn filter(&mut self, cur: &mut CurList, comp: &str, bool_col: &str, keep: &[String]) {
         let out = self.fresh_list("Flt");
         self.stmts.push(TcapStmt {
-            output: VecListDecl { name: out.clone(), cols: keep.to_vec() },
+            output: VecListDecl {
+                name: out.clone(),
+                cols: keep.to_vec(),
+            },
             op: TcapOp::Filter {
-                bool_col: ColRef { list: cur.name.clone(), cols: vec![bool_col.to_string()] },
-                copy: ColRef { list: cur.name.clone(), cols: keep.to_vec() },
+                bool_col: ColRef {
+                    list: cur.name.clone(),
+                    cols: vec![bool_col.to_string()],
+                },
+                copy: ColRef {
+                    list: cur.name.clone(),
+                    cols: keep.to_vec(),
+                },
                 computation: comp.to_string(),
                 meta: vec![],
             },
@@ -207,15 +267,25 @@ impl Compiler {
         let mut out_cols = cur.cols.clone();
         out_cols.push(hash_col.clone());
         self.stmts.push(TcapStmt {
-            output: VecListDecl { name: out.clone(), cols: out_cols.clone() },
+            output: VecListDecl {
+                name: out.clone(),
+                cols: out_cols.clone(),
+            },
             op: TcapOp::Hash {
-                input: ColRef { list: cur.name.clone(), cols: vec![key_col.to_string()] },
-                copy: ColRef { list: cur.name.clone(), cols: cur.cols.clone() },
+                input: ColRef {
+                    list: cur.name.clone(),
+                    cols: vec![key_col.to_string()],
+                },
+                copy: ColRef {
+                    list: cur.name.clone(),
+                    cols: cur.cols.clone(),
+                },
                 computation: comp.to_string(),
                 meta: vec![("type".into(), "hashOne".into())],
             },
         });
-        self.stages.register(comp, &stage, StageKernel::Map(Arc::new(HashKernel)));
+        self.stages
+            .register(comp, &stage, StageKernel::Map(Arc::new(HashKernel)));
         cur.name = out;
         cur.cols = out_cols;
         hash_col
@@ -225,7 +295,12 @@ impl Compiler {
 /// Is this equality conjunct a join-key candidate linking two inputs?
 /// Returns `(lhs_input, rhs_input, lhs_term, rhs_term)`.
 fn key_conjunct(t: &LambdaTerm) -> Option<(usize, usize, &LambdaTerm, &LambdaTerm)> {
-    if let LambdaTerm::Binary { op: crate::lambda::BinOp::Eq, lhs, rhs } = t {
+    if let LambdaTerm::Binary {
+        op: crate::lambda::BinOp::Eq,
+        lhs,
+        rhs,
+    } = t
+    {
         let li = lhs.inputs();
         let ri = rhs.inputs();
         if li.len() == 1 && ri.len() == 1 && li != ri {
@@ -255,7 +330,10 @@ pub fn compile(graph: &ComputationGraph) -> PcResult<CompiledQuery> {
                 let list = format!("In_{id}");
                 let col = format!("in{id}");
                 c.stmts.push(TcapStmt {
-                    output: VecListDecl { name: list.clone(), cols: vec![col.clone()] },
+                    output: VecListDecl {
+                        name: list.clone(),
+                        cols: vec![col.clone()],
+                    },
                     op: TcapOp::Input {
                         db: db.clone(),
                         set: set.clone(),
@@ -265,9 +343,16 @@ pub fn compile(graph: &ComputationGraph) -> PcResult<CompiledQuery> {
                 });
                 outputs[id] = Some((list, col));
             }
-            CompKind::Selection { input, selection, projection } => {
+            CompKind::Selection {
+                input,
+                selection,
+                projection,
+            } => {
                 let (in_list, in_col) = outputs[*input].clone().ok_or_else(|| dangling(*input))?;
-                let mut cur = CurList { name: in_list, cols: vec![in_col.clone()] };
+                let mut cur = CurList {
+                    name: in_list,
+                    cols: vec![in_col.clone()],
+                };
                 let mut n = 0;
                 let col_of = {
                     let in_col = in_col.clone();
@@ -278,9 +363,17 @@ pub fn compile(graph: &ComputationGraph) -> PcResult<CompiledQuery> {
                 let out_col = c.emit_term(projection, &comp, &mut n, &mut cur, &col_of)?;
                 outputs[id] = Some((cur.name, out_col));
             }
-            CompKind::MultiSelection { input, selection, flatmap, label } => {
+            CompKind::MultiSelection {
+                input,
+                selection,
+                flatmap,
+                label,
+            } => {
                 let (in_list, in_col) = outputs[*input].clone().ok_or_else(|| dangling(*input))?;
-                let mut cur = CurList { name: in_list, cols: vec![in_col.clone()] };
+                let mut cur = CurList {
+                    name: in_list,
+                    cols: vec![in_col.clone()],
+                };
                 let mut n = 0;
                 let col_of = {
                     let in_col = in_col.clone();
@@ -294,20 +387,38 @@ pub fn compile(graph: &ComputationGraph) -> PcResult<CompiledQuery> {
                 let out_col = format!("out{id}");
                 let out = c.fresh_list("FM");
                 c.stmts.push(TcapStmt {
-                    output: VecListDecl { name: out.clone(), cols: vec![out_col.clone()] },
+                    output: VecListDecl {
+                        name: out.clone(),
+                        cols: vec![out_col.clone()],
+                    },
                     op: TcapOp::FlatMap {
-                        input: ColRef { list: cur.name.clone(), cols: vec![in_col.clone()] },
-                        copy: ColRef { list: cur.name.clone(), cols: vec![] },
+                        input: ColRef {
+                            list: cur.name.clone(),
+                            cols: vec![in_col.clone()],
+                        },
+                        copy: ColRef {
+                            list: cur.name.clone(),
+                            cols: vec![],
+                        },
                         computation: comp.clone(),
                         stage: stage.clone(),
-                        meta: vec![("type".into(), "multiSelect".into()), ("label".into(), label.clone())],
+                        meta: vec![
+                            ("type".into(), "multiSelect".into()),
+                            ("label".into(), label.clone()),
+                        ],
                     },
                 });
-                c.stages.register(&comp, &stage, StageKernel::FlatMap(flatmap.clone()));
+                c.stages
+                    .register(&comp, &stage, StageKernel::FlatMap(flatmap.clone()));
                 outputs[id] = Some((out, out_col));
             }
-            CompKind::Join { inputs, selection, projection } => {
-                let compiled = compile_join(&mut c, id, &comp, inputs, selection, projection, &outputs)?;
+            CompKind::Join {
+                inputs,
+                selection,
+                projection,
+            } => {
+                let compiled =
+                    compile_join(&mut c, id, &comp, inputs, selection, projection, &outputs)?;
                 outputs[id] = Some(compiled);
             }
             CompKind::Aggregate { input, agg } => {
@@ -315,10 +426,19 @@ pub fn compile(graph: &ComputationGraph) -> PcResult<CompiledQuery> {
                 let out = format!("Ag_{id}");
                 let out_col = format!("out{id}");
                 c.stmts.push(TcapStmt {
-                    output: VecListDecl { name: out.clone(), cols: vec![out_col.clone()] },
+                    output: VecListDecl {
+                        name: out.clone(),
+                        cols: vec![out_col.clone()],
+                    },
                     op: TcapOp::Aggregate {
-                        key: ColRef { list: in_list.clone(), cols: vec![in_col.clone()] },
-                        value: ColRef { list: in_list, cols: vec![in_col] },
+                        key: ColRef {
+                            list: in_list.clone(),
+                            cols: vec![in_col.clone()],
+                        },
+                        value: ColRef {
+                            list: in_list,
+                            cols: vec![in_col],
+                        },
                         computation: comp.clone(),
                         meta: vec![("outType".into(), agg.out_type())],
                     },
@@ -329,9 +449,15 @@ pub fn compile(graph: &ComputationGraph) -> PcResult<CompiledQuery> {
             CompKind::Writer { db, set, input } => {
                 let (in_list, in_col) = outputs[*input].clone().ok_or_else(|| dangling(*input))?;
                 c.stmts.push(TcapStmt {
-                    output: VecListDecl { name: format!("Out_{id}"), cols: vec![] },
+                    output: VecListDecl {
+                        name: format!("Out_{id}"),
+                        cols: vec![],
+                    },
                     op: TcapOp::Output {
-                        input: ColRef { list: in_list, cols: vec![in_col] },
+                        input: ColRef {
+                            list: in_list,
+                            cols: vec![in_col],
+                        },
                         db: db.clone(),
                         set: set.clone(),
                         computation: comp,
@@ -342,7 +468,11 @@ pub fn compile(graph: &ComputationGraph) -> PcResult<CompiledQuery> {
         }
     }
 
-    Ok(CompiledQuery { tcap: TcapProgram::new(c.stmts), stages: c.stages, aggs: c.aggs })
+    Ok(CompiledQuery {
+        tcap: TcapProgram::new(c.stmts),
+        stages: c.stages,
+        aggs: c.aggs,
+    })
 }
 
 fn dangling(input: usize) -> PcError {
@@ -391,7 +521,10 @@ fn compile_join(
     let mut joined: BTreeSet<usize> = BTreeSet::from([0]);
     let mut used_keys: Vec<usize> = Vec::new();
     // Composite state: current list + the obj col of every joined position.
-    let mut cur = CurList { name: side[0].0.clone(), cols: vec![side[0].1.clone()] };
+    let mut cur = CurList {
+        name: side[0].0.clone(),
+        cols: vec![side[0].1.clone()],
+    };
     let col_of_pos = |side: &[(String, String)], p: usize| side[p].1.clone();
 
     while joined.len() < n_in {
@@ -407,8 +540,11 @@ fn compile_join(
             )));
         };
         used_keys.push(ki);
-        let (in_joined, newcomer, jt, nt) =
-            if joined.contains(&l) { (l, r, lt, rt) } else { (r, l, rt, lt) };
+        let (in_joined, newcomer, jt, nt) = if joined.contains(&l) {
+            (l, r, lt, rt)
+        } else {
+            (r, l, rt, lt)
+        };
         let _ = in_joined;
 
         // Build side (the already-joined composite): extract key + hash.
@@ -417,11 +553,13 @@ fn compile_join(
         let lk = c.emit_term(jt, comp, &mut n, &mut cur, &colmap)?;
         let lh = c.hash(&mut cur, comp, &lk, &mut n);
         let left_list = cur.name.clone();
-        let left_objs: Vec<String> =
-            joined.iter().map(|p| side[*p].1.clone()).collect();
+        let left_objs: Vec<String> = joined.iter().map(|p| side[*p].1.clone()).collect();
 
         // Probe side (the newcomer input).
-        let mut rcur = CurList { name: side[newcomer].0.clone(), cols: vec![side[newcomer].1.clone()] };
+        let mut rcur = CurList {
+            name: side[newcomer].0.clone(),
+            cols: vec![side[newcomer].1.clone()],
+        };
         let side_ref = side.clone();
         let colmap = move |i: usize| col_of_pos(&side_ref, i);
         let rk = c.emit_term(nt, comp, &mut n, &mut rcur, &colmap)?;
@@ -432,18 +570,36 @@ fn compile_join(
         let mut out_cols = left_objs.clone();
         out_cols.push(side[newcomer].1.clone());
         c.stmts.push(TcapStmt {
-            output: VecListDecl { name: out.clone(), cols: out_cols.clone() },
+            output: VecListDecl {
+                name: out.clone(),
+                cols: out_cols.clone(),
+            },
             op: TcapOp::Join {
-                lhs_hash: ColRef { list: left_list.clone(), cols: vec![lh] },
-                lhs_copy: ColRef { list: left_list, cols: left_objs },
-                rhs_hash: ColRef { list: rcur.name.clone(), cols: vec![rh] },
-                rhs_copy: ColRef { list: rcur.name.clone(), cols: vec![side[newcomer].1.clone()] },
+                lhs_hash: ColRef {
+                    list: left_list.clone(),
+                    cols: vec![lh],
+                },
+                lhs_copy: ColRef {
+                    list: left_list,
+                    cols: left_objs,
+                },
+                rhs_hash: ColRef {
+                    list: rcur.name.clone(),
+                    cols: vec![rh],
+                },
+                rhs_copy: ColRef {
+                    list: rcur.name.clone(),
+                    cols: vec![side[newcomer].1.clone()],
+                },
                 computation: comp.to_string(),
                 meta: vec![],
             },
         });
         joined.insert(newcomer);
-        cur = CurList { name: out, cols: out_cols };
+        cur = CurList {
+            name: out,
+            cols: out_cols,
+        };
     }
 
     // Residual: re-check every conjunct post-join (hash collisions and
@@ -460,14 +616,23 @@ fn compile_join(
                 n += 1;
                 let stage = format!("&&_{n}");
                 let new_col = format!("bl{n}");
-                c.apply(&mut cur, comp, &stage, &[prev, b], &new_col, vec![
-                    ("type".into(), "bool_and".into()),
-                    ("op".into(), "&&".into()),
-                ]);
+                c.apply(
+                    &mut cur,
+                    comp,
+                    &stage,
+                    &[prev, b],
+                    &new_col,
+                    vec![
+                        ("type".into(), "bool_and".into()),
+                        ("op".into(), "&&".into()),
+                    ],
+                );
                 c.stages.register(
                     comp,
                     &stage,
-                    StageKernel::Map(Arc::new(BinaryKernel { op: crate::lambda::BinOp::And })),
+                    StageKernel::Map(Arc::new(BinaryKernel {
+                        op: crate::lambda::BinOp::And,
+                    })),
                 );
                 new_col
             }

@@ -26,9 +26,17 @@ pub enum CompKind {
     /// Scans a stored set (`ObjectReader`).
     Reader { db: String, set: String },
     /// Writes a set (`Writer`).
-    Writer { db: String, set: String, input: NodeId },
+    Writer {
+        db: String,
+        set: String,
+        input: NodeId,
+    },
     /// Relational selection + projection (`SelectionComp`).
-    Selection { input: NodeId, selection: LambdaTerm, projection: LambdaTerm },
+    Selection {
+        input: NodeId,
+        selection: LambdaTerm,
+        projection: LambdaTerm,
+    },
     /// Selection with a set-valued projection (`MultiSelectionComp`).
     MultiSelection {
         input: NodeId,
@@ -38,9 +46,16 @@ pub enum CompKind {
     },
     /// N-ary join (`JoinComp`): the selection lambda supplies both the join
     /// keys (equality conjuncts linking two inputs) and residual predicates.
-    Join { inputs: Vec<NodeId>, selection: LambdaTerm, projection: LambdaTerm },
+    Join {
+        inputs: Vec<NodeId>,
+        selection: LambdaTerm,
+        projection: LambdaTerm,
+    },
     /// Aggregation (`AggregateComp`).
-    Aggregate { input: NodeId, agg: Arc<dyn ErasedAgg> },
+    Aggregate {
+        input: NodeId,
+        agg: Arc<dyn ErasedAgg>,
+    },
 }
 
 /// A user-assembled graph of computations.
@@ -56,13 +71,22 @@ impl ComputationGraph {
 
     fn push(&mut self, prefix: &str, kind: CompKind) -> NodeId {
         let id = self.nodes.len();
-        self.nodes.push(Computation { name: format!("{prefix}_{id}"), kind });
+        self.nodes.push(Computation {
+            name: format!("{prefix}_{id}"),
+            kind,
+        });
         id
     }
 
     /// Adds a set reader.
     pub fn reader(&mut self, db: &str, set: &str) -> NodeId {
-        self.push("Reader", CompKind::Reader { db: db.to_string(), set: set.to_string() })
+        self.push(
+            "Reader",
+            CompKind::Reader {
+                db: db.to_string(),
+                set: set.to_string(),
+            },
+        )
     }
 
     /// Adds a `SelectionComp` with `selection` predicate and `projection`
@@ -76,7 +100,11 @@ impl ComputationGraph {
         assert!(input < self.nodes.len(), "selection input out of range");
         self.push(
             "Sel",
-            CompKind::Selection { input, selection: selection.term, projection: projection.term },
+            CompKind::Selection {
+                input,
+                selection: selection.term,
+                projection: projection.term,
+            },
         )
     }
 
@@ -89,7 +117,10 @@ impl ComputationGraph {
         label: &str,
         flatmap: Arc<dyn FlatMapKernel>,
     ) -> NodeId {
-        assert!(input < self.nodes.len(), "multi-selection input out of range");
+        assert!(
+            input < self.nodes.len(),
+            "multi-selection input out of range"
+        );
         self.push(
             "MSel",
             CompKind::MultiSelection {
@@ -127,13 +158,26 @@ impl ComputationGraph {
     /// Adds an `AggregateComp` from a typed [`AggregateSpec`].
     pub fn aggregate<S: AggregateSpec>(&mut self, input: NodeId, spec: S) -> NodeId {
         assert!(input < self.nodes.len(), "aggregate input out of range");
-        self.push("Agg", CompKind::Aggregate { input, agg: Arc::new(AggEngine::new(spec)) })
+        self.push(
+            "Agg",
+            CompKind::Aggregate {
+                input,
+                agg: Arc::new(AggEngine::new(spec)),
+            },
+        )
     }
 
     /// Adds a set writer (a query sink).
     pub fn write(&mut self, input: NodeId, db: &str, set: &str) -> NodeId {
         assert!(input < self.nodes.len(), "writer input out of range");
-        self.push("Writer", CompKind::Writer { db: db.to_string(), set: set.to_string(), input })
+        self.push(
+            "Writer",
+            CompKind::Writer {
+                db: db.to_string(),
+                set: set.to_string(),
+                input,
+            },
+        )
     }
 
     /// All writer node ids (the roots the scheduler executes).

@@ -84,7 +84,10 @@ where
         debug_assert_eq!(a.len(), b.len());
         let mut out = Vec::with_capacity(a.len());
         for (x, y) in a.iter().zip(b) {
-            out.push((self.f)(&x.downcast_unchecked::<A>(), &y.downcast_unchecked::<B>())?);
+            out.push((self.f)(
+                &x.downcast_unchecked::<A>(),
+                &y.downcast_unchecked::<B>(),
+            )?);
         }
         ctx.rows += a.len() as u64;
         Ok(R::collect(out))
@@ -237,8 +240,12 @@ impl ColumnKernel for BinaryKernel {
             (Ge, F64(x), F64(y)) => cmp_arms!(x, y, >=),
             (Le, I64(x), I64(y)) => cmp_arms!(x, y, <=),
             (Le, F64(x), F64(y)) => cmp_arms!(x, y, <=),
-            (And, Bool(x), Bool(y)) => Column::Bool(x.iter().zip(y).map(|(p, q)| *p && *q).collect()),
-            (Or, Bool(x), Bool(y)) => Column::Bool(x.iter().zip(y).map(|(p, q)| *p || *q).collect()),
+            (And, Bool(x), Bool(y)) => {
+                Column::Bool(x.iter().zip(y).map(|(p, q)| *p && *q).collect())
+            }
+            (Or, Bool(x), Bool(y)) => {
+                Column::Bool(x.iter().zip(y).map(|(p, q)| *p || *q).collect())
+            }
             (Add, I64(x), I64(y)) => arith_arms!(x, y, +, I64),
             (Add, F64(x), F64(y)) => arith_arms!(x, y, +, F64),
             (Sub, I64(x), I64(y)) => arith_arms!(x, y, -, I64),
@@ -380,11 +387,17 @@ mod tests {
         let mut c = ctx();
         let a = Column::F64(vec![1.0, 5.0, 3.0]);
         let b = Column::F64(vec![2.0, 2.0, 3.0]);
-        let gt = BinaryKernel { op: BinOpKind::Gt }.apply(&[&a, &b], &mut c).unwrap();
+        let gt = BinaryKernel { op: BinOpKind::Gt }
+            .apply(&[&a, &b], &mut c)
+            .unwrap();
         assert_eq!(gt.as_bool().unwrap(), &[false, true, false]);
-        let eq = BinaryKernel { op: BinOpKind::Eq }.apply(&[&a, &b], &mut c).unwrap();
+        let eq = BinaryKernel { op: BinOpKind::Eq }
+            .apply(&[&a, &b], &mut c)
+            .unwrap();
         assert_eq!(eq.as_bool().unwrap(), &[false, false, true]);
-        let add = BinaryKernel { op: BinOpKind::Add }.apply(&[&a, &b], &mut c).unwrap();
+        let add = BinaryKernel { op: BinOpKind::Add }
+            .apply(&[&a, &b], &mut c)
+            .unwrap();
         assert_eq!(add.as_f64().unwrap(), &[3.0, 7.0, 6.0]);
     }
 
@@ -393,16 +406,21 @@ mod tests {
         let mut c = ctx();
         let a = Column::F64(vec![1.0]);
         let b = Column::I64(vec![1]);
-        assert!(BinaryKernel { op: BinOpKind::Eq }.apply(&[&a, &b], &mut c).is_err());
+        assert!(BinaryKernel { op: BinOpKind::Eq }
+            .apply(&[&a, &b], &mut c)
+            .is_err());
     }
 
     #[test]
     fn const_cmp_and_not() {
         let mut c = ctx();
         let a = Column::I64(vec![49_999, 50_000, 50_001]);
-        let gt = ConstCmpKernel { op: BinOpKind::Gt, value: ConstOperand::I64(50_000) }
-            .apply(&[&a], &mut c)
-            .unwrap();
+        let gt = ConstCmpKernel {
+            op: BinOpKind::Gt,
+            value: ConstOperand::I64(50_000),
+        }
+        .apply(&[&a], &mut c)
+        .unwrap();
         assert_eq!(gt.as_bool().unwrap(), &[false, false, true]);
         let ne = NotKernel.apply(&[&gt], &mut c).unwrap();
         assert_eq!(ne.as_bool().unwrap(), &[true, true, false]);

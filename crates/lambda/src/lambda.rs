@@ -33,11 +33,19 @@ pub enum LambdaTerm {
     /// The identity function on input `input` (`makeLambdaFromSelf`).
     SelfRef { input: usize },
     /// A higher-order composition: `==`, `>`, `&&`, `+`, ...
-    Binary { op: BinOp, lhs: Box<LambdaTerm>, rhs: Box<LambdaTerm> },
+    Binary {
+        op: BinOp,
+        lhs: Box<LambdaTerm>,
+        rhs: Box<LambdaTerm>,
+    },
     /// Boolean negation.
     Not { inner: Box<LambdaTerm> },
     /// Comparison against a constant.
-    ConstCmp { op: BinOp, value: ConstVal, inner: Box<LambdaTerm> },
+    ConstCmp {
+        op: BinOp,
+        value: ConstVal,
+        inner: Box<LambdaTerm>,
+    },
 }
 
 impl LambdaTerm {
@@ -58,7 +66,11 @@ impl LambdaTerm {
     /// Splits a boolean term into its top-level conjuncts.
     pub fn conjuncts(&self) -> Vec<&LambdaTerm> {
         match self {
-            LambdaTerm::Binary { op: BinOp::And, lhs, rhs } => {
+            LambdaTerm::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
                 let mut v = lhs.conjuncts();
                 v.extend(rhs.conjuncts());
                 v
@@ -71,7 +83,12 @@ impl LambdaTerm {
 impl std::fmt::Debug for LambdaTerm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LambdaTerm::Extract { inputs, op_type, name, .. } => {
+            LambdaTerm::Extract {
+                inputs,
+                op_type,
+                name,
+                ..
+            } => {
                 write!(f, "{op_type}({name} over {inputs:?})")
             }
             LambdaTerm::SelfRef { input } => write!(f, "self({input})"),
@@ -94,13 +111,19 @@ pub struct Lambda<R> {
 
 impl<R> Clone for Lambda<R> {
     fn clone(&self) -> Self {
-        Lambda { term: self.term.clone(), _pd: PhantomData }
+        Lambda {
+            term: self.term.clone(),
+            _pd: PhantomData,
+        }
     }
 }
 
 impl<R> Lambda<R> {
     pub fn from_term(term: LambdaTerm) -> Self {
-        Lambda { term, _pd: PhantomData }
+        Lambda {
+            term,
+            _pd: PhantomData,
+        }
     }
 
     fn binary<R2, O>(self, op: BinOp, rhs: Lambda<R2>) -> Lambda<O> {
@@ -147,7 +170,11 @@ impl<R> Lambda<R> {
     }
 
     fn cmp_const(self, op: BinOp, value: ConstVal) -> Lambda<bool> {
-        Lambda::from_term(LambdaTerm::ConstCmp { op, value, inner: Box::new(self.term) })
+        Lambda::from_term(LambdaTerm::ConstCmp {
+            op,
+            value,
+            inner: Box::new(self.term),
+        })
     }
 
     /// Compare against a constant: `> c`.
@@ -189,7 +216,9 @@ impl Lambda<bool> {
 
     /// `!`
     pub fn not(self) -> Lambda<bool> {
-        Lambda::from_term(LambdaTerm::Not { inner: Box::new(self.term) })
+        Lambda::from_term(LambdaTerm::Not {
+            inner: Box::new(self.term),
+        })
     }
 }
 
@@ -229,7 +258,10 @@ where
         inputs: vec![input],
         op_type: "attAccess",
         name: att_name.to_string(),
-        kernel: Arc::new(Extract1 { f: move |h: &Handle<T>| Ok(getter(h)), _pd: PhantomData }),
+        kernel: Arc::new(Extract1 {
+            f: move |h: &Handle<T>| Ok(getter(h)),
+            _pd: PhantomData,
+        }),
     })
 }
 
@@ -249,7 +281,10 @@ where
         inputs: vec![input],
         op_type: "methodCall",
         name: method_name.to_string(),
-        kernel: Arc::new(Extract1 { f: move |h: &Handle<T>| Ok(method(h)), _pd: PhantomData }),
+        kernel: Arc::new(Extract1 {
+            f: move |h: &Handle<T>| Ok(method(h)),
+            _pd: PhantomData,
+        }),
     })
 }
 
@@ -271,7 +306,10 @@ where
         inputs: vec![input],
         op_type: "native",
         name: label.to_string(),
-        kernel: Arc::new(Extract1 { f, _pd: PhantomData }),
+        kernel: Arc::new(Extract1 {
+            f,
+            _pd: PhantomData,
+        }),
     })
 }
 
@@ -290,7 +328,10 @@ where
         inputs: vec![inputs.0, inputs.1],
         op_type: "native",
         name: label.to_string(),
-        kernel: Arc::new(Extract2 { f, _pd: PhantomData }),
+        kernel: Arc::new(Extract2 {
+            f,
+            _pd: PhantomData,
+        }),
     })
 }
 
@@ -310,7 +351,10 @@ where
         inputs: vec![inputs.0, inputs.1, inputs.2],
         op_type: "native",
         name: label.to_string(),
-        kernel: Arc::new(Extract3 { f, _pd: PhantomData }),
+        kernel: Arc::new(Extract3 {
+            f,
+            _pd: PhantomData,
+        }),
     })
 }
 
@@ -336,8 +380,7 @@ mod tests {
         let salary = make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary())
             .gt_const(50_000i64);
         let sup_name = make_lambda_from_member::<Emp, String>(1, "name", |_| String::new());
-        let emp_sup =
-            make_lambda_from_method::<Emp, String>(0, "getSupervisor", |_| String::new());
+        let emp_sup = make_lambda_from_method::<Emp, String>(0, "getSupervisor", |_| String::new());
         let pred = salary.and(sup_name.eq(emp_sup));
 
         let conj = pred.term.conjuncts();
@@ -348,8 +391,7 @@ mod tests {
 
     #[test]
     fn debug_rendering_names_the_abstractions() {
-        let l = make_lambda_from_member::<Emp, i64>(0, "deptId", |_| 0)
-            .eq_const(7i64);
+        let l = make_lambda_from_member::<Emp, i64>(0, "deptId", |_| 0).eq_const(7i64);
         let s = format!("{:?}", l.term);
         assert!(s.contains("attAccess(deptId"), "{s}");
     }

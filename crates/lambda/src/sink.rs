@@ -185,12 +185,17 @@ impl SetWriter {
     /// PC's pages grow to 256 MiB).
     pub fn write_with(&mut self, mut make: impl FnMut() -> PcResult<AnyHandle>) -> PcResult<()> {
         self.ensure_page()?;
-        let attempt = |w: &mut Self, make: &mut dyn FnMut() -> PcResult<AnyHandle>| -> PcResult<()> {
-            let block = w.current.as_ref().unwrap().0.clone();
-            let _scope = AllocScope::install(block);
-            let h = make()?;
-            w.current.as_ref().unwrap().1.push(h.downcast_unchecked::<AnyObj>())
-        };
+        let attempt =
+            |w: &mut Self, make: &mut dyn FnMut() -> PcResult<AnyHandle>| -> PcResult<()> {
+                let block = w.current.as_ref().unwrap().0.clone();
+                let _scope = AllocScope::install(block);
+                let h = make()?;
+                w.current
+                    .as_ref()
+                    .unwrap()
+                    .1
+                    .push(h.downcast_unchecked::<AnyObj>())
+            };
         for _ in 0..16 {
             match attempt(self, &mut make) {
                 Ok(()) => {
@@ -200,7 +205,11 @@ impl SetWriter {
                 Err(PcError::BlockFull { .. }) => {
                     // If the failing page held nothing yet, a same-size
                     // retry cannot succeed: grow.
-                    let fresh = self.current.as_ref().map(|(_, r)| r.is_empty()).unwrap_or(true);
+                    let fresh = self
+                        .current
+                        .as_ref()
+                        .map(|(_, r)| r.is_empty())
+                        .unwrap_or(true);
                     if fresh {
                         self.escalate_page_size();
                     }
@@ -209,7 +218,9 @@ impl SetWriter {
                 Err(e) => return Err(e),
             }
         }
-        Err(PcError::Catalog("object exceeds the maximum page size".into()))
+        Err(PcError::Catalog(
+            "object exceeds the maximum page size".into(),
+        ))
     }
 
     /// Seals the tail page and any zombies, returning all pages.
@@ -256,7 +267,11 @@ mod tests {
         }
         assert_eq!(w.objects_written, 500);
         let pages = w.finish().unwrap();
-        assert!(pages.len() > 1, "tiny pages must roll (got {})", pages.len());
+        assert!(
+            pages.len() > 1,
+            "tiny pages must roll (got {})",
+            pages.len()
+        );
         let mut seen = 0usize;
         let mut sum = 0.0;
         for page in pages {
@@ -310,8 +325,14 @@ mod tests {
             w.release_zombies().unwrap();
             assert_eq!(w.zombie_count(), 0);
         }
-        assert!(w.max_zombies >= 1, "full pages pinned by a column must zombify");
-        assert!(w.max_zombies <= 2, "Appendix C caps zombie output pages at 2");
+        assert!(
+            w.max_zombies >= 1,
+            "full pages pinned by a column must zombify"
+        );
+        assert!(
+            w.max_zombies <= 2,
+            "Appendix C caps zombie output pages at 2"
+        );
         let pages = w.finish().unwrap();
         let total: usize = pages
             .iter()
@@ -322,4 +343,5 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 200);
-    }}
+    }
+}

@@ -213,7 +213,10 @@ impl Parser {
 
 impl LilLinAlg {
     pub fn new(client: PcClient) -> Self {
-        LilLinAlg { client, vars: HashMap::new() }
+        LilLinAlg {
+            client,
+            vars: HashMap::new(),
+        }
     }
 
     /// Registers a matrix under a DSL variable name (the `load(...)` step).
@@ -233,7 +236,9 @@ impl LilLinAlg {
         let mut last = String::new();
         while p.peek().is_some() {
             let Some(Tok::Ident(target)) = p.eat() else {
-                return Err(PcError::Catalog("statement must start with a variable".into()));
+                return Err(PcError::Catalog(
+                    "statement must start with a variable".into(),
+                ));
             };
             if p.eat() != Some(Tok::Assign) {
                 return Err(PcError::Catalog(format!("expected '=' after {target}")));
@@ -279,7 +284,11 @@ mod tests {
             state ^= state << 17;
             (state % 1000) as f64 / 500.0 - 1.0
         };
-        DenseMatrix { rows: r, cols: c, data: (0..r * c).map(|_| next()).collect() }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data: (0..r * c).map(|_| next()).collect(),
+        }
     }
 
     #[test]
@@ -293,12 +302,22 @@ mod tests {
         let y = x.matmul(&beta_true);
 
         let mut la = LilLinAlg::new(client.clone());
-        la.load("X", DistMatrix::from_dense(&client, "la", "dslx", &x, 16, d).unwrap());
-        la.load("y", DistMatrix::from_dense(&client, "la", "dsly", &y, 16, 1).unwrap());
+        la.load(
+            "X",
+            DistMatrix::from_dense(&client, "la", "dslx", &x, 16, d).unwrap(),
+        );
+        la.load(
+            "y",
+            DistMatrix::from_dense(&client, "la", "dsly", &y, 16, 1).unwrap(),
+        );
         let out = la.run("beta = (X '* X)^-1 %*% (X '* y)").unwrap();
         assert_eq!(out, "beta");
         let beta = la.get("beta").unwrap().to_dense().unwrap();
-        assert!(beta.max_abs_diff(&beta_true) < 1e-6, "diff {}", beta.max_abs_diff(&beta_true));
+        assert!(
+            beta.max_abs_diff(&beta_true) < 1e-6,
+            "diff {}",
+            beta.max_abs_diff(&beta_true)
+        );
     }
 
     #[test]
@@ -306,7 +325,10 @@ mod tests {
         let client = PcClient::local_small().unwrap();
         let a = rand_dense(12, 12, 9);
         let mut la = LilLinAlg::new(client.clone());
-        la.load("A", DistMatrix::from_dense(&client, "la", "dsla", &a, 6, 6).unwrap());
+        la.load(
+            "A",
+            DistMatrix::from_dense(&client, "la", "dsla", &a, 6, 6).unwrap(),
+        );
         la.run("B = A + A; C = 2.0 * A; D = B - C").unwrap();
         let d = la.get("D").unwrap().to_dense().unwrap();
         assert!(d.max_abs_diff(&DenseMatrix::zeros(12, 12)) < 1e-12);

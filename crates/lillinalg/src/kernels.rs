@@ -101,13 +101,21 @@ pub struct DenseMatrix {
 
 impl DenseMatrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
         let r = rows.len();
         let c = rows.first().map(|x| x.len()).unwrap_or(0);
-        DenseMatrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data: rows.into_iter().flatten().collect(),
+        }
     }
 
     #[inline]
@@ -131,7 +139,14 @@ impl DenseMatrix {
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, other.rows);
         let mut c = DenseMatrix::zeros(self.rows, other.cols);
-        matmul_blocked(&self.data, &other.data, &mut c.data, self.rows, self.cols, other.cols);
+        matmul_blocked(
+            &self.data,
+            &other.data,
+            &mut c.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
         c
     }
 
@@ -219,7 +234,11 @@ mod tests {
             (state % 1000) as f64 / 500.0 - 1.0
         };
         let data = (0..r * c).map(|_| next()).collect();
-        DenseMatrix { rows: r, cols: c, data }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     #[test]

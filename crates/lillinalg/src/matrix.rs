@@ -3,8 +3,8 @@
 
 use crate::kernels::{self, DenseMatrix};
 use pc_core::prelude::*;
-use pc_object::PcValue;
 use pc_lambda::{make_lambda, make_lambda2};
+use pc_object::PcValue;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pc_object! {
@@ -159,7 +159,10 @@ impl DistMatrix {
     /// Gathers the distributed matrix back to a driver-side dense matrix.
     pub fn to_dense(&self) -> PcResult<DenseMatrix> {
         let mut out = DenseMatrix::zeros(self.rows, self.cols);
-        for blk in self.client.iterate_set::<MatrixBlock>(&self.db, &self.set)? {
+        for blk in self
+            .client
+            .iterate_set::<MatrixBlock>(&self.db, &self.set)?
+        {
             let r0 = blk.v().chunk_row() as usize * self.block_rows;
             let c0 = blk.v().chunk_col() as usize * self.block_cols;
             let (h, w) = (blk.v().height() as usize, blk.v().width() as usize);
@@ -199,14 +202,22 @@ impl DistMatrix {
         let sel = pc_lambda::make_lambda_from_member::<MatrixBlock, i64>(0, "chunkCol", |m| {
             m.v().chunk_col()
         })
-        .eq(pc_lambda::make_lambda_from_member::<MatrixBlock, i64>(1, "chunkRow", |m| {
-            m.v().chunk_row()
-        }));
+        .eq(pc_lambda::make_lambda_from_member::<MatrixBlock, i64>(
+            1,
+            "chunkRow",
+            |m| m.v().chunk_row(),
+        ));
         let proj = make_lambda2::<MatrixBlock, MatrixBlock, _>((0, 1), "blockMultiply", |x, y| {
             let (m, k) = (x.v().height() as usize, x.v().width() as usize);
             let n = y.v().width() as usize;
             debug_assert_eq!(k, y.v().height() as usize);
-            let out = make_matrix_block(x.v().chunk_row(), y.v().chunk_col(), m, n, &vec![0.0; m * n])?;
+            let out = make_matrix_block(
+                x.v().chunk_row(),
+                y.v().chunk_col(),
+                m,
+                n,
+                &vec![0.0; m * n],
+            )?;
             let xv = x.v().values();
             let yv = y.v().values();
             let ov = out.v().values();
@@ -218,13 +229,22 @@ impl DistMatrix {
         let agg = g.aggregate(joined, SumPartials);
         g.write(agg, &self.db, &out);
         self.client.execute_computations(&g)?;
-        Ok(self.result(out, self.rows, other.cols, self.block_rows, other.block_cols))
+        Ok(self.result(
+            out,
+            self.rows,
+            other.cols,
+            self.block_rows,
+            other.block_cols,
+        ))
     }
 
     /// Distributed transpose-multiply `selfᵀ · other` (the DSL's `'*`):
     /// joins on the *row* block index, so a Gram matrix is a self-join.
     pub fn transpose_multiply(&self, other: &DistMatrix) -> PcResult<DistMatrix> {
-        assert_eq!(self.rows, other.rows, "dimension mismatch in transpose-multiply");
+        assert_eq!(
+            self.rows, other.rows,
+            "dimension mismatch in transpose-multiply"
+        );
         let out = tmp_set();
         self.client.create_or_clear_set(&self.db, &out)?;
         let mut g = ComputationGraph::new();
@@ -233,14 +253,22 @@ impl DistMatrix {
         let sel = pc_lambda::make_lambda_from_member::<MatrixBlock, i64>(0, "chunkRow", |m| {
             m.v().chunk_row()
         })
-        .eq(pc_lambda::make_lambda_from_member::<MatrixBlock, i64>(1, "chunkRow", |m| {
-            m.v().chunk_row()
-        }));
+        .eq(pc_lambda::make_lambda_from_member::<MatrixBlock, i64>(
+            1,
+            "chunkRow",
+            |m| m.v().chunk_row(),
+        ));
         let proj = make_lambda2::<MatrixBlock, MatrixBlock, _>((0, 1), "blockAtB", |x, y| {
             let (m, k) = (x.v().height() as usize, x.v().width() as usize);
             let n = y.v().width() as usize;
             debug_assert_eq!(m, y.v().height() as usize);
-            let out = make_matrix_block(x.v().chunk_col(), y.v().chunk_col(), k, n, &vec![0.0; k * n])?;
+            let out = make_matrix_block(
+                x.v().chunk_col(),
+                y.v().chunk_col(),
+                k,
+                n,
+                &vec![0.0; k * n],
+            )?;
             let xv = x.v().values();
             let yv = y.v().values();
             let ov = out.v().values();
@@ -251,12 +279,27 @@ impl DistMatrix {
         let agg = g.aggregate(joined, SumPartials);
         g.write(agg, &self.db, &out);
         self.client.execute_computations(&g)?;
-        Ok(self.result(out, self.cols, other.cols, self.block_cols, other.block_cols))
+        Ok(self.result(
+            out,
+            self.cols,
+            other.cols,
+            self.block_cols,
+            other.block_cols,
+        ))
     }
 
     /// Block-wise binary op (`+` / `-`): a join on the grid position.
-    fn zip_with(&self, other: &DistMatrix, label: &str, f: fn(f64, f64) -> f64) -> PcResult<DistMatrix> {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+    fn zip_with(
+        &self,
+        other: &DistMatrix,
+        label: &str,
+        f: fn(f64, f64) -> f64,
+    ) -> PcResult<DistMatrix> {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         let out = tmp_set();
         self.client.create_or_clear_set(&self.db, &out)?;
         let mut g = ComputationGraph::new();
@@ -270,7 +313,13 @@ impl DistMatrix {
         let sel = grid(0).eq(grid(1));
         let proj = make_lambda2::<MatrixBlock, MatrixBlock, _>((0, 1), label, move |x, y| {
             let (h, w) = (x.v().height() as usize, x.v().width() as usize);
-            let out = make_matrix_block(x.v().chunk_row(), x.v().chunk_col(), h, w, &vec![0.0; h * w])?;
+            let out = make_matrix_block(
+                x.v().chunk_row(),
+                x.v().chunk_col(),
+                h,
+                w,
+                &vec![0.0; h * w],
+            )?;
             let xs = x.v().values();
             let ys = y.v().values();
             let ov = out.v().values();
@@ -304,7 +353,13 @@ impl DistMatrix {
             .ge_const(0i64);
         let proj = make_lambda::<MatrixBlock, _>(0, "blockScale", move |x| {
             let (h, w) = (x.v().height() as usize, x.v().width() as usize);
-            let out = make_matrix_block(x.v().chunk_row(), x.v().chunk_col(), h, w, &vec![0.0; h * w])?;
+            let out = make_matrix_block(
+                x.v().chunk_row(),
+                x.v().chunk_col(),
+                h,
+                w,
+                &vec![0.0; h * w],
+            )?;
             let xs = x.v().values();
             let ov = out.v().values();
             for (o, v) in ov.as_mut_slice().iter_mut().zip(xs.as_slice()) {
@@ -329,7 +384,13 @@ impl DistMatrix {
             .ge_const(0i64);
         let proj = make_lambda::<MatrixBlock, _>(0, "blockTranspose", |x| {
             let (h, w) = (x.v().height() as usize, x.v().width() as usize);
-            let out = make_matrix_block(x.v().chunk_col(), x.v().chunk_row(), w, h, &vec![0.0; h * w])?;
+            let out = make_matrix_block(
+                x.v().chunk_col(),
+                x.v().chunk_row(),
+                w,
+                h,
+                &vec![0.0; h * w],
+            )?;
             let xs = x.v().values();
             let ov = out.v().values();
             kernels::transpose(xs.as_slice(), ov.as_mut_slice(), h, w);
@@ -387,7 +448,10 @@ impl DistMatrix {
 
     fn fold_elements(&self, init: f64, f: fn(f64, f64) -> f64) -> PcResult<f64> {
         let mut acc = init;
-        for blk in self.client.iterate_set::<MatrixBlock>(&self.db, &self.set)? {
+        for blk in self
+            .client
+            .iterate_set::<MatrixBlock>(&self.db, &self.set)?
+        {
             let vals = blk.v().values();
             for v in vals.as_slice() {
                 acc = f(acc, *v);
@@ -402,7 +466,14 @@ impl DistMatrix {
         let dense = self.to_dense()?;
         let inv = dense.inverse().map_err(PcError::Catalog)?;
         let out = tmp_set();
-        DistMatrix::from_dense(&self.client, &self.db, &out, &inv, self.block_rows, self.block_cols)
+        DistMatrix::from_dense(
+            &self.client,
+            &self.db,
+            &out,
+            &inv,
+            self.block_rows,
+            self.block_cols,
+        )
     }
 }
 
@@ -418,7 +489,11 @@ mod tests {
             state ^= state << 17;
             (state % 1000) as f64 / 500.0 - 1.0
         };
-        DenseMatrix { rows: r, cols: c, data: (0..r * c).map(|_| next()).collect() }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data: (0..r * c).map(|_| next()).collect(),
+        }
     }
 
     #[test]
@@ -431,7 +506,11 @@ mod tests {
         let dc = da.multiply(&db).unwrap();
         let got = dc.to_dense().unwrap();
         let want = a.matmul(&b);
-        assert!(got.max_abs_diff(&want) < 1e-9, "diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.max_abs_diff(&want) < 1e-9,
+            "diff {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]

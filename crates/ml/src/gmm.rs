@@ -82,7 +82,12 @@ impl GmmModel {
 
     pub fn max_abs_diff(&self, other: &GmmModel) -> f64 {
         let mut m: f64 = 0.0;
-        for (a, b) in self.means.iter().flatten().zip(other.means.iter().flatten()) {
+        for (a, b) in self
+            .means
+            .iter()
+            .flatten()
+            .zip(other.means.iter().flatten())
+        {
             m = m.max((a - b).abs());
         }
         for (a, b) in self.vars.iter().flatten().zip(other.vars.iter().flatten()) {
@@ -190,7 +195,13 @@ pub struct PcGmm {
 }
 
 impl PcGmm {
-    pub fn init(client: &PcClient, db: &str, set: &str, points: &[Vec<f64>], k: usize) -> PcResult<Self> {
+    pub fn init(
+        client: &PcClient,
+        db: &str,
+        set: &str,
+        points: &[Vec<f64>],
+        k: usize,
+    ) -> PcResult<Self> {
         client.create_or_clear_set(db, set)?;
         client.store(db, set, points.len(), |i| {
             let p = &points[i];
@@ -214,7 +225,12 @@ impl PcGmm {
         self.client.create_or_clear_set(&self.db, &out_set)?;
         let mut g = ComputationGraph::new();
         let pts = g.reader(&self.db, &self.set);
-        let agg = g.aggregate(pts, GmmAgg { model: Arc::new(self.model.clone()) });
+        let agg = g.aggregate(
+            pts,
+            GmmAgg {
+                model: Arc::new(self.model.clone()),
+            },
+        );
         g.write(agg, &self.db, &out_set);
         self.client.execute_computations(&g)?;
         // One packed stat object comes back; unpack per component.
@@ -223,8 +239,9 @@ impl PcGmm {
         for stat in self.client.iterate_set::<GmmStat>(&self.db, &out_set)? {
             let sv = stat.v().stats();
             let s = sv.as_slice();
-            let per: Vec<(usize, Vec<f64>)> =
-                (0..k).map(|c| (c, s[c * (1 + 2 * d)..(c + 1) * (1 + 2 * d)].to_vec())).collect();
+            let per: Vec<(usize, Vec<f64>)> = (0..k)
+                .map(|c| (c, s[c * (1 + 2 * d)..(c + 1) * (1 + 2 * d)].to_vec()))
+                .collect();
             self.model.update(&per, self.n as f64);
         }
         Ok(())
@@ -242,7 +259,11 @@ impl BaselineGmm {
     pub fn init(eng: &SparkLike, points: Vec<Vec<f64>>, k: usize) -> Self {
         let model = GmmModel::init(&points, k);
         let n = points.len();
-        BaselineGmm { points: eng.parallelize(points), model, n }
+        BaselineGmm {
+            points: eng.parallelize(points),
+            model,
+            n,
+        }
     }
 
     pub fn iterate(&mut self) {
@@ -263,8 +284,9 @@ impl BaselineGmm {
             a
         });
         for (_, s) in reduced.collect() {
-            let per: Vec<(usize, Vec<f64>)> =
-                (0..k).map(|c| (c, s[c * (1 + 2 * d)..(c + 1) * (1 + 2 * d)].to_vec())).collect();
+            let per: Vec<(usize, Vec<f64>)> = (0..k)
+                .map(|c| (c, s[c * (1 + 2 * d)..(c + 1) * (1 + 2 * d)].to_vec()))
+                .collect();
             self.model.update(&per, self.n as f64);
         }
     }

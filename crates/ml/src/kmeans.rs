@@ -116,7 +116,13 @@ pub struct PcKMeans {
 
 impl PcKMeans {
     /// Loads points and initializes centroids from the first `k` points.
-    pub fn init(client: &PcClient, db: &str, set: &str, points: &[Vec<f64>], k: usize) -> PcResult<Self> {
+    pub fn init(
+        client: &PcClient,
+        db: &str,
+        set: &str,
+        points: &[Vec<f64>],
+        k: usize,
+    ) -> PcResult<Self> {
         client.create_or_clear_set(db, set)?;
         // Index by `i`: the page-fault retry may re-invoke the builder for
         // the same object.
@@ -141,11 +147,20 @@ impl PcKMeans {
     pub fn iterate(&mut self) -> PcResult<()> {
         let out_set = format!("{}_centroids", self.set);
         self.client.create_or_clear_set(&self.db, &out_set)?;
-        let norms: Vec<f64> =
-            self.centroids.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+        let norms: Vec<f64> = self
+            .centroids
+            .iter()
+            .map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
         let mut g = ComputationGraph::new();
         let pts = g.reader(&self.db, &self.set);
-        let agg = g.aggregate(pts, KMeansAgg { centroids: self.centroids.clone(), norms });
+        let agg = g.aggregate(
+            pts,
+            KMeansAgg {
+                centroids: self.centroids.clone(),
+                norms,
+            },
+        );
         g.write(agg, &self.db, &out_set);
         self.client.execute_computations(&g)?;
         for c in self.client.iterate_set::<Centroid>(&self.db, &out_set)? {
@@ -169,13 +184,19 @@ pub struct BaselineKMeans {
 impl BaselineKMeans {
     pub fn init(eng: &SparkLike, points: Vec<Vec<f64>>, k: usize) -> Self {
         let centroids = points.iter().take(k).cloned().collect();
-        BaselineKMeans { points: eng.parallelize(points), centroids }
+        BaselineKMeans {
+            points: eng.parallelize(points),
+            centroids,
+        }
     }
 
     pub fn iterate(&mut self) {
         let centroids = Arc::new(self.centroids.clone());
         let norms: Arc<Vec<f64>> = Arc::new(
-            centroids.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect(),
+            centroids
+                .iter()
+                .map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt())
+                .collect(),
         );
         let c2 = centroids.clone();
         let n2 = norms.clone();
@@ -203,8 +224,9 @@ impl BaselineKMeans {
 pub fn synthetic_points(n: usize, d: usize, k: usize, seed: u64) -> Vec<Vec<f64>> {
     use rand::{RngExt as _, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let centers: Vec<Vec<f64>> =
-        (0..k).map(|c| (0..d).map(|j| ((c * 7 + j) % 13) as f64 * 3.0).collect()).collect();
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|c| (0..d).map(|j| ((c * 7 + j) % 13) as f64 * 3.0).collect())
+        .collect();
     (0..n)
         .map(|i| {
             let c = &centers[i % k];
@@ -249,8 +271,10 @@ mod tests {
     fn pruning_never_changes_the_answer() {
         let pts = synthetic_points(100, 6, 4, 3);
         let centroids: Vec<Vec<f64>> = pts.iter().take(4).cloned().collect();
-        let norms: Vec<f64> =
-            centroids.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+        let norms: Vec<f64> = centroids
+            .iter()
+            .map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
         for p in &pts {
             let fast = closest_centroid(p, &centroids, &norms);
             // brute force

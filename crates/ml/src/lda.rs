@@ -94,7 +94,11 @@ impl AggregateSpec for FactorAgg {
     type Out = FactorRow;
 
     fn key_of(&self, rec: &Handle<Assignment>) -> PcResult<i64> {
-        Ok(if self.by_doc { rec.v().doc() } else { rec.v().word() })
+        Ok(if self.by_doc {
+            rec.v().doc()
+        } else {
+            rec.v().word()
+        })
     }
 
     fn init(&self, b: &BlockRef, rec: &Handle<Assignment>) -> PcResult<Handle<PcVec<f64>>> {
@@ -238,7 +242,11 @@ impl PcLda {
         let theta = g.reader(&db, "theta");
         let phi = g.reader(&db, "phi_by_word");
         let sel = pc_lambda::make_lambda_from_member::<Triple, i64>(0, "doc", |t| t.v().doc())
-            .eq(pc_lambda::make_lambda_from_member::<DocProbs, i64>(1, "doc", |p| p.v().doc()))
+            .eq(pc_lambda::make_lambda_from_member::<DocProbs, i64>(
+                1,
+                "doc",
+                |p| p.v().doc(),
+            ))
             .and(
                 pc_lambda::make_lambda_from_member::<Triple, i64>(0, "word", |t| t.v().word()).eq(
                     pc_lambda::make_lambda_from_member::<WordProbs, i64>(2, "word", |p| {
@@ -253,10 +261,19 @@ impl PcLda {
             move |t, dp, wp| {
                 let theta = dp.v().probs();
                 let phi = wp.v().probs();
-                let weights: Vec<f64> =
-                    theta.as_slice().iter().zip(phi.as_slice()).map(|(a, b)| a * b).collect();
+                let weights: Vec<f64> = theta
+                    .as_slice()
+                    .iter()
+                    .zip(phi.as_slice())
+                    .map(|(a, b)| a * b)
+                    .collect();
                 let mut counts = vec![0u32; k];
-                sampling::sample_multinomial(&mut *rng.lock(), &weights, t.v().count() as u32, &mut counts);
+                sampling::sample_multinomial(
+                    &mut *rng.lock(),
+                    &weights,
+                    t.v().count() as u32,
+                    &mut counts,
+                );
                 let a = make_object::<Assignment>()?;
                 a.v().set_doc(t.v().doc())?;
                 a.v().set_word(t.v().word())?;
@@ -277,7 +294,13 @@ impl PcLda {
         let asg = g.reader(&db, "assignments");
         let agg = g.aggregate(
             asg,
-            FactorAgg { width: k, prior: self.alpha, rng: self.rng.clone(), by_doc: true, sample: true },
+            FactorAgg {
+                width: k,
+                prior: self.alpha,
+                rng: self.rng.clone(),
+                by_doc: true,
+                sample: true,
+            },
         );
         g.write(agg, &db, "theta_rows");
         self.client.create_or_clear_set(&db, "theta_rows")?;
@@ -298,7 +321,13 @@ impl PcLda {
         let asg = g.reader(&db, "assignments");
         let agg = g.aggregate(
             asg,
-            FactorAgg { width: k, prior: 0.0, rng: self.rng.clone(), by_doc: false, sample: false },
+            FactorAgg {
+                width: k,
+                prior: 0.0,
+                rng: self.rng.clone(),
+                by_doc: false,
+                sample: false,
+            },
         );
         g.write(agg, &db, "word_counts");
         self.client.execute_computations(&g)?;
@@ -421,7 +450,11 @@ impl BaselineLda {
             sampling::sample_dirichlet(&mut rng, &vec![1.0; topics], row);
         }
         let rdd = eng.parallelize(triples);
-        let rdd = if tuning >= LdaTuning::ForcedPersist { rdd.cache() } else { rdd };
+        let rdd = if tuning >= LdaTuning::ForcedPersist {
+            rdd.cache()
+        } else {
+            rdd
+        };
         BaselineLda {
             eng: eng.clone(),
             tuning,
@@ -441,11 +474,21 @@ impl BaselineLda {
         let k = self.topics;
         // Model join: distribute θ and φ as keyed RDDs and join, or
         // broadcast (JoinHint+) — the same dataflow PC's 3-way join runs.
-        let theta_rdd: Rdd<(i64, Vec<f64>)> = self
-            .eng
-            .parallelize(self.theta.iter().cloned().enumerate().map(|(d, v)| (d as i64, v)).collect());
+        let theta_rdd: Rdd<(i64, Vec<f64>)> = self.eng.parallelize(
+            self.theta
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(d, v)| (d as i64, v))
+                .collect(),
+        );
         let phi_rdd: Rdd<(i64, Vec<f64>)> = self.eng.parallelize(
-            self.phi_by_word.iter().cloned().enumerate().map(|(w, v)| (w as i64, v)).collect(),
+            self.phi_by_word
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(w, v)| (w as i64, v))
+                .collect(),
         );
         let use_broadcast = self.tuning >= LdaTuning::JoinHint;
         let eng = if use_broadcast {
@@ -461,8 +504,7 @@ impl BaselineLda {
         let theta_rdd = eng.parallelize(theta_rdd.collect());
         let phi_rdd = eng.parallelize(phi_rdd.collect());
         let j1 = by_doc.join(&theta_rdd); // (doc, ((word,count), θ_d))
-        let by_word: Rdd<(i64, (i64, i64, Vec<f64>))> =
-            j1.map(|(d, ((w, c), th))| (w, (d, c, th)));
+        let by_word: Rdd<(i64, (i64, i64, Vec<f64>))> = j1.map(|(d, ((w, c), th))| (w, (d, c, th)));
         let j2 = by_word.join(&phi_rdd); // (word, ((doc,count,θ), φ_w))
         let seed: u64 = self.rng.random();
         let fast = self.tuning >= LdaTuning::HandCodedSampler;
@@ -477,7 +519,10 @@ impl BaselineLda {
                 } else {
                     sampling::sample_multinomial_generic(&mut rng, &weights, c as u32, &mut counts);
                 }
-                out.push((d, (w, counts.iter().map(|x| *x as f64).collect::<Vec<f64>>())));
+                out.push((
+                    d,
+                    (w, counts.iter().map(|x| *x as f64).collect::<Vec<f64>>()),
+                ));
             }
             out
         });
@@ -601,11 +646,19 @@ mod tests {
                 ..Default::default()
             });
             let mut lda = BaselineLda::init(&eng, tuning, triples.clone(), 30, 40, 2, 0.1, 0.1, 9);
-            for _ in 0..6 {
+            // 10 sweeps (not 6): the vendored RNG stream differs from
+            // crates.io rand's, and the slowest rung needs the extra burn-in
+            // to clear the sharpness bar.
+            for _ in 0..10 {
                 lda.iterate();
             }
-            let theta: Vec<(i64, Vec<f64>)> =
-                lda.theta().iter().cloned().enumerate().map(|(d, p)| (d as i64, p)).collect();
+            let theta: Vec<(i64, Vec<f64>)> = lda
+                .theta()
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(d, p)| (d as i64, p))
+                .collect();
             let sharp = topic_sharpness(&theta);
             assert!(sharp > 0.7, "{tuning:?}: sharpness {sharp}");
         }

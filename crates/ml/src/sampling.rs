@@ -78,7 +78,12 @@ pub fn sample_multinomial<R: Rng>(rng: &mut R, weights: &[f64], n: u32, counts: 
 /// baseline rungs (Table 4): it materializes a fresh normalized
 /// distribution and a fresh cumulative vector per draw — the kind of
 /// generic library code the paper's Spark expert had to replace.
-pub fn sample_multinomial_generic<R: Rng>(rng: &mut R, weights: &[f64], n: u32, counts: &mut [u32]) {
+pub fn sample_multinomial_generic<R: Rng>(
+    rng: &mut R,
+    weights: &[f64],
+    n: u32,
+    counts: &mut [u32],
+) {
     counts.fill(0);
     for _ in 0..n {
         let total: f64 = weights.iter().sum();
@@ -91,7 +96,10 @@ pub fn sample_multinomial_generic<R: Rng>(rng: &mut R, weights: &[f64], n: u32, 
             })
             .collect();
         let u: f64 = rng.random();
-        let idx = cumulative.iter().position(|&c| u <= c).unwrap_or(weights.len() - 1);
+        let idx = cumulative
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(weights.len() - 1);
         counts[idx] += 1;
     }
 }
@@ -111,7 +119,10 @@ mod tests {
         for &a in &[0.5, 1.0, 3.0, 10.0] {
             let n = 4000;
             let mean: f64 = (0..n).map(|_| sample_gamma(&mut r, a)).sum::<f64>() / n as f64;
-            assert!((mean - a).abs() < 0.25 * a.max(1.0), "shape {a}: mean {mean}");
+            assert!(
+                (mean - a).abs() < 0.25 * a.max(1.0),
+                "shape {a}: mean {mean}"
+            );
         }
     }
 
@@ -132,7 +143,10 @@ mod tests {
         for m in mean.iter_mut() {
             *m /= 2000.0;
         }
-        assert!(mean[0] > 0.7, "alpha-heavy component should dominate: {mean:?}");
+        assert!(
+            mean[0] > 0.7,
+            "alpha-heavy component should dominate: {mean:?}"
+        );
     }
 
     #[test]
@@ -147,8 +161,14 @@ mod tests {
             let p1 = c1[i] as f64 / 50_000.0;
             let p2 = c2[i] as f64 / 50_000.0;
             let want = w[i] / 10.0;
-            assert!((p1 - want).abs() < 0.02, "fast sampler off at {i}: {p1} vs {want}");
-            assert!((p2 - want).abs() < 0.02, "generic sampler off at {i}: {p2} vs {want}");
+            assert!(
+                (p1 - want).abs() < 0.02,
+                "fast sampler off at {i}: {p1} vs {want}"
+            );
+            assert!(
+                (p2 - want).abs() < 0.02,
+                "generic sampler off at {i}: {p2} vs {want}"
+            );
         }
     }
 }

@@ -31,7 +31,9 @@ impl PcObjType for AnyObj {
     }
 
     fn init_at(_b: &BlockRef, _off: u32) -> PcResult<()> {
-        Err(PcError::Catalog("AnyObj cannot be constructed; it is a pointee-only type".into()))
+        Err(PcError::Catalog(
+            "AnyObj cannot be constructed; it is a pointee-only type".into(),
+        ))
     }
 
     /// Deep copy dispatches on the *target's* header type code through the

@@ -167,7 +167,10 @@ impl BlockRef {
     /// Creates a managed block with `capacity` bytes of heap.
     pub fn new(capacity: usize, policy: AllocPolicy) -> Self {
         let capacity = capacity.max((BLOCK_HEADER_SIZE + OBJ_HEADER_SIZE) as usize);
-        assert!(capacity < u32::MAX as usize, "block capacity must fit in u32");
+        assert!(
+            capacity < u32::MAX as usize,
+            "block capacity must fit in u32"
+        );
         let buf = AlignedBuf::zeroed(capacity);
         let raw = RawBlock {
             buf: BufStorage::Owned(buf),
@@ -184,7 +187,10 @@ impl BlockRef {
             recycle_hits: 0,
             deep_copies: 0,
         };
-        let b = BlockRef(Rc::new(Block { inner: UnsafeCell::new(raw), id: next_block_id() }));
+        let b = BlockRef(Rc::new(Block {
+            inner: UnsafeCell::new(raw),
+            id: next_block_id(),
+        }));
         b.write_u32(0, PAGE_MAGIC);
         b
     }
@@ -208,7 +214,10 @@ impl BlockRef {
             recycle_hits: 0,
             deep_copies: 0,
         };
-        BlockRef(Rc::new(Block { inner: UnsafeCell::new(raw), id: next_block_id() }))
+        BlockRef(Rc::new(Block {
+            inner: UnsafeCell::new(raw),
+            id: next_block_id(),
+        }))
     }
 
     #[inline]
@@ -334,7 +343,13 @@ impl BlockRef {
     pub fn copy_within(&self, src: u32, dst: u32, len: usize) {
         debug_assert!(src as usize + len <= self.capacity());
         debug_assert!(dst as usize + len <= self.capacity());
-        unsafe { std::ptr::copy(self.base().add(src as usize), self.base().add(dst as usize), len) }
+        unsafe {
+            std::ptr::copy(
+                self.base().add(src as usize),
+                self.base().add(dst as usize),
+                len,
+            )
+        }
     }
 
     /// Zero-copy view of `len` `f64`s at `off` (8-aligned by construction).
@@ -455,7 +470,10 @@ impl BlockRef {
             let used = (*r).used;
             let cap = (*r).buf.len() as u32;
             if used + total > cap {
-                return Err(PcError::BlockFull { needed: total as usize, free: (cap - used) as usize });
+                return Err(PcError::BlockFull {
+                    needed: total as usize,
+                    free: (cap - used) as usize,
+                });
             }
             (*r).used = used + total;
             (*r).allocations += 1;
@@ -463,7 +481,14 @@ impl BlockRef {
         }
     }
 
-    fn init_header(&self, chunk_start: u32, payload: u32, code: TypeCode, flags: u32, chunk: u32) -> u32 {
+    fn init_header(
+        &self,
+        chunk_start: u32,
+        payload: u32,
+        code: TypeCode,
+        flags: u32,
+        chunk: u32,
+    ) -> u32 {
         let off = chunk_start + OBJ_HEADER_SIZE;
         self.write_u32(off - 24, code.0);
         self.write_u32(off - 20, payload);
@@ -558,7 +583,10 @@ impl BlockRef {
     }
 
     /// Allocates a `T` with a per-object policy (Appendix B).
-    pub fn make_object_with_policy<T: PcObjType>(&self, policy: ObjectPolicy) -> PcResult<Handle<T>> {
+    pub fn make_object_with_policy<T: PcObjType>(
+        &self,
+        policy: ObjectPolicy,
+    ) -> PcResult<Handle<T>> {
         T::ensure_registered();
         let flags = match policy {
             ObjectPolicy::RefCounted => 0,
@@ -582,7 +610,10 @@ impl BlockRef {
     /// alive even after every user handle to it is dropped, which is exactly
     /// the state a filled output page is in right before it is sealed.
     pub fn set_root<T: PcObjType>(&self, root: &Handle<T>) {
-        assert!(self.same_block(root.block()), "root must live on this block");
+        assert!(
+            self.same_block(root.block()),
+            "root must live on this block"
+        );
         let old = self.root_offset();
         self.inc_ref(root.offset());
         if old != 0 {

@@ -77,7 +77,12 @@ impl<K: PcKey, V: PcValue> PcObjType for PcMap<K, V> {
                 let de = dtable + i * stride;
                 dst.write::<u64>(de, h);
                 K::deep_copy_stored(src, se + 8, dst, de + 8)?;
-                V::deep_copy_stored(src, se + 8 + stored_footprint::<K>(), dst, de + 8 + stored_footprint::<K>())?;
+                V::deep_copy_stored(
+                    src,
+                    se + 8 + stored_footprint::<K>(),
+                    dst,
+                    de + 8 + stored_footprint::<K>(),
+                )?;
             }
         }
         dst.write_u32(doff + OFF_LEN, src.read_u32(soff + OFF_LEN));
@@ -339,7 +344,10 @@ impl<K: PcKey, V: PcValue> Handle<PcMap<K, V>> {
 
     /// Raw slot access for merge loops: calls `f(block, key_slot, val_slot)`
     /// for every occupied entry.
-    pub fn for_each_slot(&self, mut f: impl FnMut(&BlockRef, u32, u32) -> PcResult<()>) -> PcResult<()> {
+    pub fn for_each_slot(
+        &self,
+        mut f: impl FnMut(&BlockRef, u32, u32) -> PcResult<()>,
+    ) -> PcResult<()> {
         let cap = self.capacity() as u32;
         let b = self.block();
         for i in 0..cap {

@@ -148,19 +148,28 @@ impl<T: PcValue> Handle<PcVec<T>> {
             self.reserve(len + 1)?;
         }
         v.store(self.block(), self.slot(len))?;
-        self.block().write_u32(self.offset() + OFF_LEN, (len + 1) as u32);
+        self.block()
+            .write_u32(self.offset() + OFF_LEN, (len + 1) as u32);
         Ok(())
     }
 
     /// Reads element `i`. Panics when out of bounds.
     pub fn get(&self, i: usize) -> T {
-        assert!(i < self.len(), "PcVec index {i} out of bounds (len {})", self.len());
+        assert!(
+            i < self.len(),
+            "PcVec index {i} out of bounds (len {})",
+            self.len()
+        );
         T::load(self.block(), self.slot(i))
     }
 
     /// Overwrites element `i`, releasing whatever it referenced.
     pub fn set(&self, i: usize, v: T) -> PcResult<()> {
-        assert!(i < self.len(), "PcVec index {i} out of bounds (len {})", self.len());
+        assert!(
+            i < self.len(),
+            "PcVec index {i} out of bounds (len {})",
+            self.len()
+        );
         T::drop_stored(self.block(), self.slot(i));
         v.store(self.block(), self.slot(i))
     }
@@ -176,7 +185,8 @@ impl<T: PcValue> Handle<PcVec<T>> {
                 T::drop_stored(self.block(), self.slot(i));
             }
         }
-        self.block().write_u32(self.offset() + OFF_LEN, new_len as u32);
+        self.block()
+            .write_u32(self.offset() + OFF_LEN, new_len as u32);
     }
 
     /// Truncates to zero length, releasing element references.
@@ -192,7 +202,11 @@ impl<T: PcValue> Handle<PcVec<T>> {
 
     /// Iterates elements by value.
     pub fn iter(&self) -> PcVecIter<'_, T> {
-        PcVecIter { vec: self, i: 0, len: self.len() }
+        PcVecIter {
+            vec: self,
+            i: 0,
+            len: self.len(),
+        }
     }
 }
 
@@ -228,7 +242,10 @@ macro_rules! flat_views {
                 let b = self.block();
                 let base = self.slot(len);
                 let bytes = unsafe {
-                    std::slice::from_raw_parts(src.as_ptr() as *const u8, std::mem::size_of_val(src))
+                    std::slice::from_raw_parts(
+                        src.as_ptr() as *const u8,
+                        std::mem::size_of_val(src),
+                    )
                 };
                 b.write_bytes(base, bytes);
                 b.write_u32(self.offset() + OFF_LEN, (len + src.len()) as u32);

@@ -41,7 +41,10 @@ impl fmt::Display for PcError {
             }
             PcError::NoActiveBlock => write!(f, "no active allocation block on this thread"),
             PcError::TypeMismatch { expected, found } => {
-                write!(f, "type mismatch: expected {expected}, found type code {found:#x}")
+                write!(
+                    f,
+                    "type mismatch: expected {expected}, found type code {found:#x}"
+                )
             }
             PcError::TypeNotRegistered(code) => {
                 write!(f, "type code {code:#x} is not registered with the catalog")

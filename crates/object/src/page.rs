@@ -95,7 +95,11 @@ pub struct SealedPage {
 
 impl SealedPage {
     pub(crate) fn from_parts(buf: AlignedBuf, used: u32, root: u32) -> Self {
-        let page = SealedPage { buf: Arc::new(buf), used, root };
+        let page = SealedPage {
+            buf: Arc::new(buf),
+            used,
+            root,
+        };
         // Persist the movable header fields into the page bytes so that a
         // byte-level copy carries them along.
         page.write_header();
@@ -155,7 +159,11 @@ impl SealedPage {
                 bytes.len()
             )));
         }
-        Ok(SealedPage { buf: Arc::new(AlignedBuf::from_slice(bytes)), used, root })
+        Ok(SealedPage {
+            buf: Arc::new(AlignedBuf::from_slice(bytes)),
+            used,
+            root,
+        })
     }
 
     /// Opens the page as an unmanaged block plus a handle to its root object.

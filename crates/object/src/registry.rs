@@ -51,7 +51,10 @@ struct Registry {
 fn registry() -> &'static RwLock<Registry> {
     static REG: OnceLock<RwLock<Registry>> = OnceLock::new();
     REG.get_or_init(|| {
-        RwLock::new(Registry { by_code: HashMap::new(), code_cache: HashMap::new() })
+        RwLock::new(Registry {
+            by_code: HashMap::new(),
+            code_cache: HashMap::new(),
+        })
     })
 }
 
@@ -108,7 +111,12 @@ pub fn require_vtable(code: TypeCode) -> PcResult<&'static TypeVTable> {
 /// All registered type names (catalog listing, for diagnostics and the
 /// cluster bootstrap that pre-registers workload types on every worker).
 pub fn registered_types() -> Vec<(TypeCode, String)> {
-    registry().read().by_code.iter().map(|(c, v)| (*c, v.name.clone())).collect()
+    registry()
+        .read()
+        .by_code
+        .iter()
+        .map(|(c, v)| (*c, v.name.clone()))
+        .collect()
 }
 
 /// Ensures the built-in container types used by the engine internals are

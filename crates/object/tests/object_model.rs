@@ -82,7 +82,10 @@ fn dropping_all_handles_frees_and_reuses_space() {
     }
     let after = scope.block().stats();
     assert_eq!(after.active_objects, before.active_objects);
-    assert!(after.freelist_hits > 0, "lightweight reuse should recycle space");
+    assert!(
+        after.freelist_hits > 0,
+        "lightweight reuse should recycle space"
+    );
     // Space consumption must be bounded: ~2 allocations' worth, not 100.
     assert!(
         after.used < before.used + 8 * 1024,
@@ -118,8 +121,16 @@ fn recycling_policy_reuses_same_type_chunks() {
         p.v().set_label(1.0).unwrap();
     }
     let stats = scope.block().stats();
-    assert!(stats.recycle_hits >= 19, "recycle hits = {}", stats.recycle_hits);
-    assert_eq!(scope.block().used(), used_after_first, "no new space for recycled objects");
+    assert!(
+        stats.recycle_hits >= 19,
+        "recycle hits = {}",
+        stats.recycle_hits
+    );
+    assert_eq!(
+        scope.block().used(),
+        used_after_first,
+        "no new space for recycled objects"
+    );
 }
 
 #[test]
@@ -284,7 +295,11 @@ fn unmanaged_blocks_skip_refcounting() {
     let rc_before = e.ref_count();
     let _c1 = e.clone();
     let _c2 = e.clone();
-    assert_eq!(e.ref_count(), rc_before, "unmanaged blocks never touch refcounts");
+    assert_eq!(
+        e.ref_count(),
+        rc_before,
+        "unmanaged blocks never touch refcounts"
+    );
 }
 
 #[test]
@@ -313,11 +328,15 @@ fn map_upsert_accumulates_in_place() {
     let m = make_object::<PcMap<i64, f64>>().unwrap();
     for i in 0..1000i64 {
         let k = i % 7;
-        m.upsert(k, || Ok(1.0), |b, slot| {
-            let cur: f64 = b.read(slot);
-            b.write(slot, cur + 1.0);
-            Ok(())
-        })
+        m.upsert(
+            k,
+            || Ok(1.0),
+            |b, slot| {
+                let cur: f64 = b.read(slot);
+                b.write(slot, cur + 1.0);
+                Ok(())
+            },
+        )
         .unwrap();
     }
     assert_eq!(m.len(), 7);

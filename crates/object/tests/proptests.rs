@@ -14,7 +14,10 @@ enum MapOp {
 
 fn map_op() -> impl Strategy<Value = MapOp> {
     prop_oneof![
-        (0i64..50, any::<f64>().prop_filter("finite", |f| f.is_finite()))
+        (
+            0i64..50,
+            any::<f64>().prop_filter("finite", |f| f.is_finite())
+        )
             .prop_map(|(k, v)| MapOp::Insert(k, v)),
         (0i64..50).prop_map(MapOp::Remove),
         (0i64..50).prop_map(MapOp::Get),

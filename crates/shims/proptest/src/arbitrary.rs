@@ -1,0 +1,101 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`: edge cases mixed with uniform bits.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // ~1 in 8 draws is a named edge case; the rest are raw bit patterns,
+        // which cover subnormals, NaN payloads, and both infinities.
+        const EDGES: [f64; 10] = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+        ];
+        if rng.next_u64() % 8 == 0 {
+            EDGES[rng.random_usize(0..EDGES.len())]
+        } else {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // ~1 in 4 draws is small (near zero), the rest full-width.
+                if rng.next_u64() % 4 == 0 {
+                    (rng.next_u64() % 17) as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_f64_eventually_finite_and_not() {
+        let mut rng = TestRng::from_seed(3);
+        let s = any::<f64>();
+        let vals: Vec<f64> = (0..2000).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_finite()));
+        assert!(vals.iter().any(|v| !v.is_finite()));
+    }
+
+    #[test]
+    fn any_i64_covers_small_and_large() {
+        let mut rng = TestRng::from_seed(4);
+        let s = any::<i64>();
+        let vals: Vec<i64> = (0..2000).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.unsigned_abs() < 20));
+        assert!(vals.iter().any(|v| v.unsigned_abs() > 1 << 40));
+    }
+}

@@ -1,0 +1,97 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// A `Vec` whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = sample_size(rng, &self.size);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeMap` with `size.start ..= size.end - 1` entries, keys from `key`
+/// and values from `value`. Key collisions are retried, so sparse key spaces
+/// may produce fewer entries than requested (never fewer than one if
+/// `size.start > 0` and the key space has that many distinct values).
+pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = sample_size(rng, &self.size);
+        let mut map = BTreeMap::new();
+        let mut attempts = 0usize;
+        while map.len() < target && attempts < 64 * target + 64 {
+            map.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts += 1;
+        }
+        map
+    }
+}
+
+fn sample_size(rng: &mut TestRng, size: &Range<usize>) -> usize {
+    assert!(size.start < size.end, "empty size range {size:?}");
+    if size.end - size.start == 1 {
+        size.start
+    } else {
+        rng.random_usize(size.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::from_seed(21);
+        for _ in 0..100 {
+            let v = vec(0i64..5, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn btree_map_hits_target_in_large_keyspace() {
+        let mut rng = TestRng::from_seed(22);
+        let m = btree_map("[a-z]{1,12}", Just(1u8), 5..6).generate(&mut rng);
+        assert_eq!(m.len(), 5);
+    }
+}

@@ -1,0 +1,138 @@
+//! String strategies from regex-like patterns.
+//!
+//! `&'static str` literals act as strategies (as in real proptest). The
+//! supported pattern grammar is the subset this workspace's tests use: a
+//! sequence of atoms, where an atom is a character class `[a-z0-9_]`
+//! (ranges and literal characters) or a single literal character, each with
+//! an optional `{m}` / `{m,n}` quantifier.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.random_usize(atom.min..atom.max + 1)
+            };
+            for _ in 0..n {
+                let idx = if atom.chars.len() == 1 {
+                    0
+                } else {
+                    rng.random_usize(0..atom.chars.len())
+                };
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet = match c {
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    if c == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        let mut lookahead = chars.clone();
+                        lookahead.next();
+                        match lookahead.peek() {
+                            Some(&hi) if hi != ']' => {
+                                chars.next();
+                                chars.next();
+                                set.extend(c..=hi);
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    set.push(c);
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                set
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                vec![escaped]
+            }
+            other => vec![other],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}} in pattern {pattern:?}"))
+            };
+            match spec.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => (parse(&spec), parse(&spec)),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        atoms.push(Atom {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_within_pattern() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!((1..=9).contains(&s.len()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn literal_and_special_class_chars() {
+        let mut rng = TestRng::from_seed(12);
+        let s = "[a-zA-Z0-9_<>=]{10,10}".generate(&mut rng);
+        assert_eq!(s.len(), 10);
+        let t = "ab".generate(&mut rng);
+        assert_eq!(t, "ab");
+    }
+}

@@ -1,0 +1,87 @@
+//! Test configuration, deterministic RNG, and case-failure plumbing.
+
+use rand::{Rng as _, RngExt as _, SeedableRng as _};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Retry budget multiplier for `prop_filter` before giving up.
+    pub max_local_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_local_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// A failed property case; produced by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG handed to strategies. Seeded from the test's full path
+/// so every test gets an independent but reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    pub fn for_test(test_path: &str) -> Self {
+        // FNV-1a over the test path; stable across runs and platforms.
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for b in test_path.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        Self(rand::rngs::StdRng::seed_from_u64(hash))
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        Self(rand::rngs::StdRng::seed_from_u64(seed))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    pub fn random_f64(&mut self) -> f64 {
+        self.0.random()
+    }
+
+    pub fn random_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.0.random_range(range)
+    }
+
+    pub fn random_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u128;
+        lo + ((self.next_u64() as u128) % span) as i128
+    }
+}

@@ -41,17 +41,25 @@ impl Catalog {
         if sets.contains_key(&key) {
             return Err(PcError::Catalog(format!("set {db}.{set} already exists")));
         }
-        sets.insert(key, SetMeta { db: db.to_string(), set: set.to_string(), ..Default::default() });
+        sets.insert(
+            key,
+            SetMeta {
+                db: db.to_string(),
+                set: set.to_string(),
+                ..Default::default()
+            },
+        );
         Ok(())
     }
 
     pub fn ensure_set(&self, db: &str, set: &str) {
         let mut sets = self.sets.write();
-        sets.entry((db.to_string(), set.to_string())).or_insert_with(|| SetMeta {
-            db: db.to_string(),
-            set: set.to_string(),
-            ..Default::default()
-        });
+        sets.entry((db.to_string(), set.to_string()))
+            .or_insert_with(|| SetMeta {
+                db: db.to_string(),
+                set: set.to_string(),
+                ..Default::default()
+            });
     }
 
     pub fn drop_set(&self, db: &str, set: &str) {
@@ -59,15 +67,24 @@ impl Catalog {
     }
 
     pub fn set_meta(&self, db: &str, set: &str) -> Option<SetMeta> {
-        self.sets.read().get(&(db.to_string(), set.to_string())).cloned()
+        self.sets
+            .read()
+            .get(&(db.to_string(), set.to_string()))
+            .cloned()
     }
 
     pub fn exists(&self, db: &str, set: &str) -> bool {
-        self.sets.read().contains_key(&(db.to_string(), set.to_string()))
+        self.sets
+            .read()
+            .contains_key(&(db.to_string(), set.to_string()))
     }
 
     pub fn record_append(&self, db: &str, set: &str, objects: u64, bytes: u64) {
-        if let Some(m) = self.sets.write().get_mut(&(db.to_string(), set.to_string())) {
+        if let Some(m) = self
+            .sets
+            .write()
+            .get_mut(&(db.to_string(), set.to_string()))
+        {
             m.pages += 1;
             m.objects += objects;
             m.bytes += bytes;
@@ -75,7 +92,11 @@ impl Catalog {
     }
 
     pub fn reset_set(&self, db: &str, set: &str) {
-        if let Some(m) = self.sets.write().get_mut(&(db.to_string(), set.to_string())) {
+        if let Some(m) = self
+            .sets
+            .write()
+            .get_mut(&(db.to_string(), set.to_string()))
+        {
             m.pages = 0;
             m.objects = 0;
             m.bytes = 0;
@@ -105,7 +126,10 @@ impl Default for WorkerTypeCatalog {
 
 impl WorkerTypeCatalog {
     pub fn new() -> Self {
-        WorkerTypeCatalog { known: RwLock::new(HashSet::new()), fetches: RwLock::new(0) }
+        WorkerTypeCatalog {
+            known: RwLock::new(HashSet::new()),
+            fetches: RwLock::new(0),
+        }
     }
 
     /// Resolves a type code: a hit on the local table is free; a miss

@@ -128,11 +128,13 @@ impl BufferPool {
     fn evict_if_needed(&self, inner: &mut PoolInner) -> PcResult<()> {
         while inner.used_bytes > self.capacity {
             // Find the least-recently-used unpinned page.
-            let victim = inner
-                .lru
-                .iter()
-                .copied()
-                .find(|k| inner.resident.get(k).map(|p| Arc::strong_count(p) == 1).unwrap_or(false));
+            let victim = inner.lru.iter().copied().find(|k| {
+                inner
+                    .resident
+                    .get(k)
+                    .map(|p| Arc::strong_count(p) == 1)
+                    .unwrap_or(false)
+            });
             match victim {
                 Some(key) => self.evict_one(inner, key)?,
                 None => break, // everything pinned; allow temporary overshoot
@@ -142,7 +144,9 @@ impl BufferPool {
     }
 
     fn evict_one(&self, inner: &mut PoolInner, key: PageKey) -> PcResult<()> {
-        let Some(page) = inner.resident.get(&key) else { return Ok(()) };
+        let Some(page) = inner.resident.get(&key) else {
+            return Ok(());
+        };
         if Arc::strong_count(page) > 1 {
             return Ok(()); // pinned
         }
@@ -204,7 +208,10 @@ mod tests {
         // Every page must still be readable (faulted from files).
         for i in 0..20 {
             let p = pool.get((1, i)).unwrap();
-            let (_b, root) = SealedPage::from_bytes(&p.to_bytes()).unwrap().open().unwrap();
+            let (_b, root) = SealedPage::from_bytes(&p.to_bytes())
+                .unwrap()
+                .open()
+                .unwrap();
             let v = root.downcast::<PcVec<f64>>().unwrap();
             assert_eq!(v.get(0), i as f64);
         }
@@ -222,7 +229,10 @@ mod tests {
         }
         // The pinned page must still be resident (we hold its Arc).
         let again = pool.get((2, 0)).unwrap();
-        assert!(Arc::ptr_eq(&pinned, &again), "pinned page must not be evicted");
+        assert!(
+            Arc::ptr_eq(&pinned, &again),
+            "pinned page must not be evicted"
+        );
         pool.drop_set(2, 10);
         let _ = std::fs::remove_dir_all(dir);
     }

@@ -62,7 +62,8 @@ impl StorageManager {
             return *id;
         }
         let mut ids = self.inner.ids.write();
-        *ids.entry(key).or_insert_with(|| self.inner.next_id.fetch_add(1, Ordering::Relaxed))
+        *ids.entry(key)
+            .or_insert_with(|| self.inner.next_id.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Creates a set (errors if it exists).
@@ -197,6 +198,9 @@ mod tests {
         let pages = s.scan("db", "cold").unwrap();
         assert_eq!(pages.len(), 4);
         let stats_after = s.pool().stats();
-        assert!(stats_after.misses > stats_before.misses, "cold scan must fault pages back");
+        assert!(
+            stats_after.misses > stats_before.misses,
+            "cold scan must fault pages back"
+        );
     }
 }

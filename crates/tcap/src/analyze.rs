@@ -19,8 +19,12 @@ pub struct TcapGraph {
 impl TcapGraph {
     pub fn build(prog: &TcapProgram) -> Self {
         let n = prog.stmts.len();
-        let by_name: HashMap<&str, usize> =
-            prog.stmts.iter().enumerate().map(|(i, s)| (s.output.name.as_str(), i)).collect();
+        let by_name: HashMap<&str, usize> = prog
+            .stmts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.output.name.as_str(), i))
+            .collect();
         let mut preds = vec![Vec::new(); n];
         let mut succs = vec![Vec::new(); n];
         for (i, s) in prog.stmts.iter().enumerate() {
@@ -59,8 +63,7 @@ impl TcapGraph {
     pub fn topo_order(&self) -> Vec<usize> {
         let n = self.preds.len();
         let mut indeg: Vec<usize> = self.preds.iter().map(|p| p.len()).collect();
-        let mut q: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut q: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = q.pop_front() {
             order.push(i);
@@ -142,7 +145,9 @@ impl Provenance {
                 TcapOp::Filter { copy, .. } => {
                     p.copy_ids(&copy.list, &copy.cols, &out.name);
                 }
-                TcapOp::Join { lhs_copy, rhs_copy, .. } => {
+                TcapOp::Join {
+                    lhs_copy, rhs_copy, ..
+                } => {
                     p.copy_ids(&lhs_copy.list, &lhs_copy.cols, &out.name);
                     p.copy_ids(&rhs_copy.list, &rhs_copy.cols, &out.name);
                 }
@@ -207,7 +212,10 @@ JK2_6(emp) <= FILTER(JK2_2(bl1), JK2_2(emp), 'Sel_43', []);
         let p = Provenance::build(&prog);
         // `emp` in the final FILTER output is the very same column created
         // by the INPUT statement.
-        assert_eq!(p.id[&("JK2_6".into(), "emp".into())], (0usize, "emp".to_string()));
+        assert_eq!(
+            p.id[&("JK2_6".into(), "emp".into())],
+            (0usize, "emp".to_string())
+        );
         // `bl1` depends (via mt1) on the base emp column.
         let deps = p.base_deps("JK2_2", "bl1");
         assert_eq!(deps, BTreeSet::from([(0usize, "emp".to_string())]));

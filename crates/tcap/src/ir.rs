@@ -12,7 +12,10 @@ pub struct VecListDecl {
 
 impl VecListDecl {
     pub fn new(name: impl Into<String>, cols: &[&str]) -> Self {
-        VecListDecl { name: name.into(), cols: cols.iter().map(|s| s.to_string()).collect() }
+        VecListDecl {
+            name: name.into(),
+            cols: cols.iter().map(|s| s.to_string()).collect(),
+        }
     }
 }
 
@@ -26,7 +29,10 @@ pub struct ColRef {
 
 impl ColRef {
     pub fn new(list: impl Into<String>, cols: &[&str]) -> Self {
-        ColRef { list: list.into(), cols: cols.iter().map(|s| s.to_string()).collect() }
+        ColRef {
+            list: list.into(),
+            cols: cols.iter().map(|s| s.to_string()).collect(),
+        }
     }
 }
 
@@ -44,14 +50,35 @@ pub fn meta_get<'a>(meta: &'a Meta, key: &str) -> Option<&'a str> {
 pub enum TcapOp {
     /// Reads a stored set into the initial vector list.
     /// `In(emp) <= INPUT('mydb', 'myset', 'Reader_1', []);`
-    Input { db: String, set: String, computation: String, meta: Meta },
+    Input {
+        db: String,
+        set: String,
+        computation: String,
+        meta: Meta,
+    },
     /// Applies a compiled pipeline stage to `input` columns, appending one
     /// new column; `copy` columns are shallow-copied through.
-    Apply { input: ColRef, copy: ColRef, computation: String, stage: String, meta: Meta },
+    Apply {
+        input: ColRef,
+        copy: ColRef,
+        computation: String,
+        stage: String,
+        meta: Meta,
+    },
     /// Keeps only the rows whose `bool_col` is true.
-    Filter { bool_col: ColRef, copy: ColRef, computation: String, meta: Meta },
+    Filter {
+        bool_col: ColRef,
+        copy: ColRef,
+        computation: String,
+        meta: Meta,
+    },
     /// Hashes the given column(s) into a new hash column (join key prep).
-    Hash { input: ColRef, copy: ColRef, computation: String, meta: Meta },
+    Hash {
+        input: ColRef,
+        copy: ColRef,
+        computation: String,
+        meta: Meta,
+    },
     /// Equi-join on two hash columns; emits the union of both copy lists.
     Join {
         lhs_hash: ColRef,
@@ -64,11 +91,28 @@ pub enum TcapOp {
     /// Applies a set-valued stage: each input row yields zero or more output
     /// rows; `copy` columns are replicated accordingly (lowering of
     /// `MultiSelectionComp`; an op-set extension documented in DESIGN.md).
-    FlatMap { input: ColRef, copy: ColRef, computation: String, stage: String, meta: Meta },
+    FlatMap {
+        input: ColRef,
+        copy: ColRef,
+        computation: String,
+        stage: String,
+        meta: Meta,
+    },
     /// Aggregates `value` by `key` (the pipe sink of an `AggregateComp`).
-    Aggregate { key: ColRef, value: ColRef, computation: String, meta: Meta },
+    Aggregate {
+        key: ColRef,
+        value: ColRef,
+        computation: String,
+        meta: Meta,
+    },
     /// Writes a column of objects to a stored set.
-    Output { input: ColRef, db: String, set: String, computation: String, meta: Meta },
+    Output {
+        input: ColRef,
+        db: String,
+        set: String,
+        computation: String,
+        meta: Meta,
+    },
 }
 
 impl TcapOp {
@@ -120,7 +164,9 @@ impl TcapOp {
                 }
                 v
             }
-            TcapOp::Join { lhs_hash, rhs_hash, .. } => {
+            TcapOp::Join {
+                lhs_hash, rhs_hash, ..
+            } => {
                 vec![lhs_hash.list.as_str(), rhs_hash.list.as_str()]
             }
             TcapOp::Aggregate { key, value, .. } => {
@@ -228,35 +274,83 @@ impl fmt::Display for TcapStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} <= ", self.output)?;
         match &self.op {
-            TcapOp::Input { db, set, computation, meta } => {
+            TcapOp::Input {
+                db,
+                set,
+                computation,
+                meta,
+            } => {
                 write!(f, "INPUT('{db}', '{set}', '{computation}', ")?;
                 fmt_meta(f, meta)?;
             }
-            TcapOp::Apply { input, copy, computation, stage, meta } => {
+            TcapOp::Apply {
+                input,
+                copy,
+                computation,
+                stage,
+                meta,
+            } => {
                 write!(f, "APPLY({input}, {copy}, '{computation}', '{stage}', ")?;
                 fmt_meta(f, meta)?;
             }
-            TcapOp::Filter { bool_col, copy, computation, meta } => {
+            TcapOp::Filter {
+                bool_col,
+                copy,
+                computation,
+                meta,
+            } => {
                 write!(f, "FILTER({bool_col}, {copy}, '{computation}', ")?;
                 fmt_meta(f, meta)?;
             }
-            TcapOp::Hash { input, copy, computation, meta } => {
+            TcapOp::Hash {
+                input,
+                copy,
+                computation,
+                meta,
+            } => {
                 write!(f, "HASH({input}, {copy}, '{computation}', ")?;
                 fmt_meta(f, meta)?;
             }
-            TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, computation, meta } => {
-                write!(f, "JOIN({lhs_hash}, {lhs_copy}, {rhs_hash}, {rhs_copy}, '{computation}', ")?;
+            TcapOp::Join {
+                lhs_hash,
+                lhs_copy,
+                rhs_hash,
+                rhs_copy,
+                computation,
+                meta,
+            } => {
+                write!(
+                    f,
+                    "JOIN({lhs_hash}, {lhs_copy}, {rhs_hash}, {rhs_copy}, '{computation}', "
+                )?;
                 fmt_meta(f, meta)?;
             }
-            TcapOp::FlatMap { input, copy, computation, stage, meta } => {
+            TcapOp::FlatMap {
+                input,
+                copy,
+                computation,
+                stage,
+                meta,
+            } => {
                 write!(f, "FLATMAP({input}, {copy}, '{computation}', '{stage}', ")?;
                 fmt_meta(f, meta)?;
             }
-            TcapOp::Aggregate { key, value, computation, meta } => {
+            TcapOp::Aggregate {
+                key,
+                value,
+                computation,
+                meta,
+            } => {
                 write!(f, "AGGREGATE({key}, {value}, '{computation}', ")?;
                 fmt_meta(f, meta)?;
             }
-            TcapOp::Output { input, db, set, computation, meta } => {
+            TcapOp::Output {
+                input,
+                db,
+                set,
+                computation,
+                meta,
+            } => {
                 write!(f, "OUTPUT({input}, '{db}', '{set}', '{computation}', ")?;
                 fmt_meta(f, meta)?;
             }

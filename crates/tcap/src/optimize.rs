@@ -43,7 +43,14 @@ pub enum OptimizerRule {
 
 /// Optimizes `prog` in place with all rules, to fixpoint.
 pub fn optimize(prog: &mut TcapProgram) -> OptimizerReport {
-    optimize_with(prog, &[OptimizerRule::RedundantApply, OptimizerRule::SelectionPushdown, OptimizerRule::DeadColumns])
+    optimize_with(
+        prog,
+        &[
+            OptimizerRule::RedundantApply,
+            OptimizerRule::SelectionPushdown,
+            OptimizerRule::DeadColumns,
+        ],
+    )
 }
 
 /// Optimizes with a chosen subset of rules (ablation support).
@@ -79,7 +86,12 @@ pub fn optimize_with(prog: &mut TcapProgram, rules: &[OptimizerRule]) -> Optimiz
 
 /// Rewrites every input reference to `old_list` so it reads `new_list`,
 /// applying `col_renames` to the referenced column names.
-fn rename_refs(prog: &mut TcapProgram, old_list: &str, new_list: &str, col_renames: &HashMap<String, String>) {
+fn rename_refs(
+    prog: &mut TcapProgram,
+    old_list: &str,
+    new_list: &str,
+    col_renames: &HashMap<String, String>,
+) {
     let fix = |r: &mut ColRef| {
         if r.list == old_list {
             r.list = new_list.to_string();
@@ -103,7 +115,13 @@ fn rename_refs(prog: &mut TcapProgram, old_list: &str, new_list: &str, col_renam
                 fix(bool_col);
                 fix(copy);
             }
-            TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, .. } => {
+            TcapOp::Join {
+                lhs_hash,
+                lhs_copy,
+                rhs_hash,
+                rhs_copy,
+                ..
+            } => {
                 fix(lhs_hash);
                 fix(lhs_copy);
                 fix(rhs_hash);
@@ -175,17 +193,25 @@ fn remove_redundant_apply(prog: &mut TcapProgram) -> bool {
     };
 
     for j in 0..prog.stmts.len() {
-        let Some(sig_j) = call_sig(&prog.stmts[j]) else { continue };
+        let Some(sig_j) = call_sig(&prog.stmts[j]) else {
+            continue;
+        };
         for i in 0..prog.stmts.len() {
             if i == j || !g.is_ancestor(i, j) {
                 continue;
             }
-            let Some(sig_i) = call_sig(&prog.stmts[i]) else { continue };
+            let Some(sig_i) = call_sig(&prog.stmts[i]) else {
+                continue;
+            };
             if sig_i != sig_j {
                 continue;
             }
-            let Some(i_col) = created_col(&prog.stmts[i]) else { continue };
-            let Some(j_col) = created_col(&prog.stmts[j]) else { continue };
+            let Some(i_col) = created_col(&prog.stmts[i]) else {
+                continue;
+            };
+            let Some(j_col) = created_col(&prog.stmts[j]) else {
+                continue;
+            };
             if try_eliminate(prog, i, j, &i_col, &j_col) {
                 return true;
             }
@@ -205,9 +231,13 @@ fn try_eliminate(prog: &mut TcapProgram, i: usize, j: usize, i_col: &str, j_col:
         None => return false,
     };
     while cur != i_list {
-        let Some(k) = prog.producer_index(&cur) else { return false };
+        let Some(k) = prog.producer_index(&cur) else {
+            return false;
+        };
         // Only linear APPLY/FILTER/HASH chains are handled.
-        let Some(src) = primary_source(&prog.stmts[k]) else { return false };
+        let Some(src) = primary_source(&prog.stmts[k]) else {
+            return false;
+        };
         // Collision: an unrelated column with i's name already flows here.
         if prog.stmts[k].output.cols.iter().any(|c| c == i_col) {
             return false;
@@ -250,16 +280,29 @@ fn push_down_selection(prog: &mut TcapProgram) -> bool {
 
     // Find: FILTER  <-  bool_and APPLY  <-  ...  <-  JOIN
     for fi in 0..prog.stmts.len() {
-        let TcapOp::Filter { bool_col, .. } = &prog.stmts[fi].op else { continue };
-        let Some(ai) = prog.producer_index(&bool_col.list) else { continue };
-        let TcapOp::Apply { input: and_in, meta, .. } = &prog.stmts[ai].op else { continue };
+        let TcapOp::Filter { bool_col, .. } = &prog.stmts[fi].op else {
+            continue;
+        };
+        let Some(ai) = prog.producer_index(&bool_col.list) else {
+            continue;
+        };
+        let TcapOp::Apply {
+            input: and_in,
+            meta,
+            ..
+        } = &prog.stmts[ai].op
+        else {
+            continue;
+        };
         if meta_get(meta, "type") != Some("bool_and") || and_in.cols.len() != 2 {
             continue;
         }
         // Nearest JOIN ancestor along the copy chain.
         let mut cur = prog.stmts[ai].output.name.clone();
         let join_idx = loop {
-            let Some(k) = prog.producer_index(&cur) else { break None };
+            let Some(k) = prog.producer_index(&cur) else {
+                break None;
+            };
             match &prog.stmts[k].op {
                 TcapOp::Join { .. } => break Some(k),
                 _ => match primary_source(&prog.stmts[k]) {
@@ -271,10 +314,17 @@ fn push_down_selection(prog: &mut TcapProgram) -> bool {
         let Some(ji) = join_idx else { continue };
 
         // Identify the base columns reachable from each side of the join.
-        let TcapOp::Join { lhs_hash, rhs_hash, .. } = &prog.stmts[ji].op else { continue };
+        let TcapOp::Join {
+            lhs_hash, rhs_hash, ..
+        } = &prog.stmts[ji].op
+        else {
+            continue;
+        };
         let (lhs_src, lhs_bases) = side_info(prog, &prov, &lhs_hash.list);
         let (rhs_src, rhs_bases) = side_info(prog, &prov, &rhs_hash.list);
-        let (Some(lhs_src), Some(rhs_src)) = (lhs_src, rhs_src) else { continue };
+        let (Some(lhs_src), Some(rhs_src)) = (lhs_src, rhs_src) else {
+            continue;
+        };
 
         let and_list = and_in.list.clone();
         let operands = and_in.cols.clone();
@@ -290,9 +340,13 @@ fn push_down_selection(prog: &mut TcapProgram) -> bool {
             } else {
                 None
             };
-            let Some((src_list, side_idx)) = side else { continue };
+            let Some((src_list, side_idx)) = side else {
+                continue;
+            };
             let other = operands[1 - oi].clone();
-            if try_push(prog, &prov, fi, ai, ji, conjunct, &other, &src_list, side_idx) {
+            if try_push(
+                prog, &prov, fi, ai, ji, conjunct, &other, &src_list, side_idx,
+            ) {
                 return true;
             }
         }
@@ -302,11 +356,17 @@ fn push_down_selection(prog: &mut TcapProgram) -> bool {
 
 /// Walks up a join side's chain to its source list (INPUT or prior sink
 /// output) and collects the base column ids flowing on that side.
-fn side_info(prog: &TcapProgram, prov: &Provenance, hash_list: &str) -> (Option<String>, BTreeSet<ColId>) {
+fn side_info(
+    prog: &TcapProgram,
+    prov: &Provenance,
+    hash_list: &str,
+) -> (Option<String>, BTreeSet<ColId>) {
     let mut bases = BTreeSet::new();
     let mut cur = hash_list.to_string();
     loop {
-        let Some(k) = prog.producer_index(&cur) else { return (None, bases) };
+        let Some(k) = prog.producer_index(&cur) else {
+            return (None, bases);
+        };
         let s = &prog.stmts[k];
         for c in &s.output.cols {
             bases.extend(prov.base_deps(&s.output.name, c));
@@ -344,11 +404,15 @@ fn try_push(
     let mut chain: Vec<usize> = Vec::new();
     for k in ((ji + 1)..ai).rev() {
         let s = &prog.stmts[k];
-        let Some(created) = created_col(s) else { continue };
+        let Some(created) = created_col(s) else {
+            continue;
+        };
         if !want.contains(&created) {
             continue;
         }
-        let TcapOp::Apply { input, .. } = &s.op else { return false };
+        let TcapOp::Apply { input, .. } = &s.op else {
+            return false;
+        };
         chain.push(k);
         // Inputs that are themselves computed post-join must be produced too.
         for c in &input.cols {
@@ -361,9 +425,11 @@ fn try_push(
         }
     }
     chain.reverse(); // back to program order
-    // Everything wanted must be found among the chain's created columns.
-    let produced: BTreeSet<String> =
-        chain.iter().filter_map(|&k| created_col(&prog.stmts[k])).collect();
+                     // Everything wanted must be found among the chain's created columns.
+    let produced: BTreeSet<String> = chain
+        .iter()
+        .filter_map(|&k| created_col(&prog.stmts[k]))
+        .collect();
     if !want.iter().all(|c| produced.contains(c)) {
         return false;
     }
@@ -382,7 +448,9 @@ fn try_push(
             | TcapOp::FlatMap { input, .. }
             | TcapOp::Hash { input, .. } => vec![input],
             TcapOp::Filter { bool_col, .. } => vec![bool_col],
-            TcapOp::Join { lhs_hash, rhs_hash, .. } => vec![lhs_hash, rhs_hash],
+            TcapOp::Join {
+                lhs_hash, rhs_hash, ..
+            } => vec![lhs_hash, rhs_hash],
             TcapOp::Aggregate { key, value, .. } => vec![key, value],
             TcapOp::Output { input, .. } => vec![input],
             TcapOp::Input { .. } => vec![],
@@ -395,12 +463,21 @@ fn try_push(
     }
 
     // 2. Clone the chain onto the join input side, reading from `src_list`.
-    let src_cols = prog.producer(src_list).map(|s| s.output.cols.clone()).unwrap_or_default();
+    let src_cols = prog
+        .producer(src_list)
+        .map(|s| s.output.cols.clone())
+        .unwrap_or_default();
     let mut cur_list = src_list.to_string();
     let mut cur_cols = src_cols.clone();
     let mut new_stmts: Vec<TcapStmt> = Vec::new();
     for &k in &chain {
-        let TcapOp::Apply { input, computation, stage, meta, .. } = prog.stmts[k].op.clone()
+        let TcapOp::Apply {
+            input,
+            computation,
+            stage,
+            meta,
+            ..
+        } = prog.stmts[k].op.clone()
         else {
             return false;
         };
@@ -413,10 +490,19 @@ fn try_push(
         let mut out_cols = cur_cols.clone();
         out_cols.push(created.clone());
         new_stmts.push(TcapStmt {
-            output: crate::ir::VecListDecl { name: out_name.clone(), cols: out_cols.clone() },
+            output: crate::ir::VecListDecl {
+                name: out_name.clone(),
+                cols: out_cols.clone(),
+            },
             op: TcapOp::Apply {
-                input: ColRef { list: cur_list.clone(), cols: input.cols.clone() },
-                copy: ColRef { list: cur_list.clone(), cols: cur_cols.clone() },
+                input: ColRef {
+                    list: cur_list.clone(),
+                    cols: input.cols.clone(),
+                },
+                copy: ColRef {
+                    list: cur_list.clone(),
+                    cols: cur_cols.clone(),
+                },
                 computation: computation.clone(),
                 stage: stage.clone(),
                 meta: meta.clone(),
@@ -429,10 +515,19 @@ fn try_push(
     let filter_name = prog.fresh_name("PshF");
     let computation = prog.stmts[ji].op.computation().to_string();
     new_stmts.push(TcapStmt {
-        output: crate::ir::VecListDecl { name: filter_name.clone(), cols: src_cols.clone() },
+        output: crate::ir::VecListDecl {
+            name: filter_name.clone(),
+            cols: src_cols.clone(),
+        },
         op: TcapOp::Filter {
-            bool_col: ColRef { list: cur_list.clone(), cols: vec![conjunct.to_string()] },
-            copy: ColRef { list: cur_list.clone(), cols: src_cols.clone() },
+            bool_col: ColRef {
+                list: cur_list.clone(),
+                cols: vec![conjunct.to_string()],
+            },
+            copy: ColRef {
+                list: cur_list.clone(),
+                cols: src_cols.clone(),
+            },
             computation,
             meta: vec![(String::from("type"), String::from("pushed_selection"))],
         },
@@ -493,7 +588,10 @@ fn try_push(
     loop {
         let mut grew = false;
         for s in prog.stmts.iter() {
-            if s.op.input_lists().iter().any(|l| downstream_lists.contains(*l))
+            if s.op
+                .input_lists()
+                .iter()
+                .any(|l| downstream_lists.contains(*l))
                 && downstream_lists.insert(s.output.name.clone())
             {
                 grew = true;
@@ -504,8 +602,11 @@ fn try_push(
         }
     }
     for s in prog.stmts.iter_mut() {
-        let in_downstream = s.op.input_lists().iter().any(|l| downstream_lists.contains(*l))
-            || downstream_lists.contains(&s.output.name);
+        let in_downstream =
+            s.op.input_lists()
+                .iter()
+                .any(|l| downstream_lists.contains(*l))
+                || downstream_lists.contains(&s.output.name);
         if !in_downstream {
             continue;
         }
@@ -526,7 +627,13 @@ fn try_push(
                 strip(bool_col);
                 strip(copy);
             }
-            TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, .. } => {
+            TcapOp::Join {
+                lhs_hash,
+                lhs_copy,
+                rhs_hash,
+                rhs_copy,
+                ..
+            } => {
                 strip(lhs_hash);
                 strip(lhs_copy);
                 strip(rhs_hash);
@@ -578,7 +685,13 @@ fn remap_one(s: &mut TcapStmt, old: &str, new: &str) {
             fix(bool_col);
             fix(copy);
         }
-        TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, .. } => {
+        TcapOp::Join {
+            lhs_hash,
+            lhs_copy,
+            rhs_hash,
+            rhs_copy,
+            ..
+        } => {
             fix(lhs_hash);
             fix(lhs_copy);
             fix(rhs_hash);
@@ -603,7 +716,11 @@ fn prune_dead(prog: &mut TcapProgram) -> (usize, usize) {
     let mut pruned_cols = 0;
     let mut removed = 0;
 
-    if !prog.stmts.iter().any(|s| matches!(s.op, TcapOp::Output { .. })) {
+    if !prog
+        .stmts
+        .iter()
+        .any(|s| matches!(s.op, TcapOp::Output { .. }))
+    {
         return (0, 0);
     }
 
@@ -655,7 +772,13 @@ fn prune_dead(prog: &mut TcapProgram) -> (usize, usize) {
                 add(bool_col);
                 add(copy);
             }
-            TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, .. } => {
+            TcapOp::Join {
+                lhs_hash,
+                lhs_copy,
+                rhs_hash,
+                rhs_copy,
+                ..
+            } => {
                 add(lhs_hash);
                 add(lhs_copy);
                 add(rhs_hash);

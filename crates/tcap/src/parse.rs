@@ -101,7 +101,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(ParseError { pos: i, message: "unterminated string".into() });
+                    return Err(ParseError {
+                        pos: i,
+                        message: "unterminated string".into(),
+                    });
                 }
                 toks.push((i, Tok::Str(src[start..j].to_string())));
                 i = j + 1;
@@ -116,7 +119,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 toks.push((start, Tok::Ident(src[start..i].to_string())));
             }
             other => {
-                return Err(ParseError { pos: i, message: format!("unexpected character {other:?}") })
+                return Err(ParseError {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
             }
         }
     }
@@ -138,7 +144,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { pos: self.pos(), message: message.into() })
+        Err(ParseError {
+            pos: self.pos(),
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
@@ -147,10 +156,14 @@ impl Parser {
                 self.i += 1;
                 Ok(())
             }
-            Some((p, t)) => {
-                Err(ParseError { pos: *p, message: format!("expected {want:?}, found {t:?}") })
-            }
-            None => Err(ParseError { pos: usize::MAX, message: format!("expected {want:?}, found EOF") }),
+            Some((p, t)) => Err(ParseError {
+                pos: *p,
+                message: format!("expected {want:?}, found {t:?}"),
+            }),
+            None => Err(ParseError {
+                pos: usize::MAX,
+                message: format!("expected {want:?}, found EOF"),
+            }),
         }
     }
 
@@ -221,7 +234,10 @@ impl Parser {
 
     fn stmt(&mut self) -> Result<TcapStmt, ParseError> {
         let decl = self.col_ref()?;
-        let output = VecListDecl { name: decl.list, cols: decl.cols };
+        let output = VecListDecl {
+            name: decl.list,
+            cols: decl.cols,
+        };
         self.expect(Tok::Arrow)?;
         let opname = self.ident()?;
         self.expect(Tok::LParen)?;
@@ -234,7 +250,12 @@ impl Parser {
                 let computation = self.string()?;
                 self.comma()?;
                 let meta = self.meta()?;
-                TcapOp::Input { db, set, computation, meta }
+                TcapOp::Input {
+                    db,
+                    set,
+                    computation,
+                    meta,
+                }
             }
             "APPLY" | "FLATMAP" => {
                 let input = self.col_ref()?;
@@ -247,9 +268,21 @@ impl Parser {
                 self.comma()?;
                 let meta = self.meta()?;
                 if opname == "APPLY" {
-                    TcapOp::Apply { input, copy, computation, stage, meta }
+                    TcapOp::Apply {
+                        input,
+                        copy,
+                        computation,
+                        stage,
+                        meta,
+                    }
                 } else {
-                    TcapOp::FlatMap { input, copy, computation, stage, meta }
+                    TcapOp::FlatMap {
+                        input,
+                        copy,
+                        computation,
+                        stage,
+                        meta,
+                    }
                 }
             }
             "FILTER" => {
@@ -260,7 +293,12 @@ impl Parser {
                 let computation = self.string()?;
                 self.comma()?;
                 let meta = self.meta()?;
-                TcapOp::Filter { bool_col, copy, computation, meta }
+                TcapOp::Filter {
+                    bool_col,
+                    copy,
+                    computation,
+                    meta,
+                }
             }
             "HASH" => {
                 let input = self.col_ref()?;
@@ -270,7 +308,12 @@ impl Parser {
                 let computation = self.string()?;
                 self.comma()?;
                 let meta = self.meta()?;
-                TcapOp::Hash { input, copy, computation, meta }
+                TcapOp::Hash {
+                    input,
+                    copy,
+                    computation,
+                    meta,
+                }
             }
             "JOIN" => {
                 let lhs_hash = self.col_ref()?;
@@ -284,7 +327,14 @@ impl Parser {
                 let computation = self.string()?;
                 self.comma()?;
                 let meta = self.meta()?;
-                TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, computation, meta }
+                TcapOp::Join {
+                    lhs_hash,
+                    lhs_copy,
+                    rhs_hash,
+                    rhs_copy,
+                    computation,
+                    meta,
+                }
             }
             "AGGREGATE" => {
                 let key = self.col_ref()?;
@@ -294,7 +344,12 @@ impl Parser {
                 let computation = self.string()?;
                 self.comma()?;
                 let meta = self.meta()?;
-                TcapOp::Aggregate { key, value, computation, meta }
+                TcapOp::Aggregate {
+                    key,
+                    value,
+                    computation,
+                    meta,
+                }
             }
             "OUTPUT" => {
                 let input = self.col_ref()?;
@@ -306,7 +361,13 @@ impl Parser {
                 let computation = self.string()?;
                 self.comma()?;
                 let meta = self.meta()?;
-                TcapOp::Output { input, db, set, computation, meta }
+                TcapOp::Output {
+                    input,
+                    db,
+                    set,
+                    computation,
+                    meta,
+                }
             }
             other => return self.err(format!("unknown TCAP operation {other}")),
         };
@@ -348,7 +409,9 @@ Flt_1(dep,emp,sup) <= FILTER(WBl_1(bl), WBl_1(dep,emp,sup), 'Join_2212', []);
         assert_eq!(prog.stmts[0].output.name, "WDNm_1");
         assert_eq!(prog.stmts[0].output.cols, vec!["dep", "emp", "sup", "nm1"]);
         match &prog.stmts[0].op {
-            TcapOp::Apply { input, stage, meta, .. } => {
+            TcapOp::Apply {
+                input, stage, meta, ..
+            } => {
                 assert_eq!(input.list, "In");
                 assert_eq!(input.cols, vec!["dep"]);
                 assert_eq!(stage, "att_acc_1");

@@ -95,7 +95,10 @@ JK2_12(sup,emp) <= FILTER(JK2_11(bool3), JK2_11(sup,emp), 'Join_42', []);
 fn single_input_conjunct_is_pushed_below_the_join() {
     let mut prog = parse_program(PUSHDOWN).unwrap();
     let report = optimize(&mut prog);
-    assert!(report.selections_pushed_down >= 1, "report: {report:?}\n{prog}");
+    assert!(
+        report.selections_pushed_down >= 1,
+        "report: {report:?}\n{prog}"
+    );
 
     // A FILTER must now exist *before* the join in topological order, on the
     // employee side.
@@ -119,7 +122,10 @@ fn single_input_conjunct_is_pushed_below_the_join() {
                 if meta_get(meta, "methodName") == Some("getSalary"))
         })
         .expect("salary call survives");
-    assert!(salary_call < join_pos, "salary call must be pre-join:\n{prog}");
+    assert!(
+        salary_call < join_pos,
+        "salary call must be pre-join:\n{prog}"
+    );
 
     // The bool_and is gone: only one residual predicate remains after the join.
     let ands = prog
@@ -165,7 +171,13 @@ fn pushdown_keeps_a_runnable_dag() {
                 check_cols(&bool_col.list, &bool_col.cols);
                 check_cols(&copy.list, &copy.cols);
             }
-            TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, .. } => {
+            TcapOp::Join {
+                lhs_hash,
+                lhs_copy,
+                rhs_hash,
+                rhs_copy,
+                ..
+            } => {
                 check_cols(&lhs_hash.list, &lhs_hash.cols);
                 check_cols(&lhs_copy.list, &lhs_copy.cols);
                 check_cols(&rhs_hash.list, &rhs_hash.cols);

@@ -23,7 +23,10 @@ fn program() -> impl Strategy<Value = TcapProgram> {
     )
         .prop_map(|(src_col, steps)| {
             let mut stmts = vec![TcapStmt {
-                output: VecListDecl { name: "In_0".into(), cols: vec![src_col.clone()] },
+                output: VecListDecl {
+                    name: "In_0".into(),
+                    cols: vec![src_col.clone()],
+                },
                 op: TcapOp::Input {
                     db: "db".into(),
                     set: "set".into(),
@@ -37,13 +40,21 @@ fn program() -> impl Strategy<Value = TcapProgram> {
                 let name = format!("W_{}", i + 1);
                 if is_filter && cur_cols.len() > 1 {
                     let bool_col = cur_cols.last().unwrap().clone();
-                    let keep: Vec<String> =
-                        cur_cols[..cur_cols.len() - 1].to_vec();
+                    let keep: Vec<String> = cur_cols[..cur_cols.len() - 1].to_vec();
                     stmts.push(TcapStmt {
-                        output: VecListDecl { name: name.clone(), cols: keep.clone() },
+                        output: VecListDecl {
+                            name: name.clone(),
+                            cols: keep.clone(),
+                        },
                         op: TcapOp::Filter {
-                            bool_col: ColRef { list: cur_list.clone(), cols: vec![bool_col] },
-                            copy: ColRef { list: cur_list.clone(), cols: keep.clone() },
+                            bool_col: ColRef {
+                                list: cur_list.clone(),
+                                cols: vec![bool_col],
+                            },
+                            copy: ColRef {
+                                list: cur_list.clone(),
+                                cols: keep.clone(),
+                            },
                             computation: format!("Comp_{i}"),
                             meta: m,
                         },
@@ -54,10 +65,19 @@ fn program() -> impl Strategy<Value = TcapProgram> {
                     let mut out_cols = cur_cols.clone();
                     out_cols.push(new_col.clone());
                     stmts.push(TcapStmt {
-                        output: VecListDecl { name: name.clone(), cols: out_cols.clone() },
+                        output: VecListDecl {
+                            name: name.clone(),
+                            cols: out_cols.clone(),
+                        },
                         op: TcapOp::Apply {
-                            input: ColRef { list: cur_list.clone(), cols: vec![cur_cols[0].clone()] },
-                            copy: ColRef { list: cur_list.clone(), cols: cur_cols.clone() },
+                            input: ColRef {
+                                list: cur_list.clone(),
+                                cols: vec![cur_cols[0].clone()],
+                            },
+                            copy: ColRef {
+                                list: cur_list.clone(),
+                                cols: cur_cols.clone(),
+                            },
                             computation: format!("Comp_{i}"),
                             stage: format!("stage_{i}"),
                             meta: m,
@@ -68,9 +88,15 @@ fn program() -> impl Strategy<Value = TcapProgram> {
                 cur_list = name;
             }
             stmts.push(TcapStmt {
-                output: VecListDecl { name: "Out_z".into(), cols: vec![] },
+                output: VecListDecl {
+                    name: "Out_z".into(),
+                    cols: vec![],
+                },
                 op: TcapOp::Output {
-                    input: ColRef { list: cur_list, cols: vec![cur_cols[0].clone()] },
+                    input: ColRef {
+                        list: cur_list,
+                        cols: vec![cur_cols[0].clone()],
+                    },
                     db: "db".into(),
                     set: "out".into(),
                     computation: "Writer_z".into(),
@@ -86,13 +112,21 @@ fn program() -> impl Strategy<Value = TcapProgram> {
 fn is_well_formed(prog: &TcapProgram) -> bool {
     for s in &prog.stmts {
         for list in s.op.input_lists() {
-            let Some(p) = prog.producer(list) else { return false };
+            let Some(p) = prog.producer(list) else {
+                return false;
+            };
             let refs: Vec<&ColRef> = match &s.op {
                 TcapOp::Apply { input, copy, .. }
                 | TcapOp::FlatMap { input, copy, .. }
                 | TcapOp::Hash { input, copy, .. } => vec![input, copy],
                 TcapOp::Filter { bool_col, copy, .. } => vec![bool_col, copy],
-                TcapOp::Join { lhs_hash, lhs_copy, rhs_hash, rhs_copy, .. } => {
+                TcapOp::Join {
+                    lhs_hash,
+                    lhs_copy,
+                    rhs_hash,
+                    rhs_copy,
+                    ..
+                } => {
                     vec![lhs_hash, lhs_copy, rhs_hash, rhs_copy]
                 }
                 TcapOp::Aggregate { key, value, .. } => vec![key, value],

@@ -37,10 +37,19 @@ impl Codec for BCustomer {
             .map(|_| {
                 let ok = i64::decode(inp);
                 let m = get_u32(inp) as usize;
-                (ok, (0..m).map(|_| (i64::decode(inp), i64::decode(inp))).collect())
+                (
+                    ok,
+                    (0..m)
+                        .map(|_| (i64::decode(inp), i64::decode(inp)))
+                        .collect(),
+                )
             })
             .collect();
-        BCustomer { cust_key, name, orders }
+        BCustomer {
+            cust_key,
+            name,
+            orders,
+        }
     }
 }
 
@@ -54,7 +63,10 @@ pub fn to_rows(data: &[CustomerData]) -> Vec<BCustomer> {
                 .orders
                 .iter()
                 .map(|o| {
-                    (o.order_key, o.lines.iter().map(|l| (l.part_id, l.supplier_id)).collect())
+                    (
+                        o.order_key,
+                        o.lines.iter().map(|l| (l.part_id, l.supplier_id)).collect(),
+                    )
                 })
                 .collect(),
         })
@@ -78,8 +90,9 @@ pub fn customers_per_supplier(rdd: &Rdd<BCustomer>) -> Vec<(String, usize)> {
             .map(|(s, parts)| (supplier_name(s), (c.name.clone(), parts)))
             .collect()
     });
-    let grouped: Rdd<(String, Vec<(String, Vec<i64>)>)> =
-        infos.map(|(s, cv)| (s, vec![cv])).reduce_by_key(|mut a, mut b| {
+    let grouped: Rdd<(String, Vec<(String, Vec<i64>)>)> = infos
+        .map(|(s, cv)| (s, vec![cv]))
+        .reduce_by_key(|mut a, mut b| {
             // merge customer entries (dedup parts per customer)
             for (name, parts) in b.drain(..) {
                 if let Some((_, existing)) = a.iter_mut().find(|(n, _)| *n == name) {
@@ -94,8 +107,11 @@ pub fn customers_per_supplier(rdd: &Rdd<BCustomer>) -> Vec<(String, usize)> {
             }
             a
         });
-    let mut out: Vec<(String, usize)> =
-        grouped.collect().into_iter().map(|(s, v)| (s, v.len())).collect();
+    let mut out: Vec<(String, usize)> = grouped
+        .collect()
+        .into_iter()
+        .map(|(s, v)| (s, v.len()))
+        .collect();
     out.sort();
     out
 }
@@ -157,7 +173,12 @@ pub fn top_k_jaccard(rdd: &Rdd<BCustomer>, query: &[i64], k: usize) -> Vec<(f64,
         a.truncate(k);
         a
     });
-    merged.collect().into_iter().next().map(|(_, v)| v).unwrap_or_default()
+    merged
+        .collect()
+        .into_iter()
+        .next()
+        .map(|(_, v)| v)
+        .unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -168,7 +189,10 @@ mod tests {
 
     #[test]
     fn baseline_matches_reference() {
-        let data = generate(&TpchConfig { customers: 60, ..Default::default() });
+        let data = generate(&TpchConfig {
+            customers: 60,
+            ..Default::default()
+        });
         let eng = SparkLike::new(SparkConfig {
             partitions: 3,
             storage: StorageLevel::Serialized,
@@ -190,7 +214,10 @@ mod tests {
 
     #[test]
     fn bcustomer_codec_roundtrip() {
-        let data = generate(&TpchConfig { customers: 5, ..Default::default() });
+        let data = generate(&TpchConfig {
+            customers: 5,
+            ..Default::default()
+        });
         for row in to_rows(&data) {
             let bytes = row.to_bytes();
             let mut slice = bytes.as_slice();

@@ -131,8 +131,11 @@ pub fn jaccard(a: &[i64], b: &[i64]) -> f64 {
 
 /// A customer's sorted unique part ids.
 pub fn unique_parts(c: &CustomerData) -> Vec<i64> {
-    let mut v: Vec<i64> =
-        c.orders.iter().flat_map(|o| o.lines.iter().map(|l| l.part_id)).collect();
+    let mut v: Vec<i64> = c
+        .orders
+        .iter()
+        .flat_map(|o| o.lines.iter().map(|l| l.part_id))
+        .collect();
     v.sort_unstable();
     v.dedup();
     v
@@ -143,8 +146,10 @@ pub fn reference_top_k(data: &[CustomerData], query: &[i64], k: usize) -> Vec<(f
     let mut q = query.to_vec();
     q.sort_unstable();
     q.dedup();
-    let mut scored: Vec<(f64, i64)> =
-        data.iter().map(|c| (jaccard(&unique_parts(c), &q), c.cust_key)).collect();
+    let mut scored: Vec<(f64, i64)> = data
+        .iter()
+        .map(|c| (jaccard(&unique_parts(c), &q), c.cust_key))
+        .collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
     scored.truncate(k);
     scored
@@ -156,7 +161,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = TpchConfig { customers: 10, ..Default::default() };
+        let cfg = TpchConfig {
+            customers: 10,
+            ..Default::default()
+        };
         assert_eq!(generate(&cfg), generate(&cfg));
     }
 
@@ -169,7 +177,10 @@ mod tests {
 
     #[test]
     fn reference_results_are_consistent() {
-        let data = generate(&TpchConfig { customers: 20, ..Default::default() });
+        let data = generate(&TpchConfig {
+            customers: 20,
+            ..Default::default()
+        });
         let cps = reference_customers_per_supplier(&data);
         assert!(!cps.is_empty());
         let top = reference_top_k(&data, &unique_parts(&data[0]), 5);

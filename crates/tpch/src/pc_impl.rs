@@ -148,7 +148,12 @@ impl AggregateSpec for GroupBySupplier {
         Ok(())
     }
 
-    fn finalize(&self, key: &String, b: &BlockRef, slot: u32) -> PcResult<Handle<SupplierCustomers>> {
+    fn finalize(
+        &self,
+        key: &String,
+        b: &BlockRef,
+        slot: u32,
+    ) -> PcResult<Handle<SupplierCustomers>> {
         let m = <Self::Val as PcValue>::load(b, slot);
         let out = make_object::<SupplierCustomers>()?;
         out.v().set_supplier(PcString::make(key)?)?;
@@ -323,7 +328,11 @@ fn insert_topk(acc: &Handle<PcVec<f64>>, k: usize, sim: f64, key: f64) -> PcResu
         s.chunks(2).map(|c| (c[0], c[1])).collect()
     };
     pairs.push((sim, key));
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.partial_cmp(&b.1).unwrap()));
+    pairs.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap()
+            .then(a.1.partial_cmp(&b.1).unwrap())
+    });
     pairs.truncate(k);
     acc.clear();
     for (s, c) in pairs {

@@ -8,7 +8,10 @@ use pc_tpch::pc_impl;
 
 #[test]
 fn pc_customers_per_supplier_matches_reference() {
-    let data = generate(&TpchConfig { customers: 80, ..Default::default() });
+    let data = generate(&TpchConfig {
+        customers: 80,
+        ..Default::default()
+    });
     let client = PcClient::local_small().unwrap();
     pc_impl::load(&client, "tpch", "customers", &data).unwrap();
     let counts = pc_impl::customers_per_supplier(&client, "tpch", "customers").unwrap();
@@ -22,7 +25,11 @@ fn pc_customers_per_supplier_matches_reference() {
 
 #[test]
 fn pc_top_k_matches_reference() {
-    let data = generate(&TpchConfig { customers: 120, seed: 9, ..Default::default() });
+    let data = generate(&TpchConfig {
+        customers: 120,
+        seed: 9,
+        ..Default::default()
+    });
     let client = PcClient::local_small().unwrap();
     pc_impl::load(&client, "tpch2", "customers", &data).unwrap();
     let query = unique_parts(&data[17]);
@@ -30,7 +37,10 @@ fn pc_top_k_matches_reference() {
     let want = reference_top_k(&data, &query, 10);
     assert_eq!(got.len(), want.len());
     for (g, w) in got.iter().zip(&want) {
-        assert!((g.0 - w.0).abs() < 1e-9, "similarity mismatch {g:?} vs {w:?}");
+        assert!(
+            (g.0 - w.0).abs() < 1e-9,
+            "similarity mismatch {g:?} vs {w:?}"
+        );
         assert_eq!(g.1, w.1, "customer order mismatch");
     }
 }

@@ -20,7 +20,12 @@ fn main() -> PcResult<()> {
             .sum();
         println!("iteration {iter}: centroid norm sum {spread:.3}");
     }
-    println!("final centroids (first coordinates): {:?}",
-        km.centroids.iter().map(|c| (c[0] * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "final centroids (first coordinates): {:?}",
+        km.centroids
+            .iter()
+            .map(|c| (c[0] * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     Ok(())
 }

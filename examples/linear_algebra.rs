@@ -17,8 +17,7 @@ fn main() -> PcResult<()> {
         cols: d,
         data: (0..n * d).map(|_| rng.random::<f64>() - 0.5).collect(),
     };
-    let beta_true =
-        DenseMatrix::from_rows((0..d).map(|i| vec![(i % 7) as f64 - 3.0]).collect());
+    let beta_true = DenseMatrix::from_rows((0..d).map(|i| vec![(i % 7) as f64 - 3.0]).collect());
     let y = x.matmul(&beta_true);
 
     let mut la = LilLinAlg::new(client.clone());

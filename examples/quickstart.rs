@@ -47,10 +47,9 @@ fn main() -> PcResult<()> {
     client.create_or_clear_set("Mydb", "big")?;
     let mut g = ComputationGraph::new();
     let points = g.reader("Mydb", "Myset");
-    let selection = make_lambda_from_method::<DataPoint, f64>(0, "firstCoord", |p| {
-        p.v().data().get(0)
-    })
-    .gt_const(50_000.0);
+    let selection =
+        make_lambda_from_method::<DataPoint, f64>(0, "firstCoord", |p| p.v().data().get(0))
+            .gt_const(50_000.0);
     let projection = make_lambda::<DataPoint, _>(0, "identity", |p| Ok(p.clone().erase()));
     let big = g.selection(points, selection, projection);
     g.write(big, "Mydb", "big");

@@ -11,12 +11,21 @@ use plinycompute::prelude::*;
 
 fn main() -> PcResult<()> {
     let client = PcClient::local()?;
-    let data = generate(&TpchConfig { customers: 2000, ..Default::default() });
+    let data = generate(&TpchConfig {
+        customers: 2000,
+        ..Default::default()
+    });
     pc_impl::load(&client, "tpch", "customers", &data)?;
-    println!("loaded {} nested Customer objects", client.set_size("tpch", "customers"));
+    println!(
+        "loaded {} nested Customer objects",
+        client.set_size("tpch", "customers")
+    );
 
     let counts = pc_impl::customers_per_supplier(&client, "tpch", "customers")?;
-    println!("customers-per-supplier ({} suppliers); first three:", counts.len());
+    println!(
+        "customers-per-supplier ({} suppliers); first three:",
+        counts.len()
+    );
     for (s, n) in counts.iter().take(3) {
         println!("  {s}: {n} customers");
     }

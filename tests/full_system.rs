@@ -66,7 +66,11 @@ fn selection_then_aggregation_then_join_across_cluster() {
         workers: 3,
         threads_per_worker: 2,
         combine_threads: 2,
-        exec: ExecConfig { batch_size: 64, page_size: 1 << 16, agg_partitions: 4 },
+        exec: ExecConfig {
+            batch_size: 64,
+            page_size: 1 << 16,
+            agg_partitions: 4,
+        },
         broadcast_threshold: 8 << 20,
     })
     .unwrap();
@@ -96,8 +100,8 @@ fn selection_then_aggregation_then_join_across_cluster() {
     client.create_or_clear_set("shop", "totals").unwrap();
     let mut g = ComputationGraph::new();
     let sales = g.reader("shop", "sales");
-    let sel = make_lambda_from_method::<Sale, i64>(0, "getAmount", |s| s.v().amount())
-        .ge_const(500i64);
+    let sel =
+        make_lambda_from_method::<Sale, i64>(0, "getAmount", |s| s.v().amount()).ge_const(500i64);
     let proj = make_lambda::<Sale, _>(0, "identity", |s| Ok(s.clone().erase()));
     let big = g.selection(sales, sel, proj);
     let agg = g.aggregate(big, TotalAgg);
@@ -109,8 +113,9 @@ fn selection_then_aggregation_then_join_across_cluster() {
     let mut g = ComputationGraph::new();
     let regions = g.reader("shop", "regions");
     let totals = g.reader("shop", "totals");
-    let sel = make_lambda_from_member::<Region, i64>(0, "id", |r| r.v().id())
-        .eq(make_lambda_from_member::<RegionTotal, i64>(1, "region", |t| t.v().region()));
+    let sel = make_lambda_from_member::<Region, i64>(0, "id", |r| r.v().id()).eq(
+        make_lambda_from_member::<RegionTotal, i64>(1, "region", |t| t.v().region()),
+    );
     let proj = make_lambda2::<Region, RegionTotal, _>((0, 1), "mkReport", |r, t| {
         let v = make_object::<PcVec<i64>>()?;
         v.push(r.v().id())?;
