@@ -4,9 +4,11 @@
 //! repro all [--quick]       run everything
 //! repro table2 [--quick]    one table (table1..table8)
 //! repro figure1             one figure (figure1..figure5)
+//! repro pipeline [--quick]  the execution-engine benchmark
+//!                           (writes BENCH_pipeline.json)
 //! ```
 
-use pc_bench::{figures, tables};
+use pc_bench::{figures, pipeline, tables};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,8 +42,11 @@ fn main() {
         "figure3" => figures::figure3(),
         "figure4" => figures::figure4(),
         "figure5" => figures::figure5(),
+        "pipeline" => pipeline::pipeline(quick),
         other => {
-            eprintln!("unknown experiment {other}; use all|table1..table8|figure1..figure5");
+            eprintln!(
+                "unknown experiment {other}; use all|table1..table8|figure1..figure5|pipeline"
+            );
             std::process::exit(2);
         }
     }

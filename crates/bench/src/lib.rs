@@ -7,5 +7,6 @@
 //! what reproduces the paper.
 
 pub mod figures;
+pub mod pipeline;
 pub mod tables;
 pub mod util;

@@ -105,6 +105,39 @@ impl JoinTable {
         Ok(())
     }
 
+    /// The pipeline's probe fast path: appends each match for `hash`
+    /// directly into the caller's reusable buffers — `probe_row` once per
+    /// match group into `idx` (the gather-index vector) and the group's
+    /// handles into `built[k]` (one buffer per build-side object column) —
+    /// with no per-group closure call or `Vec` allocation. Returns the
+    /// number of match groups.
+    pub fn probe_into(
+        &self,
+        hash: u64,
+        probe_row: u32,
+        idx: &mut Vec<u32>,
+        built: &mut [Vec<AnyHandle>],
+    ) -> usize {
+        debug_assert_eq!(built.len(), self.arity);
+        let mut matches = 0;
+        for (_block, map) in &self.pages {
+            if let Some(bucket) = map.get(&hash) {
+                let len = bucket.len();
+                debug_assert_eq!(len % self.arity, 0);
+                let mut i = 0;
+                while i < len {
+                    idx.push(probe_row);
+                    for (k, b) in built.iter_mut().enumerate() {
+                        b.push(bucket.get(i + k).erase());
+                    }
+                    i += self.arity;
+                    matches += 1;
+                }
+            }
+        }
+        matches
+    }
+
     /// Calls `f` with each match group for `hash`.
     pub fn probe(
         &self,
@@ -216,6 +249,79 @@ mod tests {
         })
         .unwrap();
         assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn probe_into_fills_reusable_buffers_across_pages() {
+        let _s = AllocScope::new(1 << 18);
+        let mut t = JoinTable::new(1, 4096); // tiny pages force bucket spanning
+        let mut sources = Vec::new();
+        for i in 0..200i64 {
+            let v = make_object::<PcVec<i64>>().unwrap();
+            v.push(i).unwrap();
+            sources.push(v);
+        }
+        for (i, v) in sources.iter().enumerate() {
+            t.insert((i % 2) as u64 + 1, &[v.erase()]).unwrap();
+        }
+        assert!(t.page_count() > 1, "bucket must span pages");
+        // The closure-free path: one idx entry + one handle per match, all
+        // appended into caller-owned buffers.
+        let mut idx: Vec<u32> = Vec::new();
+        let mut built: Vec<Vec<AnyHandle>> = vec![Vec::new()];
+        let n = t.probe_into(1, 7, &mut idx, &mut built);
+        assert_eq!(n, 100);
+        assert_eq!(idx.len(), 100);
+        assert!(idx.iter().all(|&r| r == 7), "idx carries the probe row");
+        assert_eq!(built[0].len(), 100);
+        for h in &built[0] {
+            let v: Handle<PcVec<i64>> = h.downcast_unchecked::<AnyObj>().assume();
+            assert_eq!(v.get(0) % 2, 0);
+        }
+        // A second probe appends after the first (buffer reuse contract).
+        let n2 = t.probe_into(2, 9, &mut idx, &mut built);
+        assert_eq!(n2, 100);
+        assert_eq!(idx.len(), 200);
+        assert_eq!(built[0].len(), 200);
+        // Misses append nothing.
+        assert_eq!(t.probe_into(99, 0, &mut idx, &mut built), 0);
+        assert_eq!(idx.len(), 200);
+        // probe_into agrees with the closure API group for group.
+        let mut via_closure = 0;
+        t.probe(1, |g| {
+            assert_eq!(g.len(), 1);
+            via_closure += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(via_closure, n);
+    }
+
+    #[test]
+    fn insert_escalates_page_size_for_oversized_groups() {
+        let _s = AllocScope::new(1 << 20);
+        // Table pages start far smaller than one group's objects, so the
+        // first insert faults on a fresh page and must escalate (doubling)
+        // rather than spinning on same-size pages forever.
+        let mut t = JoinTable::new(1, 512);
+        let big = make_object::<PcVec<i64>>().unwrap();
+        for i in 0..300i64 {
+            big.push(i).unwrap();
+        }
+        t.insert(42, &[big.erase()]).unwrap();
+        assert_eq!(t.groups, 1);
+        let mut idx: Vec<u32> = Vec::new();
+        let mut built: Vec<Vec<AnyHandle>> = vec![Vec::new()];
+        assert_eq!(t.probe_into(42, 0, &mut idx, &mut built), 1);
+        let v: Handle<PcVec<i64>> = built[0][0].downcast_unchecked::<AnyObj>().assume();
+        assert_eq!(v.len(), 300);
+        assert_eq!(v.get(299), 299);
+        // Escalation abandoned undersized pages but the table still grows
+        // normally afterwards.
+        let small = make_object::<PcVec<i64>>().unwrap();
+        small.push(1).unwrap();
+        t.insert(43, &[small.erase()]).unwrap();
+        assert_eq!(t.groups, 2);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod vlist;
 pub use jointable::JoinTable;
 pub use local::{run_pipeline_stage, ExecConfig, ExecStats, LocalExecutor, PipelineOutput, TMP_DB};
 pub use plan::{
-    describe_decompositions, plan, AggDest, PhysicalPlan, PipeOp, PipelineSpec, Sink, Source,
+    describe_decompositions, plan, AggDest, PhysicalPlan, PipeOp, PipelineSpec, ResolvedOp,
+    ResolvedPipeline, ResolvedSink, Sink, Source,
 };
 pub use vlist::VectorList;

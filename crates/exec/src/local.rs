@@ -13,11 +13,14 @@
 //! columns still pin them — and retry the failed stage.
 
 use crate::jointable::JoinTable;
-use crate::plan::{plan, AggDest, PhysicalPlan, PipeOp, PipelineSpec, Sink, Source};
+use crate::plan::{
+    plan, AggDest, PhysicalPlan, PipelineSpec, ResolvedOp, ResolvedPipeline, ResolvedSink, Sink,
+    Source,
+};
 use crate::vlist::VectorList;
 use pc_lambda::{
-    Column, ColumnKernel, CompiledQuery, ErasedAgg, ErasedAggSink, ExecCtx, SetWriter, StageKernel,
-    StageLibrary,
+    for_each_sel, Column, ColumnKernel, ColumnPool, CompiledQuery, ErasedAgg, ErasedAggSink,
+    ExecCtx, SetWriter, StageLibrary,
 };
 use pc_object::{
     AllocPolicy, AllocScope, AnyHandle, AnyObj, BlockRef, Handle, PcError, PcResult, PcVec,
@@ -64,6 +67,7 @@ pub struct ExecStats {
 
 impl ExecStats {
     pub fn absorb(&mut self, other: &ExecStats) {
+        self.pipelines_run += other.pipelines_run;
         self.batches += other.batches;
         self.rows_in += other.rows_in;
         self.rows_out += other.rows_out;
@@ -99,9 +103,8 @@ pub fn run_pipeline_stage(
     tables: &HashMap<String, JoinTable>,
 ) -> PcResult<(PipelineOutput, ExecStats)> {
     let mut stats = ExecStats::default();
-    let source_col = match &p.source {
-        Source::Set { col, .. } | Source::Intermediate { col, .. } => col.clone(),
-    };
+    // Resolve names → slots and stages → kernels once, off the batch path.
+    let rp = p.resolve(stages)?;
     let mut writer: Option<SetWriter> = match &p.sink {
         Sink::Output { .. } | Sink::Materialize { .. } => Some(SetWriter::new(config.page_size)),
         _ => None,
@@ -120,6 +123,10 @@ pub fn run_pipeline_stage(
         _ => None,
     };
     let mut scratch = ScratchPage::new(config.page_size);
+    // One slot-addressed vector list and one buffer pool serve every batch:
+    // the batch boundary recycles column buffers instead of freeing them.
+    let mut pool = ColumnPool::default();
+    let mut vl = VectorList::for_slots(rp.slot_names.clone());
 
     for page in pages {
         // Zero-copy read view of the input page (pinned while the Arc and
@@ -130,25 +137,26 @@ pub fn run_pipeline_stage(
         let mut at = 0usize;
         while at < total {
             let hi = (at + config.batch_size).min(total);
-            let mut vl = VectorList::new();
-            let handles: Vec<AnyHandle> = (at..hi).map(|i| root.get(i).erase()).collect();
+            let mut handles = pool.take_objs();
+            handles.extend((at..hi).map(|i| root.get(i).erase()));
             stats.rows_in += handles.len() as u64;
-            vl.push(&source_col, Column::Obj(handles));
+            vl.set_slot(rp.source_slot, Column::Obj(handles));
             at = hi;
 
             run_batch(
-                p,
-                stages,
+                &rp,
                 tables,
                 &mut vl,
                 &mut writer,
                 &mut agg_sink,
                 &mut build_table,
                 &mut scratch,
+                &mut pool,
             )?;
             stats.batches += 1;
-            // Batch boundary: the vector list dies, zombies release.
-            vl.clear();
+            // Batch boundary: the vector list dies (its buffers return to
+            // the pool, dropping object references), zombies release.
+            vl.recycle(&mut pool);
             if let Some(w) = writer.as_mut() {
                 stats.max_zombie_pages = stats.max_zombie_pages.max(w.max_zombies);
                 w.release_zombies()?;
@@ -179,66 +187,53 @@ pub fn run_pipeline_stage(
 
 #[allow(clippy::too_many_arguments)]
 fn run_batch(
-    p: &PipelineSpec,
-    stages: &StageLibrary,
+    rp: &ResolvedPipeline,
     tables: &HashMap<String, JoinTable>,
     vl: &mut VectorList,
     writer: &mut Option<SetWriter>,
     agg_sink: &mut Option<Box<dyn ErasedAggSink>>,
     build_table: &mut Option<JoinTable>,
     scratch: &mut ScratchPage,
+    pool: &mut ColumnPool,
 ) -> PcResult<()> {
-    for op in &p.ops {
+    for op in &rp.ops {
         if vl.is_empty() {
             return Ok(());
         }
         match op {
-            PipeOp::Apply {
-                comp,
-                stage,
+            ResolvedOp::Apply {
+                kernel,
                 inputs,
                 out,
-                keep,
+                drop,
+                drop_out,
             } => {
-                let kernel = match stages.get(comp, stage) {
-                    Some(StageKernel::Map(k)) => k.clone(),
-                    _ => {
-                        return Err(PcError::Catalog(format!(
-                            "no map kernel registered for {comp}.{stage}"
-                        )))
-                    }
-                };
-                let col = apply_with_retry(&kernel, inputs, vl, writer, scratch)?;
-                vl.push(out, col);
-                retain_with_hashes(vl, keep);
+                let col = apply_with_retry(kernel, inputs, vl, writer, scratch)?;
+                vl.drop_slots(drop, pool);
+                vl.rebase_with(*out, col, pool);
+                if *drop_out {
+                    vl.clear_slot(*out, pool);
+                }
             }
-            PipeOp::Filter { bool_col, keep } => {
-                let mask: Vec<bool> = vl.col(bool_col)?.as_bool()?.to_vec();
-                vl.filter(&mask);
-                retain_with_hashes(vl, keep);
+            ResolvedOp::Filter { bool_slot, drop } => {
+                // The filter only marks surviving rows; no column moves.
+                vl.filter_by_slot(*bool_slot, pool)?;
+                vl.drop_slots(drop, pool);
             }
-            PipeOp::FlatMap {
-                comp,
-                stage,
+            ResolvedOp::FlatMap {
+                kernel,
                 input,
                 out,
-                keep,
+                drop,
+                drop_out,
             } => {
-                let kernel = match stages.get(comp, stage) {
-                    Some(StageKernel::FlatMap(k)) => k.clone(),
-                    _ => {
-                        return Err(PcError::Catalog(format!(
-                            "no flatmap kernel registered for {comp}.{stage}"
-                        )))
-                    }
-                };
                 let mut result = None;
                 for attempt in 0..8 {
                     let block = kernel_block(writer, scratch)?;
                     let scope = AllocScope::install(block.clone());
                     let mut ctx = ExecCtx::new(block);
-                    let r = kernel.apply(&[vl.col(input)?], &mut ctx);
-                    drop(scope);
+                    let r = kernel.apply(&[vl.slot(*input)?], vl.sel(), &mut ctx);
+                    std::mem::drop(scope);
                     match r {
                         Ok(v) => {
                             result = Some(v);
@@ -253,78 +248,94 @@ fn run_batch(
                 let (col, counts) = result.ok_or_else(|| {
                     PcError::Catalog("flatmap exceeded page-fault retries".into())
                 })?;
-                vl.replicate(&counts);
-                vl.push(out, col);
-                retain_with_hashes(vl, keep);
+                vl.drop_slots(drop, pool);
+                vl.replicate_with(&counts, *out, col, pool);
+                if *drop_out {
+                    vl.clear_slot(*out, pool);
+                }
+                pool.recycle_sel(counts);
             }
-            PipeOp::Hash { input, out, keep } => {
-                let col = {
-                    let mut ctx = ExecCtx::new(scratch.block()?);
-                    pc_lambda::kernel::HashKernel.apply(&[vl.col(input)?], &mut ctx)?
-                };
-                vl.push(out, col);
-                retain_with_hashes(vl, keep);
-            }
-            PipeOp::Probe {
+            ResolvedOp::Probe {
                 table,
-                hash_col,
-                build_cols,
-                keep,
+                hash_slot,
+                build_slots,
+                drop,
+                drop_after,
             } => {
                 let t = tables
                     .get(table)
                     .ok_or_else(|| PcError::Catalog(format!("join table {table} not built")))?;
-                let hashes: Vec<u64> = vl.col(hash_col)?.as_u64()?.to_vec();
-                let mut idx: Vec<u32> = Vec::new();
-                let mut built: Vec<Vec<AnyHandle>> = (0..t.arity()).map(|_| Vec::new()).collect();
-                for (i, h) in hashes.iter().enumerate() {
-                    t.probe(*h, |group| {
-                        idx.push(i as u32);
-                        for (k, g) in group.iter().enumerate() {
-                            built[k].push(g.clone());
+                let mut idx = pool.take_sel();
+                let mut built: Vec<Vec<AnyHandle>> =
+                    (0..t.arity()).map(|_| pool.take_objs()).collect();
+                {
+                    let hashes = vl.slot(*hash_slot)?.as_u64()?;
+                    // Fold the selection into the gather indices: only live
+                    // rows probe, and `idx` carries base-row positions.
+                    match vl.sel() {
+                        None => {
+                            for (i, h) in hashes.iter().enumerate() {
+                                t.probe_into(*h, i as u32, &mut idx, &mut built);
+                            }
                         }
-                        Ok(())
-                    })?;
+                        Some(sel) => {
+                            for &i in sel {
+                                t.probe_into(hashes[i as usize], i, &mut idx, &mut built);
+                            }
+                        }
+                    }
                 }
-                vl.gather(&idx);
-                for (k, name) in build_cols.iter().enumerate() {
-                    vl.push(name, Column::Obj(std::mem::take(&mut built[k])));
+                vl.drop_slots(drop, pool);
+                vl.gather_rebase(&idx, pool);
+                for (k, slot) in build_slots.iter().enumerate() {
+                    vl.set_slot(*slot, Column::Obj(std::mem::take(&mut built[k])));
                 }
-                retain_with_hashes(vl, keep);
+                vl.drop_slots(drop_after, pool);
+                pool.recycle_sel(idx);
+                // `built` now holds only the zero-capacity leftovers of
+                // mem::take; the real buffers return to the pool when the
+                // vector list recycles at the batch boundary.
             }
         }
     }
     if vl.is_empty() {
         return Ok(());
     }
-    match &p.sink {
-        Sink::Output { col, .. } | Sink::Materialize { col, .. } => {
+    // Pipe sinks are contiguity boundaries: they consume the selection
+    // directly (no compaction pass) by iterating live rows only.
+    match &rp.sink {
+        ResolvedSink::Write { slot } => {
             let w = writer.as_mut().unwrap();
-            let objs: Vec<AnyHandle> = vl.col(col)?.as_obj()?.to_vec();
-            for h in &objs {
-                w.write_handle(h)?;
-            }
+            let objs = vl.slot(*slot)?.as_obj()?;
+            for_each_sel(objs.len(), vl.sel(), |i| w.write_handle(&objs[i]))?;
         }
-        Sink::AggProduce { col, .. } => {
-            agg_sink.as_mut().unwrap().absorb(vl.col(col)?)?;
+        ResolvedSink::AggProduce { slot } => {
+            agg_sink
+                .as_mut()
+                .unwrap()
+                .absorb(vl.slot(*slot)?, vl.sel())?;
         }
-        Sink::JoinBuild {
-            hash_col, obj_cols, ..
+        ResolvedSink::JoinBuild {
+            hash_slot,
+            obj_slots,
         } => {
             let t = build_table.as_mut().unwrap();
-            let hashes: Vec<u64> = vl.col(hash_col)?.as_u64()?.to_vec();
-            let cols: Vec<Vec<AnyHandle>> = obj_cols
+            let hashes = vl.slot(*hash_slot)?.as_u64()?;
+            let cols: Vec<&[AnyHandle]> = obj_slots
                 .iter()
-                .map(|c| vl.col(c).and_then(|c| c.as_obj().map(|o| o.to_vec())))
+                .map(|s| vl.slot(*s).and_then(|c| c.as_obj()))
                 .collect::<PcResult<_>>()?;
-            let mut group: Vec<AnyHandle> = Vec::with_capacity(cols.len());
-            for (i, h) in hashes.iter().enumerate() {
+            let mut group = pool.take_objs();
+            let insert_err = for_each_sel(hashes.len(), vl.sel(), |i| {
                 group.clear();
                 for c in &cols {
                     group.push(c[i].clone());
                 }
-                t.insert(*h, &group)?;
-            }
+                t.insert(hashes[i], &group)
+            });
+            group.clear();
+            pool.objs.push(group);
+            insert_err?;
         }
     }
     Ok(())
@@ -354,7 +365,7 @@ fn roll_kernel_page(writer: &mut Option<SetWriter>, scratch: &mut ScratchPage) -
 
 fn apply_with_retry(
     kernel: &Arc<dyn ColumnKernel>,
-    inputs: &[String],
+    inputs: &[usize],
     vl: &VectorList,
     writer: &mut Option<SetWriter>,
     scratch: &mut ScratchPage,
@@ -365,9 +376,9 @@ fn apply_with_retry(
         let mut ctx = ExecCtx::new(block);
         let cols: Vec<&Column> = inputs
             .iter()
-            .map(|n| vl.col(n))
+            .map(|&s| vl.slot(s))
             .collect::<PcResult<Vec<_>>>()?;
-        let r = kernel.apply(&cols, &mut ctx);
+        let r = kernel.apply(&cols, vl.sel(), &mut ctx);
         drop(scope);
         match r {
             Ok(col) => return Ok(col),
@@ -382,19 +393,6 @@ fn apply_with_retry(
     Err(PcError::Catalog(
         "pipeline stage exceeded page-fault retries".into(),
     ))
-}
-
-/// Hash columns the join ops still need may be missing from `keep` when the
-/// optimizer pruned the original TCAP columns; conservatively retain every
-/// `hash*` column.
-fn retain_with_hashes(vl: &mut VectorList, keep: &[String]) {
-    let mut keep2 = keep.to_vec();
-    for n in vl.names() {
-        if n.starts_with("hash") && !keep2.iter().any(|k| k == n) {
-            keep2.push(n.to_string());
-        }
-    }
-    vl.retain(&keep2);
 }
 
 /// A recycled allocation page for intermediate objects in pipelines whose
@@ -511,5 +509,41 @@ impl LocalExecutor {
             stats.pipelines_run += 1;
         }
         Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_every_counter() {
+        let mut total = ExecStats {
+            pipelines_run: 2,
+            batches: 10,
+            max_zombie_pages: 1,
+            ..Default::default()
+        };
+        let other = ExecStats {
+            pipelines_run: 3,
+            batches: 5,
+            rows_in: 7,
+            rows_out: 4,
+            pages_written: 2,
+            join_groups: 6,
+            agg_groups: 1,
+            max_zombie_pages: 2,
+        };
+        total.absorb(&other);
+        // `pipelines_run` used to be silently dropped here, so cluster-level
+        // sums under-counted pipelines.
+        assert_eq!(total.pipelines_run, 5);
+        assert_eq!(total.batches, 15);
+        assert_eq!(total.rows_in, 7);
+        assert_eq!(total.rows_out, 4);
+        assert_eq!(total.pages_written, 2);
+        assert_eq!(total.join_groups, 6);
+        assert_eq!(total.agg_groups, 1);
+        assert_eq!(total.max_zombie_pages, 2, "zombie high-water is a max");
     }
 }

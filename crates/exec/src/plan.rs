@@ -16,8 +16,10 @@
 //! build, the last probes); [`describe_decompositions`] enumerates the
 //! alternative pipelinings of Figure 3 for inspection.
 
+use pc_lambda::{ColumnKernel, FlatMapKernel, StageKernel, StageLibrary};
 use pc_object::{PcError, PcResult};
 use pc_tcap::ir::{TcapOp, TcapProgram};
+use std::sync::Arc;
 
 /// Where a pipeline reads its input objects.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +151,265 @@ impl PipelineSpec {
             r.push(format!("list:{list}"));
         }
         r
+    }
+}
+
+// ------------------------------------------------------- slot resolution
+
+/// One pipeline operation with every column name resolved to a slot index
+/// and every `(computation, stage)` pair resolved to its kernel. Built once
+/// per pipeline stage by [`PipelineSpec::resolve`]; the per-batch loop then
+/// runs on pure index arithmetic — no string compares, no stage-library
+/// lookups.
+#[derive(Clone)]
+pub enum ResolvedOp {
+    /// APPLY (including HASH, which is an apply of the hash kernel). `drop`
+    /// lists the slots the statement's output declaration loses — cleared
+    /// *before* the rebase so dead columns are never compacted. `drop_out`
+    /// marks an output column that is itself immediately dead.
+    Apply {
+        kernel: Arc<dyn ColumnKernel>,
+        inputs: Vec<usize>,
+        out: usize,
+        drop: Vec<usize>,
+        drop_out: bool,
+    },
+    /// FILTER: refine the selection by `bool_slot`, then clear `drop`.
+    Filter { bool_slot: usize, drop: Vec<usize> },
+    /// FLATMAP: set-valued apply; survivors replicate by the kernel's
+    /// per-live-row counts.
+    FlatMap {
+        kernel: Arc<dyn FlatMapKernel>,
+        input: usize,
+        out: usize,
+        drop: Vec<usize>,
+        drop_out: bool,
+    },
+    /// JOIN probe: hash lookups fan out matches; survivors gather by the
+    /// probe's match indices; build-side columns land in `build_slots`.
+    Probe {
+        table: String,
+        hash_slot: usize,
+        build_slots: Vec<usize>,
+        drop: Vec<usize>,
+        drop_after: Vec<usize>,
+    },
+}
+
+/// The sink's column slots.
+#[derive(Debug, Clone)]
+pub enum ResolvedSink {
+    /// OUTPUT / Materialize: write the objects in `slot`.
+    Write { slot: usize },
+    /// Join build: insert `(hash_slot, obj_slots)` groups.
+    JoinBuild {
+        hash_slot: usize,
+        obj_slots: Vec<usize>,
+    },
+    /// Pre-aggregation: absorb the objects in `slot`.
+    AggProduce { slot: usize },
+}
+
+/// A pipeline with its per-batch path fully resolved to slot indices.
+pub struct ResolvedPipeline {
+    /// Slot index → column name (the pipeline's slot map).
+    pub slot_names: Vec<String>,
+    /// Where source pages' object handles land.
+    pub source_slot: usize,
+    pub ops: Vec<ResolvedOp>,
+    pub sink: ResolvedSink,
+}
+
+struct Resolver {
+    names: Vec<String>,
+    live: Vec<bool>,
+}
+
+impl Resolver {
+    fn slot(&mut self, name: &str) -> usize {
+        match self.names.iter().position(|n| n == name) {
+            Some(s) => s,
+            None => {
+                self.names.push(name.to_string());
+                self.live.push(false);
+                self.names.len() - 1
+            }
+        }
+    }
+
+    /// The keep set of a statement: its declared output columns plus every
+    /// live `hash*` column (the conservative retention the executor applies
+    /// for join hash columns the optimizer pruned).
+    fn keep_mask(&mut self, keep: &[String]) -> Vec<bool> {
+        let mut mask = vec![false; self.names.len()];
+        for k in keep {
+            let s = self.slot(k);
+            if mask.len() < self.names.len() {
+                mask.resize(self.names.len(), false);
+            }
+            mask[s] = true;
+        }
+        for (s, n) in self.names.iter().enumerate() {
+            if self.live[s] && n.starts_with("hash") {
+                mask[s] = true;
+            }
+        }
+        mask
+    }
+
+    /// Finishes one op: computes the pre-drop list (live columns the op
+    /// kills, including an overwritten `out`), updates liveness, and
+    /// reports whether `out` itself survives.
+    fn advance(&mut self, keep: &[String], outs: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let mask = self.keep_mask(keep);
+        let mut drop = Vec::new();
+        for (s, keep_slot) in mask.iter().enumerate() {
+            // An overwritten out slot is also cleared up front so the
+            // rebase never compacts its stale column.
+            if self.live[s] && (!keep_slot || outs.contains(&s)) {
+                drop.push(s);
+                self.live[s] = false;
+            }
+        }
+        let mut drop_after = Vec::new();
+        for &o in outs {
+            if mask[o] {
+                self.live[o] = true;
+            } else {
+                drop_after.push(o);
+            }
+        }
+        (drop, drop_after)
+    }
+}
+
+impl PipelineSpec {
+    /// Resolves this pipeline against a stage library: column names become
+    /// slot indices, stage names become kernel `Arc`s, and each op gets a
+    /// statically computed drop list. Called once per
+    /// [`crate::run_pipeline_stage`] invocation, off the per-batch path.
+    pub fn resolve(&self, stages: &StageLibrary) -> PcResult<ResolvedPipeline> {
+        let mut r = Resolver {
+            names: Vec::new(),
+            live: Vec::new(),
+        };
+        let source_col = match &self.source {
+            Source::Set { col, .. } | Source::Intermediate { col, .. } => col.clone(),
+        };
+        let source_slot = r.slot(&source_col);
+        r.live[source_slot] = true;
+
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            match op {
+                PipeOp::Apply {
+                    comp,
+                    stage,
+                    inputs,
+                    out,
+                    keep,
+                } => {
+                    let kernel = match stages.get(comp, stage) {
+                        Some(StageKernel::Map(k)) => k.clone(),
+                        _ => {
+                            return Err(PcError::Catalog(format!(
+                                "no map kernel registered for {comp}.{stage}"
+                            )))
+                        }
+                    };
+                    let inputs: Vec<usize> = inputs.iter().map(|n| r.slot(n)).collect();
+                    let out = r.slot(out);
+                    let (drop, drop_after) = r.advance(keep, &[out]);
+                    ops.push(ResolvedOp::Apply {
+                        kernel,
+                        inputs,
+                        out,
+                        drop,
+                        drop_out: !drop_after.is_empty(),
+                    });
+                }
+                PipeOp::Filter { bool_col, keep } => {
+                    let bool_slot = r.slot(bool_col);
+                    let (drop, _) = r.advance(keep, &[]);
+                    ops.push(ResolvedOp::Filter { bool_slot, drop });
+                }
+                PipeOp::FlatMap {
+                    comp,
+                    stage,
+                    input,
+                    out,
+                    keep,
+                } => {
+                    let kernel = match stages.get(comp, stage) {
+                        Some(StageKernel::FlatMap(k)) => k.clone(),
+                        _ => {
+                            return Err(PcError::Catalog(format!(
+                                "no flatmap kernel registered for {comp}.{stage}"
+                            )))
+                        }
+                    };
+                    let input = r.slot(input);
+                    let out = r.slot(out);
+                    let (drop, drop_after) = r.advance(keep, &[out]);
+                    ops.push(ResolvedOp::FlatMap {
+                        kernel,
+                        input,
+                        out,
+                        drop,
+                        drop_out: !drop_after.is_empty(),
+                    });
+                }
+                PipeOp::Hash { input, out, keep } => {
+                    let inputs = vec![r.slot(input)];
+                    let out = r.slot(out);
+                    let (drop, drop_after) = r.advance(keep, &[out]);
+                    ops.push(ResolvedOp::Apply {
+                        kernel: Arc::new(pc_lambda::kernel::HashKernel),
+                        inputs,
+                        out,
+                        drop,
+                        drop_out: !drop_after.is_empty(),
+                    });
+                }
+                PipeOp::Probe {
+                    table,
+                    hash_col,
+                    build_cols,
+                    keep,
+                } => {
+                    let hash_slot = r.slot(hash_col);
+                    let build_slots: Vec<usize> = build_cols.iter().map(|n| r.slot(n)).collect();
+                    let (drop, drop_after) = r.advance(keep, &build_slots);
+                    ops.push(ResolvedOp::Probe {
+                        table: table.clone(),
+                        hash_slot,
+                        build_slots,
+                        drop,
+                        drop_after,
+                    });
+                }
+            }
+        }
+
+        let sink = match &self.sink {
+            Sink::Output { col, .. } | Sink::Materialize { col, .. } => {
+                ResolvedSink::Write { slot: r.slot(col) }
+            }
+            Sink::AggProduce { col, .. } => ResolvedSink::AggProduce { slot: r.slot(col) },
+            Sink::JoinBuild {
+                hash_col, obj_cols, ..
+            } => ResolvedSink::JoinBuild {
+                hash_slot: r.slot(hash_col),
+                obj_slots: obj_cols.iter().map(|n| r.slot(n)).collect(),
+            },
+        };
+
+        Ok(ResolvedPipeline {
+            slot_names: r.names,
+            source_slot,
+            ops,
+            sink,
+        })
     }
 }
 

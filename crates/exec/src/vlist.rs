@@ -1,86 +1,320 @@
 //! Vector lists (§5.2): the named column sets flowing through a pipeline.
+//!
+//! A vector list is **slot-addressed**: the planner resolves every column
+//! name to a slot index once per pipeline ([`crate::plan::PipelineSpec::resolve`]),
+//! so the per-batch hot path is pure index arithmetic — no string compares.
+//!
+//! It also carries a **selection vector**: FILTER marks surviving base rows
+//! in `sel` instead of re-materializing every column (the eager copying the
+//! paper attributes to the Spark-like baseline, not to PlinyCompute).
+//! Invariant: all present columns are mutually aligned to the batch's base
+//! rows; `sel`, when set, lists the live base-row indices in ascending
+//! order. Selection-aware kernels read through `sel` and emit dense output,
+//! at which point the list *rebases*: surviving columns are compacted (one
+//! gather, drawing buffers from a recycled [`ColumnPool`]) and `sel`
+//! clears. Columns dropped by the statement's output declaration are never
+//! copied at all.
 
-use pc_lambda::Column;
+use pc_lambda::{Column, ColumnPool};
 use pc_object::{PcError, PcResult};
 
-/// A batch of named columns, all of equal length.
+/// A batch of named columns, all of equal base length, viewed through an
+/// optional selection vector.
 pub struct VectorList {
-    cols: Vec<(String, Column)>,
+    names: Vec<String>,
+    slots: Vec<Option<Column>>,
+    sel: Option<Vec<u32>>,
 }
 
 impl VectorList {
     pub fn new() -> Self {
-        VectorList { cols: Vec::new() }
-    }
-
-    pub fn with(name: &str, col: Column) -> Self {
         VectorList {
-            cols: vec![(name.to_string(), col)],
+            names: Vec::new(),
+            slots: Vec::new(),
+            sel: None,
         }
     }
 
-    /// Number of rows (0 when empty).
+    /// A list pre-sized for a resolved pipeline's slot map: every slot
+    /// empty, addressed by index.
+    pub fn for_slots(names: Vec<String>) -> Self {
+        let slots = names.iter().map(|_| None).collect();
+        VectorList {
+            names,
+            slots,
+            sel: None,
+        }
+    }
+
+    pub fn with(name: &str, col: Column) -> Self {
+        let mut vl = VectorList::new();
+        vl.push(name, col);
+        vl
+    }
+
+    /// Base row count (length of the aligned columns, 0 when empty).
+    pub fn base_len(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .next()
+            .map(|c| c.len())
+            .unwrap_or(0)
+    }
+
+    /// Number of live rows: the selection's length when one is active,
+    /// otherwise the base row count.
     pub fn len(&self) -> usize {
-        self.cols.first().map(|(_, c)| c.len()).unwrap_or(0)
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.base_len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// The active selection vector (base-row indices), if any.
+    pub fn sel(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    // ------------------------------------------------------ slot addressing
+
+    /// The base-aligned column in `slot` (read through [`Self::sel`]).
+    pub fn slot(&self, slot: usize) -> PcResult<&Column> {
+        self.slots
+            .get(slot)
+            .and_then(|c| c.as_ref())
+            .ok_or_else(|| {
+                PcError::Catalog(format!(
+                    "vector list has no column in slot {slot} ({})",
+                    self.names.get(slot).map(|n| n.as_str()).unwrap_or("?")
+                ))
+            })
+    }
+
+    /// Installs a column into `slot`. Must not be called while a selection
+    /// is active (push after [`Self::rebase_with`] / a filter's refinement
+    /// instead): a fresh dense column would not align with the base rows.
+    pub fn set_slot(&mut self, slot: usize, col: Column) {
+        debug_assert!(
+            self.sel.is_none(),
+            "set_slot with an active selection would break base alignment"
+        );
+        debug_assert!(
+            self.slots.iter().flatten().all(|c| c.len() == col.len()),
+            "column length {} != vector list base length {}",
+            col.len(),
+            self.base_len()
+        );
+        self.slots[slot] = Some(col);
+    }
+
+    /// Clears one slot, recycling its buffer.
+    pub fn clear_slot(&mut self, slot: usize, pool: &mut ColumnPool) {
+        if let Some(col) = self.slots[slot].take() {
+            pool.recycle(col);
+        }
+    }
+
+    /// Clears every slot in `drop` (a resolved op's statically computed
+    /// drop list — the columns the statement's output declaration loses).
+    pub fn drop_slots(&mut self, drop: &[usize], pool: &mut ColumnPool) {
+        for &s in drop {
+            self.clear_slot(s, pool);
+        }
+    }
+
+    // --------------------------------------------------- selection mechanics
+
+    /// FILTER: refines the selection by the base-aligned boolean column in
+    /// `bool_slot`. No column is touched, let alone copied.
+    pub fn filter_by_slot(&mut self, bool_slot: usize, pool: &mut ColumnPool) -> PcResult<()> {
+        let mask = self.slot(bool_slot)?.as_bool()?;
+        let mut next = pool.take_sel();
+        match &self.sel {
+            None => next.extend(
+                mask.iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m)
+                    .map(|(i, _)| i as u32),
+            ),
+            Some(cur) => next.extend(cur.iter().copied().filter(|&i| mask[i as usize])),
+        }
+        if let Some(old) = self.sel.replace(next) {
+            pool.recycle_sel(old);
+        }
+        Ok(())
+    }
+
+    /// Rebase after a selection-aware kernel produced the dense column
+    /// `out`: compact every surviving column through the selection (one
+    /// gather each, from pooled buffers), clear the selection, and install
+    /// `out`. With no active selection this is just the install.
+    pub fn rebase_with(&mut self, out_slot: usize, out: Column, pool: &mut ColumnPool) {
+        if let Some(sel) = self.sel.take() {
+            for c in self.slots.iter_mut().flatten() {
+                let compacted = c.gather_pooled(&sel, pool);
+                pool.recycle(std::mem::replace(c, compacted));
+            }
+            pool.recycle_sel(sel);
+        }
+        self.slots[out_slot] = Some(out);
+    }
+
+    /// FLATMAP rebase: every surviving column is replicated by `counts`
+    /// (one entry per live row) through the selection; the selection
+    /// clears; the kernel's dense output column is installed.
+    pub fn replicate_with(
+        &mut self,
+        counts: &[u32],
+        out_slot: usize,
+        out: Column,
+        pool: &mut ColumnPool,
+    ) {
+        let sel = self.sel.take();
+        for c in self.slots.iter_mut().flatten() {
+            let replicated = c.replicate_sel(counts, sel.as_deref());
+            pool.recycle(std::mem::replace(c, replicated));
+        }
+        if let Some(sel) = sel {
+            pool.recycle_sel(sel);
+        }
+        self.slots[out_slot] = Some(out);
+    }
+
+    /// Join-probe rebase: every surviving column is gathered by `idx`
+    /// (base-row indices, one per match — the probe loop already folded the
+    /// selection into `idx`); the selection clears.
+    pub fn gather_rebase(&mut self, idx: &[u32], pool: &mut ColumnPool) {
+        for c in self.slots.iter_mut().flatten() {
+            let gathered = c.gather_pooled(idx, pool);
+            pool.recycle(std::mem::replace(c, gathered));
+        }
+        if let Some(sel) = self.sel.take() {
+            pool.recycle_sel(sel);
+        }
+    }
+
+    /// Ends the batch: drops every column and the selection into the pool,
+    /// releasing object references while keeping the heap buffers for the
+    /// next batch.
+    pub fn recycle(&mut self, pool: &mut ColumnPool) {
+        for c in self.slots.iter_mut() {
+            if let Some(col) = c.take() {
+                pool.recycle(col);
+            }
+        }
+        if let Some(sel) = self.sel.take() {
+            pool.recycle_sel(sel);
+        }
+    }
+
+    // ------------------------------------------------------- name-based API
+
+    fn slot_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
     pub fn col(&self, name: &str) -> PcResult<&Column> {
-        self.cols
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| c)
+        self.slot_of(name)
+            .and_then(|s| self.slots[s].as_ref())
             .ok_or_else(|| PcError::Catalog(format!("vector list has no column {name}")))
     }
 
     /// Appends a column (replacing any existing one of the same name).
     pub fn push(&mut self, name: &str, col: Column) {
-        debug_assert!(
-            self.cols.is_empty() || col.len() == self.len(),
-            "column {name} length {} != vector list length {}",
-            col.len(),
-            self.len()
-        );
-        self.cols.retain(|(n, _)| n != name);
-        self.cols.push((name.to_string(), col));
+        debug_assert!(self.sel.is_none(), "push with an active selection");
+        match self.slot_of(name) {
+            Some(s) => self.slots[s] = Some(col),
+            None => {
+                self.names.push(name.to_string());
+                self.slots.push(Some(col));
+            }
+        }
     }
 
     /// Keeps only the named columns (a statement's output declaration).
     pub fn retain(&mut self, keep: &[String]) {
-        self.cols.retain(|(n, _)| keep.contains(n));
+        for (n, c) in self.names.iter().zip(self.slots.iter_mut()) {
+            if !keep.contains(n) {
+                *c = None;
+            }
+        }
     }
 
-    /// Applies a boolean mask to every column.
+    /// Applies a boolean mask to the live rows: marks the selection instead
+    /// of copying columns. Call [`Self::compact`] to materialize.
     pub fn filter(&mut self, mask: &[bool]) {
-        for (_, c) in self.cols.iter_mut() {
+        debug_assert_eq!(mask.len(), self.len(), "mask length != live rows");
+        let next: Vec<u32> = match &self.sel {
+            None => mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| i as u32)
+                .collect(),
+            Some(cur) => cur
+                .iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(&i, _)| i)
+                .collect(),
+        };
+        self.sel = Some(next);
+    }
+
+    /// Eagerly filters every column (the pre-selection-vector execution
+    /// model; kept as the reference path for tests and benchmarks).
+    pub fn filter_materialize(&mut self, mask: &[bool]) {
+        for c in self.slots.iter_mut().flatten() {
             *c = c.filter(mask);
         }
     }
 
-    /// Replicates each row by `counts` (FLATMAP reshaping).
-    pub fn replicate(&mut self, counts: &[u32]) {
-        for (_, c) in self.cols.iter_mut() {
-            *c = c.replicate(counts);
+    /// Compacts every column through the selection and clears it.
+    pub fn compact(&mut self) {
+        if let Some(sel) = self.sel.take() {
+            for c in self.slots.iter_mut().flatten() {
+                *c = c.gather(&sel);
+            }
         }
     }
 
-    /// Gathers rows by index (join probe fan-out).
+    /// Replicates each live row by `counts` (FLATMAP reshaping).
+    pub fn replicate(&mut self, counts: &[u32]) {
+        let sel = self.sel.take();
+        for c in self.slots.iter_mut().flatten() {
+            *c = c.replicate_sel(counts, sel.as_deref());
+        }
+    }
+
+    /// Gathers live rows by index into the base rows (join probe fan-out).
     pub fn gather(&mut self, idx: &[u32]) {
-        for (_, c) in self.cols.iter_mut() {
+        for c in self.slots.iter_mut().flatten() {
             *c = c.gather(idx);
         }
+        self.sel = None;
     }
 
+    /// Names of the columns currently present.
     pub fn names(&self) -> Vec<&str> {
-        self.cols.iter().map(|(n, _)| n.as_str()).collect()
+        self.names
+            .iter()
+            .zip(&self.slots)
+            .filter(|(_, c)| c.is_some())
+            .map(|(n, _)| n.as_str())
+            .collect()
     }
 
     /// Drops every column, releasing object references (ends the batch).
     pub fn clear(&mut self) {
-        self.cols.clear();
+        for c in self.slots.iter_mut() {
+            *c = None;
+        }
+        self.sel = None;
     }
 }
 
@@ -101,10 +335,27 @@ mod tests {
         assert_eq!(vl.len(), 4);
         let mask: Vec<bool> = vl.col("b").unwrap().as_bool().unwrap().to_vec();
         vl.filter(&mask);
+        // The filter only marks rows...
         assert_eq!(vl.len(), 2);
+        assert_eq!(vl.sel(), Some(&[0u32, 2][..]));
+        assert_eq!(vl.col("a").unwrap().len(), 4, "columns stay unmaterialized");
+        // ...until a boundary compacts them.
+        vl.compact();
         assert_eq!(vl.col("a").unwrap().as_i64().unwrap(), &[1, 3]);
         vl.retain(&["a".to_string()]);
         assert!(vl.col("b").is_err());
+    }
+
+    #[test]
+    fn chained_filters_compose_selections() {
+        let mut vl = VectorList::with("x", Column::I64(vec![10, 20, 30, 40, 50, 60]));
+        vl.filter(&[true, true, false, true, true, false]); // rows 0,1,3,4
+        assert_eq!(vl.len(), 4);
+        // Second mask is over live rows.
+        vl.filter(&[false, true, true, false]);
+        assert_eq!(vl.sel(), Some(&[1u32, 3][..]));
+        vl.compact();
+        assert_eq!(vl.col("x").unwrap().as_i64().unwrap(), &[20, 40]);
     }
 
     #[test]
@@ -112,5 +363,36 @@ mod tests {
         let mut vl = VectorList::with("x", Column::F64(vec![1.0, 2.0, 3.0]));
         vl.replicate(&[2, 0, 1]);
         assert_eq!(vl.col("x").unwrap().as_f64().unwrap(), &[1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn replicate_through_selection() {
+        let mut vl = VectorList::with("x", Column::F64(vec![1.0, 2.0, 3.0, 4.0]));
+        vl.filter(&[false, true, false, true]); // live rows 1, 3
+        vl.replicate(&[3, 1]);
+        assert_eq!(
+            vl.col("x").unwrap().as_f64().unwrap(),
+            &[2.0, 2.0, 2.0, 4.0]
+        );
+        assert_eq!(vl.sel(), None, "replicate rebases");
+    }
+
+    #[test]
+    fn slot_api_rebases_on_kernel_output() {
+        let mut pool = ColumnPool::default();
+        let mut vl = VectorList::for_slots(vec!["a".into(), "b".into()]);
+        vl.set_slot(0, Column::I64(vec![1, 2, 3, 4]));
+        vl.set_slot(1, Column::Bool(vec![false, true, true, false]));
+        vl.filter_by_slot(1, &mut pool).unwrap();
+        assert_eq!(vl.len(), 2);
+        // A kernel would emit a dense 2-row column; rebase compacts "a"/"b".
+        vl.rebase_with(1, Column::I64(vec![20, 30]), &mut pool);
+        assert_eq!(vl.sel(), None);
+        assert_eq!(vl.slot(0).unwrap().as_i64().unwrap(), &[2, 3]);
+        assert_eq!(vl.slot(1).unwrap().as_i64().unwrap(), &[20, 30]);
+        // Recycling keeps buffers for the next batch.
+        vl.recycle(&mut pool);
+        assert_eq!(vl.len(), 0);
+        assert!(!pool.i64s.is_empty());
     }
 }

@@ -140,8 +140,11 @@ pub trait ErasedAgg: Send + Sync {
 
 /// Pipeline-side pre-aggregation (the producing stage of Appendix D.2).
 pub trait ErasedAggSink {
-    /// Folds a column of input objects into the partition maps.
-    fn absorb(&mut self, objs: &Column) -> PcResult<()>;
+    /// Folds a column of input objects into the partition maps. When `sel`
+    /// is `Some`, only the selected base rows are absorbed — the sink is a
+    /// contiguity boundary, so it consumes the selection directly instead of
+    /// forcing the pipeline to materialize a compacted column first.
+    fn absorb(&mut self, objs: &Column, sel: Option<&[u32]>) -> PcResult<()>;
     /// Seals all partition maps, returning `(partition, page)` pairs.
     fn flush(&mut self) -> PcResult<Vec<(usize, SealedPage)>>;
 }
@@ -271,15 +274,15 @@ impl<S: AggregateSpec> SinkImpl<S> {
 }
 
 impl<S: AggregateSpec> ErasedAggSink for SinkImpl<S> {
-    fn absorb(&mut self, objs: &Column) -> PcResult<()> {
-        for h in objs.as_obj()? {
-            let rec = h.downcast_unchecked::<S::In>();
+    fn absorb(&mut self, objs: &Column, sel: Option<&[u32]>) -> PcResult<()> {
+        let objs = objs.as_obj()?;
+        crate::kernel::for_each_sel(objs.len(), sel, |i| {
+            let rec = objs[i].downcast_unchecked::<S::In>();
             let key = self.spec.key_of(&rec)?;
             let hash = key.hash();
             let part = (hash % self.partitions as u64) as usize;
-            self.upsert(part, hash, &key, &rec)?;
-        }
-        Ok(())
+            self.upsert(part, hash, &key, &rec)
+        })
     }
 
     fn flush(&mut self) -> PcResult<Vec<(usize, SealedPage)>> {

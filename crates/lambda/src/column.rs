@@ -109,8 +109,9 @@ impl Column {
     /// Replicates row `i` `counts[i]` times (FLATMAP reshaping).
     pub fn replicate(&self, counts: &[u32]) -> Column {
         fn r<T: Clone>(v: &[T], counts: &[u32]) -> Vec<T> {
-            let total: u32 = counts.iter().sum();
-            let mut out = Vec::with_capacity(total as usize);
+            // Sum as usize: a batch of u32 counts can overflow a u32 total.
+            let total: usize = counts.iter().map(|&c| c as usize).sum();
+            let mut out = Vec::with_capacity(total);
             for (x, &c) in v.iter().zip(counts) {
                 for _ in 0..c {
                     out.push(x.clone());
@@ -128,18 +129,55 @@ impl Column {
         }
     }
 
-    /// Gathers rows by index (join probe output assembly).
-    pub fn gather(&self, idx: &[u32]) -> Column {
-        fn g<T: Clone>(v: &[T], idx: &[u32]) -> Vec<T> {
-            idx.iter().map(|&i| v[i as usize].clone()).collect()
+    /// Selection-aware replicate: `counts[i]` applies to row `sel[i]` (or to
+    /// row `i` when `sel` is `None`). Output is dense.
+    pub fn replicate_sel(&self, counts: &[u32], sel: Option<&[u32]>) -> Column {
+        let Some(sel) = sel else {
+            return self.replicate(counts);
+        };
+        fn r<T: Clone>(v: &[T], counts: &[u32], sel: &[u32]) -> Vec<T> {
+            let total: usize = counts.iter().map(|&c| c as usize).sum();
+            let mut out = Vec::with_capacity(total);
+            for (&row, &c) in sel.iter().zip(counts) {
+                for _ in 0..c {
+                    out.push(v[row as usize].clone());
+                }
+            }
+            out
         }
         match self {
-            Column::Bool(v) => Column::Bool(g(v, idx)),
-            Column::I64(v) => Column::I64(g(v, idx)),
-            Column::F64(v) => Column::F64(g(v, idx)),
-            Column::U64(v) => Column::U64(g(v, idx)),
-            Column::Str(v) => Column::Str(g(v, idx)),
-            Column::Obj(v) => Column::Obj(g(v, idx)),
+            Column::Bool(v) => Column::Bool(r(v, counts, sel)),
+            Column::I64(v) => Column::I64(r(v, counts, sel)),
+            Column::F64(v) => Column::F64(r(v, counts, sel)),
+            Column::U64(v) => Column::U64(r(v, counts, sel)),
+            Column::Str(v) => Column::Str(r(v, counts, sel)),
+            Column::Obj(v) => Column::Obj(r(v, counts, sel)),
+        }
+    }
+
+    /// Gathers rows by index (join probe output assembly, selection-vector
+    /// compaction at stage boundaries).
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        self.gather_pooled(idx, &mut ColumnPool::default())
+    }
+
+    /// Gather variant drawing the output allocation from (and sized by) a
+    /// recycled [`ColumnPool`] buffer, so steady-state batches allocate
+    /// nothing.
+    pub fn gather_pooled(&self, idx: &[u32], pool: &mut ColumnPool) -> Column {
+        fn g<T: Clone>(v: &[T], idx: &[u32], mut out: Vec<T>) -> Vec<T> {
+            out.clear();
+            out.reserve(idx.len());
+            out.extend(idx.iter().map(|&i| v[i as usize].clone()));
+            out
+        }
+        match self {
+            Column::Bool(v) => Column::Bool(g(v, idx, pool.bools.pop().unwrap_or_default())),
+            Column::I64(v) => Column::I64(g(v, idx, pool.i64s.pop().unwrap_or_default())),
+            Column::F64(v) => Column::F64(g(v, idx, pool.f64s.pop().unwrap_or_default())),
+            Column::U64(v) => Column::U64(g(v, idx, pool.u64s.pop().unwrap_or_default())),
+            Column::Str(v) => Column::Str(g(v, idx, pool.strs.pop().unwrap_or_default())),
+            Column::Obj(v) => Column::Obj(g(v, idx, pool.objs.pop().unwrap_or_default())),
         }
     }
 
@@ -153,6 +191,67 @@ impl Column {
             Column::Str(_) => Column::Str(Vec::new()),
             Column::Obj(_) => Column::Obj(Vec::new()),
         }
+    }
+}
+
+/// Recycled batch buffers, keyed by element type. The executor drains a
+/// finished batch's columns back into the pool (clearing them — which drops
+/// object handles and releases their page pins — but keeping the
+/// allocation), so the next batch's columns reuse the same heap buffers
+/// instead of re-allocating per operator (Appendix C's "near-zero per-row
+/// overhead" requires the hot loop to be allocation-free in steady state).
+#[derive(Default)]
+pub struct ColumnPool {
+    pub bools: Vec<Vec<bool>>,
+    pub i64s: Vec<Vec<i64>>,
+    pub f64s: Vec<Vec<f64>>,
+    pub u64s: Vec<Vec<u64>>,
+    pub strs: Vec<Vec<Box<str>>>,
+    pub objs: Vec<Vec<AnyHandle>>,
+    /// Spare selection/gather-index vectors.
+    pub sels: Vec<Vec<u32>>,
+}
+
+/// Spare buffers kept per element type. Kernel outputs are freshly
+/// allocated each batch, so recycling pushes more than the next batch pops;
+/// without a cap the pool would grow linearly with batch count.
+const POOL_CAP: usize = 32;
+
+fn stash<T>(list: &mut Vec<Vec<T>>, mut v: Vec<T>) {
+    v.clear();
+    if list.len() < POOL_CAP {
+        list.push(v);
+    }
+}
+
+impl ColumnPool {
+    /// Returns a column's backing buffer to the pool. Clearing drops the
+    /// elements now (releasing any page pins held by object handles); the
+    /// allocation is kept only while the per-type free list is below its
+    /// cap, so a long pipeline stage's pool stays batch-sized.
+    pub fn recycle(&mut self, col: Column) {
+        match col {
+            Column::Bool(v) => stash(&mut self.bools, v),
+            Column::I64(v) => stash(&mut self.i64s, v),
+            Column::F64(v) => stash(&mut self.f64s, v),
+            Column::U64(v) => stash(&mut self.u64s, v),
+            Column::Str(v) => stash(&mut self.strs, v),
+            Column::Obj(v) => stash(&mut self.objs, v),
+        }
+    }
+
+    /// An empty (but possibly pre-sized) object-handle buffer.
+    pub fn take_objs(&mut self) -> Vec<AnyHandle> {
+        self.objs.pop().unwrap_or_default()
+    }
+
+    /// An empty (but possibly pre-sized) selection/index buffer.
+    pub fn take_sel(&mut self) -> Vec<u32> {
+        self.sels.pop().unwrap_or_default()
+    }
+
+    pub fn recycle_sel(&mut self, sel: Vec<u32>) {
+        stash(&mut self.sels, sel);
     }
 }
 

@@ -28,15 +28,58 @@ impl ExecCtx {
 }
 
 /// A vectorized pipeline stage: consumes input columns, appends one column.
+///
+/// `sel` is the batch's selection vector (§5.2 / Appendix C's "vector lists
+/// carry only surviving rows"): when `Some`, the kernel must read input row
+/// `sel[i]` for output row `i` and produce a **dense** column of
+/// `sel.len()` rows, touching no dead row — object-producing kernels must
+/// never allocate output objects for rows a FILTER already dropped. When
+/// `None`, inputs are dense and processed in full.
 pub trait ColumnKernel: Send + Sync {
-    fn apply(&self, inputs: &[&Column], ctx: &mut ExecCtx) -> PcResult<Column>;
+    fn apply(&self, inputs: &[&Column], sel: Option<&[u32]>, ctx: &mut ExecCtx)
+        -> PcResult<Column>;
 }
 
 /// A set-valued stage (lowers `MultiSelectionComp`): each input row yields
 /// zero or more output values; returns the output column plus per-row
-/// counts used to replicate the copied-through columns.
+/// counts used to replicate the copied-through columns. Under a selection
+/// vector, `counts` has one entry per *selected* row.
 pub trait FlatMapKernel: Send + Sync {
-    fn apply(&self, inputs: &[&Column], ctx: &mut ExecCtx) -> PcResult<(Column, Vec<u32>)>;
+    fn apply(
+        &self,
+        inputs: &[&Column],
+        sel: Option<&[u32]>,
+        ctx: &mut ExecCtx,
+    ) -> PcResult<(Column, Vec<u32>)>;
+}
+
+/// Number of live rows in a batch of `len` base rows under `sel`.
+pub fn sel_len(len: usize, sel: Option<&[u32]>) -> usize {
+    sel.map(|s| s.len()).unwrap_or(len)
+}
+
+/// Drives `f` over the live row indices of a `len`-row batch: `0..len` when
+/// `sel` is `None`, the selected base rows otherwise. Two monomorphic loops
+/// so the dense path stays free of per-row indirection.
+#[inline]
+pub fn for_each_sel(
+    len: usize,
+    sel: Option<&[u32]>,
+    mut f: impl FnMut(usize) -> PcResult<()>,
+) -> PcResult<()> {
+    match sel {
+        None => {
+            for i in 0..len {
+                f(i)?;
+            }
+        }
+        Some(s) => {
+            for &i in s {
+                f(i as usize)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 // ------------------------------------------------------------- extraction
@@ -53,13 +96,20 @@ where
     R: ColValue,
     F: Fn(&Handle<T>) -> PcResult<R> + Send + Sync + 'static,
 {
-    fn apply(&self, inputs: &[&Column], ctx: &mut ExecCtx) -> PcResult<Column> {
+    fn apply(
+        &self,
+        inputs: &[&Column],
+        sel: Option<&[u32]>,
+        ctx: &mut ExecCtx,
+    ) -> PcResult<Column> {
         let objs = inputs[0].as_obj()?;
-        let mut out = Vec::with_capacity(objs.len());
-        for h in objs {
-            out.push((self.f)(&h.downcast_unchecked::<T>())?);
-        }
-        ctx.rows += objs.len() as u64;
+        let n = sel_len(objs.len(), sel);
+        let mut out = Vec::with_capacity(n);
+        for_each_sel(objs.len(), sel, |i| {
+            out.push((self.f)(&objs[i].downcast_unchecked::<T>())?);
+            Ok(())
+        })?;
+        ctx.rows += n as u64;
         Ok(R::collect(out))
     }
 }
@@ -78,18 +128,25 @@ where
     R: ColValue,
     F: Fn(&Handle<A>, &Handle<B>) -> PcResult<R> + Send + Sync + 'static,
 {
-    fn apply(&self, inputs: &[&Column], ctx: &mut ExecCtx) -> PcResult<Column> {
+    fn apply(
+        &self,
+        inputs: &[&Column],
+        sel: Option<&[u32]>,
+        ctx: &mut ExecCtx,
+    ) -> PcResult<Column> {
         let a = inputs[0].as_obj()?;
         let b = inputs[1].as_obj()?;
         debug_assert_eq!(a.len(), b.len());
-        let mut out = Vec::with_capacity(a.len());
-        for (x, y) in a.iter().zip(b) {
+        let n = sel_len(a.len(), sel);
+        let mut out = Vec::with_capacity(n);
+        for_each_sel(a.len(), sel, |i| {
             out.push((self.f)(
-                &x.downcast_unchecked::<A>(),
-                &y.downcast_unchecked::<B>(),
+                &a[i].downcast_unchecked::<A>(),
+                &b[i].downcast_unchecked::<B>(),
             )?);
-        }
-        ctx.rows += a.len() as u64;
+            Ok(())
+        })?;
+        ctx.rows += n as u64;
         Ok(R::collect(out))
     }
 }
@@ -109,19 +166,26 @@ where
     R: ColValue,
     F: Fn(&Handle<A>, &Handle<B>, &Handle<C>) -> PcResult<R> + Send + Sync + 'static,
 {
-    fn apply(&self, inputs: &[&Column], ctx: &mut ExecCtx) -> PcResult<Column> {
+    fn apply(
+        &self,
+        inputs: &[&Column],
+        sel: Option<&[u32]>,
+        ctx: &mut ExecCtx,
+    ) -> PcResult<Column> {
         let a = inputs[0].as_obj()?;
         let b = inputs[1].as_obj()?;
         let c = inputs[2].as_obj()?;
-        let mut out = Vec::with_capacity(a.len());
-        for i in 0..a.len() {
+        let n = sel_len(a.len(), sel);
+        let mut out = Vec::with_capacity(n);
+        for_each_sel(a.len(), sel, |i| {
             out.push((self.f)(
                 &a[i].downcast_unchecked::<A>(),
                 &b[i].downcast_unchecked::<B>(),
                 &c[i].downcast_unchecked::<C>(),
             )?);
-        }
-        ctx.rows += a.len() as u64;
+            Ok(())
+        })?;
+        ctx.rows += n as u64;
         Ok(R::collect(out))
     }
 }
@@ -138,16 +202,23 @@ where
     R: ColValue,
     F: Fn(&Handle<T>) -> PcResult<Vec<R>> + Send + Sync + 'static,
 {
-    fn apply(&self, inputs: &[&Column], ctx: &mut ExecCtx) -> PcResult<(Column, Vec<u32>)> {
+    fn apply(
+        &self,
+        inputs: &[&Column],
+        sel: Option<&[u32]>,
+        ctx: &mut ExecCtx,
+    ) -> PcResult<(Column, Vec<u32>)> {
         let objs = inputs[0].as_obj()?;
+        let n = sel_len(objs.len(), sel);
         let mut out = Vec::new();
-        let mut counts = Vec::with_capacity(objs.len());
-        for h in objs {
-            let vals = (self.f)(&h.downcast_unchecked::<T>())?;
+        let mut counts = Vec::with_capacity(n);
+        for_each_sel(objs.len(), sel, |i| {
+            let vals = (self.f)(&objs[i].downcast_unchecked::<T>())?;
             counts.push(vals.len() as u32);
             out.extend(vals);
-        }
-        ctx.rows += objs.len() as u64;
+            Ok(())
+        })?;
+        ctx.rows += n as u64;
         Ok((R::collect(out), counts))
     }
 }
@@ -201,14 +272,28 @@ impl BinOpKind {
 }
 
 macro_rules! cmp_arms {
-    ($a:expr, $b:expr, $op:tt) => {{
-        Column::Bool($a.iter().zip($b.iter()).map(|(x, y)| x $op y).collect())
+    ($a:expr, $b:expr, $sel:expr, $op:tt) => {{
+        match $sel {
+            None => Column::Bool($a.iter().zip($b.iter()).map(|(x, y)| x $op y).collect()),
+            Some(s) => Column::Bool(
+                s.iter()
+                    .map(|&i| $a[i as usize] $op $b[i as usize])
+                    .collect(),
+            ),
+        }
     }};
 }
 
 macro_rules! arith_arms {
-    ($a:expr, $b:expr, $op:tt, $variant:ident) => {{
-        Column::$variant($a.iter().zip($b.iter()).map(|(x, y)| x $op y).collect())
+    ($a:expr, $b:expr, $sel:expr, $op:tt, $variant:ident) => {{
+        match $sel {
+            None => Column::$variant($a.iter().zip($b.iter()).map(|(x, y)| x $op y).collect()),
+            Some(s) => Column::$variant(
+                s.iter()
+                    .map(|&i| $a[i as usize] $op $b[i as usize])
+                    .collect(),
+            ),
+        }
     }};
 }
 
@@ -218,40 +303,41 @@ pub struct BinaryKernel {
 }
 
 impl ColumnKernel for BinaryKernel {
-    fn apply(&self, inputs: &[&Column], ctx: &mut ExecCtx) -> PcResult<Column> {
+    fn apply(
+        &self,
+        inputs: &[&Column],
+        sel: Option<&[u32]>,
+        ctx: &mut ExecCtx,
+    ) -> PcResult<Column> {
         let (a, b) = (inputs[0], inputs[1]);
-        ctx.rows += a.len() as u64;
+        ctx.rows += sel_len(a.len(), sel) as u64;
         use BinOpKind::*;
         use Column::*;
         Ok(match (self.op, a, b) {
-            (Eq, I64(x), I64(y)) => cmp_arms!(x, y, ==),
-            (Eq, F64(x), F64(y)) => cmp_arms!(x, y, ==),
-            (Eq, U64(x), U64(y)) => cmp_arms!(x, y, ==),
-            (Eq, Str(x), Str(y)) => cmp_arms!(x, y, ==),
-            (Eq, Bool(x), Bool(y)) => cmp_arms!(x, y, ==),
-            (Ne, I64(x), I64(y)) => cmp_arms!(x, y, !=),
-            (Ne, F64(x), F64(y)) => cmp_arms!(x, y, !=),
-            (Ne, Str(x), Str(y)) => cmp_arms!(x, y, !=),
-            (Gt, I64(x), I64(y)) => cmp_arms!(x, y, >),
-            (Gt, F64(x), F64(y)) => cmp_arms!(x, y, >),
-            (Lt, I64(x), I64(y)) => cmp_arms!(x, y, <),
-            (Lt, F64(x), F64(y)) => cmp_arms!(x, y, <),
-            (Ge, I64(x), I64(y)) => cmp_arms!(x, y, >=),
-            (Ge, F64(x), F64(y)) => cmp_arms!(x, y, >=),
-            (Le, I64(x), I64(y)) => cmp_arms!(x, y, <=),
-            (Le, F64(x), F64(y)) => cmp_arms!(x, y, <=),
-            (And, Bool(x), Bool(y)) => {
-                Column::Bool(x.iter().zip(y).map(|(p, q)| *p && *q).collect())
-            }
-            (Or, Bool(x), Bool(y)) => {
-                Column::Bool(x.iter().zip(y).map(|(p, q)| *p || *q).collect())
-            }
-            (Add, I64(x), I64(y)) => arith_arms!(x, y, +, I64),
-            (Add, F64(x), F64(y)) => arith_arms!(x, y, +, F64),
-            (Sub, I64(x), I64(y)) => arith_arms!(x, y, -, I64),
-            (Sub, F64(x), F64(y)) => arith_arms!(x, y, -, F64),
-            (Mul, I64(x), I64(y)) => arith_arms!(x, y, *, I64),
-            (Mul, F64(x), F64(y)) => arith_arms!(x, y, *, F64),
+            (Eq, I64(x), I64(y)) => cmp_arms!(x, y, sel, ==),
+            (Eq, F64(x), F64(y)) => cmp_arms!(x, y, sel, ==),
+            (Eq, U64(x), U64(y)) => cmp_arms!(x, y, sel, ==),
+            (Eq, Str(x), Str(y)) => cmp_arms!(x, y, sel, ==),
+            (Eq, Bool(x), Bool(y)) => cmp_arms!(x, y, sel, ==),
+            (Ne, I64(x), I64(y)) => cmp_arms!(x, y, sel, !=),
+            (Ne, F64(x), F64(y)) => cmp_arms!(x, y, sel, !=),
+            (Ne, Str(x), Str(y)) => cmp_arms!(x, y, sel, !=),
+            (Gt, I64(x), I64(y)) => cmp_arms!(x, y, sel, >),
+            (Gt, F64(x), F64(y)) => cmp_arms!(x, y, sel, >),
+            (Lt, I64(x), I64(y)) => cmp_arms!(x, y, sel, <),
+            (Lt, F64(x), F64(y)) => cmp_arms!(x, y, sel, <),
+            (Ge, I64(x), I64(y)) => cmp_arms!(x, y, sel, >=),
+            (Ge, F64(x), F64(y)) => cmp_arms!(x, y, sel, >=),
+            (Le, I64(x), I64(y)) => cmp_arms!(x, y, sel, <=),
+            (Le, F64(x), F64(y)) => cmp_arms!(x, y, sel, <=),
+            (And, Bool(x), Bool(y)) => cmp_arms!(x, y, sel, &),
+            (Or, Bool(x), Bool(y)) => cmp_arms!(x, y, sel, |),
+            (Add, I64(x), I64(y)) => arith_arms!(x, y, sel, +, I64),
+            (Add, F64(x), F64(y)) => arith_arms!(x, y, sel, +, F64),
+            (Sub, I64(x), I64(y)) => arith_arms!(x, y, sel, -, I64),
+            (Sub, F64(x), F64(y)) => arith_arms!(x, y, sel, -, F64),
+            (Mul, I64(x), I64(y)) => arith_arms!(x, y, sel, *, I64),
+            (Mul, F64(x), F64(y)) => arith_arms!(x, y, sel, *, F64),
             (op, a, b) => {
                 return Err(pc_object::PcError::Catalog(format!(
                     "no kernel for {op:?} over ({}, {})",
@@ -267,10 +353,18 @@ impl ColumnKernel for BinaryKernel {
 pub struct NotKernel;
 
 impl ColumnKernel for NotKernel {
-    fn apply(&self, inputs: &[&Column], ctx: &mut ExecCtx) -> PcResult<Column> {
+    fn apply(
+        &self,
+        inputs: &[&Column],
+        sel: Option<&[u32]>,
+        ctx: &mut ExecCtx,
+    ) -> PcResult<Column> {
         let b = inputs[0].as_bool()?;
-        ctx.rows += b.len() as u64;
-        Ok(Column::Bool(b.iter().map(|x| !x).collect()))
+        ctx.rows += sel_len(b.len(), sel) as u64;
+        Ok(Column::Bool(match sel {
+            None => b.iter().map(|x| !x).collect(),
+            Some(s) => s.iter().map(|&i| !b[i as usize]).collect(),
+        }))
     }
 }
 
@@ -299,47 +393,58 @@ pub struct ConstCmpKernel {
 }
 
 impl ColumnKernel for ConstCmpKernel {
-    fn apply(&self, inputs: &[&Column], ctx: &mut ExecCtx) -> PcResult<Column> {
+    fn apply(
+        &self,
+        inputs: &[&Column],
+        sel: Option<&[u32]>,
+        ctx: &mut ExecCtx,
+    ) -> PcResult<Column> {
         let a = inputs[0];
-        ctx.rows += a.len() as u64;
+        ctx.rows += sel_len(a.len(), sel) as u64;
         use BinOpKind::*;
+        fn over<T: Copy>(v: &[T], sel: Option<&[u32]>, f: impl Fn(T) -> bool) -> Vec<bool> {
+            match sel {
+                None => v.iter().map(|&x| f(x)).collect(),
+                Some(s) => s.iter().map(|&i| f(v[i as usize])).collect(),
+            }
+        }
         let out = match (&self.value, a) {
             (ConstOperand::I64(c), Column::I64(v)) => {
-                let c = *c;
-                v.iter()
-                    .map(|x| match self.op {
-                        Eq => *x == c,
-                        Ne => *x != c,
-                        Gt => *x > c,
-                        Lt => *x < c,
-                        Ge => *x >= c,
-                        Le => *x <= c,
-                        _ => false,
-                    })
-                    .collect()
-            }
-            (ConstOperand::F64(c), Column::F64(v)) => {
-                let c = *c;
-                v.iter()
-                    .map(|x| match self.op {
-                        Eq => *x == c,
-                        Ne => *x != c,
-                        Gt => *x > c,
-                        Lt => *x < c,
-                        Ge => *x >= c,
-                        Le => *x <= c,
-                        _ => false,
-                    })
-                    .collect()
-            }
-            (ConstOperand::Str(c), Column::Str(v)) => v
-                .iter()
-                .map(|x| match self.op {
-                    Eq => &**x == c.as_str(),
-                    Ne => &**x != c.as_str(),
+                let (c, op) = (*c, self.op);
+                over(v, sel, |x| match op {
+                    Eq => x == c,
+                    Ne => x != c,
+                    Gt => x > c,
+                    Lt => x < c,
+                    Ge => x >= c,
+                    Le => x <= c,
                     _ => false,
                 })
-                .collect(),
+            }
+            (ConstOperand::F64(c), Column::F64(v)) => {
+                let (c, op) = (*c, self.op);
+                over(v, sel, |x| match op {
+                    Eq => x == c,
+                    Ne => x != c,
+                    Gt => x > c,
+                    Lt => x < c,
+                    Ge => x >= c,
+                    Le => x <= c,
+                    _ => false,
+                })
+            }
+            (ConstOperand::Str(c), Column::Str(v)) => {
+                let op = self.op;
+                let test = |x: &str| match op {
+                    Eq => x == c.as_str(),
+                    Ne => x != c.as_str(),
+                    _ => false,
+                };
+                match sel {
+                    None => v.iter().map(|x| test(x)).collect(),
+                    Some(s) => s.iter().map(|&i| test(&v[i as usize])).collect(),
+                }
+            }
             (c, col) => {
                 return Err(pc_object::PcError::Catalog(format!(
                     "no const-comparison kernel for {c:?} vs {}",
@@ -355,15 +460,26 @@ impl ColumnKernel for ConstCmpKernel {
 pub struct HashKernel;
 
 impl ColumnKernel for HashKernel {
-    fn apply(&self, inputs: &[&Column], ctx: &mut ExecCtx) -> PcResult<Column> {
+    fn apply(
+        &self,
+        inputs: &[&Column],
+        sel: Option<&[u32]>,
+        ctx: &mut ExecCtx,
+    ) -> PcResult<Column> {
         let a = inputs[0];
-        ctx.rows += a.len() as u64;
+        ctx.rows += sel_len(a.len(), sel) as u64;
+        fn over<T, F: Fn(&T) -> u64>(v: &[T], sel: Option<&[u32]>, f: F) -> Vec<u64> {
+            match sel {
+                None => v.iter().map(f).collect(),
+                Some(s) => s.iter().map(|&i| f(&v[i as usize])).collect(),
+            }
+        }
         Ok(Column::U64(match a {
-            Column::I64(v) => v.iter().map(|x| pc_hash::hash_i64(*x)).collect(),
-            Column::U64(v) => v.iter().map(|x| pc_hash::mix64(*x)).collect(),
-            Column::F64(v) => v.iter().map(|x| pc_hash::hash_f64(*x)).collect(),
-            Column::Str(v) => v.iter().map(|x| pc_hash::fnv1a(x.as_bytes())).collect(),
-            Column::Bool(v) => v.iter().map(|x| pc_hash::mix64(*x as u64)).collect(),
+            Column::I64(v) => over(v, sel, |x| pc_hash::hash_i64(*x)),
+            Column::U64(v) => over(v, sel, |x| pc_hash::mix64(*x)),
+            Column::F64(v) => over(v, sel, |x| pc_hash::hash_f64(*x)),
+            Column::Str(v) => over(v, sel, |x| pc_hash::fnv1a(x.as_bytes())),
+            Column::Bool(v) => over(v, sel, |x| pc_hash::mix64(*x as u64)),
             Column::Obj(_) => {
                 return Err(pc_object::PcError::Catalog(
                     "cannot hash an object column; extract a key first".into(),
@@ -388,15 +504,15 @@ mod tests {
         let a = Column::F64(vec![1.0, 5.0, 3.0]);
         let b = Column::F64(vec![2.0, 2.0, 3.0]);
         let gt = BinaryKernel { op: BinOpKind::Gt }
-            .apply(&[&a, &b], &mut c)
+            .apply(&[&a, &b], None, &mut c)
             .unwrap();
         assert_eq!(gt.as_bool().unwrap(), &[false, true, false]);
         let eq = BinaryKernel { op: BinOpKind::Eq }
-            .apply(&[&a, &b], &mut c)
+            .apply(&[&a, &b], None, &mut c)
             .unwrap();
         assert_eq!(eq.as_bool().unwrap(), &[false, false, true]);
         let add = BinaryKernel { op: BinOpKind::Add }
-            .apply(&[&a, &b], &mut c)
+            .apply(&[&a, &b], None, &mut c)
             .unwrap();
         assert_eq!(add.as_f64().unwrap(), &[3.0, 7.0, 6.0]);
     }
@@ -407,7 +523,7 @@ mod tests {
         let a = Column::F64(vec![1.0]);
         let b = Column::I64(vec![1]);
         assert!(BinaryKernel { op: BinOpKind::Eq }
-            .apply(&[&a, &b], &mut c)
+            .apply(&[&a, &b], None, &mut c)
             .is_err());
     }
 
@@ -419,10 +535,10 @@ mod tests {
             op: BinOpKind::Gt,
             value: ConstOperand::I64(50_000),
         }
-        .apply(&[&a], &mut c)
+        .apply(&[&a], None, &mut c)
         .unwrap();
         assert_eq!(gt.as_bool().unwrap(), &[false, false, true]);
-        let ne = NotKernel.apply(&[&gt], &mut c).unwrap();
+        let ne = NotKernel.apply(&[&gt], None, &mut c).unwrap();
         assert_eq!(ne.as_bool().unwrap(), &[true, true, false]);
     }
 
@@ -430,9 +546,34 @@ mod tests {
     fn hash_kernel_is_stable_per_value() {
         let mut c = ctx();
         let a = Column::Str(vec!["eng".into(), "ops".into(), "eng".into()]);
-        let h = HashKernel.apply(&[&a], &mut c).unwrap();
+        let h = HashKernel.apply(&[&a], None, &mut c).unwrap();
         let h = h.as_u64().unwrap();
         assert_eq!(h[0], h[2]);
         assert_ne!(h[0], h[1]);
+    }
+
+    #[test]
+    fn selection_vector_reads_base_rows_and_emits_dense_output() {
+        let mut c = ctx();
+        let a = Column::I64(vec![10, 20, 30, 40, 50]);
+        let b = Column::I64(vec![1, 2, 3, 4, 5]);
+        let sel: Vec<u32> = vec![0, 2, 4];
+        // Dense output, one row per selected base row.
+        let add = BinaryKernel { op: BinOpKind::Add }
+            .apply(&[&a, &b], Some(&sel), &mut c)
+            .unwrap();
+        assert_eq!(add.as_i64().unwrap(), &[11, 33, 55]);
+        let gt = ConstCmpKernel {
+            op: BinOpKind::Gt,
+            value: ConstOperand::I64(25),
+        }
+        .apply(&[&a], Some(&sel), &mut c)
+        .unwrap();
+        assert_eq!(gt.as_bool().unwrap(), &[false, true, true]);
+        // Hash over a selection matches hash over the gathered column.
+        let dense = a.gather(&sel);
+        let h_sel = HashKernel.apply(&[&a], Some(&sel), &mut c).unwrap();
+        let h_dense = HashKernel.apply(&[&dense], None, &mut c).unwrap();
+        assert_eq!(h_sel.as_u64().unwrap(), h_dense.as_u64().unwrap());
     }
 }
