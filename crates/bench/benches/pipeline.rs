@@ -1,13 +1,19 @@
 //! Criterion benches for the vectorized pipeline hot path: the
 //! selection-vector FILTER vs the pre-PR eager-materialization path,
-//! FLATMAP fan-out replication, and the closure-free join probe.
+//! FLATMAP fan-out replication, the closure-free join probe, and the
+//! vectorized aggregation sink vs the row-at-a-time reference.
 //!
-//! Acceptance gate for the selection-vector engine:
-//! `filter_scan/selvec` must beat `filter_scan/eager` by ≥ 1.5×.
+//! Acceptance gates:
+//! * `filter_scan/selvec` must beat `filter_scan/eager` by ≥ 1.5×;
+//! * `agg_absorb/vectorized` must beat `agg_absorb/rowwise` by ≥ 1.5×
+//!   (both enforced by `repro pipeline`, which CI runs as a smoke step).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pc_bench::pipeline::{micro_batch, micro_filter_eager, micro_filter_selvec};
+use pc_bench::pipeline::{
+    micro_agg_batch, micro_batch, micro_filter_eager, micro_filter_selvec, SumAgg,
+};
 use pc_exec::JoinTable;
+use pc_lambda::{agg::AggEngine, ErasedAgg};
 use pc_lambda::{Column, ColumnPool};
 use pc_object::{make_object, AllocScope, AnyHandle, PcVec};
 use std::hint::black_box;
@@ -97,10 +103,36 @@ fn bench_join_probe(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_agg_absorb(c: &mut Criterion) {
+    // A 1024-row low-cardinality batch (16 groups, 4 partitions): the
+    // vectorized batch-hash → radix-partition → grouped-bulk-upsert path
+    // against the pre-PR row-at-a-time `key_of → hash → % → upsert` loop.
+    let b = micro_agg_batch(1024, 16);
+    let engine = AggEngine::new(SumAgg);
+    let mut rowwise = engine.new_sink(4, 1 << 20);
+    let mut vectorized = engine.new_sink(4, 1 << 20);
+    let mut g = c.benchmark_group("agg_absorb");
+    g.sample_size(20);
+    g.bench_function("rowwise", |bench| {
+        bench.iter(|| {
+            rowwise.absorb_rowwise(&b.objs, None).unwrap();
+            black_box(())
+        })
+    });
+    g.bench_function("vectorized", |bench| {
+        bench.iter(|| {
+            vectorized.absorb(&b.objs, None).unwrap();
+            black_box(())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_filter_scan,
     bench_flatmap_fanout,
-    bench_join_probe
+    bench_join_probe,
+    bench_agg_absorb
 );
 criterion_main!(benches);

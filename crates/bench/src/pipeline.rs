@@ -1,12 +1,14 @@
 //! `repro pipeline` — the measured perf trajectory of the vectorized
 //! execution hot path (§5.2, Appendix C).
 //!
-//! Runs four macro workloads through the full engine (scan, filter-heavy
-//! selection, FLATMAP fan-out, join probe) plus a micro A/B of the
-//! selection-vector filter against the pre-selection-vector
-//! eager-materialization path, then writes `BENCH_pipeline.json` — the
-//! baseline every future perf PR is measured against. Refresh it from the
-//! repo root with:
+//! Runs six macro workloads through the full engine (scan, filter-heavy
+//! selection, FLATMAP fan-out, join probe, low- and high-cardinality
+//! group-by) plus two micro A/Bs — the selection-vector filter against the
+//! pre-selection-vector eager-materialization path, and the vectorized
+//! aggregation sink (batch hash → radix partition → grouped bulk upsert)
+//! against the row-at-a-time path — then writes `BENCH_pipeline.json`,
+//! the baseline every future perf PR is measured against. Refresh it from
+//! the repo root with:
 //!
 //! ```text
 //! cargo run --release -p pc-bench --bin repro -- pipeline
@@ -59,10 +61,13 @@ fn key_lambda() -> Lambda<i64> {
     make_lambda_from_member::<BenchRec, i64>(0, "key", |r| r.v().key())
 }
 
-/// One measured workload: `(rows_in, rows_out, wall time)`.
+/// One measured workload: `(rows_in, rows_out, wall time)` plus the
+/// two-phase aggregation counters (zero for non-aggregation workloads).
 struct Run {
     rows_in: u64,
     rows_out: u64,
+    rows_aggregated: u64,
+    map_pages_sealed: u64,
     dur: Duration,
 }
 
@@ -77,6 +82,8 @@ fn execute(c: &PcClient, g: &ComputationGraph) -> Run {
     Run {
         rows_in: stats.exec.rows_in,
         rows_out: stats.exec.rows_out,
+        rows_aggregated: stats.exec.rows_aggregated,
+        map_pages_sealed: stats.exec.map_pages_sealed,
         dur,
     }
 }
@@ -153,6 +160,154 @@ fn join_probe(c: &PcClient, n: usize) -> Run {
     let joined = g.join(&[build, probe], sel, proj);
     g.write(joined, "bench", "join_out");
     execute(c, &g)
+}
+
+// ------------------------------------------------------- aggregation runs
+
+/// The benchmark aggregation: group by `key`, folding `(count, sum(val))`.
+pub struct SumAgg;
+
+impl AggregateSpec for SumAgg {
+    type In = BenchRec;
+    type Key = i64;
+    type Val = (i64, i64);
+    type Out = BenchRec;
+
+    fn key_of(&self, rec: &Handle<BenchRec>) -> PcResult<i64> {
+        Ok(rec.v().key())
+    }
+
+    fn init(&self, _b: &BlockRef, rec: &Handle<BenchRec>) -> PcResult<(i64, i64)> {
+        Ok((1, rec.v().val()))
+    }
+
+    fn combine(&self, b: &BlockRef, slot: u32, rec: &Handle<BenchRec>) -> PcResult<()> {
+        let (c, t): (i64, i64) = b.read(slot);
+        b.write(slot, (c + 1, t + rec.v().val()));
+        Ok(())
+    }
+
+    fn merge(&self, dst: &BlockRef, dst_slot: u32, src: &BlockRef, src_slot: u32) -> PcResult<()> {
+        let (c1, t1): (i64, i64) = dst.read(dst_slot);
+        let (c2, t2): (i64, i64) = src.read(src_slot);
+        dst.write(dst_slot, (c1 + c2, t1 + t2));
+        Ok(())
+    }
+
+    fn finalize(&self, key: &i64, b: &BlockRef, val_slot: u32) -> PcResult<Handle<BenchRec>> {
+        let (_c, t): (i64, i64) = b.read(val_slot);
+        let out = make_object::<BenchRec>()?;
+        out.v().set_key(*key)?;
+        out.v().set_val(t)?;
+        Ok(out)
+    }
+}
+
+/// Full-engine group-by over `key_mod` distinct keys (the TPC-H-style
+/// aggregation shape of §8 / Figure 5: pre-aggregate into partition maps,
+/// shuffle the sealed pages, merge, materialize).
+fn group_by(c: &PcClient, n: usize, key_mod: i64, tag: &str) -> Run {
+    let set_in = format!("agg_in_{tag}");
+    let set_out = format!("agg_out_{tag}");
+    load(c, &set_in, n, key_mod);
+    c.create_or_clear_set("bench", &set_out).unwrap();
+    let mut g = ComputationGraph::new();
+    let src = g.reader("bench", &set_in);
+    let agg = g.aggregate(src, SumAgg);
+    g.write(agg, "bench", &set_out);
+    execute(c, &g)
+}
+
+// --------------------------------------------------------- micro agg A/B
+
+/// The micro batch the aggregation A/B runs over: 1024 `BenchRec` objects
+/// with `card` distinct keys — the shape of a pre-aggregation batch.
+pub struct MicroAggBatch {
+    pub objs: Column,
+    pub card: i64,
+    _scope: AllocScope,
+}
+
+pub fn micro_agg_batch(rows: usize, card: i64) -> MicroAggBatch {
+    let scope = AllocScope::new(1 << 22);
+    let mut handles = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let r = make_object::<BenchRec>().unwrap();
+        r.v().set_key((i as i64 * 997) % card).unwrap();
+        r.v().set_val(i as i64).unwrap();
+        handles.push(r.erase());
+    }
+    MicroAggBatch {
+        objs: Column::Obj(handles),
+        card,
+        _scope: scope,
+    }
+}
+
+fn micro_sink() -> Box<dyn pc_lambda::ErasedAggSink> {
+    use pc_lambda::ErasedAgg;
+    pc_lambda::agg::AggEngine::new(SumAgg).new_sink(4, 1 << 20)
+}
+
+/// `(rowwise ns/batch, vectorized ns/batch, speedup)` on a low-cardinality
+/// 1024-row batch: the pre-PR `key_of → hash → % → upsert` loop against the
+/// batch-hash → radix-partition → grouped-bulk-upsert path.
+pub fn micro_agg_ab() -> (f64, f64, f64) {
+    let b = micro_agg_batch(1024, 16);
+    let mut rowwise = micro_sink();
+    let mut vectorized = micro_sink();
+    for _ in 0..100 {
+        rowwise.absorb_rowwise(&b.objs, None).unwrap();
+        vectorized.absorb(&b.objs, None).unwrap();
+    }
+    let row_ns = median_ns(7, 500, || {
+        rowwise.absorb_rowwise(&b.objs, None).unwrap();
+    });
+    let vec_ns = median_ns(7, 500, || {
+        vectorized.absorb(&b.objs, None).unwrap();
+    });
+    (row_ns, vec_ns, row_ns / vec_ns)
+}
+
+/// Parity guard used by tests: both absorb paths produce the same final
+/// `(key, sum)` groups after flushing, merging, and finalizing.
+pub fn micro_agg_paths_agree() -> bool {
+    use pc_lambda::{ErasedAgg, SetWriter};
+    let b = micro_agg_batch(1024, 16);
+    let engine = pc_lambda::agg::AggEngine::new(SumAgg);
+    let finalize = |mut sink: Box<dyn pc_lambda::ErasedAggSink>| -> Vec<(i64, i64)> {
+        let mut merger = engine.new_merger(1 << 20);
+        for (_part, page) in sink.flush().unwrap() {
+            merger.merge_page(page).unwrap();
+        }
+        let mut w = SetWriter::new(1 << 20);
+        merger.finalize(&mut w).unwrap();
+        let mut out = Vec::new();
+        for page in w.finish().unwrap() {
+            let (_b, root) = page.open().unwrap();
+            let v = root
+                .downcast::<pc_object::PcVec<Handle<pc_object::AnyObj>>>()
+                .unwrap();
+            for h in v.iter() {
+                let r = h.assume::<BenchRec>();
+                out.push((r.v().key(), r.v().val()));
+            }
+        }
+        out.sort_unstable();
+        out
+    };
+    let mut rowwise = micro_sink();
+    rowwise.absorb_rowwise(&b.objs, None).unwrap();
+    let mut vectorized = micro_sink();
+    vectorized.absorb(&b.objs, None).unwrap();
+    let want: Vec<(i64, i64)> = {
+        let mut m = std::collections::BTreeMap::new();
+        for i in 0..1024usize {
+            *m.entry((i as i64 * 997) % b.card).or_insert(0i64) += i as i64;
+        }
+        m.into_iter().collect()
+    };
+    finalize(rowwise) == want && finalize(vectorized) == want
 }
 
 // ------------------------------------------------------ micro filter A/B
@@ -279,7 +434,7 @@ pub fn vlist_paths_agree(rows: usize) -> bool {
 
 pub fn pipeline(quick: bool) {
     let n = if quick { 20_000 } else { 200_000 };
-    println!("pipeline: selection-vector batch execution ({n} rows/workload)");
+    println!("pipeline: vectorized batch execution ({n} rows/workload)");
     let c = client();
 
     let runs = [
@@ -287,8 +442,10 @@ pub fn pipeline(quick: bool) {
         ("filter", filter_heavy(&c, n)),
         ("flatmap", flatmap(&c, n)),
         ("join_probe", join_probe(&c, n)),
+        ("agg_low_card", group_by(&c, n, 16, "low")),
+        ("agg_high_card", group_by(&c, n, 65_536, "high")),
     ];
-    let w = [12usize, 10, 10, 10, 12];
+    let w = [14usize, 10, 10, 10, 12];
     row(
         &[
             "workload".into(),
@@ -311,6 +468,14 @@ pub fn pipeline(quick: bool) {
             &w,
         );
     }
+    for (name, r) in &runs {
+        if r.rows_aggregated > 0 {
+            println!(
+                "  {name}: two-phase aggregation absorbed {} rows into {} sealed map page(s)",
+                r.rows_aggregated, r.map_pages_sealed
+            );
+        }
+    }
 
     let (eager_ns, selvec_ns, speedup) = micro_filter_ab();
     println!(
@@ -327,6 +492,21 @@ pub fn pipeline(quick: bool) {
         std::process::exit(1);
     }
 
+    let (row_ns, vec_ns, agg_speedup) = micro_agg_ab();
+    println!(
+        "\nmicro agg (1024-row batch, 16 groups, 4 partitions):\n  \
+         row-at-a-time absorb:     {row_ns:.0} ns/batch\n  \
+         vectorized absorb:        {vec_ns:.0} ns/batch\n  \
+         speedup:                  {agg_speedup:.2}x"
+    );
+    // Acceptance gate for the vectorized aggregation sink: the batch path
+    // must beat the row-at-a-time reference by ≥ 1.5× on the low-card
+    // micro workload (measured margin is well above 2×).
+    if agg_speedup < 1.5 {
+        eprintln!("FAIL: vectorized aggregation speedup {agg_speedup:.2}x < 1.5x gate");
+        std::process::exit(1);
+    }
+
     let mode = if quick { "quick" } else { "full" };
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"pipeline\",\n");
@@ -336,9 +516,11 @@ pub fn pipeline(quick: bool) {
     json.push_str("  \"workloads\": {\n");
     for (i, (name, r)) in runs.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{name}\": {{\"rows_in\": {}, \"rows_out\": {}, \"secs\": {:.6}, \"mrows_per_s\": {:.3}}}{}\n",
+            "    \"{name}\": {{\"rows_in\": {}, \"rows_out\": {}, \"rows_aggregated\": {}, \"map_pages_sealed\": {}, \"secs\": {:.6}, \"mrows_per_s\": {:.3}}}{}\n",
             r.rows_in,
             r.rows_out,
+            r.rows_aggregated,
+            r.map_pages_sealed,
             r.dur.as_secs_f64(),
             r.mrows_per_s(),
             if i + 1 < runs.len() { "," } else { "" }
@@ -346,7 +528,10 @@ pub fn pipeline(quick: bool) {
     }
     json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"micro_filter\": {{\"eager_ns_per_batch\": {eager_ns:.0}, \"selvec_ns_per_batch\": {selvec_ns:.0}, \"speedup\": {speedup:.2}}}\n"
+        "  \"micro_filter\": {{\"eager_ns_per_batch\": {eager_ns:.0}, \"selvec_ns_per_batch\": {selvec_ns:.0}, \"speedup\": {speedup:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"micro_agg\": {{\"rowwise_ns_per_batch\": {row_ns:.0}, \"vectorized_ns_per_batch\": {vec_ns:.0}, \"speedup\": {agg_speedup:.2}}}\n"
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
@@ -361,5 +546,10 @@ mod tests {
     fn filter_paths_agree_on_survivors() {
         assert!(micro_paths_agree());
         assert!(vlist_paths_agree(1000));
+    }
+
+    #[test]
+    fn agg_paths_agree_on_groups() {
+        assert!(micro_agg_paths_agree());
     }
 }

@@ -216,9 +216,13 @@ fn run_aggregation_stage(
     let nworkers = cluster.workers.len();
     let page_size = cluster.config.exec.page_size;
 
-    // Combining step, per worker (Appendix D.2's combining threads): merge
-    // the pipelining threads' partial maps per partition, so each worker
-    // ships at most one combined page per partition.
+    // Combining step, per worker (Appendix D.2's K combining threads):
+    // merge the pipelining threads' partial maps per partition, so each
+    // worker ships at most one combined page per partition. Partitions are
+    // dealt round-robin over `combine_threads` threads; each merge is
+    // page-at-a-time (`PcMap::merge_from` under the hood), and results are
+    // re-sorted by partition so the shuffle order stays deterministic.
+    let combine_threads = cluster.config.combine_threads.max(1);
     let combined: Vec<PcResult<Vec<(usize, SealedPage)>>> = std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for outs in per_worker_outputs {
@@ -233,30 +237,57 @@ fn run_aggregation_stage(
                         by_part.entry(part).or_default().push(page);
                     }
                 }
-                let mut shipped = Vec::new();
-                // Deterministic partition order (reproducible merge order).
                 let mut parts: Vec<(usize, Vec<SealedPage>)> = by_part.into_iter().collect();
                 parts.sort_by_key(|(p, _)| *p);
-                for (part, pages) in parts {
-                    if pages.len() == 1 {
-                        // Nothing to combine; forward as-is.
-                        shipped.push((part, pages.into_iter().next().unwrap()));
-                        continue;
-                    }
-                    let mut merger = agg.new_merger(page_size);
-                    for page in pages {
-                        merger.merge_page(page)?;
-                    }
-                    for page in merger.into_pages()? {
-                        shipped.push((part, page));
-                    }
+                // Deal partitions over the worker's combining threads.
+                let mut lanes: Vec<Vec<(usize, Vec<SealedPage>)>> =
+                    (0..combine_threads).map(|_| Vec::new()).collect();
+                for (i, entry) in parts.into_iter().enumerate() {
+                    lanes[i % combine_threads].push(entry);
                 }
+                let lane_results: Vec<PcResult<Vec<(usize, SealedPage)>>> =
+                    std::thread::scope(|s2| {
+                        let mut handles = Vec::new();
+                        for lane in lanes {
+                            let agg = agg.clone();
+                            handles.push(s2.spawn(
+                                move || -> PcResult<Vec<(usize, SealedPage)>> {
+                                    let mut shipped = Vec::new();
+                                    for (part, pages) in lane {
+                                        if pages.len() == 1 {
+                                            // Nothing to combine; forward as-is.
+                                            shipped.push((part, pages.into_iter().next().unwrap()));
+                                            continue;
+                                        }
+                                        let mut merger = agg.new_merger(page_size);
+                                        for page in pages {
+                                            merger.merge_page(page)?;
+                                        }
+                                        for page in merger.into_pages()? {
+                                            shipped.push((part, page));
+                                        }
+                                    }
+                                    Ok(shipped)
+                                },
+                            ));
+                        }
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("combining thread"))
+                            .collect()
+                    });
+                let mut shipped = Vec::new();
+                for r in lane_results {
+                    shipped.extend(r?);
+                }
+                // Reproducible shuffle order regardless of lane scheduling.
+                shipped.sort_by_key(|(p, _)| *p);
                 Ok(shipped)
             }));
         }
         joins
             .into_iter()
-            .map(|j| j.join().expect("combining thread"))
+            .map(|j| j.join().expect("combining worker"))
             .collect()
     });
 
@@ -304,8 +335,8 @@ fn run_aggregation_stage(
     for (w, r) in finals.into_iter().enumerate() {
         let (groups, pages) = r?;
         stats.agg_groups += groups;
+        stats.rows_out += groups;
         for page in pages {
-            stats.rows_out += 0; // counted via agg_groups
             cluster.workers[w].storage.append_page(&db, &set, page)?;
             stats.pages_written += 1;
         }

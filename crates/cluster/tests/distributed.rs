@@ -197,6 +197,37 @@ fn distributed_aggregation_shuffles_map_pages() {
 }
 
 #[test]
+fn distributed_aggregation_is_deterministic_byte_for_byte() {
+    // Regression guard for the vectorized two-phase path: the same
+    // aggregation over the same data must produce byte-identical result
+    // pages on every run — partition radix, grouped bulk upserts, combining
+    // threads, and page-at-a-time merges are all deterministic.
+    let run = || -> Vec<Vec<u8>> {
+        let c = cluster();
+        load_emps(&c, 800);
+        c.create_or_clear_set("db", "stats").unwrap();
+        let mut g = ComputationGraph::new();
+        let emps = g.reader("db", "emps");
+        let agg = g.aggregate(emps, SumAgg);
+        g.write(agg, "db", "stats");
+        let q = compile(&g).unwrap();
+        c.execute(&q).unwrap();
+        let mut pages: Vec<Vec<u8>> = c
+            .scan_set("db", "stats")
+            .unwrap()
+            .iter()
+            .map(|p| p.to_bytes())
+            .collect();
+        pages.sort();
+        pages
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.is_empty(), "aggregation must write result pages");
+    assert_eq!(first, second, "two-phase aggregation must be reproducible");
+}
+
+#[test]
 fn distributed_broadcast_join() {
     let c = cluster();
     load_emps(&c, 400);

@@ -62,6 +62,11 @@ pub struct ExecStats {
     pub pages_written: u64,
     pub join_groups: u64,
     pub agg_groups: u64,
+    /// Rows folded into pre-aggregation partition maps (the producing side
+    /// of Appendix D.2's two-phase aggregation).
+    pub rows_aggregated: u64,
+    /// Partition map pages sealed for shuffling by pre-aggregation sinks.
+    pub map_pages_sealed: u64,
     pub max_zombie_pages: usize,
 }
 
@@ -74,6 +79,8 @@ impl ExecStats {
         self.pages_written += other.pages_written;
         self.join_groups += other.join_groups;
         self.agg_groups += other.agg_groups;
+        self.rows_aggregated += other.rows_aggregated;
+        self.map_pages_sealed += other.map_pages_sealed;
         self.max_zombie_pages = self.max_zombie_pages.max(other.max_zombie_pages);
     }
 }
@@ -179,7 +186,11 @@ pub fn run_pipeline_stage(
         }
         Sink::AggProduce { .. } => {
             let mut sink = agg_sink.take().unwrap();
-            PipelineOutput::AggPartitions(sink.flush()?)
+            let parts = sink.flush()?;
+            let s = sink.stats();
+            stats.rows_aggregated += s.rows_absorbed;
+            stats.map_pages_sealed += s.map_pages_sealed;
+            PipelineOutput::AggPartitions(parts)
         }
     };
     Ok((output, stats))
@@ -532,6 +543,8 @@ mod tests {
             pages_written: 2,
             join_groups: 6,
             agg_groups: 1,
+            rows_aggregated: 9,
+            map_pages_sealed: 3,
             max_zombie_pages: 2,
         };
         total.absorb(&other);
@@ -544,6 +557,8 @@ mod tests {
         assert_eq!(total.pages_written, 2);
         assert_eq!(total.join_groups, 6);
         assert_eq!(total.agg_groups, 1);
+        assert_eq!(total.rows_aggregated, 9);
+        assert_eq!(total.map_pages_sealed, 3);
         assert_eq!(total.max_zombie_pages, 2, "zombie high-water is a max");
     }
 }

@@ -13,6 +13,16 @@
 //!   without allocating temporaries;
 //! * [`ErasedAgg`] / [`ErasedAggSink`] / [`ErasedAggMerger`] — the
 //!   object-safe interfaces the execution engine drives.
+//!
+//! The sink's hot path is **vectorized**: `absorb` extracts keys and hashes
+//! for the whole selection-filtered batch into reusable scratch buffers,
+//! radix-partitions row indices by the hash's high bits (a mask, not a
+//! per-row `%`), and folds each partition's bucket into its map page with
+//! one grouped bulk upsert, so consecutive probes hit the same hot table.
+//! The merger folds shuffled pages map-at-a-time, reusing stored entry
+//! hashes instead of rehashing keys. The old row-at-a-time path survives as
+//! [`ErasedAggSink::absorb_rowwise`] for differential tests and the
+//! `micro_agg` A/B benchmark.
 
 use crate::column::Column;
 use crate::sink::SetWriter;
@@ -138,15 +148,37 @@ pub trait ErasedAgg: Send + Sync {
     fn new_merger(&self, page_size: usize) -> Box<dyn ErasedAggMerger>;
 }
 
+/// Counters a pre-aggregation sink accumulates while absorbing; folded into
+/// the engine's `ExecStats` so the two-phase behavior of Appendix D.2 is
+/// observable from `repro` output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggSinkStats {
+    /// Rows folded into partition maps.
+    pub rows_absorbed: u64,
+    /// Map pages sealed for shuffling (mid-burst page faults plus `flush`).
+    pub map_pages_sealed: u64,
+}
+
 /// Pipeline-side pre-aggregation (the producing stage of Appendix D.2).
 pub trait ErasedAggSink {
-    /// Folds a column of input objects into the partition maps. When `sel`
-    /// is `Some`, only the selected base rows are absorbed — the sink is a
-    /// contiguity boundary, so it consumes the selection directly instead of
-    /// forcing the pipeline to materialize a compacted column first.
+    /// Folds a column of input objects into the partition maps, batch at a
+    /// time: keys and hashes for the whole (selection-filtered) batch are
+    /// extracted into reusable scratch, row indices are radix-partitioned
+    /// with a power-of-two mask, and each partition's map absorbs its rows
+    /// as one grouped bulk upsert. When `sel` is `Some`, only the selected
+    /// base rows are absorbed — the sink is a contiguity boundary, so it
+    /// consumes the selection directly instead of forcing the pipeline to
+    /// materialize a compacted column first.
     fn absorb(&mut self, objs: &Column, sel: Option<&[u32]>) -> PcResult<()>;
+    /// The pre-vectorization reference path: one `key_of → hash → % →
+    /// upsert` round trip per row. Kept so differential tests and the
+    /// `micro_agg` benchmark can compare the two paths on identical input;
+    /// the engine never calls this.
+    fn absorb_rowwise(&mut self, objs: &Column, sel: Option<&[u32]>) -> PcResult<()>;
     /// Seals all partition maps, returning `(partition, page)` pairs.
     fn flush(&mut self) -> PcResult<Vec<(usize, SealedPage)>>;
+    /// Counters accumulated so far (valid before and after `flush`).
+    fn stats(&self) -> AggSinkStats;
 }
 
 /// Consuming-side merge + materialization (the aggregation threads).
@@ -196,12 +228,26 @@ impl<S: AggregateSpec> ErasedAgg for AggEngine<S> {
     }
 
     fn new_sink(&self, partitions: usize, page_size: usize) -> Box<dyn ErasedAggSink> {
+        // Power-of-two partition count, so partition selection is a shift
+        // and mask on the hash's *high* bits — disjoint from the low bits
+        // the partition maps use for masked probing (using the same bits
+        // for both would leave every map only `cap / partitions` home
+        // slots and degrade probing into long linear runs).
+        let partitions = partitions.max(1).next_power_of_two();
         Box::new(SinkImpl::<S> {
             spec: self.0.clone(),
             partitions,
             page_size,
             current: (0..partitions).map(|_| None).collect(),
             done: Vec::new(),
+            stats: AggSinkStats::default(),
+            keys: Vec::new(),
+            rows: Vec::new(),
+            hashes: Vec::new(),
+            starts: Vec::new(),
+            cursors: Vec::new(),
+            order: Vec::new(),
+            bucket_hashes: Vec::new(),
         })
     }
 
@@ -217,14 +263,197 @@ impl<S: AggregateSpec> ErasedAgg for AggEngine<S> {
 
 struct SinkImpl<S: AggregateSpec> {
     spec: Arc<S>,
+    /// Hash partition count, always a power of two.
     partitions: usize,
     page_size: usize,
     current: Vec<Option<MapPage<S>>>,
     done: Vec<(usize, SealedPage)>,
+    stats: AggSinkStats,
+    // Per-batch scratch, cleared (not freed) at every batch boundary.
+    /// Extracted keys, one per selected row.
+    keys: Vec<S::Key>,
+    /// Base-row index of each selected row, so phase 3 can re-borrow the
+    /// record from the column (a zero-refcount `typed_ref`, no per-row
+    /// handle materialization anywhere in the batch path).
+    rows: Vec<u32>,
+    /// Key hashes, one per selected row.
+    hashes: Vec<u64>,
+    /// Radix bucket boundaries: partition `p` owns `starts[p]..starts[p+1]`.
+    starts: Vec<u32>,
+    /// Scatter cursors, one per partition.
+    cursors: Vec<u32>,
+    /// Row indices (into `keys`/`recs`/`hashes`) in bucket order.
+    order: Vec<u32>,
+    /// Hashes in bucket order, the contiguous input to the bulk upsert.
+    bucket_hashes: Vec<u64>,
 }
 
 impl<S: AggregateSpec> SinkImpl<S> {
-    fn upsert(
+    /// Partition of a hash: high bits, masked. The probe path consumes the
+    /// low bits, so the two stay independent (see `new_sink`).
+    #[inline]
+    fn part_of(&self, h: u64) -> usize {
+        ((h >> 32) as usize) & (self.partitions - 1)
+    }
+
+    /// Phases 2 and 3 of `absorb`, over the batch scratch extracted in
+    /// phase 1 (passed in as slices because the scratch buffers are taken
+    /// out of `self` for the duration of the batch). `objs` is the batch's
+    /// object column; `rows[j]` is the base row of selected row `j`.
+    fn absorb_extracted(
+        &mut self,
+        objs: &[pc_object::AnyHandle],
+        keys: &[S::Key],
+        rows: &[u32],
+        hashes: &[u64],
+    ) -> PcResult<()> {
+        let n = hashes.len();
+        if n == 0 {
+            return Ok(());
+        }
+        self.stats.rows_absorbed += n as u64;
+        let p = self.partitions;
+
+        // Phase 2: radix-partition row indices with a counting scatter —
+        // no per-row `%`, no allocation past the first batch.
+        let mut starts = std::mem::take(&mut self.starts);
+        let mut cursors = std::mem::take(&mut self.cursors);
+        let mut order = std::mem::take(&mut self.order);
+        let mut bucket_hashes = std::mem::take(&mut self.bucket_hashes);
+        starts.clear();
+        starts.resize(p + 1, 0);
+        for &h in hashes {
+            starts[self.part_of(h) + 1] += 1;
+        }
+        for i in 0..p {
+            starts[i + 1] += starts[i];
+        }
+        cursors.clear();
+        cursors.extend_from_slice(&starts[..p]);
+        order.clear();
+        order.resize(n, 0);
+        bucket_hashes.clear();
+        bucket_hashes.resize(n, 0);
+        for (i, &h) in hashes.iter().enumerate() {
+            let part = self.part_of(h);
+            let at = cursors[part] as usize;
+            cursors[part] += 1;
+            order[at] = i as u32;
+            bucket_hashes[at] = h;
+        }
+
+        // Phase 3: grouped bulk upsert, one partition at a time, so probes
+        // for the same map page stay cache-resident.
+        let mut result = Ok(());
+        for part in 0..p {
+            let (lo, hi) = (starts[part] as usize, starts[part + 1] as usize);
+            if lo == hi {
+                continue;
+            }
+            result = self.bulk_upsert(
+                part,
+                &order[lo..hi],
+                &bucket_hashes[lo..hi],
+                objs,
+                keys,
+                rows,
+            );
+            if result.is_err() {
+                break;
+            }
+        }
+
+        self.starts = starts;
+        self.cursors = cursors;
+        self.order = order;
+        self.bucket_hashes = bucket_hashes;
+        result
+    }
+
+    /// Drives one partition's map through a whole bucket of rows, resuming
+    /// across page faults: on `BlockFull` the full page is sealed for
+    /// shuffling and the bulk upsert continues on a fresh page exactly where
+    /// it stopped.
+    fn bulk_upsert(
+        &mut self,
+        part: usize,
+        order: &[u32],
+        hashes: &[u64],
+        objs: &[pc_object::AnyHandle],
+        keys: &[S::Key],
+        rows: &[u32],
+    ) -> PcResult<()> {
+        if self.current[part].is_none() {
+            self.current[part] = Some(MapPage::new(self.page_size)?);
+        }
+        let spec = self.spec.clone();
+        let mut done = 0usize;
+        let mut page_size = self.page_size;
+        let mut stall = 0u32;
+        loop {
+            let mp = self.current[part].as_ref().unwrap();
+            // Pre-size for the burst. The estimate follows the map's own
+            // history (a low-cardinality map stays tiny; a high-cardinality
+            // one doubles ahead of the rows), and quietly falls back to
+            // on-demand growth when the page cannot hold the bigger table.
+            let est = (mp.map.len() * 2 + 16).min(hashes.len() - done);
+            match mp.map.reserve(est) {
+                Err(pc_object::PcError::BlockFull { .. }) => {}
+                r => r?,
+            }
+            let before = done;
+            // Records are re-borrowed from the column by base row: a
+            // zero-refcount typed view, valid for the life of the batch.
+            // `rows` is empty for dense batches (position == base row).
+            let rec = |j: usize| {
+                let pos = order[j] as usize;
+                let base = if rows.is_empty() {
+                    pos
+                } else {
+                    rows[pos] as usize
+                };
+                objs[base].typed_ref::<S::In>()
+            };
+            let r = mp.map.upsert_batch_by(
+                hashes,
+                &mut done,
+                |j, b, slot| keys[order[j] as usize].matches(b, slot),
+                |j, b| keys[order[j] as usize].store_on(b),
+                |j, b| spec.init(b, rec(j)),
+                |j, b, slot| spec.combine(b, slot, rec(j)),
+            );
+            match r {
+                Ok(()) => return Ok(()),
+                Err(pc_object::PcError::BlockFull { .. }) => {
+                    // Page full: seal it for shuffling and resume on a fresh
+                    // one (the out-of-memory fault of §6.1). No progress on
+                    // a just-created page means one value outgrows the page:
+                    // escalate before retrying.
+                    stall = if done == before { stall + 1 } else { 0 };
+                    if stall > 24 {
+                        return Err(pc_object::PcError::Catalog(
+                            "aggregate value exceeds the maximum page size".into(),
+                        ));
+                    }
+                    if stall > 1 {
+                        page_size = (page_size * 2).min(256 << 20);
+                    }
+                    let full = self.current[part].take().unwrap();
+                    if !full.map.is_empty() {
+                        self.stats.map_pages_sealed += 1;
+                        self.done.push((part, full.seal()?));
+                    }
+                    self.current[part] = Some(MapPage::new(page_size)?);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The pre-vectorization per-row upsert, kept verbatim as the reference
+    /// path behind `absorb_rowwise` (modulo-probed, closure-driven, one
+    /// retry scaffold per row).
+    fn upsert_row(
         &mut self,
         part: usize,
         hash: u64,
@@ -236,7 +465,7 @@ impl<S: AggregateSpec> SinkImpl<S> {
         }
         let spec = &self.spec;
         let attempt = |mp: &MapPage<S>| {
-            mp.map.upsert_by(
+            mp.map.upsert_by_modref(
                 hash,
                 |b, slot| key.matches(b, slot),
                 |b| key.store_on(b),
@@ -250,15 +479,12 @@ impl<S: AggregateSpec> SinkImpl<S> {
             match attempt(self.current[part].as_ref().unwrap()) {
                 Ok(()) => return Ok(()),
                 Err(pc_object::PcError::BlockFull { .. }) => {
-                    // Page full: seal it for shuffling and restart on a fresh
-                    // one (the out-of-memory fault of §6.1). A fault on a
-                    // just-created page means the value is larger than a
-                    // page: escalate before retrying.
                     let full = self.current[part].take().unwrap();
                     if on_fresh_page {
                         page_size = (page_size * 2).min(256 << 20);
                     }
                     if !full.map.is_empty() {
+                        self.stats.map_pages_sealed += 1;
                         self.done.push((part, full.seal()?));
                     }
                     self.current[part] = Some(MapPage::new(page_size)?);
@@ -276,12 +502,52 @@ impl<S: AggregateSpec> SinkImpl<S> {
 impl<S: AggregateSpec> ErasedAggSink for SinkImpl<S> {
     fn absorb(&mut self, objs: &Column, sel: Option<&[u32]>) -> PcResult<()> {
         let objs = objs.as_obj()?;
+        // Phase 1: extract keys and hashes for the whole selected batch
+        // into reusable scratch. Records are *borrowed* from the column
+        // (`typed_ref`): the batch path touches no reference count.
+        let mut keys = std::mem::take(&mut self.keys);
+        let mut rows = std::mem::take(&mut self.rows);
+        let mut hashes = std::mem::take(&mut self.hashes);
+        keys.clear();
+        rows.clear();
+        hashes.clear();
+        let spec = self.spec.clone();
+        // `rows` (selected position → base row) is only materialized under a
+        // selection; for a dense batch the positions coincide.
+        let extracted = match sel {
+            None => crate::kernel::for_each_sel(objs.len(), None, |i| {
+                let key = spec.key_of(objs[i].typed_ref::<S::In>())?;
+                hashes.push(key.hash());
+                keys.push(key);
+                Ok(())
+            }),
+            Some(s) => crate::kernel::for_each_sel(objs.len(), Some(s), |i| {
+                let key = spec.key_of(objs[i].typed_ref::<S::In>())?;
+                hashes.push(key.hash());
+                keys.push(key);
+                rows.push(i as u32);
+                Ok(())
+            }),
+        };
+        let result = extracted.and_then(|()| self.absorb_extracted(objs, &keys, &rows, &hashes));
+        keys.clear();
+        rows.clear();
+        hashes.clear();
+        self.keys = keys;
+        self.rows = rows;
+        self.hashes = hashes;
+        result
+    }
+
+    fn absorb_rowwise(&mut self, objs: &Column, sel: Option<&[u32]>) -> PcResult<()> {
+        let objs = objs.as_obj()?;
+        self.stats.rows_absorbed += crate::kernel::sel_len(objs.len(), sel) as u64;
         crate::kernel::for_each_sel(objs.len(), sel, |i| {
             let rec = objs[i].downcast_unchecked::<S::In>();
             let key = self.spec.key_of(&rec)?;
             let hash = key.hash();
             let part = (hash % self.partitions as u64) as usize;
-            self.upsert(part, hash, &key, &rec)
+            self.upsert_row(part, hash, &key, &rec)
         })
     }
 
@@ -289,11 +555,16 @@ impl<S: AggregateSpec> ErasedAggSink for SinkImpl<S> {
         for part in 0..self.partitions {
             if let Some(mp) = self.current[part].take() {
                 if !mp.map.is_empty() {
+                    self.stats.map_pages_sealed += 1;
                     self.done.push((part, mp.seal()?));
                 }
             }
         }
         Ok(std::mem::take(&mut self.done))
+    }
+
+    fn stats(&self) -> AggSinkStats {
+        self.stats
     }
 }
 
@@ -326,36 +597,24 @@ impl<S: AggregateSpec> ErasedAggMerger for MergerImpl<S> {
         let (src_block, root) = page.open()?;
         let src_map = root.downcast::<MapOf<S>>()?;
         let _ = src_block;
-        // Collect slots first: the source page is immutable while we fold.
-        let mut entries: Vec<(u32, u32)> = Vec::with_capacity(src_map.len());
-        src_map.for_each_slot(|_b, k, v| {
-            entries.push((k, v));
-            Ok(())
-        })?;
-        for (kslot, vslot) in entries {
-            let key = S::Key::load_from(src_map.block(), kslot);
-            let hash = key.hash();
-            loop {
-                let spec = &self.spec;
-                let src = src_map.block();
-                let acc = self.acc.as_ref().unwrap();
-                let r = acc.map.upsert_by(
-                    hash,
-                    |b, slot| key.matches(b, slot),
-                    |b| key.store_on(b),
-                    // First sighting of the key: adopt the partial value by
-                    // deep copy (load+store crosses blocks via §6.4's rule).
-                    |_b| Ok(S::Val::load(src, vslot)),
-                    |b, slot| spec.merge(b, slot, src, vslot),
-                );
-                match r {
-                    Ok(()) => break,
-                    Err(pc_object::PcError::BlockFull { .. }) => self.grow()?,
-                    Err(e) => return Err(e),
-                }
+        // Page-at-a-time merge: stored hashes are reused (no per-entry
+        // rehash), keys compare stored-to-stored, and first-sighted entries
+        // adopt by deep copy. The cursor makes the fold resumable — a
+        // `BlockFull` grows the accumulator block and continues exactly
+        // where the fault hit, never re-merging a completed entry.
+        let mut cursor = 0u32;
+        loop {
+            let spec = &self.spec;
+            let acc = self.acc.as_ref().unwrap();
+            let r = acc.map.merge_from(&src_map, &mut cursor, |db, dv, sb, sv| {
+                spec.merge(db, dv, sb, sv)
+            });
+            match r {
+                Ok(()) => return Ok(()),
+                Err(pc_object::PcError::BlockFull { .. }) => self.grow()?,
+                Err(e) => return Err(e),
             }
         }
-        Ok(())
     }
 
     fn into_pages(self: Box<Self>) -> PcResult<Vec<SealedPage>> {

@@ -16,7 +16,9 @@ use std::marker::PhantomData;
 ///
 /// Payload layout: `{ len: u32, cap: u32, table: u32 }`; the table is a raw
 /// array of `cap` entries, each `{ hash: u64 (MSB = occupied), key slot,
-/// value slot }`, linear probed, grown at 70% load.
+/// value slot }`, linear probed, grown at 70% load. Capacities are always
+/// powers of two, so every probe step is a mask (`h & (cap - 1)`) — no
+/// integer division anywhere on the probe path.
 ///
 /// ```
 /// use pc_object::{AllocScope, PcMap, make_object};
@@ -159,10 +161,11 @@ impl<K: PcKey, V: PcValue> Handle<PcMap<K, V>> {
     /// returned offset is the match when occupied, or the insertion point.
     fn probe(&self, h: u64, key: &K) -> (u32, bool) {
         let cap = self.capacity() as u32;
-        debug_assert!(cap > 0);
+        debug_assert!(cap > 0 && cap.is_power_of_two());
+        let mask = cap - 1;
         let marked = h | OCCUPIED;
         let b = self.block();
-        let mut i = (h % cap as u64) as u32;
+        let mut i = h as u32 & mask;
         loop {
             let e = self.entry(i);
             let stored = b.read::<u64>(e);
@@ -172,10 +175,7 @@ impl<K: PcKey, V: PcValue> Handle<PcMap<K, V>> {
             if stored == marked && key.eq_stored(b, Self::key_slot(e)) {
                 return (e, true);
             }
-            i += 1;
-            if i == cap {
-                i = 0;
-            }
+            i = (i + 1) & mask;
         }
     }
 
@@ -191,23 +191,21 @@ impl<K: PcKey, V: PcValue> Handle<PcMap<K, V>> {
         let old_table = self.table();
         // Rehash by stored hash: whole entries move by byte copy — handle
         // slots hold page-relative offsets, so no refcount churn is needed.
+        let new_mask = new_cap - 1;
         for i in 0..old_cap {
             let e = old_table + i * stride;
             let h = b.read::<u64>(e);
             if h & OCCUPIED == 0 {
                 continue;
             }
-            let mut j = ((h & !OCCUPIED) % new_cap as u64) as u32;
+            let mut j = (h & !OCCUPIED) as u32 & new_mask;
             loop {
                 let ne = new_table + j * stride;
                 if b.read::<u64>(ne) == 0 {
                     b.copy_within(e, ne, stride as usize);
                     break;
                 }
-                j += 1;
-                if j == new_cap {
-                    j = 0;
-                }
+                j = (j + 1) & new_mask;
             }
         }
         if old_table != 0 {
@@ -223,6 +221,19 @@ impl<K: PcKey, V: PcValue> Handle<PcMap<K, V>> {
         let cap = self.capacity();
         if cap == 0 || (len + 1) * 10 > cap * 7 {
             self.grow(len + 1)?;
+        }
+        Ok(())
+    }
+
+    /// Pre-sizes the table so `additional` further inserts cannot trigger a
+    /// growth/rehash mid-burst — the bulk entry point the aggregation sink
+    /// calls before absorbing a partition's rows. A `BlockFull` error means
+    /// the page cannot hold a table that large; callers may fall back to
+    /// on-demand growth (distinct keys are often far fewer than rows).
+    pub fn reserve(&self, additional: usize) -> PcResult<()> {
+        let want = self.len() + additional;
+        if self.capacity() * 7 < want.saturating_add(1) * 10 {
+            self.grow(want)?;
         }
         Ok(())
     }
@@ -317,8 +328,9 @@ impl<K: PcKey, V: PcValue> Handle<PcMap<K, V>> {
         let h = hash & !OCCUPIED;
         let b = self.block();
         let cap = self.capacity() as u32;
+        let mask = cap - 1;
         let marked = h | OCCUPIED;
-        let mut i = (h % cap as u64) as u32;
+        let mut i = h as u32 & mask;
         loop {
             let e = self.entry(i);
             let stored = b.read::<u64>(e);
@@ -335,11 +347,208 @@ impl<K: PcKey, V: PcValue> Handle<PcMap<K, V>> {
             if stored == marked && matches(b, Self::key_slot(e)) {
                 return combine(b, Self::val_slot(e));
             }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Pre-masking reference implementation of [`upsert_by`]: identical
+    /// semantics, but the probe start is computed with an integer division
+    /// (`hash % cap`) the way the row-at-a-time engine did before probing
+    /// went mask-based. Kept only for differential tests and the
+    /// vectorized-vs-eager aggregation benchmark; not a public API surface.
+    ///
+    /// [`upsert_by`]: Self::upsert_by
+    #[doc(hidden)]
+    pub fn upsert_by_modref(
+        &self,
+        hash: u64,
+        matches: impl Fn(&BlockRef, u32) -> bool,
+        make_key: impl FnOnce(&BlockRef) -> PcResult<K>,
+        init: impl FnOnce(&BlockRef) -> PcResult<V>,
+        combine: impl FnOnce(&BlockRef, u32) -> PcResult<()>,
+    ) -> PcResult<()> {
+        self.ensure_room()?;
+        let h = hash & !OCCUPIED;
+        let b = self.block();
+        let cap = self.capacity() as u32;
+        let marked = h | OCCUPIED;
+        let mut i = (h % cap as u64) as u32;
+        loop {
+            let e = self.entry(i);
+            let stored = b.read::<u64>(e);
+            if stored == 0 {
+                let key = make_key(b)?;
+                key.store(b, Self::key_slot(e))?;
+                let val = init(b)?;
+                val.store(b, Self::val_slot(e))?;
+                b.write::<u64>(e, marked);
+                b.write_u32(self.offset() + OFF_LEN, self.len() as u32 + 1);
+                return Ok(());
+            }
+            if stored == marked && matches(b, Self::key_slot(e)) {
+                return combine(b, Self::val_slot(e));
+            }
             i += 1;
             if i == cap {
                 i = 0;
             }
         }
+    }
+
+    /// Grouped bulk upsert: folds a whole partition bucket of rows into the
+    /// map in one call, so consecutive probes stay on this map's (hot) table
+    /// instead of ping-ponging between partitions. `hashes[done..]` are the
+    /// rows still to absorb; every per-row closure receives the row's index
+    /// into `hashes` so callers can look up keys/records in their own
+    /// scratch buffers.
+    ///
+    /// The capacity, mask, and block are hoisted out of the row loop — a row
+    /// re-derives them only after a growth. `done` advances past each row as
+    /// it completes, which makes the operation resumable: on `BlockFull` the
+    /// caller seals the page, starts a fresh one, and calls again; completed
+    /// rows are never re-applied. Slots publish only after key and value are
+    /// fully stored (see [`upsert_by`]), so a mid-row fault leaves the map
+    /// consistent.
+    ///
+    /// [`upsert_by`]: Self::upsert_by
+    pub fn upsert_batch_by(
+        &self,
+        hashes: &[u64],
+        done: &mut usize,
+        mut matches: impl FnMut(usize, &BlockRef, u32) -> bool,
+        mut make_key: impl FnMut(usize, &BlockRef) -> PcResult<K>,
+        mut init: impl FnMut(usize, &BlockRef) -> PcResult<V>,
+        mut combine: impl FnMut(usize, &BlockRef, u32) -> PcResult<()>,
+    ) -> PcResult<()> {
+        let b = self.block();
+        let stride = entry_stride::<K, V>();
+        let kfoot = stored_footprint::<K>();
+        let n = hashes.len();
+        // The table geometry (capacity, mask, table base, length) is hoisted
+        // out of the row loop and re-derived only after a growth — the hot
+        // hit path is: load hash, mask, read entry, compare, combine.
+        'table: loop {
+            let cap = self.capacity() as u32;
+            if cap == 0 {
+                if *done == n {
+                    return Ok(());
+                }
+                self.grow(1)?;
+                continue 'table;
+            }
+            let mask = cap - 1;
+            let table = self.table();
+            let mut len = self.len();
+            while *done < n {
+                let i = *done;
+                let h = hashes[i] & !OCCUPIED;
+                let marked = h | OCCUPIED;
+                let mut idx = h as u32 & mask;
+                loop {
+                    let e = table + idx * stride;
+                    let stored = b.read::<u64>(e);
+                    // Hit first: pre-aggregation is combine-dominated.
+                    if stored == marked && matches(i, b, e + 8) {
+                        combine(i, b, e + 8 + kfoot)?;
+                        break;
+                    }
+                    if stored == 0 {
+                        // Miss: make room first (a growth rehashes and moves
+                        // the insertion point), then re-probe and insert.
+                        if (len + 1) * 10 > cap as usize * 7 {
+                            self.grow(len + 1)?;
+                            continue 'table;
+                        }
+                        let key = make_key(i, b)?;
+                        key.store(b, e + 8)?;
+                        let val = init(i, b)?;
+                        val.store(b, e + 8 + kfoot)?;
+                        b.write::<u64>(e, marked);
+                        len += 1;
+                        b.write_u32(self.offset() + OFF_LEN, len as u32);
+                        break;
+                    }
+                    idx = (idx + 1) & mask;
+                }
+                *done = i + 1;
+            }
+            return Ok(());
+        }
+    }
+
+    /// Page-at-a-time merge: folds every entry of `src` (a map of the same
+    /// type, typically opened from a shuffled page) into this map. Stored
+    /// entry hashes are reused verbatim (no per-entry rehash), keys are
+    /// compared stored-to-stored, and a first-sighted key is adopted by deep
+    /// copy of its key and value slots; `combine(dst_block, dst_val_slot,
+    /// src_block, src_val_slot)` folds entries whose key already exists.
+    ///
+    /// `cursor` is the `src` slot index to resume from: on `BlockFull` the
+    /// caller grows its block (or rolls to a bigger page) and calls again —
+    /// entries before the cursor are never re-merged.
+    pub fn merge_from(
+        &self,
+        src: &Handle<PcMap<K, V>>,
+        cursor: &mut u32,
+        mut combine: impl FnMut(&BlockRef, u32, &BlockRef, u32) -> PcResult<()>,
+    ) -> PcResult<()> {
+        let sb = src.block();
+        let db = self.block();
+        let scap = src.capacity() as u32;
+        // One growth for the whole page where it fits; otherwise grow on
+        // demand (the overlap between src and dst keys may be large).
+        if *cursor == 0 && !src.is_empty() {
+            match self.reserve(src.len()) {
+                Err(crate::error::PcError::BlockFull { .. }) => {}
+                r => r?,
+            }
+        }
+        'entries: while *cursor < scap {
+            let se = src.entry(*cursor);
+            let stored = sb.read::<u64>(se);
+            if stored & OCCUPIED == 0 {
+                *cursor += 1;
+                continue;
+            }
+            let h = stored & !OCCUPIED;
+            'probe: loop {
+                let cap = self.capacity() as u32;
+                if cap == 0 {
+                    self.grow(1)?;
+                    continue 'probe;
+                }
+                let mask = cap - 1;
+                let mut idx = h as u32 & mask;
+                loop {
+                    let e = self.entry(idx);
+                    let dstored = db.read::<u64>(e);
+                    if dstored == 0 {
+                        let len = self.len();
+                        if (len + 1) * 10 > cap as usize * 7 {
+                            self.grow(len + 1)?;
+                            continue 'probe;
+                        }
+                        // First sighting: adopt key and partial value by
+                        // deep copy (crossing blocks per §6.4), then publish.
+                        K::deep_copy_stored(sb, Self::key_slot(se), db, Self::key_slot(e))?;
+                        V::deep_copy_stored(sb, Self::val_slot(se), db, Self::val_slot(e))?;
+                        db.write::<u64>(e, stored);
+                        db.write_u32(self.offset() + OFF_LEN, len as u32 + 1);
+                        *cursor += 1;
+                        continue 'entries;
+                    }
+                    if dstored == stored
+                        && K::stored_eq(db, Self::key_slot(e), sb, Self::key_slot(se))
+                    {
+                        combine(db, Self::val_slot(e), sb, Self::val_slot(se))?;
+                        *cursor += 1;
+                        continue 'entries;
+                    }
+                    idx = (idx + 1) & mask;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Raw slot access for merge loops: calls `f(block, key_slot, val_slot)`
@@ -392,26 +601,27 @@ impl<K: PcKey, V: PcValue> Handle<PcMap<K, V>> {
         K::drop_stored(b, Self::key_slot(e));
         V::drop_stored(b, Self::val_slot(e));
         let cap = self.capacity() as u32;
+        let mask = cap - 1;
         let stride = entry_stride::<K, V>();
         let table = self.table();
         let mut hole = (e - table) / stride;
-        let mut i = (hole + 1) % cap;
+        let mut i = (hole + 1) & mask;
         loop {
             let ie = table + i * stride;
             let ih = b.read::<u64>(ie);
             if ih & OCCUPIED == 0 {
                 break;
             }
-            let home = ((ih & !OCCUPIED) % cap as u64) as u32;
+            let home = (ih & !OCCUPIED) as u32 & mask;
             // Shift back if the element's home position lies outside
             // (hole, i] in circular order.
-            let dist_home = (i + cap - home) % cap;
-            let dist_hole = (i + cap - hole) % cap;
+            let dist_home = (i + cap - home) & mask;
+            let dist_hole = (i + cap - hole) & mask;
             if dist_home >= dist_hole {
                 b.copy_within(ie, table + hole * stride, stride as usize);
                 hole = i;
             }
-            i = (i + 1) % cap;
+            i = (i + 1) & mask;
         }
         b.write::<u64>(table + hole * stride, 0);
         b.write_u32(self.offset() + OFF_LEN, self.len() as u32 - 1);

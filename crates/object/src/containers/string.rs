@@ -116,6 +116,17 @@ impl PcKey for Handle<PcString> {
         let len = b.read_u32(off) as usize;
         b.bytes(off + 4, len) == self.as_bytes()
     }
+
+    fn stored_eq(a: &BlockRef, aat: u32, b: &BlockRef, bat: u32) -> bool {
+        let (aoff, _) = a.read::<(u32, u32)>(aat);
+        let (boff, _) = b.read::<(u32, u32)>(bat);
+        if aoff == 0 || boff == 0 {
+            return aoff == boff;
+        }
+        let alen = a.read_u32(aoff) as usize;
+        let blen = b.read_u32(boff) as usize;
+        alen == blen && a.bytes(aoff + 4, alen) == b.bytes(boff + 4, blen)
+    }
 }
 
 impl PartialEq for Handle<PcString> {

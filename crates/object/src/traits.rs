@@ -73,6 +73,10 @@ pub trait PcKey: PcValue {
     fn hash_val(&self) -> u64;
     /// Does the Rust-side value equal the stored key at `at`?
     fn eq_stored(&self, b: &BlockRef, at: u32) -> bool;
+    /// Do the stored keys at `(a, aat)` and `(b, bat)` hold the same value?
+    /// Lets page-at-a-time map merges compare entries without materializing
+    /// native key values (no per-entry rehash, no allocation).
+    fn stored_eq(a: &BlockRef, aat: u32, b: &BlockRef, bat: u32) -> bool;
 }
 
 /// A complex PC object type: lives on a page behind a [`Handle`], carries a
@@ -212,6 +216,10 @@ macro_rules! impl_pckey_int {
             fn hash_val(&self) -> u64 { crate::hash::mix64(*self as i64 as u64) }
             #[inline]
             fn eq_stored(&self, b: &BlockRef, at: u32) -> bool { b.read::<$t>(at) == *self }
+            #[inline]
+            fn stored_eq(a: &BlockRef, aat: u32, b: &BlockRef, bat: u32) -> bool {
+                a.read::<$t>(aat) == b.read::<$t>(bat)
+            }
         }
     )*};
 }
@@ -231,6 +239,10 @@ where
     #[inline]
     fn eq_stored(&self, b: &BlockRef, at: u32) -> bool {
         b.read::<(A, B)>(at) == *self
+    }
+    #[inline]
+    fn stored_eq(a: &BlockRef, aat: u32, b: &BlockRef, bat: u32) -> bool {
+        a.read::<(A, B)>(aat) == b.read::<(A, B)>(bat)
     }
 }
 

@@ -57,6 +57,113 @@ proptest! {
     }
 
     #[test]
+    fn pcmap_capacity_stays_power_of_two_and_reserve_presizes(
+        keys in proptest::collection::vec(0i64..5000, 1..400),
+        extra in 1usize..300,
+    ) {
+        let _scope = AllocScope::new(1 << 21);
+        let m = make_object::<PcMap<i64, i64>>().unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, i as i64).unwrap();
+            prop_assert!(m.capacity().is_power_of_two(),
+                "capacity {} not a power of two", m.capacity());
+        }
+        // After a reserve, that many further inserts never rehash.
+        m.reserve(extra).unwrap();
+        let cap = m.capacity();
+        prop_assert!(cap.is_power_of_two());
+        for i in 0..extra {
+            m.insert(100_000 + i as i64, 0).unwrap();
+        }
+        prop_assert_eq!(m.capacity(), cap, "reserve must pre-size the burst");
+    }
+
+    #[test]
+    fn pcmap_backshift_delete_survives_growth_churn(
+        ops in proptest::collection::vec((0i64..2000, any::<bool>()), 1..500)
+    ) {
+        // Insert/remove churn over a wide key range: growth (rehash) and
+        // backward-shift deletion both run on the masked probe path and must
+        // keep every surviving key reachable.
+        let _scope = AllocScope::new(1 << 21);
+        let m = make_object::<PcMap<i64, i64>>().unwrap();
+        let mut model = std::collections::HashMap::new();
+        for (k, insert) in ops {
+            if insert {
+                m.insert(k, k * 3).unwrap();
+                model.insert(k, k * 3);
+            } else {
+                prop_assert_eq!(m.remove(&k), model.remove(&k).is_some());
+            }
+        }
+        prop_assert_eq!(m.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(m.get(&k), Some(v));
+        }
+    }
+
+    #[test]
+    fn pcmap_merge_from_equals_entrywise_union(
+        a in proptest::collection::btree_map(0i64..200, 1i64..100, 0..80),
+        bvals in proptest::collection::btree_map(0i64..200, 1i64..100, 0..80),
+    ) {
+        // merge_from (stored-hash reuse + stored-to-stored key compare) must
+        // produce exactly the sum-union of the two maps.
+        let _scope = AllocScope::new(1 << 21);
+        let dst = make_object::<PcMap<i64, i64>>().unwrap();
+        let src = make_object::<PcMap<i64, i64>>().unwrap();
+        for (&k, &v) in &a { dst.insert(k, v).unwrap(); }
+        for (&k, &v) in &bvals { src.insert(k, v).unwrap(); }
+        let mut cursor = 0u32;
+        dst.merge_from(&src, &mut cursor, |db, dv, sb, sv| {
+            let x: i64 = db.read(dv);
+            let y: i64 = sb.read(sv);
+            db.write(dv, x + y);
+            Ok(())
+        }).unwrap();
+        let mut want = a.clone();
+        for (k, v) in bvals { *want.entry(k).or_insert(0) += v; }
+        prop_assert_eq!(dst.len(), want.len());
+        for (k, v) in want {
+            prop_assert_eq!(dst.get(&k), Some(v));
+        }
+    }
+
+    #[test]
+    fn masked_and_modref_upserts_agree(
+        keys in proptest::collection::vec(0i64..64, 1..300)
+    ) {
+        // The mask-probed upsert and the pre-masking modulo reference must
+        // build identical map contents from the same upsert sequence.
+        let _scope = AllocScope::new(1 << 21);
+        let masked = make_object::<PcMap<i64, i64>>().unwrap();
+        let modref = make_object::<PcMap<i64, i64>>().unwrap();
+        for &k in &keys {
+            let h = pc_object::hash::mix64(k as u64);
+            masked.upsert_by(
+                h,
+                |b, slot| b.read::<i64>(slot) == k,
+                |_b| Ok(k),
+                |_b| Ok(1i64),
+                |b, slot| { let c: i64 = b.read(slot); b.write(slot, c + 1); Ok(()) },
+            ).unwrap();
+            modref.upsert_by_modref(
+                h,
+                |b, slot| b.read::<i64>(slot) == k,
+                |_b| Ok(k),
+                |_b| Ok(1i64),
+                |b, slot| { let c: i64 = b.read(slot); b.write(slot, c + 1); Ok(()) },
+            ).unwrap();
+        }
+        prop_assert_eq!(masked.len(), modref.len());
+        let mut got: Vec<(i64, i64)> = masked.iter().collect();
+        let mut want: Vec<(i64, i64)> = modref.iter().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
     fn pcvec_matches_std_vec(values in proptest::collection::vec(any::<i64>(), 0..500)) {
         let _scope = AllocScope::new(1 << 20);
         let v = make_object::<PcVec<i64>>().unwrap();

@@ -27,12 +27,28 @@ pub struct PoolStats {
     pub resident_pages: usize,
 }
 
+/// A resident page plus its recency stamp.
+struct Resident {
+    page: Arc<SealedPage>,
+    /// Generation stamp: monotonically increasing, bumped on every touch.
+    /// The LRU victim is simply the unpinned page with the smallest stamp —
+    /// hits are O(1) (one counter bump), and only eviction scans.
+    stamp: u64,
+}
+
 struct PoolInner {
-    resident: HashMap<PageKey, Arc<SealedPage>>,
-    /// LRU order, least-recent first.
-    lru: Vec<PageKey>,
+    resident: HashMap<PageKey, Resident>,
+    /// Next generation stamp to hand out.
+    tick: u64,
     used_bytes: usize,
     stats: PoolStats,
+}
+
+impl PoolInner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
 }
 
 /// A capacity-bounded page cache with spill-to-file eviction.
@@ -53,7 +69,7 @@ impl BufferPool {
             dir,
             inner: Mutex::new(PoolInner {
                 resident: HashMap::new(),
-                lru: Vec::new(),
+                tick: 0,
                 used_bytes: 0,
                 stats: PoolStats::default(),
             }),
@@ -69,24 +85,34 @@ impl BufferPool {
         let page = Arc::new(page);
         let mut inner = self.inner.lock();
         inner.used_bytes += page.used();
-        inner.resident.insert(key, page.clone());
-        inner.lru.push(key);
+        let stamp = inner.touch();
+        let replaced = inner.resident.insert(
+            key,
+            Resident {
+                page: page.clone(),
+                stamp,
+            },
+        );
+        if let Some(old) = replaced {
+            // Re-inserting an already-resident key (or losing a concurrent
+            // fault race) must not leak phantom bytes into the accounting.
+            inner.used_bytes -= old.page.used();
+        }
         self.evict_if_needed(&mut inner)?;
         Ok(page)
     }
 
-    /// Fetches a page, faulting it from the file store if evicted.
+    /// Fetches a page, faulting it from the file store if evicted. A hit is
+    /// O(1): one hash lookup plus a generation-stamp bump.
     pub fn get(&self, key: PageKey) -> PcResult<Arc<SealedPage>> {
         {
             let mut inner = self.inner.lock();
-            if let Some(p) = inner.resident.get(&key).cloned() {
+            let stamp = inner.touch();
+            if let Some(r) = inner.resident.get_mut(&key) {
+                r.stamp = stamp;
+                let page = r.page.clone();
                 inner.stats.hits += 1;
-                // refresh LRU position
-                if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
-                    inner.lru.remove(pos);
-                }
-                inner.lru.push(key);
-                return Ok(p);
+                return Ok(page);
             }
             inner.stats.misses += 1;
         }
@@ -96,8 +122,19 @@ impl BufferPool {
         let page = Arc::new(SealedPage::from_bytes(&bytes)?);
         let mut inner = self.inner.lock();
         inner.used_bytes += page.used();
-        inner.resident.insert(key, page.clone());
-        inner.lru.push(key);
+        let stamp = inner.touch();
+        let replaced = inner.resident.insert(
+            key,
+            Resident {
+                page: page.clone(),
+                stamp,
+            },
+        );
+        if let Some(old) = replaced {
+            // Two threads can race the same fault; only one copy stays
+            // resident, so only one copy's bytes may count.
+            inner.used_bytes -= old.page.used();
+        }
         self.evict_if_needed(&mut inner)?;
         Ok(page)
     }
@@ -107,19 +144,21 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         for n in 0..pages {
             let key = (set_id, n);
-            if let Some(p) = inner.resident.remove(&key) {
-                inner.used_bytes -= p.used();
+            if let Some(r) = inner.resident.remove(&key) {
+                inner.used_bytes -= r.page.used();
             }
-            inner.lru.retain(|k| *k != key);
             let _ = std::fs::remove_file(self.file_for(key));
         }
     }
 
-    /// Forces every unpinned page out to files (cold-storage experiments).
+    /// Forces every unpinned page out to files (cold-storage experiments),
+    /// oldest first.
     pub fn flush_all(&self) -> PcResult<()> {
         let mut inner = self.inner.lock();
-        let keys: Vec<PageKey> = inner.lru.clone();
-        for key in keys {
+        let mut keys: Vec<(u64, PageKey)> =
+            inner.resident.iter().map(|(k, r)| (r.stamp, *k)).collect();
+        keys.sort_unstable();
+        for (_, key) in keys {
             self.evict_one(&mut inner, key)?;
         }
         Ok(())
@@ -127,14 +166,14 @@ impl BufferPool {
 
     fn evict_if_needed(&self, inner: &mut PoolInner) -> PcResult<()> {
         while inner.used_bytes > self.capacity {
-            // Find the least-recently-used unpinned page.
-            let victim = inner.lru.iter().copied().find(|k| {
-                inner
-                    .resident
-                    .get(k)
-                    .map(|p| Arc::strong_count(p) == 1)
-                    .unwrap_or(false)
-            });
+            // The LRU victim: smallest stamp among unpinned pages. Only the
+            // eviction path scans; hits never do.
+            let victim = inner
+                .resident
+                .iter()
+                .filter(|(_, r)| Arc::strong_count(&r.page) == 1)
+                .min_by_key(|(_, r)| r.stamp)
+                .map(|(k, _)| *k);
             match victim {
                 Some(key) => self.evict_one(inner, key)?,
                 None => break, // everything pinned; allow temporary overshoot
@@ -144,20 +183,19 @@ impl BufferPool {
     }
 
     fn evict_one(&self, inner: &mut PoolInner, key: PageKey) -> PcResult<()> {
-        let Some(page) = inner.resident.get(&key) else {
+        let Some(r) = inner.resident.get(&key) else {
             return Ok(());
         };
-        if Arc::strong_count(page) > 1 {
+        if Arc::strong_count(&r.page) > 1 {
             return Ok(()); // pinned
         }
         let path = self.file_for(key);
         if !path.exists() {
-            std::fs::write(&path, page.to_bytes())
+            std::fs::write(&path, r.page.to_bytes())
                 .map_err(|e| PcError::Catalog(format!("evict write failed: {e}")))?;
         }
-        let page = inner.resident.remove(&key).unwrap();
-        inner.used_bytes -= page.used();
-        inner.lru.retain(|k| *k != key);
+        let r = inner.resident.remove(&key).unwrap();
+        inner.used_bytes -= r.page.used();
         inner.stats.evictions += 1;
         Ok(())
     }
@@ -216,6 +254,51 @@ mod tests {
             assert_eq!(v.get(0), i as f64);
         }
         pool.drop_set(1, 20);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_does_not_leak_accounting() {
+        let dir = std::env::temp_dir().join(format!("pcpool_reins_{}", std::process::id()));
+        let pool = BufferPool::new(1 << 20, dir.clone()).unwrap();
+        let once = pool.put((5, 0), page_of(&[1.0; 64])).unwrap();
+        let used_once = pool.stats().resident_bytes;
+        drop(once);
+        // Re-inserting the same key (the shape of a lost fault race) must
+        // replace the resident page, not double-count its bytes.
+        let _again = pool.put((5, 0), page_of(&[2.0; 64])).unwrap();
+        assert_eq!(pool.stats().resident_bytes, used_once);
+        assert_eq!(pool.stats().resident_pages, 1);
+        pool.drop_set(5, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn hits_refresh_recency_and_eviction_follows_lru_order() {
+        let dir = std::env::temp_dir().join(format!("pcpool_lru_{}", std::process::id()));
+        // Size the pool to hold exactly three of our test pages, so the
+        // fourth put evicts exactly one victim.
+        let probe = page_of(&[0.0; 128]);
+        let sz = probe.used();
+        let pool = BufferPool::new(3 * sz + sz / 2, dir.clone()).unwrap();
+        for i in 0..3 {
+            // Drop the returned Arc immediately: pages are unpinned.
+            pool.put((9, i), page_of(&[i as f64; 128])).unwrap();
+        }
+        // Touch page 0 on the hit path: it must become the most recent.
+        let _ = pool.get((9, 0)).unwrap();
+        // Pressure: page 1 is now the least recently used and must go.
+        pool.put((9, 3), page_of(&[3.0; 128])).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.evictions, 1, "exactly one page over capacity");
+        let hits_before = s.hits;
+        let _ = pool.get((9, 0)).unwrap(); // refreshed → still resident
+        let _ = pool.get((9, 2)).unwrap(); // newer than 1 → still resident
+        assert_eq!(pool.stats().hits, hits_before + 2);
+        let misses_before = pool.stats().misses;
+        let _ = pool.get((9, 1)).unwrap(); // the LRU victim → faulted back
+        assert_eq!(pool.stats().misses, misses_before + 1);
+        pool.drop_set(9, 4);
         let _ = std::fs::remove_dir_all(dir);
     }
 
