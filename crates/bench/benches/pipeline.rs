@@ -63,9 +63,10 @@ fn bench_join_probe(c: &mut Criterion) {
             let o = make_object::<PcVec<i64>>().unwrap();
             o.push(k as i64 * 10 + v).unwrap();
             keep.push(o.clone());
-            t.insert(k, &[o.erase()]).unwrap();
+            t.insert_rowwise(k, &[o.erase()]).unwrap();
         }
     }
+    t.finish_build();
     let hashes: Vec<u64> = (0..1024u64).map(|i| i % 256).collect();
     let mut g = c.benchmark_group("join_probe");
     g.sample_size(20);
@@ -103,6 +104,24 @@ fn bench_join_probe(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_join_build(c: &mut Criterion) {
+    // A 1024-row build batch over 512 keys with a 50%-miss probe stream:
+    // the radix-partitioned vectorized build (one insert_batch, routed
+    // tag-filtered probes) against the retained row-at-a-time loop with
+    // full-page-scan probes (the micro_join A/B that `repro pipeline`
+    // gates at ≥ 1.5×).
+    let b = pc_bench::pipeline::micro_join_batch(1024, 512);
+    let mut g = c.benchmark_group("join_build");
+    g.sample_size(20);
+    g.bench_function("rowwise", |bench| {
+        bench.iter(|| black_box(pc_bench::pipeline::micro_join_rowwise(&b)))
+    });
+    g.bench_function("vectorized", |bench| {
+        bench.iter(|| black_box(pc_bench::pipeline::micro_join_vectorized(&b)))
+    });
+    g.finish();
+}
+
 fn bench_agg_absorb(c: &mut Criterion) {
     // A 1024-row low-cardinality batch (16 groups, 4 partitions): the
     // vectorized batch-hash → radix-partition → grouped-bulk-upsert path
@@ -133,6 +152,7 @@ criterion_group!(
     bench_filter_scan,
     bench_flatmap_fanout,
     bench_join_probe,
+    bench_join_build,
     bench_agg_absorb
 );
 criterion_main!(benches);

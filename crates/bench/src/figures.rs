@@ -143,6 +143,7 @@ pub fn figure5() {
             batch_size: 256,
             page_size: 1 << 16,
             agg_partitions: 6,
+            join_partitions: 8,
         },
         broadcast_threshold: 16 << 20,
     })

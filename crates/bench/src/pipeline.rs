@@ -1,12 +1,15 @@
 //! `repro pipeline` — the measured perf trajectory of the vectorized
 //! execution hot path (§5.2, Appendix C).
 //!
-//! Runs six macro workloads through the full engine (scan, filter-heavy
-//! selection, FLATMAP fan-out, join probe, low- and high-cardinality
-//! group-by) plus two micro A/Bs — the selection-vector filter against the
-//! pre-selection-vector eager-materialization path, and the vectorized
-//! aggregation sink (batch hash → radix partition → grouped bulk upsert)
-//! against the row-at-a-time path — then writes `BENCH_pipeline.json`,
+//! Runs seven macro workloads through the full engine (scan, filter-heavy
+//! selection, FLATMAP fan-out, join probe, join build, low- and
+//! high-cardinality group-by) plus three micro A/Bs — the selection-vector
+//! filter against the pre-selection-vector eager-materialization path, the
+//! vectorized aggregation sink (batch hash → radix partition → grouped bulk
+//! upsert) against the row-at-a-time path, and the partitioned vectorized
+//! join (batched build, partition-routed tag-filtered probes) against the
+//! retained rowwise build + full-page-scan probe — then writes
+//! `BENCH_pipeline.json`,
 //! the baseline every future perf PR is measured against. Refresh it from
 //! the repo root with:
 //!
@@ -40,6 +43,7 @@ fn client() -> PcClient {
             batch_size: 1024,
             page_size: 1 << 20,
             agg_partitions: 4,
+            join_partitions: 8,
         },
         broadcast_threshold: 64 << 20,
     })
@@ -62,12 +66,15 @@ fn key_lambda() -> Lambda<i64> {
 }
 
 /// One measured workload: `(rows_in, rows_out, wall time)` plus the
-/// two-phase aggregation counters (zero for non-aggregation workloads).
+/// two-phase aggregation and join counters (zero where not applicable).
 struct Run {
     rows_in: u64,
     rows_out: u64,
     rows_aggregated: u64,
     map_pages_sealed: u64,
+    rows_probed: u64,
+    join_matches: u64,
+    build_pages_sealed: u64,
     dur: Duration,
 }
 
@@ -84,6 +91,9 @@ fn execute(c: &PcClient, g: &ComputationGraph) -> Run {
         rows_out: stats.exec.rows_out,
         rows_aggregated: stats.exec.rows_aggregated,
         map_pages_sealed: stats.exec.map_pages_sealed,
+        rows_probed: stats.exec.rows_probed,
+        join_matches: stats.exec.join_matches,
+        build_pages_sealed: stats.exec.build_pages_sealed,
         dur,
     }
 }
@@ -159,6 +169,30 @@ fn join_probe(c: &PcClient, n: usize) -> Run {
     });
     let joined = g.join(&[build, probe], sel, proj);
     g.write(joined, "bench", "join_out");
+    execute(c, &g)
+}
+
+/// Join build: a large, high-cardinality build side (the sink the
+/// partitioned vectorized build serves) probed by a small probe side, so
+/// the measured time is build-sink dominated.
+fn join_build(c: &PcClient, n: usize) -> Run {
+    load(c, "jb_build_in", n, n as i64);
+    load(c, "jb_probe_in", n / 8, n as i64);
+    c.create_or_clear_set("bench", "jb_out").unwrap();
+    let mut g = ComputationGraph::new();
+    let build = g.reader("bench", "jb_build_in");
+    let probe = g.reader("bench", "jb_probe_in");
+    let sel = make_lambda_from_member::<BenchRec, i64>(0, "key", |r| r.v().key()).eq(
+        make_lambda_from_member::<BenchRec, i64>(1, "key", |r| r.v().key()),
+    );
+    let proj = make_lambda2::<BenchRec, BenchRec, _>((0, 1), "mkPair", |a, b| {
+        let p = make_object::<BenchRec>()?;
+        p.v().set_key(a.v().key())?;
+        p.v().set_val(a.v().val() + b.v().val())?;
+        Ok(p.erase())
+    });
+    let joined = g.join(&[build, probe], sel, proj);
+    g.write(joined, "bench", "jb_out");
     execute(c, &g)
 }
 
@@ -310,6 +344,107 @@ pub fn micro_agg_paths_agree() -> bool {
     finalize(rowwise) == want && finalize(vectorized) == want
 }
 
+// ------------------------------------------------------- micro join A/B
+
+/// The micro batch the join A/B runs over: a 1024-row build side over 512
+/// keys (two match groups per key) whose table spans several pages per
+/// partition, probed by a stream in which half the keys miss — the
+/// selective-join shape the partitioned probe path targets (multi-page
+/// builds used to multiply probe cost, and misses used to walk every page
+/// before coming back empty).
+pub struct MicroJoinBatch {
+    pub hashes: Vec<u64>,
+    pub objs: Vec<pc_object::AnyHandle>,
+    pub probes: Vec<u64>,
+    _scope: AllocScope,
+}
+
+/// Table page size for the A/B: small enough that 1024 build rows chain
+/// multiple pages per partition.
+const MICRO_JOIN_PAGE: usize = 1 << 13;
+
+pub fn micro_join_batch(rows: usize, keys: u64) -> MicroJoinBatch {
+    let scope = AllocScope::new(1 << 22);
+    let mut objs = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let r = make_object::<BenchRec>().unwrap();
+        r.v().set_key((i as i64) % keys as i64).unwrap();
+        r.v().set_val(i as i64).unwrap();
+        objs.push(r.erase());
+    }
+    MicroJoinBatch {
+        hashes: (0..rows as u64).map(|i| i % keys).collect(),
+        // Probe keys 0..2*keys: the first half hit, the second half miss.
+        probes: (0..2 * keys).collect(),
+        objs,
+        _scope: scope,
+    }
+}
+
+/// The pre-PR build+probe loop: one `insert_rowwise` per row (closure
+/// upsert, `map.get` re-probe, per-element pushes, a cloned group Vec), then
+/// unrouted probes that scan every table page per key — hit or miss.
+pub fn micro_join_rowwise(b: &MicroJoinBatch) -> usize {
+    let mut t = pc_exec::JoinTable::with_partitions(1, MICRO_JOIN_PAGE, 8);
+    let mut group: Vec<pc_object::AnyHandle> = Vec::with_capacity(1);
+    for (h, o) in b.hashes.iter().zip(&b.objs) {
+        group.clear();
+        group.push(o.clone());
+        t.insert_rowwise(*h, &group).unwrap();
+    }
+    let mut idx: Vec<u32> = Vec::new();
+    let mut built: Vec<Vec<pc_object::AnyHandle>> = vec![Vec::new()];
+    let mut matches = 0;
+    for (i, h) in b.probes.iter().enumerate() {
+        matches += t.probe_into_scan(*h, i as u32, &mut idx, &mut built);
+    }
+    matches
+}
+
+/// The partitioned vectorized path: one `insert_batch` for the whole batch
+/// (batch hash → radix scatter → grouped bulk upsert), tag filters built at
+/// seal, probes routed to their partition's chain with misses rejected by
+/// the filter before any map probe.
+pub fn micro_join_vectorized(b: &MicroJoinBatch) -> usize {
+    let mut t = pc_exec::JoinTable::with_partitions(1, MICRO_JOIN_PAGE, 8);
+    t.insert_batch(&b.hashes, None, &[b.objs.as_slice()])
+        .unwrap();
+    t.finish_build();
+    let mut idx: Vec<u32> = Vec::new();
+    let mut built: Vec<Vec<pc_object::AnyHandle>> = vec![Vec::new()];
+    let mut matches = 0;
+    for (i, h) in b.probes.iter().enumerate() {
+        matches += t.probe_into(*h, i as u32, &mut idx, &mut built);
+    }
+    matches
+}
+
+/// `(rowwise ns/iter, vectorized ns/iter, speedup)`: each iteration builds
+/// a fresh table from the 1024-row batch and runs the 50%-miss probe
+/// stream over it.
+pub fn micro_join_ab() -> (f64, f64, f64) {
+    let b = micro_join_batch(1024, 512);
+    for _ in 0..20 {
+        micro_join_rowwise(&b);
+        micro_join_vectorized(&b);
+    }
+    let row_ns = median_ns(7, 40, || {
+        std::hint::black_box(micro_join_rowwise(&b));
+    });
+    let vec_ns = median_ns(7, 40, || {
+        std::hint::black_box(micro_join_vectorized(&b));
+    });
+    (row_ns, vec_ns, row_ns / vec_ns)
+}
+
+/// Parity guard used by tests: both build paths produce the same match
+/// count on identical input (512 hit keys × two groups each; 512 misses).
+pub fn micro_join_paths_agree() -> bool {
+    let b = micro_join_batch(1024, 512);
+    let want = 1024;
+    micro_join_rowwise(&b) == want && micro_join_vectorized(&b) == want
+}
+
 // ------------------------------------------------------ micro filter A/B
 
 /// The micro batch the filter A/B runs over: one object column plus three
@@ -442,6 +577,7 @@ pub fn pipeline(quick: bool) {
         ("filter", filter_heavy(&c, n)),
         ("flatmap", flatmap(&c, n)),
         ("join_probe", join_probe(&c, n)),
+        ("join_build", join_build(&c, n)),
         ("agg_low_card", group_by(&c, n, 16, "low")),
         ("agg_high_card", group_by(&c, n, 65_536, "high")),
     ];
@@ -473,6 +609,12 @@ pub fn pipeline(quick: bool) {
             println!(
                 "  {name}: two-phase aggregation absorbed {} rows into {} sealed map page(s)",
                 r.rows_aggregated, r.map_pages_sealed
+            );
+        }
+        if r.rows_probed > 0 {
+            println!(
+                "  {name}: join probed {} rows -> {} matches; build sealed {} table page(s)",
+                r.rows_probed, r.join_matches, r.build_pages_sealed
             );
         }
     }
@@ -507,6 +649,21 @@ pub fn pipeline(quick: bool) {
         std::process::exit(1);
     }
 
+    let (jrow_ns, jvec_ns, join_speedup) = micro_join_ab();
+    println!(
+        "\nmicro join (1024-row build, 512 keys, 8 partitions, 50%-miss probes):\n  \
+         row-at-a-time build+scan probe:   {jrow_ns:.0} ns/iter\n  \
+         vectorized build+routed probe:    {jvec_ns:.0} ns/iter\n  \
+         speedup:                          {join_speedup:.2}x"
+    );
+    // Acceptance gate for the partitioned vectorized join: batched build
+    // plus partition-routed probing must beat the retained row-at-a-time
+    // reference by ≥ 1.5× on the micro workload.
+    if join_speedup < 1.5 {
+        eprintln!("FAIL: vectorized join speedup {join_speedup:.2}x < 1.5x gate");
+        std::process::exit(1);
+    }
+
     let mode = if quick { "quick" } else { "full" };
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"pipeline\",\n");
@@ -516,11 +673,14 @@ pub fn pipeline(quick: bool) {
     json.push_str("  \"workloads\": {\n");
     for (i, (name, r)) in runs.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{name}\": {{\"rows_in\": {}, \"rows_out\": {}, \"rows_aggregated\": {}, \"map_pages_sealed\": {}, \"secs\": {:.6}, \"mrows_per_s\": {:.3}}}{}\n",
+            "    \"{name}\": {{\"rows_in\": {}, \"rows_out\": {}, \"rows_aggregated\": {}, \"map_pages_sealed\": {}, \"rows_probed\": {}, \"join_matches\": {}, \"build_pages_sealed\": {}, \"secs\": {:.6}, \"mrows_per_s\": {:.3}}}{}\n",
             r.rows_in,
             r.rows_out,
             r.rows_aggregated,
             r.map_pages_sealed,
+            r.rows_probed,
+            r.join_matches,
+            r.build_pages_sealed,
             r.dur.as_secs_f64(),
             r.mrows_per_s(),
             if i + 1 < runs.len() { "," } else { "" }
@@ -531,7 +691,10 @@ pub fn pipeline(quick: bool) {
         "  \"micro_filter\": {{\"eager_ns_per_batch\": {eager_ns:.0}, \"selvec_ns_per_batch\": {selvec_ns:.0}, \"speedup\": {speedup:.2}}},\n"
     ));
     json.push_str(&format!(
-        "  \"micro_agg\": {{\"rowwise_ns_per_batch\": {row_ns:.0}, \"vectorized_ns_per_batch\": {vec_ns:.0}, \"speedup\": {agg_speedup:.2}}}\n"
+        "  \"micro_agg\": {{\"rowwise_ns_per_batch\": {row_ns:.0}, \"vectorized_ns_per_batch\": {vec_ns:.0}, \"speedup\": {agg_speedup:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"micro_join\": {{\"rowwise_ns_per_iter\": {jrow_ns:.0}, \"vectorized_ns_per_iter\": {jvec_ns:.0}, \"speedup\": {join_speedup:.2}}}\n"
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
@@ -551,5 +714,10 @@ mod tests {
     #[test]
     fn agg_paths_agree_on_groups() {
         assert!(micro_agg_paths_agree());
+    }
+
+    #[test]
+    fn join_paths_agree_on_matches() {
+        assert!(micro_join_paths_agree());
     }
 }

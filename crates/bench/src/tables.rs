@@ -21,6 +21,7 @@ fn bench_client() -> PcClient {
             batch_size: 1024,
             page_size: 1 << 20,
             agg_partitions: 4,
+            join_partitions: 8,
         },
         broadcast_threshold: 64 << 20,
     })

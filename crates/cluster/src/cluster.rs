@@ -203,8 +203,9 @@ impl PcCluster {
     ) -> PcResult<ClusterStats> {
         let before = self.stats_snapshot();
         let mut exec = ExecStats::default();
-        // Broadcast join tables live as shared page lists, one per join.
-        let mut tables: HashMap<String, (usize, Vec<Arc<SealedPage>>)> = HashMap::new();
+        // Broadcast join tables live as shared partition-tagged page lists
+        // plus their once-built tag filters, one per join.
+        let mut tables: HashMap<String, stages::BroadcastTable> = HashMap::new();
         for p in &physical.pipelines {
             let s = stages::run_stage_distributed(self, p, stages, aggs, &mut tables)?;
             exec.absorb(&s);

@@ -25,7 +25,18 @@ use pc_object::{PcError, PcResult, SealedPage};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-type TableStore = HashMap<String, (usize, Vec<Arc<SealedPage>>)>;
+/// A broadcast join table in transit. Receivers reassemble the partition
+/// chains from the page tags ([`JoinTable::from_shared_pages`]) instead of
+/// concatenating every page into one flat scan list, and share the tag
+/// filters built once at gather time instead of rescanning per thread.
+pub struct BroadcastTable {
+    pub arity: usize,
+    pub partitions: usize,
+    pub pages: Vec<(usize, Arc<SealedPage>)>,
+    pub filters: Vec<pc_exec::TagFilter>,
+}
+
+type TableStore = HashMap<String, BroadcastTable>;
 
 /// A `Send` form of [`PipelineOutput`]: tables are sealed into pages inside
 /// the producing thread (handles never cross threads — §6.5).
@@ -34,7 +45,8 @@ enum SendableOutput {
     TablePages {
         groups: u64,
         bytes: usize,
-        pages: Vec<SealedPage>,
+        partitions: usize,
+        pages: Vec<(usize, SealedPage)>,
     },
     AggPartitions(Vec<(usize, SealedPage)>),
 }
@@ -43,10 +55,11 @@ fn make_sendable(out: PipelineOutput) -> PcResult<SendableOutput> {
     Ok(match out {
         PipelineOutput::Pages(p) => SendableOutput::Pages(p),
         PipelineOutput::BuiltTable(t) => {
-            let (groups, bytes) = (t.groups, t.bytes());
+            let (groups, bytes, partitions) = (t.groups, t.bytes(), t.partitions());
             SendableOutput::TablePages {
                 groups,
                 bytes,
+                partitions,
                 pages: t.into_pages()?,
             }
         }
@@ -90,15 +103,17 @@ pub fn run_stage_distributed(
                             // any broadcast join tables it probes.
                             let mut local_tables: HashMap<String, JoinTable> = HashMap::new();
                             for t in p.probes() {
-                                let (arity, pages) = tables_ref.get(t).ok_or_else(|| {
+                                let bt = tables_ref.get(t).ok_or_else(|| {
                                     PcError::Catalog(format!("join table {t} not broadcast yet"))
                                 })?;
                                 local_tables.insert(
                                     t.to_string(),
                                     JoinTable::from_shared_pages(
-                                        *arity,
+                                        bt.arity,
                                         cluster.config.exec.page_size,
-                                        pages,
+                                        bt.partitions,
+                                        &bt.pages,
+                                        &bt.filters,
                                     )?,
                                 );
                             }
@@ -157,14 +172,20 @@ pub fn run_stage_distributed(
         Sink::JoinBuild {
             table, obj_cols, ..
         } => {
-            // Gather every worker's build pages at the master and broadcast.
-            let mut gathered: Vec<Arc<SealedPage>> = Vec::new();
+            // Gather every worker's partition-tagged build pages at the
+            // master and broadcast. Per-thread builds fold together
+            // partition-wise: a page tagged `p` joins every other worker's
+            // partition-`p` chain on the receiving side, so probes there
+            // still touch exactly one partition.
+            let mut gathered: Vec<(usize, Arc<SealedPage>)> = Vec::new();
+            let mut partitions = JoinTable::round_partitions(cluster.config.exec.join_partitions);
             let mut total_bytes = 0usize;
             for outs in per_worker_outputs {
                 for out in outs {
                     let SendableOutput::TablePages {
                         groups,
                         bytes,
+                        partitions: parts,
                         pages,
                     } = out
                     else {
@@ -172,15 +193,16 @@ pub fn run_stage_distributed(
                     };
                     stats.join_groups += groups;
                     total_bytes += bytes;
-                    for page in pages {
+                    partitions = parts;
+                    for (part, page) in pages {
                         // Ship once to the master...
-                        gathered.push(Arc::new(cluster.ship(&page)?));
+                        gathered.push((part, Arc::new(cluster.ship(&page)?)));
                     }
                 }
             }
             // ...and once more to each worker (the broadcast). We account
             // the traffic; the shared Arc stands in for the per-worker copy.
-            for page in &gathered {
+            for (_part, page) in &gathered {
                 for _ in 1..nworkers {
                     let _ = cluster.ship(page)?;
                 }
@@ -190,7 +212,18 @@ pub fn run_stage_distributed(
                 // A full hash-partition join would repartition instead; this
                 // simulation broadcasts either way but keeps the signal.
             }
-            tables.insert(table.clone(), (obj_cols.len(), gathered));
+            // Tag filters are built once here, from the gathered pages'
+            // stored hashes; every reopening thread shares them.
+            let filters = JoinTable::build_shared_tag_filters(partitions, &gathered)?;
+            tables.insert(
+                table.clone(),
+                BroadcastTable {
+                    arity: obj_cols.len(),
+                    partitions,
+                    pages: gathered,
+                    filters,
+                },
+            );
         }
         Sink::AggProduce { comp, dest, .. } => {
             run_aggregation_stage(cluster, comp, dest, aggs, per_worker_outputs, &mut stats)?;
@@ -344,14 +377,91 @@ fn run_aggregation_stage(
     Ok(())
 }
 
+/// Deals local pages over pipelining threads, balancing by page **bytes**
+/// rather than page count: each page (in stored order, so the assignment is
+/// deterministic) goes to the currently lightest chunk. Round-robin by
+/// count used to park one fat page per chunk next to many near-empty ones
+/// and skew thread load.
 fn split_chunks(pages: &[Arc<SealedPage>], n: usize) -> Vec<Vec<Arc<SealedPage>>> {
     let mut chunks: Vec<Vec<Arc<SealedPage>>> = (0..n).map(|_| Vec::new()).collect();
-    for (i, p) in pages.iter().enumerate() {
-        chunks[i % n].push(p.clone());
+    let mut loads = vec![0usize; n];
+    for p in pages {
+        let lightest = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        loads[lightest] += p.used();
+        chunks[lightest].push(p.clone());
     }
     chunks.retain(|c| !c.is_empty());
     if chunks.is_empty() {
         chunks.push(Vec::new());
     }
     chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_lambda::SetWriter;
+    use pc_object::{make_object, PcVec};
+
+    /// One sealed page holding `vals.len()` i64 payload vectors.
+    fn page_with(vals: usize) -> Arc<SealedPage> {
+        let mut w = SetWriter::new(1 << 20);
+        for i in 0..vals {
+            w.write_with(|| {
+                let v = make_object::<PcVec<i64>>()?;
+                for j in 0..16 {
+                    v.push((i * 16 + j) as i64)?;
+                }
+                Ok(v.erase())
+            })
+            .unwrap();
+        }
+        let pages = w.finish().unwrap();
+        assert_eq!(pages.len(), 1);
+        Arc::new(pages.into_iter().next().unwrap())
+    }
+
+    #[test]
+    fn split_chunks_balances_by_bytes_not_count() {
+        // One fat page plus many small ones: round-robin by count would put
+        // the fat page and half the small ones in chunk 0.
+        let mut pages = vec![page_with(400)];
+        for _ in 0..8 {
+            pages.push(page_with(4));
+        }
+        let total: usize = pages.iter().map(|p| p.used()).sum();
+        let chunks = split_chunks(&pages, 2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks.iter().map(Vec::len).sum::<usize>(), pages.len());
+        let loads: Vec<usize> = chunks
+            .iter()
+            .map(|c| c.iter().map(|p| p.used()).sum())
+            .collect();
+        // The fat page dominates: all small pages must land opposite it.
+        let small: usize = loads.iter().min().copied().unwrap();
+        assert!(
+            small * 8 > (total - pages[0].used()) * 7,
+            "small pages must gather opposite the fat page: {loads:?}"
+        );
+        assert_eq!(
+            chunks.iter().map(Vec::len).max().unwrap(),
+            8,
+            "eight small pages balance one fat page: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn split_chunks_handles_empty_and_fewer_pages_than_threads() {
+        let empty = split_chunks(&[], 4);
+        assert_eq!(empty.len(), 1);
+        assert!(empty[0].is_empty());
+        let pages = vec![page_with(2), page_with(2)];
+        let chunks = split_chunks(&pages, 8);
+        assert_eq!(chunks.len(), 2, "no empty chunks are spawned");
+    }
 }

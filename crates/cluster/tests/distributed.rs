@@ -42,6 +42,7 @@ fn cluster() -> PcCluster {
             batch_size: 32,
             page_size: 1 << 15,
             agg_partitions: 5,
+            join_partitions: 8,
         },
         broadcast_threshold: 1 << 20,
     })

@@ -38,6 +38,7 @@ impl PcClient {
                 batch_size: 256,
                 page_size: 1 << 18,
                 agg_partitions: 2,
+                join_partitions: 8,
             },
             broadcast_threshold: 16 << 20,
         })

@@ -1,5 +1,5 @@
 //! Join hash tables (Appendix D.3): `Map<unsigned_t, Vector<Object>>`
-//! objects living on pages.
+//! objects living on pages — radix-partitioned and built batch-at-a-time.
 //!
 //! A build-side entry stores `arity` object handles per match group (one
 //! per object column of a composite build side). Inserting deep-copies the
@@ -7,30 +7,111 @@
 //! performs when repartition sinks write `Map<unsigned_t, Vector<Object>>`
 //! pages. Probing walks the bucket in `arity`-sized groups; hash collisions
 //! are resolved by the residual predicate the compiler re-emits post-join.
+//!
+//! The table mirrors the vectorized aggregation sink's layout: the key's
+//! slot hash is computed once per row, its **high** bits select one of a
+//! power-of-two set of partitions (a shift and mask — disjoint from the low
+//! bits the partition maps consume for masked probing), and each partition
+//! owns its own chain of map pages. The build path ([`JoinTable::insert_batch`])
+//! radix-partitions a whole selection-filtered batch and folds each bucket
+//! into its partition's open page with one grouped bulk upsert; the probe
+//! path routes a key to its owning partition's chain only — never a full
+//! table scan — after a compact 16-bit tag filter (built from the stored
+//! hashes when the build seals) has rejected miss probes without touching
+//! any map. The pre-vectorization row-at-a-time build survives as
+//! [`JoinTable::insert_rowwise`] for differential tests and the
+//! `micro_join` A/B benchmark.
 
 use pc_object::{
-    AllocPolicy, AnyHandle, AnyObj, BlockRef, Handle, PcError, PcMap, PcResult, PcVec, SealedPage,
+    AllocPolicy, AnyHandle, AnyObj, BlockRef, Handle, PcError, PcKey, PcMap, PcResult, PcVec,
+    SealedPage,
 };
+use std::cell::Cell;
 
 type Bucket = Handle<PcVec<Handle<AnyObj>>>;
 type TableMap = PcMap<u64, Bucket>;
 
-/// One join input's hash table, possibly spanning several pages.
+/// Default hash-partition count for join tables (overridable through
+/// `ExecConfig::join_partitions` / [`JoinTable::with_partitions`]).
+pub const DEFAULT_JOIN_PARTITIONS: usize = 8;
+
+/// A partition's probe-side tag filter: a blocked Bloom filter with 16-bit
+/// blocks, sized at seal time from the partition's entry count. Shared
+/// (`Arc`) so a broadcast table's filters are built once and reopened by
+/// every pipelining thread without rescanning the maps. Empty = not built
+/// (probes go straight to the maps); any insert invalidates it.
+pub type TagFilter = std::sync::Arc<Vec<u16>>;
+
+/// One radix partition: its chain of map pages (the last one is open for
+/// inserts; earlier ones filled up) and its probe-side tag filter.
+struct Partition {
+    pages: Vec<(BlockRef, Handle<TableMap>)>,
+    tags: TagFilter,
+}
+
+/// Reusable batch scratch for [`JoinTable::insert_batch`] — grown on the
+/// first batch, cleared (not freed) afterwards.
+#[derive(Default)]
+struct BuildScratch {
+    /// Base row of each selected row.
+    rows: Vec<u32>,
+    /// Join-key hash (the hash column's value) per selected row.
+    jhashes: Vec<u64>,
+    /// Slot hash (`PcKey::hash_val` of the join hash) per selected row.
+    shashes: Vec<u64>,
+    /// Radix bucket boundaries: partition `p` owns `starts[p]..starts[p+1]`.
+    starts: Vec<u32>,
+    /// Scatter cursors, one per partition.
+    cursors: Vec<u32>,
+    /// Selected-row indices in bucket order.
+    order: Vec<u32>,
+    /// Slot hashes in bucket order — the contiguous bulk-upsert input.
+    bucket_hashes: Vec<u64>,
+}
+
+/// One join input's hash table: a power-of-two set of radix partitions,
+/// each spanning one or more pages.
 pub struct JoinTable {
     arity: usize,
     page_size: usize,
-    pages: Vec<(BlockRef, Handle<TableMap>)>,
+    partitions: usize,
+    parts: Vec<Partition>,
+    scratch: BuildScratch,
     /// Total object groups inserted.
     pub groups: u64,
+    /// Probe keys the tag filters rejected without a map probe.
+    tag_rejects: Cell<u64>,
 }
 
 impl JoinTable {
     pub fn new(arity: usize, page_size: usize) -> Self {
+        Self::with_partitions(arity, page_size, DEFAULT_JOIN_PARTITIONS)
+    }
+
+    /// The partition-count rounding every table applies: at least one, and
+    /// a power of two so partition selection is a shift and mask. The one
+    /// source of truth for builders, reopeners, and the broadcast store.
+    pub fn round_partitions(partitions: usize) -> usize {
+        partitions.max(1).next_power_of_two()
+    }
+
+    /// A table with an explicit hash-partition count (rounded by
+    /// [`Self::round_partitions`]).
+    pub fn with_partitions(arity: usize, page_size: usize, partitions: usize) -> Self {
+        let partitions = Self::round_partitions(partitions);
         JoinTable {
             arity,
             page_size,
-            pages: Vec::new(),
+            partitions,
+            parts: (0..partitions)
+                .map(|_| Partition {
+                    pages: Vec::new(),
+                    tags: TagFilter::default(),
+                })
+                .collect(),
+            scratch: BuildScratch::default(),
             groups: 0,
+            tag_rejects: Cell::new(0),
         }
     }
 
@@ -38,36 +119,245 @@ impl JoinTable {
         self.arity
     }
 
-    fn add_page(&mut self) -> PcResult<()> {
-        let block = BlockRef::new(self.page_size, AllocPolicy::LightweightReuse);
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Partition of a slot hash: high bits, masked. The map probe consumes
+    /// the low bits and the tag filter the bits above the partition's, so
+    /// the three stay independent.
+    #[inline]
+    fn part_of(&self, shash: u64) -> usize {
+        ((shash >> 32) as usize) & (self.partitions - 1)
+    }
+
+    /// Tag-filter position of a slot hash within a filter of `len` (power
+    /// of two) 16-bit blocks: `(block_index, bit_mask)`. The block index
+    /// draws from the low bits (so even multi-million-entry partitions
+    /// index the whole filter — low bits vary freely within a partition,
+    /// unlike the partition-select bits 32..44) and the bit from bits
+    /// 55..59 — ranges disjoint from each other and from bit 63, which the
+    /// map repurposes as its OCCUPIED marker and strips from stored hashes
+    /// (the filter is built from stored hashes, so consuming bit 63 would
+    /// produce false negatives for half of all keys).
+    #[inline]
+    fn tag_pos(shash: u64, len: usize) -> (usize, u16) {
+        (shash as usize & (len - 1), 1u16 << ((shash >> 55) & 15))
+    }
+
+    fn add_page(&mut self, part: usize, page_size: usize) -> PcResult<()> {
+        let block = BlockRef::new(page_size, AllocPolicy::LightweightReuse);
         let map = block.make_object::<TableMap>()?;
         block.set_root(&map);
-        self.pages.push((block, map));
+        self.parts[part].pages.push((block, map));
         Ok(())
     }
 
-    /// Inserts one match group under `hash`.
-    pub fn insert(&mut self, hash: u64, objs: &[AnyHandle]) -> PcResult<()> {
-        debug_assert_eq!(objs.len(), self.arity);
-        if self.pages.is_empty() {
-            self.add_page()?;
+    // ------------------------------------------------------------- building
+
+    /// The vectorized build sink: inserts every selection-live row of a
+    /// batch in three phases — (1) slot hashes for the whole batch into
+    /// reusable scratch, (2) a counting radix scatter of row indices by the
+    /// hash's high bits, (3) one grouped bulk upsert per non-empty
+    /// partition, so consecutive probes stay on that partition's hot table.
+    /// `cols[k][row]` is the `k`-th build-side object of base row `row`.
+    pub fn insert_batch(
+        &mut self,
+        hashes: &[u64],
+        sel: Option<&[u32]>,
+        cols: &[&[AnyHandle]],
+    ) -> PcResult<()> {
+        debug_assert_eq!(cols.len(), self.arity);
+        // Phase 1: extract base rows, join hashes, and slot hashes.
+        let mut s = std::mem::take(&mut self.scratch);
+        s.rows.clear();
+        s.jhashes.clear();
+        s.shashes.clear();
+        match sel {
+            None => {
+                for (i, &h) in hashes.iter().enumerate() {
+                    s.rows.push(i as u32);
+                    s.jhashes.push(h);
+                    s.shashes.push(PcKey::hash_val(&h));
+                }
+            }
+            Some(sel) => {
+                for &i in sel {
+                    let h = hashes[i as usize];
+                    s.rows.push(i);
+                    s.jhashes.push(h);
+                    s.shashes.push(PcKey::hash_val(&h));
+                }
+            }
         }
+        let n = s.shashes.len();
+        if n == 0 {
+            self.scratch = s;
+            return Ok(());
+        }
+
+        // Phase 2: counting scatter into bucket order — no per-row `%`, no
+        // allocation past the first batch.
+        let p = self.partitions;
+        s.starts.clear();
+        s.starts.resize(p + 1, 0);
+        for &h in &s.shashes {
+            s.starts[self.part_of(h) + 1] += 1;
+        }
+        for i in 0..p {
+            s.starts[i + 1] += s.starts[i];
+        }
+        s.cursors.clear();
+        s.cursors.extend_from_slice(&s.starts[..p]);
+        s.order.clear();
+        s.order.resize(n, 0);
+        s.bucket_hashes.clear();
+        s.bucket_hashes.resize(n, 0);
+        for (i, &h) in s.shashes.iter().enumerate() {
+            let part = self.part_of(h);
+            let at = s.cursors[part] as usize;
+            s.cursors[part] += 1;
+            s.order[at] = i as u32;
+            s.bucket_hashes[at] = h;
+        }
+
+        // Phase 3: grouped bulk insert, one partition at a time. `groups`
+        // counts per completed partition, so it stays consistent with the
+        // probe-visible contents even when a later partition errors out.
+        let mut result = Ok(());
+        for part in 0..p {
+            let (lo, hi) = (s.starts[part] as usize, s.starts[part + 1] as usize);
+            if lo == hi {
+                continue;
+            }
+            result = self.bulk_insert(
+                part,
+                &s.order[lo..hi],
+                &s.bucket_hashes[lo..hi],
+                &s.rows,
+                &s.jhashes,
+                cols,
+            );
+            if result.is_err() {
+                break;
+            }
+            self.groups += (hi - lo) as u64;
+        }
+        self.scratch = s;
+        result
+    }
+
+    /// Folds one partition's bucket of rows into its open map page with a
+    /// grouped bulk upsert: table geometry is hoisted out of the row loop
+    /// (inside `upsert_batch_by`), the map is `reserve`-pre-sized for the
+    /// burst, and the `done` cursor makes the fold resumable — on
+    /// `BlockFull` the full page stays in the chain (buckets may span
+    /// pages) and the fold continues on a fresh page exactly where it
+    /// stopped. Each group appends atomically: a fault mid-group rolls the
+    /// bucket back before propagating, so no torn `arity`-frame survives.
+    fn bulk_insert(
+        &mut self,
+        part: usize,
+        order: &[u32],
+        bhashes: &[u64],
+        rows: &[u32],
+        jhashes: &[u64],
+        cols: &[&[AnyHandle]],
+    ) -> PcResult<()> {
+        if self.parts[part].pages.is_empty() {
+            self.add_page(part, self.page_size)?;
+        }
+        // Inserts invalidate any probe-side filter built earlier.
+        self.parts[part].tags = TagFilter::default();
+        let mut done = 0usize;
+        // Escalation is local to the faulting group: a fresh page that still
+        // cannot hold one group doubles until it does, and the configured
+        // size is restored as soon as the fold progresses — one oversized
+        // group no longer inflates every subsequent table page.
+        let mut page_size = self.page_size;
+        let mut stall = 0u32;
+        loop {
+            let (_block, map) = self.parts[part].pages.last().unwrap();
+            let est = (map.len() * 2 + 16).min(bhashes.len() - done);
+            match map.reserve(est) {
+                Err(PcError::BlockFull { .. }) => {}
+                r => r?,
+            }
+            let before = done;
+            let r = map.upsert_batch_by(
+                bhashes,
+                &mut done,
+                |j, b, slot| b.read::<u64>(slot) == jhashes[order[j] as usize],
+                |j, _b| Ok(jhashes[order[j] as usize]),
+                |j, b| {
+                    // First group under this key on this page: materialize
+                    // the bucket and append the group in place.
+                    let bucket = b.make_object::<PcVec<Handle<AnyObj>>>()?;
+                    let row = rows[order[j] as usize] as usize;
+                    bucket.push_group(cols.iter().map(|c| &c[row]))?;
+                    Ok(bucket)
+                },
+                |j, b, slot| {
+                    let bucket: Bucket = pc_object::PcValue::load(b, slot);
+                    let row = rows[order[j] as usize] as usize;
+                    bucket.push_group(cols.iter().map(|c| &c[row]))
+                },
+            );
+            match r {
+                Ok(()) => return Ok(()),
+                Err(PcError::BlockFull { .. }) => {
+                    if done != before {
+                        stall = 0;
+                        page_size = self.page_size;
+                    } else {
+                        stall += 1;
+                    }
+                    if stall > 24 {
+                        return Err(PcError::Catalog(
+                            "join group exceeds the maximum page size".into(),
+                        ));
+                    }
+                    if stall > 1 {
+                        page_size = (page_size * 2).min(256 << 20);
+                    }
+                    self.add_page(part, page_size)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The pre-vectorization build path, kept verbatim as the reference for
+    /// parity tests and the `micro_join` A/B benchmark: one closure-driven
+    /// `upsert_by`, a redundant `map.get` re-probe, and a per-element push
+    /// loop per group. Routes through the same partitions so its tables
+    /// probe identically.
+    pub fn insert_rowwise(&mut self, hash: u64, objs: &[AnyHandle]) -> PcResult<()> {
+        debug_assert_eq!(objs.len(), self.arity);
+        let part = self.part_of(PcKey::hash_val(&hash));
+        if self.parts[part].pages.is_empty() {
+            self.add_page(part, self.page_size)?;
+        }
+        self.parts[part].tags = TagFilter::default();
         let mut on_fresh_page = false;
+        // Escalate locally for the faulting group, leaving the configured
+        // `self.page_size` untouched for later pages (see `bulk_insert`).
+        let mut page_size = self.page_size;
         for _ in 0..24 {
-            match self.try_insert_last(hash, objs) {
+            match self.try_insert_last(part, hash, objs) {
                 Ok(()) => {
                     self.groups += 1;
                     return Ok(());
                 }
                 Err(PcError::BlockFull { .. }) => {
-                    // Page full: start a new table page (probes consult
-                    // every page, so buckets may span pages). A fault on a
-                    // just-created page means the group itself exceeds the
-                    // page size: escalate before retrying.
+                    // Page full: start a new page in the partition's chain
+                    // (buckets may span pages). A fault on a just-created
+                    // page means the group itself exceeds the page size:
+                    // escalate before retrying.
                     if on_fresh_page {
-                        self.page_size = (self.page_size * 2).min(256 << 20);
+                        page_size = (page_size * 2).min(256 << 20);
                     }
-                    self.add_page()?;
+                    self.add_page(part, page_size)?;
                     on_fresh_page = true;
                 }
                 Err(e) => return Err(e),
@@ -78,12 +368,12 @@ impl JoinTable {
         ))
     }
 
-    fn try_insert_last(&mut self, hash: u64, objs: &[AnyHandle]) -> PcResult<()> {
-        let (block, map) = self.pages.last().unwrap();
+    fn try_insert_last(&mut self, part: usize, hash: u64, objs: &[AnyHandle]) -> PcResult<()> {
+        let (block, map) = self.parts[part].pages.last().unwrap();
         // Probe with the key's canonical slot hash (PcKey::hash_val) so the
         // typed `get` path finds the same entry.
         map.upsert_by(
-            pc_object::PcKey::hash_val(&hash),
+            PcKey::hash_val(&hash),
             |b, slot| b.read::<u64>(slot) == hash,
             |_b| Ok(hash),
             |_b| block.make_object::<PcVec<Handle<AnyObj>>>(),
@@ -105,12 +395,58 @@ impl JoinTable {
         Ok(())
     }
 
+    /// Transitions the table to the probe phase: builds each partition's
+    /// 16-bit tag filter from the stored entry hashes of its map pages (no
+    /// key is rehashed). Called once the build sink finishes — and by
+    /// [`Self::from_shared_pages`] when a shipped table reopens — so miss
+    /// probes are rejected before touching any map. Inserting again
+    /// invalidates the affected partition's filter.
+    pub fn finish_build(&mut self) {
+        for part in self.parts.iter_mut() {
+            let entries: usize = part.pages.iter().map(|(_b, m)| m.len()).sum();
+            if entries == 0 {
+                part.tags = TagFilter::default();
+                continue;
+            }
+            let len = (entries * 2).next_power_of_two().max(16);
+            let mut tags = vec![0u16; len];
+            for (_block, map) in &part.pages {
+                map.for_each_stored_hash(|h| {
+                    let (i, bit) = Self::tag_pos(h, len);
+                    tags[i] |= bit;
+                });
+            }
+            part.tags = TagFilter::new(tags);
+        }
+    }
+
+    // -------------------------------------------------------------- probing
+
+    /// Routes a probe's slot hash to its owning partition, or `None` when
+    /// the partition's tag filter rejects the key (one filter word read, no
+    /// map touched). Shared by every routed probe path.
+    #[inline]
+    fn route(&self, shash: u64) -> Option<&Partition> {
+        let part = &self.parts[self.part_of(shash)];
+        if !part.tags.is_empty() {
+            let (i, bit) = Self::tag_pos(shash, part.tags.len());
+            if part.tags[i] & bit == 0 {
+                self.tag_rejects.set(self.tag_rejects.get() + 1);
+                return None;
+            }
+        }
+        Some(part)
+    }
+
     /// The pipeline's probe fast path: appends each match for `hash`
     /// directly into the caller's reusable buffers — `probe_row` once per
     /// match group into `idx` (the gather-index vector) and the group's
     /// handles into `built[k]` (one buffer per build-side object column) —
-    /// with no per-group closure call or `Vec` allocation. Returns the
-    /// number of match groups.
+    /// with no per-group closure call or `Vec` allocation. The slot hash is
+    /// computed once: its high bits route to the owning partition (only
+    /// that partition's page chain is walked — never the whole table), the
+    /// tag filter rejects misses before any map probe, and the maps probe
+    /// by the precomputed hash. Returns the number of match groups.
     pub fn probe_into(
         &self,
         hash: u64,
@@ -119,33 +455,56 @@ impl JoinTable {
         built: &mut [Vec<AnyHandle>],
     ) -> usize {
         debug_assert_eq!(built.len(), self.arity);
+        let shash = PcKey::hash_val(&hash);
+        let Some(part) = self.route(shash) else {
+            return 0;
+        };
         let mut matches = 0;
-        for (_block, map) in &self.pages {
-            if let Some(bucket) = map.get(&hash) {
-                let len = bucket.len();
-                debug_assert_eq!(len % self.arity, 0);
-                let mut i = 0;
-                while i < len {
-                    idx.push(probe_row);
-                    for (k, b) in built.iter_mut().enumerate() {
-                        b.push(bucket.get(i + k).erase());
-                    }
-                    i += self.arity;
-                    matches += 1;
+        for (_block, map) in &part.pages {
+            if let Some(bucket) = map.get_hashed(shash, &hash) {
+                matches += push_matches(&bucket, self.arity, probe_row, idx, built);
+            }
+        }
+        matches
+    }
+
+    /// The retained pre-partitioning probe: walks **every** table page for
+    /// each key with a fresh typed lookup, exactly as the engine did before
+    /// probes were partition-routed. Kept only for the `micro_join`
+    /// benchmark and differential tests; not a public API surface.
+    #[doc(hidden)]
+    pub fn probe_into_scan(
+        &self,
+        hash: u64,
+        probe_row: u32,
+        idx: &mut Vec<u32>,
+        built: &mut [Vec<AnyHandle>],
+    ) -> usize {
+        debug_assert_eq!(built.len(), self.arity);
+        let mut matches = 0;
+        for part in &self.parts {
+            for (_block, map) in &part.pages {
+                if let Some(bucket) = map.get(&hash) {
+                    matches += push_matches(&bucket, self.arity, probe_row, idx, built);
                 }
             }
         }
         matches
     }
 
-    /// Calls `f` with each match group for `hash`.
+    /// Calls `f` with each match group for `hash` (partition-routed like
+    /// [`Self::probe_into`]).
     pub fn probe(
         &self,
         hash: u64,
         mut f: impl FnMut(&[AnyHandle]) -> PcResult<()>,
     ) -> PcResult<()> {
-        for (_block, map) in &self.pages {
-            if let Some(bucket) = map.get(&hash) {
+        let shash = PcKey::hash_val(&hash);
+        let Some(part) = self.route(shash) else {
+            return Ok(());
+        };
+        for (_block, map) in &part.pages {
+            if let Some(bucket) = map.get_hashed(shash, &hash) {
                 let len = bucket.len();
                 debug_assert_eq!(len % self.arity, 0);
                 let mut group: Vec<AnyHandle> = Vec::with_capacity(self.arity);
@@ -163,49 +522,169 @@ impl JoinTable {
         Ok(())
     }
 
-    /// Bytes across all table pages (planner statistics / broadcast choice).
-    pub fn bytes(&self) -> usize {
-        self.pages.iter().map(|(b, _)| b.used()).sum()
+    /// Number of probe keys the tag filters rejected without a map probe
+    /// (diagnostics; reset never).
+    pub fn tag_rejects(&self) -> u64 {
+        self.tag_rejects.get()
     }
 
-    /// Seals the table into shippable pages (the broadcast/shuffle form of
-    /// a build side — its maps travel as raw pages, Appendix D.3).
-    pub fn into_pages(self) -> PcResult<Vec<SealedPage>> {
-        let mut out = Vec::with_capacity(self.pages.len());
-        for (block, map) in self.pages {
-            drop(map);
-            out.push(block.try_seal()?);
+    /// Pages a probe for `hash` may touch: the size of its partition's
+    /// chain. The routing guarantee tested by the multi-page routing test —
+    /// strictly less than [`Self::page_count`] once other partitions hold
+    /// pages.
+    pub fn partition_page_count(&self, hash: u64) -> usize {
+        self.parts[self.part_of(PcKey::hash_val(&hash))].pages.len()
+    }
+
+    /// Page capacities across all partitions (diagnostics; the escalation
+    /// test asserts oversized groups don't inflate later pages).
+    pub fn page_capacities(&self) -> Vec<usize> {
+        self.parts
+            .iter()
+            .flat_map(|p| p.pages.iter().map(|(b, _)| b.capacity()))
+            .collect()
+    }
+
+    /// Bytes across all table pages (planner statistics / broadcast choice).
+    pub fn bytes(&self) -> usize {
+        self.parts
+            .iter()
+            .flat_map(|p| p.pages.iter().map(|(b, _)| b.used()))
+            .sum()
+    }
+
+    // ------------------------------------------------------------- shipping
+
+    /// Seals the table into shippable `(partition, page)` pairs (the
+    /// broadcast/shuffle form of a build side — its maps travel as raw
+    /// pages tagged with their radix partition, Appendix D.3), so receivers
+    /// can reassemble the partition chains instead of concatenating pages
+    /// into one flat scan list.
+    pub fn into_pages(self) -> PcResult<Vec<(usize, SealedPage)>> {
+        let mut out = Vec::new();
+        for (part, p) in self.parts.into_iter().enumerate() {
+            for (block, map) in p.pages {
+                drop(map);
+                out.push((part, block.try_seal()?));
+            }
         }
         Ok(out)
     }
 
-    /// Opens a read-only table over shipped pages (zero-copy views). Used by
+    /// Builds the per-partition tag filters of a sealed, shipped table
+    /// **once** from the stored entry hashes. The broadcast path calls this
+    /// at gather time and ships the `Arc`s alongside the pages, so every
+    /// reopening pipelining thread shares the filters instead of rescanning
+    /// all table entries per thread.
+    pub fn build_shared_tag_filters(
+        partitions: usize,
+        pages: &[(usize, std::sync::Arc<SealedPage>)],
+    ) -> PcResult<Vec<TagFilter>> {
+        let partitions = Self::round_partitions(partitions);
+        let mut opened: Vec<(usize, BlockRef, Handle<TableMap>)> = Vec::with_capacity(pages.len());
+        for (part, p) in pages {
+            let (block, root) = p.open_view()?;
+            let map = root.downcast::<TableMap>()?;
+            opened.push((*part, block, map));
+        }
+        let mut entries = vec![0usize; partitions];
+        for (part, _block, map) in &opened {
+            entries[*part] += map.len();
+        }
+        let mut filters: Vec<Vec<u16>> = entries
+            .iter()
+            .map(|&e| {
+                if e == 0 {
+                    Vec::new()
+                } else {
+                    vec![0u16; (e * 2).next_power_of_two().max(16)]
+                }
+            })
+            .collect();
+        for (part, _block, map) in &opened {
+            let tags = &mut filters[*part];
+            let len = tags.len();
+            if len == 0 {
+                continue;
+            }
+            map.for_each_stored_hash(|h| {
+                let (i, bit) = Self::tag_pos(h, len);
+                tags[i] |= bit;
+            });
+        }
+        Ok(filters.into_iter().map(TagFilter::new).collect())
+    }
+
+    /// Opens a read-only table over shipped partition-tagged pages
+    /// (zero-copy views). `filters` are the shared tag filters built once
+    /// by [`Self::build_shared_tag_filters`]; when absent (one entry per
+    /// partition is required) the table rebuilds them locally. Used by
     /// every worker after a broadcast; `insert` must not be called on it.
     pub fn from_shared_pages(
         arity: usize,
         page_size: usize,
-        pages: &[std::sync::Arc<SealedPage>],
+        partitions: usize,
+        pages: &[(usize, std::sync::Arc<SealedPage>)],
+        filters: &[TagFilter],
     ) -> PcResult<Self> {
-        let mut t = JoinTable::new(arity, page_size);
-        for p in pages {
+        let mut t = JoinTable::with_partitions(arity, page_size, partitions);
+        for (part, p) in pages {
             let (block, root) = p.open_view()?;
             let map = root.downcast::<TableMap>()?;
-            t.pages.push((block, map));
+            t.parts[*part].pages.push((block, map));
+        }
+        if filters.len() == t.partitions {
+            for (part, f) in t.parts.iter_mut().zip(filters) {
+                part.tags = f.clone();
+            }
+        } else {
+            t.finish_build();
         }
         Ok(t)
     }
 
-    /// Folds another table's pages into this one (merging per-thread builds
-    /// on a worker).
+    /// Folds another table's partitions into this one partition-wise
+    /// (merging per-thread builds on a worker): partition `p`'s chains
+    /// concatenate, so probes still touch only their own partition.
     pub fn absorb(&mut self, other: JoinTable) {
         debug_assert_eq!(self.arity, other.arity);
+        debug_assert_eq!(self.partitions, other.partitions);
         self.groups += other.groups;
-        self.pages.extend(other.pages);
+        for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
+            if !theirs.pages.is_empty() {
+                mine.tags = TagFilter::default();
+                mine.pages.extend(theirs.pages);
+            }
+        }
     }
 
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.parts.iter().map(|p| p.pages.len()).sum()
     }
+}
+
+/// Appends every `arity`-group of `bucket` into the caller's probe buffers.
+#[inline]
+fn push_matches(
+    bucket: &Bucket,
+    arity: usize,
+    probe_row: u32,
+    idx: &mut Vec<u32>,
+    built: &mut [Vec<AnyHandle>],
+) -> usize {
+    let len = bucket.len();
+    debug_assert_eq!(len % arity, 0);
+    let mut matches = 0;
+    let mut i = 0;
+    while i < len {
+        idx.push(probe_row);
+        for (k, b) in built.iter_mut().enumerate() {
+            b.push(bucket.get(i + k).erase());
+        }
+        i += arity;
+        matches += 1;
+    }
+    matches
 }
 
 #[cfg(test)]
@@ -213,20 +692,25 @@ mod tests {
     use super::*;
     use pc_object::{make_object, AllocScope};
 
+    fn sources(n: i64) -> Vec<Handle<PcVec<i64>>> {
+        (0..n)
+            .map(|i| {
+                let v = make_object::<PcVec<i64>>().unwrap();
+                v.push(i).unwrap();
+                v
+            })
+            .collect()
+    }
+
     #[test]
     fn insert_and_probe_with_collisions_across_pages() {
         let _s = AllocScope::new(1 << 18);
         let mut t = JoinTable::new(1, 4096); // tiny pages force spanning
-        let mut sources = Vec::new();
-        for i in 0..200i64 {
-            let v = make_object::<PcVec<i64>>().unwrap();
-            v.push(i).unwrap();
-            sources.push(v);
-        }
+        let sources = sources(200);
         for (i, v) in sources.iter().enumerate() {
             // Two logical keys, heavy bucket fan-in.
             let hash = (i % 2) as u64 + 1;
-            t.insert(hash, &[v.erase()]).unwrap();
+            t.insert_rowwise(hash, &[v.erase()]).unwrap();
         }
         assert!(
             t.page_count() > 1,
@@ -252,17 +736,49 @@ mod tests {
     }
 
     #[test]
+    fn insert_batch_and_probe_agree_with_rowwise() {
+        let _s = AllocScope::new(1 << 19);
+        let srcs = sources(300);
+        let objs: Vec<AnyHandle> = srcs.iter().map(|v| v.erase()).collect();
+        let hashes: Vec<u64> = (0..300u64).map(|i| i % 7).collect();
+        let mut vectorized = JoinTable::new(1, 4096);
+        vectorized
+            .insert_batch(&hashes, None, &[objs.as_slice()])
+            .unwrap();
+        vectorized.finish_build();
+        let mut rowwise = JoinTable::new(1, 4096);
+        for (h, o) in hashes.iter().zip(&objs) {
+            rowwise.insert_rowwise(*h, std::slice::from_ref(o)).unwrap();
+        }
+        assert_eq!(vectorized.groups, 300);
+        assert_eq!(rowwise.groups, 300);
+        for key in 0..9u64 {
+            let collect = |t: &JoinTable| {
+                let mut idx = Vec::new();
+                let mut built: Vec<Vec<AnyHandle>> = vec![Vec::new()];
+                t.probe_into(key, 0, &mut idx, &mut built);
+                let mut vals: Vec<i64> = built[0]
+                    .iter()
+                    .map(|h| {
+                        h.downcast_unchecked::<AnyObj>()
+                            .assume::<PcVec<i64>>()
+                            .get(0)
+                    })
+                    .collect();
+                vals.sort_unstable();
+                vals
+            };
+            assert_eq!(collect(&vectorized), collect(&rowwise), "key {key}");
+        }
+    }
+
+    #[test]
     fn probe_into_fills_reusable_buffers_across_pages() {
         let _s = AllocScope::new(1 << 18);
         let mut t = JoinTable::new(1, 4096); // tiny pages force bucket spanning
-        let mut sources = Vec::new();
-        for i in 0..200i64 {
-            let v = make_object::<PcVec<i64>>().unwrap();
-            v.push(i).unwrap();
-            sources.push(v);
-        }
+        let sources = sources(200);
         for (i, v) in sources.iter().enumerate() {
-            t.insert((i % 2) as u64 + 1, &[v.erase()]).unwrap();
+            t.insert_rowwise((i % 2) as u64 + 1, &[v.erase()]).unwrap();
         }
         assert!(t.page_count() > 1, "bucket must span pages");
         // The closure-free path: one idx entry + one handle per match, all
@@ -298,8 +814,54 @@ mod tests {
     }
 
     #[test]
-    fn insert_escalates_page_size_for_oversized_groups() {
+    fn probes_route_to_one_partition_and_tags_reject_misses() {
         let _s = AllocScope::new(1 << 20);
+        // Many keys over few partitions with tiny pages: every partition
+        // grows a multi-page chain.
+        let mut t = JoinTable::with_partitions(1, 2048, 4);
+        let srcs = sources(512);
+        let objs: Vec<AnyHandle> = srcs.iter().map(|v| v.erase()).collect();
+        let hashes: Vec<u64> = (0..512u64).collect();
+        t.insert_batch(&hashes, None, &[objs.as_slice()]).unwrap();
+        t.finish_build();
+        assert!(
+            t.page_count() > t.partitions(),
+            "need multi-page chains ({} pages)",
+            t.page_count()
+        );
+        // Routing: a probe may only touch its own partition's chain, which
+        // is strictly smaller than the whole table.
+        let mut idx = Vec::new();
+        let mut built: Vec<Vec<AnyHandle>> = vec![Vec::new()];
+        for key in 0..512u64 {
+            assert!(
+                t.partition_page_count(key) < t.page_count(),
+                "probe for {key} would scan the whole table"
+            );
+            idx.clear();
+            built[0].clear();
+            assert_eq!(t.probe_into(key, 0, &mut idx, &mut built), 1);
+            let v: Handle<PcVec<i64>> = built[0][0].downcast_unchecked::<AnyObj>().assume();
+            assert_eq!(v.get(0), key as i64);
+        }
+        // Misses: the tag filter rejects (statistically almost) all of them
+        // before any map probe, and none produce matches.
+        let before = t.tag_rejects();
+        for key in 10_000..11_000u64 {
+            idx.clear();
+            built[0].clear();
+            assert_eq!(t.probe_into(key, 0, &mut idx, &mut built), 0);
+        }
+        assert!(
+            t.tag_rejects() - before > 800,
+            "tag filter rejected only {} of 1000 misses",
+            t.tag_rejects() - before
+        );
+    }
+
+    #[test]
+    fn insert_escalates_for_the_faulting_group_only() {
+        let _s = AllocScope::new(1 << 21);
         // Table pages start far smaller than one group's objects, so the
         // first insert faults on a fresh page and must escalate (doubling)
         // rather than spinning on same-size pages forever.
@@ -308,7 +870,7 @@ mod tests {
         for i in 0..300i64 {
             big.push(i).unwrap();
         }
-        t.insert(42, &[big.erase()]).unwrap();
+        t.insert_rowwise(42, &[big.erase()]).unwrap();
         assert_eq!(t.groups, 1);
         let mut idx: Vec<u32> = Vec::new();
         let mut built: Vec<Vec<AnyHandle>> = vec![Vec::new()];
@@ -316,12 +878,71 @@ mod tests {
         let v: Handle<PcVec<i64>> = built[0][0].downcast_unchecked::<AnyObj>().assume();
         assert_eq!(v.len(), 300);
         assert_eq!(v.get(299), 299);
-        // Escalation abandoned undersized pages but the table still grows
-        // normally afterwards.
-        let small = make_object::<PcVec<i64>>().unwrap();
-        small.push(1).unwrap();
-        t.insert(43, &[small.erase()]).unwrap();
-        assert_eq!(t.groups, 2);
+        // Escalation was local to the oversized group: later inserts (other
+        // partitions / fresh pages) go back to the configured page size.
+        for i in 0..40u64 {
+            let small = make_object::<PcVec<i64>>().unwrap();
+            small.push(i as i64).unwrap();
+            t.insert_rowwise(100 + i, &[small.erase()]).unwrap();
+        }
+        assert_eq!(t.groups, 41);
+        let caps = t.page_capacities();
+        assert!(
+            caps.iter().any(|&c| c > 512),
+            "oversized group must escalate its own page"
+        );
+        assert!(
+            caps.iter().filter(|&&c| c == 512).count() > 0,
+            "configured page size must be restored after escalation: {caps:?}"
+        );
+        // Same contract on the vectorized path.
+        let mut tv = JoinTable::new(1, 512);
+        let big2 = make_object::<PcVec<i64>>().unwrap();
+        for i in 0..300i64 {
+            big2.push(i).unwrap();
+        }
+        let smalls = sources(40);
+        let mut objs: Vec<AnyHandle> = vec![big2.erase()];
+        objs.extend(smalls.iter().map(|v| v.erase()));
+        let hashes: Vec<u64> = (0..41u64).map(|i| i * 13 + 7).collect();
+        tv.insert_batch(&hashes, None, &[objs.as_slice()]).unwrap();
+        let caps = tv.page_capacities();
+        assert!(caps.iter().any(|&c| c > 512));
+        assert!(
+            caps.iter().filter(|&&c| c == 512).count() > 0,
+            "vectorized escalation must also restore the configured size: {caps:?}"
+        );
+    }
+
+    #[test]
+    fn absorb_merges_per_thread_builds_partition_wise() {
+        let _s = AllocScope::new(1 << 19);
+        // Two "pipelining thread" builds over disjoint row ranges...
+        let srcs = sources(200);
+        let mut a = JoinTable::with_partitions(1, 4096, 4);
+        let mut b = JoinTable::with_partitions(1, 4096, 4);
+        let hashes: Vec<u64> = (0..200u64).map(|i| i % 10).collect();
+        let objs: Vec<AnyHandle> = srcs.iter().map(|v| v.erase()).collect();
+        a.insert_batch(&hashes[..100], None, &[&objs[..100]])
+            .unwrap();
+        b.insert_batch(&hashes[100..], None, &[&objs[100..]])
+            .unwrap();
+        // ...fold together partition-wise, and probe like one build.
+        a.absorb(b);
+        assert_eq!(a.groups, 200);
+        a.finish_build();
+        let mut idx = Vec::new();
+        let mut built: Vec<Vec<AnyHandle>> = vec![Vec::new()];
+        let mut total = 0;
+        for key in 0..10u64 {
+            assert!(
+                a.partition_page_count(key) < a.page_count(),
+                "absorbed chains must stay partition-routed"
+            );
+            total += a.probe_into(key, 0, &mut idx, &mut built);
+        }
+        assert_eq!(total, 200, "every group from both builds probes");
+        assert_eq!(a.probe_into(99, 0, &mut idx, &mut built), 0);
     }
 
     #[test]
@@ -332,7 +953,7 @@ mod tests {
         a.push(1).unwrap();
         let b = make_object::<PcVec<i64>>().unwrap();
         b.push(2).unwrap();
-        t.insert(7, &[a.erase(), b.erase()]).unwrap();
+        t.insert_rowwise(7, &[a.erase(), b.erase()]).unwrap();
         t.probe(7, |group| {
             assert_eq!(group.len(), 2);
             let x: Handle<PcVec<i64>> = group[0].downcast_unchecked::<AnyObj>().assume();

@@ -21,7 +21,7 @@ pub mod local;
 pub mod plan;
 pub mod vlist;
 
-pub use jointable::JoinTable;
+pub use jointable::{JoinTable, TagFilter, DEFAULT_JOIN_PARTITIONS};
 pub use local::{run_pipeline_stage, ExecConfig, ExecStats, LocalExecutor, PipelineOutput, TMP_DB};
 pub use plan::{
     describe_decompositions, plan, AggDest, PhysicalPlan, PipeOp, PipelineSpec, ResolvedOp,

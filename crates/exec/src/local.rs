@@ -40,6 +40,10 @@ pub struct ExecConfig {
     pub page_size: usize,
     /// Hash partitions for aggregation sinks.
     pub agg_partitions: usize,
+    /// Radix partitions for join build tables (rounded to a power of two;
+    /// probes route to one partition's page chain instead of scanning every
+    /// table page).
+    pub join_partitions: usize,
 }
 
 impl Default for ExecConfig {
@@ -48,6 +52,7 @@ impl Default for ExecConfig {
             batch_size: 1024,
             page_size: 1 << 20,
             agg_partitions: 4,
+            join_partitions: 8,
         }
     }
 }
@@ -67,6 +72,13 @@ pub struct ExecStats {
     pub rows_aggregated: u64,
     /// Partition map pages sealed for shuffling by pre-aggregation sinks.
     pub map_pages_sealed: u64,
+    /// Rows that probed a join hash table.
+    pub rows_probed: u64,
+    /// Match groups those probes produced.
+    pub join_matches: u64,
+    /// Join build table pages finished by build sinks (the partitioned
+    /// chains' pages, sealed for broadcast in the distributed runtime).
+    pub build_pages_sealed: u64,
     pub max_zombie_pages: usize,
 }
 
@@ -81,6 +93,9 @@ impl ExecStats {
         self.agg_groups += other.agg_groups;
         self.rows_aggregated += other.rows_aggregated;
         self.map_pages_sealed += other.map_pages_sealed;
+        self.rows_probed += other.rows_probed;
+        self.join_matches += other.join_matches;
+        self.build_pages_sealed += other.build_pages_sealed;
         self.max_zombie_pages = self.max_zombie_pages.max(other.max_zombie_pages);
     }
 }
@@ -89,8 +104,9 @@ impl ExecStats {
 pub enum PipelineOutput {
     /// Sealed output pages (OUTPUT / materialization sinks).
     Pages(Vec<SealedPage>),
-    /// A built join hash table.
-    BuiltTable(JoinTable),
+    /// A built join hash table (boxed: the partitioned table's inline state
+    /// dwarfs the other variants).
+    BuiltTable(Box<JoinTable>),
     /// Pre-aggregated `(partition, page)` pairs awaiting merge.
     AggPartitions(Vec<(usize, SealedPage)>),
 }
@@ -126,7 +142,11 @@ pub fn run_pipeline_stage(
         _ => None,
     };
     let mut build_table = match &p.sink {
-        Sink::JoinBuild { obj_cols, .. } => Some(JoinTable::new(obj_cols.len(), config.page_size)),
+        Sink::JoinBuild { obj_cols, .. } => Some(JoinTable::with_partitions(
+            obj_cols.len(),
+            config.page_size,
+            config.join_partitions,
+        )),
         _ => None,
     };
     let mut scratch = ScratchPage::new(config.page_size);
@@ -159,6 +179,7 @@ pub fn run_pipeline_stage(
                 &mut build_table,
                 &mut scratch,
                 &mut pool,
+                &mut stats,
             )?;
             stats.batches += 1;
             // Batch boundary: the vector list dies (its buffers return to
@@ -180,9 +201,13 @@ pub fn run_pipeline_stage(
             PipelineOutput::Pages(pages)
         }
         Sink::JoinBuild { .. } => {
-            let t = build_table.take().unwrap();
+            let mut t = build_table.take().unwrap();
+            // The build is complete: construct the probe-side tag filters
+            // from the stored entry hashes (the seal point of the chains).
+            t.finish_build();
             stats.join_groups += t.groups;
-            PipelineOutput::BuiltTable(t)
+            stats.build_pages_sealed += t.page_count() as u64;
+            PipelineOutput::BuiltTable(Box::new(t))
         }
         Sink::AggProduce { .. } => {
             let mut sink = agg_sink.take().unwrap();
@@ -206,6 +231,7 @@ fn run_batch(
     build_table: &mut Option<JoinTable>,
     scratch: &mut ScratchPage,
     pool: &mut ColumnPool,
+    stats: &mut ExecStats,
 ) -> PcResult<()> {
     for op in &rp.ops {
         if vl.is_empty() {
@@ -285,16 +311,19 @@ fn run_batch(
                     // rows probe, and `idx` carries base-row positions.
                     match vl.sel() {
                         None => {
+                            stats.rows_probed += hashes.len() as u64;
                             for (i, h) in hashes.iter().enumerate() {
                                 t.probe_into(*h, i as u32, &mut idx, &mut built);
                             }
                         }
                         Some(sel) => {
+                            stats.rows_probed += sel.len() as u64;
                             for &i in sel {
                                 t.probe_into(hashes[i as usize], i, &mut idx, &mut built);
                             }
                         }
                     }
+                    stats.join_matches += idx.len() as u64;
                 }
                 vl.drop_slots(drop, pool);
                 vl.gather_rebase(&idx, pool);
@@ -330,23 +359,17 @@ fn run_batch(
             hash_slot,
             obj_slots,
         } => {
+            // The vectorized build: the whole selection-live batch is
+            // hashed, radix-partitioned, and bulk-folded into the table's
+            // partition chains in one call — no per-row group Vec, no
+            // per-column handle clone.
             let t = build_table.as_mut().unwrap();
             let hashes = vl.slot(*hash_slot)?.as_u64()?;
             let cols: Vec<&[AnyHandle]> = obj_slots
                 .iter()
                 .map(|s| vl.slot(*s).and_then(|c| c.as_obj()))
                 .collect::<PcResult<_>>()?;
-            let mut group = pool.take_objs();
-            let insert_err = for_each_sel(hashes.len(), vl.sel(), |i| {
-                group.clear();
-                for c in &cols {
-                    group.push(c[i].clone());
-                }
-                t.insert(hashes[i], &group)
-            });
-            group.clear();
-            pool.objs.push(group);
-            insert_err?;
+            t.insert_batch(hashes, vl.sel(), &cols)?;
         }
     }
     Ok(())
@@ -488,7 +511,7 @@ impl LocalExecutor {
                     let Sink::JoinBuild { table, .. } = &p.sink else {
                         unreachable!()
                     };
-                    tables.insert(table.clone(), t);
+                    tables.insert(table.clone(), *t);
                 }
                 PipelineOutput::AggPartitions(parts) => {
                     // Local consuming stage (AggregationJobStage): merge all
@@ -545,6 +568,9 @@ mod tests {
             agg_groups: 1,
             rows_aggregated: 9,
             map_pages_sealed: 3,
+            rows_probed: 11,
+            join_matches: 8,
+            build_pages_sealed: 5,
             max_zombie_pages: 2,
         };
         total.absorb(&other);
@@ -559,6 +585,9 @@ mod tests {
         assert_eq!(total.agg_groups, 1);
         assert_eq!(total.rows_aggregated, 9);
         assert_eq!(total.map_pages_sealed, 3);
+        assert_eq!(total.rows_probed, 11);
+        assert_eq!(total.join_matches, 8);
+        assert_eq!(total.build_pages_sealed, 5);
         assert_eq!(total.max_zombie_pages, 2, "zombie high-water is a max");
     }
 }

@@ -32,6 +32,7 @@ fn setup(label: &str) -> LocalExecutor {
             batch_size: 32,
             page_size: 1 << 15,
             agg_partitions: 2,
+            join_partitions: 4,
         },
     )
 }

@@ -57,6 +57,7 @@ fn setup(label: &str) -> LocalExecutor {
             batch_size: 64,
             page_size: 1 << 16,
             agg_partitions: 3,
+            join_partitions: 4,
         },
     )
 }
@@ -392,6 +393,7 @@ fn tiny_pages_force_rolls_and_stay_correct() {
             batch_size: 16,
             page_size: 4096,
             agg_partitions: 2,
+            join_partitions: 2,
         },
     );
     load_emps(&ex, 400);

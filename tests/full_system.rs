@@ -70,6 +70,7 @@ fn selection_then_aggregation_then_join_across_cluster() {
             batch_size: 64,
             page_size: 1 << 16,
             agg_partitions: 4,
+            join_partitions: 8,
         },
         broadcast_threshold: 8 << 20,
     })
