@@ -23,44 +23,36 @@ pc_object! {
     }
 }
 
-/// The §5.2 three-way-join lambda, compiled and printed (Figure 1: the
+/// The §5.2 three-way-join chain, compiled and printed (Figure 1: the
 /// first stages extract `Dep.deptName` and `Emp::getDeptName()`, compare,
-/// and filter).
-fn join_graph() -> ComputationGraph {
-    let mut g = ComputationGraph::new();
-    let dep = g.reader("db", "deps");
-    let emp = g.reader("db", "emps");
-    let sup = g.reader("db", "sups");
-    let sel = make_lambda_from_member::<Dep, String>(0, "deptName", |d| {
-        d.v().dept_name().as_str().to_string()
-    })
-    .eq(make_lambda_from_method::<Emp, String>(
-        1,
-        "getDeptName",
-        |e| e.v().dept().as_str().to_string(),
-    ))
-    .and(
-        make_lambda_from_member::<Dep, String>(0, "deptName", |d| {
-            d.v().dept_name().as_str().to_string()
-        })
-        .eq(make_lambda_from_method::<Sup, String>(2, "getDept", |s| {
-            s.v().dept().as_str().to_string()
-        })),
+/// and filter). Built over *unbound* datasets — compiling a job needs no
+/// live cluster.
+fn join_job() -> Job {
+    let dep = Dataset::<Dep>::scan("db", "deps");
+    let emp = Dataset::<Emp>::scan("db", "emps");
+    let sup = Dataset::<Sup>::scan("db", "sups");
+    let joined = dep.join3(
+        &emp,
+        &sup,
+        |d, e, s| {
+            d.member("deptName", |d| d.v().dept_name().as_str().to_string())
+                .eq(e.method("getDeptName", |e| e.v().dept().as_str().to_string()))
+                .and(
+                    d.member("deptName", |d| d.v().dept_name().as_str().to_string())
+                        .eq(s.method("getDept", |s| s.v().dept().as_str().to_string())),
+                )
+        },
+        "mkResult",
+        |d, _e, _s| Ok(d.clone()),
     );
-    let proj = pc_lambda::make_lambda3::<Dep, Emp, Sup, _>((0, 1, 2), "mkResult", |d, _e, _s| {
-        Ok(d.clone().erase())
-    });
-    let j = g.join(&[dep, emp, sup], sel, proj);
-    g.write(j, "db", "out");
-    g
+    Job::new().add(joined.write_to("db", "out"))
 }
 
 /// Figure 1: the TCAP program compiled from the §4/§5.2 join example, and
 /// its physical pipelines.
 pub fn figure1() {
-    println!("Figure 1: TCAP compiled from the Dep/Emp/Sup join lambda\n");
-    let g = join_graph();
-    let q = compile(&g).unwrap();
+    println!("Figure 1: TCAP compiled from the Dep/Emp/Sup join chain\n");
+    let q = join_job().compile().unwrap();
     println!("--- unoptimized TCAP ---\n{}", q.tcap);
     let mut tcap = q.tcap.clone();
     let report = pc_tcap::optimize(&mut tcap);
@@ -95,8 +87,7 @@ pub fn figure2() {
 /// Figure 3: alternative pipeline decompositions of a 3-join TCAP DAG.
 pub fn figure3() {
     println!("Figure 3: pipeline decompositions of the 3-way join program\n");
-    let g = join_graph();
-    let mut q = compile(&g).unwrap();
+    let mut q = join_job().compile().unwrap();
     pc_tcap::optimize(&mut q.tcap);
     for d in describe_decompositions(&q.tcap) {
         println!("{d}");

@@ -4,7 +4,7 @@
 use crate::stages;
 use pc_exec::{plan, ExecConfig, ExecStats, PhysicalPlan, Sink, Source};
 use pc_lambda::{CompiledQuery, ErasedAgg, SetWriter, StageLibrary};
-use pc_object::{AnyHandle, PcResult, SealedPage};
+use pc_object::{AnyHandle, PcError, PcResult, SealedPage};
 use pc_storage::{Catalog, StorageManager, WorkerTypeCatalog};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -142,6 +142,21 @@ impl PcCluster {
         Ok(())
     }
 
+    /// Drops a set cluster-wide: worker pages and the master catalog entry
+    /// (so `set_size` never reports a dropped set's stale counts).
+    pub fn drop_set(&self, db: &str, set: &str) -> PcResult<()> {
+        if !self.catalog.exists(db, set) {
+            return Err(PcError::Catalog(format!("set {db}.{set} does not exist")));
+        }
+        for w in &self.workers {
+            w.storage.drop_set(db, set);
+        }
+        // Worker storage drops already clear the shared master catalog, but
+        // a 0-worker or partially-registered set must still disappear.
+        self.catalog.drop_set(db, set);
+        Ok(())
+    }
+
     /// Dispatches client pages round-robin across workers (`sendData`): the
     /// allocation block travels in its entirety, no pre-processing (§3).
     pub fn send_pages(&self, db: &str, set: &str, pages: Vec<SealedPage>) -> PcResult<()> {
@@ -203,6 +218,11 @@ impl PcCluster {
     ) -> PcResult<ClusterStats> {
         let before = self.stats_snapshot();
         let mut exec = ExecStats::default();
+        // A previous query's materialized pages must never leak into this
+        // one's deterministically-named tmp lists.
+        for list in physical.intermediate_lists() {
+            self.create_or_clear_set(pc_exec::TMP_DB, list)?;
+        }
         // Broadcast join tables live as shared partition-tagged page lists
         // plus their once-built tag filters, one per join.
         let mut tables: HashMap<String, stages::BroadcastTable> = HashMap::new();

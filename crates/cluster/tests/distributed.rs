@@ -3,11 +3,9 @@
 //! network.
 
 use pc_cluster::{ClusterConfig, PcCluster};
+use pc_core::{Dataset, Job};
 use pc_exec::ExecConfig;
-use pc_lambda::{
-    compile, make_lambda, make_lambda2, make_lambda_from_member, make_lambda_from_method,
-    AggregateSpec, ComputationGraph, SetWriter,
-};
+use pc_lambda::{AggregateSpec, SetWriter};
 use pc_object::{make_object, pc_object, AnyObj, BlockRef, Handle, PcResult, PcString, PcVec};
 
 pc_object! {
@@ -72,10 +70,11 @@ fn salaries(n: usize) -> Vec<(i64, i64)> {
 }
 
 fn read_objs<T: pc_object::PcObjType>(c: &PcCluster, db: &str, set: &str) -> Vec<Handle<T>> {
+    // Checked downcasts: a mistyped read is an error, not a garbage handle.
     c.scan_objects(db, set)
         .unwrap()
         .iter()
-        .map(|h| h.downcast_unchecked::<T>())
+        .map(|h| h.downcast::<T>().unwrap())
         .collect()
 }
 
@@ -98,15 +97,14 @@ fn distributed_selection() {
     load_emps(&c, 600);
     c.create_or_clear_set("db", "rich").unwrap();
 
-    let mut g = ComputationGraph::new();
-    let emps = g.reader("db", "emps");
-    let sel =
-        make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary()).gt_const(70_000i64);
-    let proj = make_lambda::<Emp, _>(0, "identity", |e| Ok(e.clone().erase()));
-    let rich = g.selection(emps, sel, proj);
-    g.write(rich, "db", "rich");
-
-    let q = compile(&g).unwrap();
+    let rich = Dataset::<Emp>::scan("db", "emps").filter(|e| {
+        e.method("getSalary", |e| e.v().salary())
+            .gt_const(70_000i64)
+    });
+    let q = Job::new()
+        .add(rich.write_to("db", "rich"))
+        .compile()
+        .unwrap();
     c.execute(&q).unwrap();
 
     let got = read_objs::<Emp>(&c, "db", "rich");
@@ -169,12 +167,11 @@ fn distributed_aggregation_shuffles_map_pages() {
     load_emps(&c, 1000);
     c.create_or_clear_set("db", "stats").unwrap();
 
-    let mut g = ComputationGraph::new();
-    let emps = g.reader("db", "emps");
-    let agg = g.aggregate(emps, SumAgg);
-    g.write(agg, "db", "stats");
-
-    let q = compile(&g).unwrap();
+    let stats_ds = Dataset::<Emp>::scan("db", "emps").aggregate(SumAgg);
+    let q = Job::new()
+        .add(stats_ds.write_to("db", "stats"))
+        .compile()
+        .unwrap();
     let run = c.execute(&q).unwrap();
     assert!(
         run.bytes_shuffled > 0,
@@ -207,11 +204,11 @@ fn distributed_aggregation_is_deterministic_byte_for_byte() {
         let c = cluster();
         load_emps(&c, 800);
         c.create_or_clear_set("db", "stats").unwrap();
-        let mut g = ComputationGraph::new();
-        let emps = g.reader("db", "emps");
-        let agg = g.aggregate(emps, SumAgg);
-        g.write(agg, "db", "stats");
-        let q = compile(&g).unwrap();
+        let stats_ds = Dataset::<Emp>::scan("db", "emps").aggregate(SumAgg);
+        let q = Job::new()
+            .add(stats_ds.write_to("db", "stats"))
+            .compile()
+            .unwrap();
         c.execute(&q).unwrap();
         let mut pages: Vec<Vec<u8>> = c
             .scan_set("db", "stats")
@@ -246,24 +243,27 @@ fn distributed_broadcast_join() {
     c.send_pages("db", "depts", w.finish().unwrap()).unwrap();
     c.create_or_clear_set("db", "pairs").unwrap();
 
-    let mut g = ComputationGraph::new();
-    let depts = g.reader("db", "depts");
-    let emps = g.reader("db", "emps");
-    // depts (small) is input 0 → the build side; emps streams and probes.
-    let sel = make_lambda_from_member::<Dept, i64>(0, "id", |d| d.v().id()).eq(
-        make_lambda_from_member::<Emp, i64>(1, "deptId", |e| e.v().dept_id()),
+    // depts (small) is the left dataset → the build side; emps streams
+    // and probes.
+    let joined = Dataset::<Dept>::scan("db", "depts").join(
+        &Dataset::<Emp>::scan("db", "emps"),
+        |d, e| {
+            d.member("id", |d| d.v().id())
+                .eq(e.member("deptId", |e| e.v().dept_id()))
+        },
+        "pair",
+        |d, e| {
+            let v = make_object::<PcVec<i64>>()?;
+            v.push(d.v().id())?;
+            v.push(e.v().dept_id())?;
+            v.push(e.v().salary())?;
+            Ok(v)
+        },
     );
-    let proj = make_lambda2::<Dept, Emp, _>((0, 1), "pair", |d, e| {
-        let v = make_object::<PcVec<i64>>()?;
-        v.push(d.v().id())?;
-        v.push(e.v().dept_id())?;
-        v.push(e.v().salary())?;
-        Ok(v.erase())
-    });
-    let joined = g.join(&[depts, emps], sel, proj);
-    g.write(joined, "db", "pairs");
-
-    let q = compile(&g).unwrap();
+    let q = Job::new()
+        .add(joined.write_to("db", "pairs"))
+        .compile()
+        .unwrap();
     let run = c.execute(&q).unwrap();
     assert!(
         run.tables_broadcast >= 1,
@@ -290,15 +290,9 @@ fn worker_type_catalogs_fault_like_so_shipping() {
     load_emps(&c, 100);
     c.create_or_clear_set("db", "out").unwrap();
 
-    let mut g = ComputationGraph::new();
-    let emps = g.reader("db", "emps");
-    let sel =
-        make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary()).ge_const(0i64);
-    let proj = make_lambda::<Emp, _>(0, "identity", |e| Ok(e.clone().erase()));
-    let all = g.selection(emps, sel, proj);
-    g.write(all, "db", "out");
-
-    let q = compile(&g).unwrap();
+    let all = Dataset::<Emp>::scan("db", "emps")
+        .filter(|e| e.method("getSalary", |e| e.v().salary()).ge_const(0i64));
+    let q = Job::new().add(all.write_to("db", "out")).compile().unwrap();
     c.execute(&q).unwrap();
     // Every worker that processed pages resolved the root type exactly once.
     for w in &c.workers {
@@ -327,14 +321,15 @@ fn queries_survive_cold_storage() {
         .sum();
     c.create_or_clear_set("db", "cold_out").unwrap();
 
-    let mut g = ComputationGraph::new();
-    let emps = g.reader("db", "emps");
-    let sel =
-        make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary()).gt_const(50_000i64);
-    let proj = make_lambda::<Emp, _>(0, "identity", |e| Ok(e.clone().erase()));
-    let out = g.selection(emps, sel, proj);
-    g.write(out, "db", "cold_out");
-    c.execute(&compile(&g).unwrap()).unwrap();
+    let out = Dataset::<Emp>::scan("db", "emps").filter(|e| {
+        e.method("getSalary", |e| e.v().salary())
+            .gt_const(50_000i64)
+    });
+    let q = Job::new()
+        .add(out.write_to("db", "cold_out"))
+        .compile()
+        .unwrap();
+    c.execute(&q).unwrap();
 
     let got = read_objs::<Emp>(&c, "db", "cold_out");
     let want = salaries(300)

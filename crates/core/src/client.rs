@@ -49,6 +49,14 @@ impl PcClient {
         &self.cluster
     }
 
+    /// A typed [`Dataset`](crate::dataset::Dataset) over a stored set — the
+    /// entry point of the fluent query API. The element type is asserted
+    /// here and *checked* on gather: collecting the set under the wrong
+    /// type fails with [`pc_object::PcError::TypeMismatch`].
+    pub fn set<T: PcObjType>(&self, db: &str, set: &str) -> crate::dataset::Dataset<T> {
+        crate::dataset::Dataset::stored(Some(self.clone()), db, set)
+    }
+
     /// `createSet`: registers a new set cluster-wide.
     pub fn create_set(&self, db: &str, set: &str) -> PcResult<()> {
         self.cluster.create_set(db, set)
@@ -59,10 +67,11 @@ impl PcClient {
         self.cluster.create_or_clear_set(db, set)
     }
 
-    pub fn drop_set(&self, db: &str, set: &str) {
-        for w in &self.cluster.workers {
-            w.storage.drop_set(db, set);
-        }
+    /// Drops a set cluster-wide: every worker's pages *and* the master
+    /// catalog entry, so `set_size` and `exists` reflect the drop
+    /// immediately. Dropping a set that does not exist is an error.
+    pub fn drop_set(&self, db: &str, set: &str) -> PcResult<()> {
+        self.cluster.drop_set(db, set)
     }
 
     /// `sendData` with a client-held vector. When the vector's block holds
@@ -114,21 +123,25 @@ impl PcClient {
         self.cluster.send_pages(db, set, w.finish()?)
     }
 
-    /// Compiles (lambda → TCAP), optimizes, plans, and executes a
-    /// computation graph across the cluster.
-    pub fn execute_computations(&self, graph: &ComputationGraph) -> PcResult<ClusterStats> {
+    /// Compiles (lambda → TCAP), optimizes, plans, and executes a lowered
+    /// computation graph across the cluster. Internal: user code builds
+    /// queries through [`Dataset`](crate::dataset::Dataset) /
+    /// [`Job`](crate::dataset::Job), which lower to this.
+    pub(crate) fn execute_graph(&self, graph: &ComputationGraph) -> PcResult<ClusterStats> {
         let q = compile(graph)?;
         self.cluster.execute(&q)
     }
 
-    /// Gathers every object of a set to the client, typed.
+    /// Gathers every object of a set to the client, typed. The downcast is
+    /// checked against each object's header type code: asking for the wrong
+    /// element type returns [`pc_object::PcError::TypeMismatch`] instead of
+    /// a silently mistyped handle.
     pub fn iterate_set<T: PcObjType>(&self, db: &str, set: &str) -> PcResult<Vec<Handle<T>>> {
-        Ok(self
-            .cluster
+        self.cluster
             .scan_objects(db, set)?
             .iter()
-            .map(|h| h.downcast_unchecked::<T>())
-            .collect())
+            .map(|h| h.downcast::<T>())
+            .collect()
     }
 
     /// Number of objects in a set (catalog metadata).

@@ -1,13 +1,15 @@
 //! One-stop imports for PlinyCompute applications.
+//!
+//! Queries are built through the typed fluent API — [`Dataset`], [`Job`],
+//! [`Sink`], [`Var`] — which lowers internally to the lambda/TCAP stack.
+//! The raw `ComputationGraph` layer is no longer part of the prelude; it
+//! remains a stable *internal* surface inside `pc-lambda`.
 
 pub use crate::client::PcClient;
+pub use crate::dataset::{Dataset, Job, Sink, Var};
 pub use pc_cluster::{ClusterConfig, ClusterStats, PcCluster};
 pub use pc_exec::ExecConfig;
-pub use pc_lambda::{
-    compile, make_lambda, make_lambda2, make_lambda3, make_lambda_from_member,
-    make_lambda_from_method, make_lambda_from_self, AggKey, AggregateSpec, ComputationGraph,
-    Lambda, NodeId, SetWriter,
-};
+pub use pc_lambda::{AggKey, AggregateSpec, Lambda, SetWriter};
 pub use pc_object::{
     make_object, make_object_allocator_block, make_object_with_policy, pc_flat, pc_object,
     AllocPolicy, AllocScope, AnyHandle, AnyObj, BlockRef, Handle, ObjectPolicy, PcError, PcMap,

@@ -486,6 +486,11 @@ impl LocalExecutor {
     ) -> PcResult<ExecStats> {
         let mut stats = ExecStats::default();
         let mut tables: HashMap<String, JoinTable> = HashMap::new();
+        // A previous query's materialized pages must never leak into this
+        // one's deterministically-named tmp lists.
+        for list in physical.intermediate_lists() {
+            self.storage.create_or_clear_set(TMP_DB, list)?;
+        }
         for p in &physical.pipelines {
             let pages = match &p.source {
                 Source::Set { db, set, .. } => self.storage.scan(db, set)?,

@@ -419,6 +419,26 @@ pub struct PhysicalPlan {
     pub pipelines: Vec<PipelineSpec>,
 }
 
+impl PhysicalPlan {
+    /// The `__tmp` intermediate lists this plan writes (materialized
+    /// multi-consumer edges and non-fused aggregation outputs). List names
+    /// are deterministic per graph shape, so executors must clear each of
+    /// these before running lest a previous query's pages leak in.
+    pub fn intermediate_lists(&self) -> Vec<&str> {
+        self.pipelines
+            .iter()
+            .filter_map(|p| match &p.sink {
+                Sink::Materialize { list, .. }
+                | Sink::AggProduce {
+                    dest: AggDest::Intermediate { list },
+                    ..
+                } => Some(list.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
 impl std::fmt::Display for PhysicalPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for p in &self.pipelines {

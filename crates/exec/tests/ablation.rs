@@ -2,10 +2,8 @@
 //! Runs the same queries with no rules, each single rule, and all rules,
 //! and demands identical output sets. Also pins down planner shapes.
 
+use pc_core::{Dataset, Job};
 use pc_exec::{plan, ExecConfig, LocalExecutor, PipeOp, Sink};
-use pc_lambda::{
-    compile, make_lambda2, make_lambda_from_member, make_lambda_from_method, ComputationGraph,
-};
 use pc_object::{make_object, pc_object, AnyObj, Handle, PcVec, SealedPage};
 use pc_storage::StorageManager;
 use pc_tcap::{optimize_with, OptimizerRule};
@@ -68,40 +66,33 @@ fn load(ex: &LocalExecutor) {
     }
 }
 
-fn query() -> ComputationGraph {
+fn query() -> Job {
     // join + pushable single-input conjunct + redundant method calls.
-    let mut g = ComputationGraph::new();
-    let items = g.reader("db", "items");
-    let tags = g.reader("db", "tags");
-    let sel = make_lambda_from_member::<Item, i64>(0, "key", |x| x.v().key())
-        .eq(make_lambda_from_member::<Tag, i64>(1, "key", |t| {
-            t.v().key()
-        }))
-        .and(
-            make_lambda_from_method::<Item, i64>(0, "getWeight", |x| x.v().weight())
-                .gt_const(60i64),
-        )
-        .and(
-            make_lambda_from_method::<Item, i64>(0, "getWeight", |x| x.v().weight())
-                .lt_const(180i64),
-        );
-    let proj = make_lambda2::<Item, Tag, _>((0, 1), "mkRow", |x, t| {
-        let v = make_object::<PcVec<i64>>()?;
-        v.push(x.v().key())?;
-        v.push(x.v().weight())?;
-        v.push(t.v().code())?;
-        Ok(v.erase())
-    });
-    let joined = g.join(&[items, tags], sel, proj);
-    g.write(joined, "db", "out");
-    g
+    let joined = Dataset::<Item>::scan("db", "items").join(
+        &Dataset::<Tag>::scan("db", "tags"),
+        |x, t| {
+            x.member("key", |x| x.v().key())
+                .eq(t.member("key", |t| t.v().key()))
+                .and(x.method("getWeight", |x| x.v().weight()).gt_const(60i64))
+                .and(x.method("getWeight", |x| x.v().weight()).lt_const(180i64))
+        },
+        "mkRow",
+        |x, t| {
+            let v = make_object::<PcVec<i64>>()?;
+            v.push(x.v().key())?;
+            v.push(x.v().weight())?;
+            v.push(t.v().code())?;
+            Ok(v)
+        },
+    );
+    Job::new().add(joined.write_to("db", "out"))
 }
 
 fn run_with(rules: &[OptimizerRule], label: &str) -> Vec<(i64, i64, i64)> {
     let ex = setup(label);
     load(&ex);
     ex.storage.create_or_clear_set("db", "out").unwrap();
-    let mut q = compile(&query()).unwrap();
+    let mut q = query().compile().unwrap();
     optimize_with(&mut q.tcap, rules);
     ex.execute(&q).unwrap();
     let mut rows = Vec::new();
@@ -144,7 +135,7 @@ fn every_rule_combination_preserves_results() {
 
 #[test]
 fn optimization_shrinks_the_program() {
-    let mut q1 = compile(&query()).unwrap();
+    let mut q1 = query().compile().unwrap();
     let unopt = q1.tcap.stmts.len();
     optimize_with(
         &mut q1.tcap,
@@ -165,7 +156,7 @@ fn optimization_shrinks_the_program() {
 fn planner_shapes_match_appendix_c() {
     // A join query plans into: build pipeline (ends JoinBuild), probe
     // pipeline (runs THROUGH the join to OUTPUT).
-    let mut q = compile(&query()).unwrap();
+    let mut q = query().compile().unwrap();
     pc_tcap::optimize(&mut q.tcap);
     let physical = plan(&q.tcap).unwrap();
     assert_eq!(physical.pipelines.len(), 2);
@@ -186,7 +177,7 @@ fn planner_shapes_match_appendix_c() {
 
 #[test]
 fn decomposition_enumeration_covers_both_sides() {
-    let mut q = compile(&query()).unwrap();
+    let mut q = query().compile().unwrap();
     pc_tcap::optimize(&mut q.tcap);
     let decomps = pc_exec::describe_decompositions(&q.tcap);
     assert_eq!(decomps.len(), 2, "one join → two decompositions");

@@ -1,18 +1,13 @@
 //! End-to-end tests: lambda calculus → TCAP → optimizer → physical plan →
 //! vectorized execution, verified against straight-line Rust computations.
 
+use pc_core::{Dataset, Job};
 use pc_exec::{ExecConfig, LocalExecutor};
-use pc_lambda::kernel::FlatMap1;
-use pc_lambda::{
-    compile, make_lambda, make_lambda2, make_lambda_from_member, make_lambda_from_method,
-    AggregateSpec, ComputationGraph,
-};
+use pc_lambda::AggregateSpec;
 use pc_object::{
     make_object, pc_object, AnyObj, BlockRef, Handle, PcResult, PcString, PcVec, SealedPage,
 };
 use pc_storage::StorageManager;
-use std::marker::PhantomData;
-use std::sync::Arc;
 
 pc_object! {
     /// Employee record.
@@ -129,19 +124,18 @@ fn selection_with_redundant_method_calls() {
 
     // The §7 example: salary > 50000 && salary < 100000 — two method calls
     // that the optimizer must fuse into one.
-    let mut g = ComputationGraph::new();
-    let emps = g.reader("db", "emps");
-    let sel = make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary())
-        .gt_const(50_000i64)
-        .and(
-            make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary())
-                .lt_const(100_000i64),
-        );
-    let proj = make_lambda::<Emp, _>(0, "identity", |e| Ok(e.clone().erase()));
-    let rich = g.selection(emps, sel, proj);
-    g.write(rich, "db", "rich");
-
-    let mut q = compile(&g).unwrap();
+    let rich = Dataset::<Emp>::scan("db", "emps").filter(|e| {
+        e.method("getSalary", |e| e.v().salary())
+            .gt_const(50_000i64)
+            .and(
+                e.method("getSalary", |e| e.v().salary())
+                    .lt_const(100_000i64),
+            )
+    });
+    let mut q = Job::new()
+        .add(rich.write_to("db", "rich"))
+        .compile()
+        .unwrap();
     let report = pc_tcap::optimize(&mut q.tcap);
     assert!(
         report.redundant_applies_removed >= 1,
@@ -172,29 +166,30 @@ fn two_way_join_with_pushdown() {
     load_depts(&ex);
     ex.storage.create_or_clear_set("db", "placements").unwrap();
 
-    let mut g = ComputationGraph::new();
-    let emps = g.reader("db", "emps");
-    let depts = g.reader("db", "depts");
     // Join on dept id; also require salary > 60000 (pushable to the emp side).
-    let sel = make_lambda_from_member::<Emp, i64>(0, "deptId", |e| e.v().dept_id())
-        .eq(make_lambda_from_member::<Dept, i64>(1, "id", |d| {
-            d.v().id()
-        }))
-        .and(
-            make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary())
-                .gt_const(60_000i64),
-        );
-    let proj = make_lambda2::<Emp, Dept, _>((0, 1), "mkPlacement", |e, d| {
-        let p = make_object::<Placement>()?;
-        p.v().set_emp_name(e.v().name())?;
-        p.v().set_dept_name(d.v().dname())?;
-        p.v().set_salary(e.v().salary())?;
-        Ok(p.erase())
-    });
-    let joined = g.join(&[emps, depts], sel, proj);
-    g.write(joined, "db", "placements");
-
-    let mut q = compile(&g).unwrap();
+    let joined = Dataset::<Emp>::scan("db", "emps").join(
+        &Dataset::<Dept>::scan("db", "depts"),
+        |e, d| {
+            e.member("deptId", |e| e.v().dept_id())
+                .eq(d.member("id", |d| d.v().id()))
+                .and(
+                    e.method("getSalary", |e| e.v().salary())
+                        .gt_const(60_000i64),
+                )
+        },
+        "mkPlacement",
+        |e, d| {
+            let p = make_object::<Placement>()?;
+            p.v().set_emp_name(e.v().name())?;
+            p.v().set_dept_name(d.v().dname())?;
+            p.v().set_salary(e.v().salary())?;
+            Ok(p)
+        },
+    );
+    let mut q = Job::new()
+        .add(joined.write_to("db", "placements"))
+        .compile()
+        .unwrap();
     let report = pc_tcap::optimize(&mut q.tcap);
     assert!(
         report.selections_pushed_down >= 1,
@@ -266,12 +261,11 @@ fn aggregation_groups_and_sums() {
     load_emps(&ex, 700);
     ex.storage.create_or_clear_set("db", "deptstats").unwrap();
 
-    let mut g = ComputationGraph::new();
-    let emps = g.reader("db", "emps");
-    let agg = g.aggregate(emps, DeptAgg);
-    g.write(agg, "db", "deptstats");
-
-    let mut q = compile(&g).unwrap();
+    let stats_ds = Dataset::<Emp>::scan("db", "emps").aggregate(DeptAgg);
+    let mut q = Job::new()
+        .add(stats_ds.write_to("db", "deptstats"))
+        .compile()
+        .unwrap();
     pc_tcap::optimize(&mut q.tcap);
     let stats = ex.execute(&q).unwrap();
     assert_eq!(stats.agg_groups, 7);
@@ -298,26 +292,21 @@ fn multi_selection_flatmap() {
     ex.storage.create_or_clear_set("db", "tokens").unwrap();
 
     // Emit one PcVec<i64> [dept, k] object per k in 0..dept_id.
-    let mut g = ComputationGraph::new();
-    let emps = g.reader("db", "emps");
-    let fm = FlatMap1::<Emp, pc_object::AnyHandle, _> {
-        f: |e: &Handle<Emp>| {
-            let d = e.v().dept_id();
-            let mut out = Vec::new();
-            for k in 0..d {
-                let v = make_object::<PcVec<i64>>()?;
-                v.push(d)?;
-                v.push(k)?;
-                out.push(v.erase());
-            }
-            Ok(out)
-        },
-        _pd: PhantomData,
-    };
-    let ms = g.multi_selection(emps, None, "expandDept", Arc::new(fm));
-    g.write(ms, "db", "tokens");
-
-    let mut q = compile(&g).unwrap();
+    let tokens = Dataset::<Emp>::scan("db", "emps").flat_map("expandDept", |e| {
+        let d = e.v().dept_id();
+        let mut out = Vec::new();
+        for k in 0..d {
+            let v = make_object::<PcVec<i64>>()?;
+            v.push(d)?;
+            v.push(k)?;
+            out.push(v);
+        }
+        Ok(out)
+    });
+    let mut q = Job::new()
+        .add(tokens.write_to("db", "tokens"))
+        .compile()
+        .unwrap();
     pc_tcap::optimize(&mut q.tcap);
     ex.execute(&q).unwrap();
 
@@ -355,23 +344,28 @@ fn three_way_join_cascades() {
     }
     ex.storage.create_or_clear_set("db", "triples").unwrap();
 
-    let mut g = ComputationGraph::new();
-    let a = g.reader("db", "a");
-    let b = g.reader("db", "b");
-    let c = g.reader("db", "c");
-    let key = |i: usize| make_lambda_from_member::<Emp, i64>(i, "deptId", |e| e.v().dept_id());
-    let sel = key(0).eq(key(1)).and(key(1).eq(key(2)));
-    let proj = pc_lambda::make_lambda3::<Emp, Emp, Emp, _>((0, 1, 2), "mkTriple", |x, y, z| {
-        let v = make_object::<PcVec<i64>>()?;
-        v.push(x.v().dept_id())?;
-        v.push(y.v().dept_id())?;
-        v.push(z.v().dept_id())?;
-        Ok(v.erase())
-    });
-    let joined = g.join(&[a, b, c], sel, proj);
-    g.write(joined, "db", "triples");
-
-    let mut q = compile(&g).unwrap();
+    let key = |e: &Handle<Emp>| e.v().dept_id();
+    let triples = Dataset::<Emp>::scan("db", "a").join3(
+        &Dataset::<Emp>::scan("db", "b"),
+        &Dataset::<Emp>::scan("db", "c"),
+        |a, b, c| {
+            a.member("deptId", key)
+                .eq(b.member("deptId", key))
+                .and(b.member("deptId", key).eq(c.member("deptId", key)))
+        },
+        "mkTriple",
+        |x, y, z| {
+            let v = make_object::<PcVec<i64>>()?;
+            v.push(x.v().dept_id())?;
+            v.push(y.v().dept_id())?;
+            v.push(z.v().dept_id())?;
+            Ok(v)
+        },
+    );
+    let mut q = Job::new()
+        .add(triples.write_to("db", "triples"))
+        .compile()
+        .unwrap();
     pc_tcap::optimize(&mut q.tcap);
     ex.execute(&q).unwrap();
 
@@ -399,15 +393,9 @@ fn tiny_pages_force_rolls_and_stay_correct() {
     load_emps(&ex, 400);
     ex.storage.create_or_clear_set("db", "all").unwrap();
 
-    let mut g = ComputationGraph::new();
-    let emps = g.reader("db", "emps");
-    let sel =
-        make_lambda_from_method::<Emp, i64>(0, "getSalary", |e| e.v().salary()).ge_const(0i64);
-    let proj = make_lambda::<Emp, _>(0, "identity", |e| Ok(e.clone().erase()));
-    let all = g.selection(emps, sel, proj);
-    g.write(all, "db", "all");
-
-    let mut q = compile(&g).unwrap();
+    let all = Dataset::<Emp>::scan("db", "emps")
+        .filter(|e| e.method("getSalary", |e| e.v().salary()).ge_const(0i64));
+    let mut q = Job::new().add(all.write_to("db", "all")).compile().unwrap();
     pc_tcap::optimize(&mut q.tcap);
     let stats = ex.execute(&q).unwrap();
     assert_eq!(stats.rows_out, 400);

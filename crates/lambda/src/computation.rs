@@ -157,14 +157,15 @@ impl ComputationGraph {
 
     /// Adds an `AggregateComp` from a typed [`AggregateSpec`].
     pub fn aggregate<S: AggregateSpec>(&mut self, input: NodeId, spec: S) -> NodeId {
+        self.aggregate_erased(input, Arc::new(AggEngine::new(spec)))
+    }
+
+    /// Adds an `AggregateComp` from an already-erased engine (the lowering
+    /// path of the typed `Dataset` layer, which erases the spec when the
+    /// element types are still in scope).
+    pub fn aggregate_erased(&mut self, input: NodeId, agg: Arc<dyn ErasedAgg>) -> NodeId {
         assert!(input < self.nodes.len(), "aggregate input out of range");
-        self.push(
-            "Agg",
-            CompKind::Aggregate {
-                input,
-                agg: Arc::new(AggEngine::new(spec)),
-            },
-        )
+        self.push("Agg", CompKind::Aggregate { input, agg })
     }
 
     /// Adds a set writer (a query sink).

@@ -3,7 +3,6 @@
 
 use crate::kernels::{self, DenseMatrix};
 use pc_core::prelude::*;
-use pc_lambda::{make_lambda, make_lambda2};
 use pc_object::PcValue;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -159,10 +158,7 @@ impl DistMatrix {
     /// Gathers the distributed matrix back to a driver-side dense matrix.
     pub fn to_dense(&self) -> PcResult<DenseMatrix> {
         let mut out = DenseMatrix::zeros(self.rows, self.cols);
-        for blk in self
-            .client
-            .iterate_set::<MatrixBlock>(&self.db, &self.set)?
-        {
+        for blk in self.blocks().collect()? {
             let r0 = blk.v().chunk_row() as usize * self.block_rows;
             let c0 = blk.v().chunk_col() as usize * self.block_cols;
             let (h, w) = (blk.v().height() as usize, blk.v().width() as usize);
@@ -189,46 +185,55 @@ impl DistMatrix {
         }
     }
 
+    /// The typed dataset over this matrix's stored blocks.
+    fn blocks(&self) -> pc_core::Dataset<MatrixBlock> {
+        self.client.set::<MatrixBlock>(&self.db, &self.set)
+    }
+
     /// Distributed multiply `self · other` — a join on the inner block
     /// index feeding an aggregation, exactly the paper's
     /// `LAMultiplyJoin` + `LAMultiplyAggregate` pair.
     pub fn multiply(&self, other: &DistMatrix) -> PcResult<DistMatrix> {
         assert_eq!(self.cols, other.rows, "dimension mismatch in multiply");
         let out = tmp_set();
-        self.client.create_or_clear_set(&self.db, &out)?;
-        let mut g = ComputationGraph::new();
-        let a = g.reader(&self.db, &self.set);
-        let b = g.reader(&other.db, &other.set);
-        let sel = pc_lambda::make_lambda_from_member::<MatrixBlock, i64>(0, "chunkCol", |m| {
-            m.v().chunk_col()
-        })
-        .eq(pc_lambda::make_lambda_from_member::<MatrixBlock, i64>(
-            1,
-            "chunkRow",
-            |m| m.v().chunk_row(),
-        ));
-        let proj = make_lambda2::<MatrixBlock, MatrixBlock, _>((0, 1), "blockMultiply", |x, y| {
-            let (m, k) = (x.v().height() as usize, x.v().width() as usize);
-            let n = y.v().width() as usize;
-            debug_assert_eq!(k, y.v().height() as usize);
-            let out = make_matrix_block(
-                x.v().chunk_row(),
-                y.v().chunk_col(),
-                m,
-                n,
-                &vec![0.0; m * n],
-            )?;
-            let xv = x.v().values();
-            let yv = y.v().values();
-            let ov = out.v().values();
-            // Numeric work happens directly on page memory (the c_ptr trick).
-            kernels::matmul_blocked(xv.as_slice(), yv.as_slice(), ov.as_mut_slice(), m, k, n);
-            Ok(out.erase())
-        });
-        let joined = g.join(&[a, b], sel, proj);
-        let agg = g.aggregate(joined, SumPartials);
-        g.write(agg, &self.db, &out);
-        self.client.execute_computations(&g)?;
+        self.blocks()
+            .join(
+                &other.blocks(),
+                |a, b| {
+                    a.member("chunkCol", |m| m.v().chunk_col())
+                        .eq(b.member("chunkRow", |m| m.v().chunk_row()))
+                },
+                "blockMultiply",
+                |x, y| {
+                    let (m, k) = (x.v().height() as usize, x.v().width() as usize);
+                    let n = y.v().width() as usize;
+                    debug_assert_eq!(k, y.v().height() as usize);
+                    let out = make_matrix_block(
+                        x.v().chunk_row(),
+                        y.v().chunk_col(),
+                        m,
+                        n,
+                        &vec![0.0; m * n],
+                    )?;
+                    let xv = x.v().values();
+                    let yv = y.v().values();
+                    let ov = out.v().values();
+                    // Numeric work happens directly on page memory (the
+                    // c_ptr trick).
+                    kernels::matmul_blocked(
+                        xv.as_slice(),
+                        yv.as_slice(),
+                        ov.as_mut_slice(),
+                        m,
+                        k,
+                        n,
+                    );
+                    Ok(out)
+                },
+            )
+            .aggregate(SumPartials)
+            .write_to(&self.db, &out)
+            .run(&self.client)?;
         Ok(self.result(
             out,
             self.rows,
@@ -246,39 +251,35 @@ impl DistMatrix {
             "dimension mismatch in transpose-multiply"
         );
         let out = tmp_set();
-        self.client.create_or_clear_set(&self.db, &out)?;
-        let mut g = ComputationGraph::new();
-        let a = g.reader(&self.db, &self.set);
-        let b = g.reader(&other.db, &other.set);
-        let sel = pc_lambda::make_lambda_from_member::<MatrixBlock, i64>(0, "chunkRow", |m| {
-            m.v().chunk_row()
-        })
-        .eq(pc_lambda::make_lambda_from_member::<MatrixBlock, i64>(
-            1,
-            "chunkRow",
-            |m| m.v().chunk_row(),
-        ));
-        let proj = make_lambda2::<MatrixBlock, MatrixBlock, _>((0, 1), "blockAtB", |x, y| {
-            let (m, k) = (x.v().height() as usize, x.v().width() as usize);
-            let n = y.v().width() as usize;
-            debug_assert_eq!(m, y.v().height() as usize);
-            let out = make_matrix_block(
-                x.v().chunk_col(),
-                y.v().chunk_col(),
-                k,
-                n,
-                &vec![0.0; k * n],
-            )?;
-            let xv = x.v().values();
-            let yv = y.v().values();
-            let ov = out.v().values();
-            kernels::matmul_at_b(xv.as_slice(), yv.as_slice(), ov.as_mut_slice(), m, k, n);
-            Ok(out.erase())
-        });
-        let joined = g.join(&[a, b], sel, proj);
-        let agg = g.aggregate(joined, SumPartials);
-        g.write(agg, &self.db, &out);
-        self.client.execute_computations(&g)?;
+        self.blocks()
+            .join(
+                &other.blocks(),
+                |a, b| {
+                    a.member("chunkRow", |m| m.v().chunk_row())
+                        .eq(b.member("chunkRow", |m| m.v().chunk_row()))
+                },
+                "blockAtB",
+                |x, y| {
+                    let (m, k) = (x.v().height() as usize, x.v().width() as usize);
+                    let n = y.v().width() as usize;
+                    debug_assert_eq!(m, y.v().height() as usize);
+                    let out = make_matrix_block(
+                        x.v().chunk_col(),
+                        y.v().chunk_col(),
+                        k,
+                        n,
+                        &vec![0.0; k * n],
+                    )?;
+                    let xv = x.v().values();
+                    let yv = y.v().values();
+                    let ov = out.v().values();
+                    kernels::matmul_at_b(xv.as_slice(), yv.as_slice(), ov.as_mut_slice(), m, k, n);
+                    Ok(out)
+                },
+            )
+            .aggregate(SumPartials)
+            .write_to(&self.db, &out)
+            .run(&self.client)?;
         Ok(self.result(
             out,
             self.cols,
@@ -301,37 +302,33 @@ impl DistMatrix {
             "shape mismatch"
         );
         let out = tmp_set();
-        self.client.create_or_clear_set(&self.db, &out)?;
-        let mut g = ComputationGraph::new();
-        let a = g.reader(&self.db, &self.set);
-        let b = g.reader(&other.db, &other.set);
-        let grid = |input: usize| {
-            pc_lambda::make_lambda_from_method::<MatrixBlock, i64>(input, "gridKey", |m| {
-                m.v().chunk_row() * 1_000_003 + m.v().chunk_col()
-            })
-        };
-        let sel = grid(0).eq(grid(1));
-        let proj = make_lambda2::<MatrixBlock, MatrixBlock, _>((0, 1), label, move |x, y| {
-            let (h, w) = (x.v().height() as usize, x.v().width() as usize);
-            let out = make_matrix_block(
-                x.v().chunk_row(),
-                x.v().chunk_col(),
-                h,
-                w,
-                &vec![0.0; h * w],
-            )?;
-            let xs = x.v().values();
-            let ys = y.v().values();
-            let ov = out.v().values();
-            let o = ov.as_mut_slice();
-            for ((o, a), b) in o.iter_mut().zip(xs.as_slice()).zip(ys.as_slice()) {
-                *o = f(*a, *b);
-            }
-            Ok(out.erase())
-        });
-        let joined = g.join(&[a, b], sel, proj);
-        g.write(joined, &self.db, &out);
-        self.client.execute_computations(&g)?;
+        let grid = |m: &Handle<MatrixBlock>| m.v().chunk_row() * 1_000_003 + m.v().chunk_col();
+        self.blocks()
+            .join(
+                &other.blocks(),
+                |a, b| a.method("gridKey", grid).eq(b.method("gridKey", grid)),
+                label,
+                move |x, y| {
+                    let (h, w) = (x.v().height() as usize, x.v().width() as usize);
+                    let out = make_matrix_block(
+                        x.v().chunk_row(),
+                        x.v().chunk_col(),
+                        h,
+                        w,
+                        &vec![0.0; h * w],
+                    )?;
+                    let xs = x.v().values();
+                    let ys = y.v().values();
+                    let ov = out.v().values();
+                    let o = ov.as_mut_slice();
+                    for ((o, a), b) in o.iter_mut().zip(xs.as_slice()).zip(ys.as_slice()) {
+                        *o = f(*a, *b);
+                    }
+                    Ok(out)
+                },
+            )
+            .write_to(&self.db, &out)
+            .run(&self.client)?;
         Ok(self.result(out, self.rows, self.cols, self.block_rows, self.block_cols))
     }
 
@@ -346,30 +343,25 @@ impl DistMatrix {
     /// Element-wise scaling (a `SelectionComp`).
     pub fn scale(&self, alpha: f64) -> PcResult<DistMatrix> {
         let out = tmp_set();
-        self.client.create_or_clear_set(&self.db, &out)?;
-        let mut g = ComputationGraph::new();
-        let a = g.reader(&self.db, &self.set);
-        let keep = pc_lambda::make_lambda_from_method::<MatrixBlock, i64>(0, "always", |_| 1)
-            .ge_const(0i64);
-        let proj = make_lambda::<MatrixBlock, _>(0, "blockScale", move |x| {
-            let (h, w) = (x.v().height() as usize, x.v().width() as usize);
-            let out = make_matrix_block(
-                x.v().chunk_row(),
-                x.v().chunk_col(),
-                h,
-                w,
-                &vec![0.0; h * w],
-            )?;
-            let xs = x.v().values();
-            let ov = out.v().values();
-            for (o, v) in ov.as_mut_slice().iter_mut().zip(xs.as_slice()) {
-                *o = v * alpha;
-            }
-            Ok(out.erase())
-        });
-        let sel = g.selection(a, keep, proj);
-        g.write(sel, &self.db, &out);
-        self.client.execute_computations(&g)?;
+        self.blocks()
+            .select("blockScale", move |x| {
+                let (h, w) = (x.v().height() as usize, x.v().width() as usize);
+                let out = make_matrix_block(
+                    x.v().chunk_row(),
+                    x.v().chunk_col(),
+                    h,
+                    w,
+                    &vec![0.0; h * w],
+                )?;
+                let xs = x.v().values();
+                let ov = out.v().values();
+                for (o, v) in ov.as_mut_slice().iter_mut().zip(xs.as_slice()) {
+                    *o = v * alpha;
+                }
+                Ok(out)
+            })
+            .write_to(&self.db, &out)
+            .run(&self.client)?;
         Ok(self.result(out, self.rows, self.cols, self.block_rows, self.block_cols))
     }
 
@@ -377,28 +369,23 @@ impl DistMatrix {
     /// transposing each chunk in place on the output page).
     pub fn transpose(&self) -> PcResult<DistMatrix> {
         let out = tmp_set();
-        self.client.create_or_clear_set(&self.db, &out)?;
-        let mut g = ComputationGraph::new();
-        let a = g.reader(&self.db, &self.set);
-        let keep = pc_lambda::make_lambda_from_method::<MatrixBlock, i64>(0, "always", |_| 1)
-            .ge_const(0i64);
-        let proj = make_lambda::<MatrixBlock, _>(0, "blockTranspose", |x| {
-            let (h, w) = (x.v().height() as usize, x.v().width() as usize);
-            let out = make_matrix_block(
-                x.v().chunk_col(),
-                x.v().chunk_row(),
-                w,
-                h,
-                &vec![0.0; h * w],
-            )?;
-            let xs = x.v().values();
-            let ov = out.v().values();
-            kernels::transpose(xs.as_slice(), ov.as_mut_slice(), h, w);
-            Ok(out.erase())
-        });
-        let sel = g.selection(a, keep, proj);
-        g.write(sel, &self.db, &out);
-        self.client.execute_computations(&g)?;
+        self.blocks()
+            .select("blockTranspose", |x| {
+                let (h, w) = (x.v().height() as usize, x.v().width() as usize);
+                let out = make_matrix_block(
+                    x.v().chunk_col(),
+                    x.v().chunk_row(),
+                    w,
+                    h,
+                    &vec![0.0; h * w],
+                )?;
+                let xs = x.v().values();
+                let ov = out.v().values();
+                kernels::transpose(xs.as_slice(), ov.as_mut_slice(), h, w);
+                Ok(out)
+            })
+            .write_to(&self.db, &out)
+            .run(&self.client)?;
         Ok(self.result(out, self.cols, self.rows, self.block_cols, self.block_rows))
     }
 
@@ -407,27 +394,22 @@ impl DistMatrix {
     /// across column chunks.
     pub fn row_sum(&self) -> PcResult<DistMatrix> {
         let out = tmp_set();
-        self.client.create_or_clear_set(&self.db, &out)?;
-        let mut g = ComputationGraph::new();
-        let a = g.reader(&self.db, &self.set);
-        let keep = pc_lambda::make_lambda_from_method::<MatrixBlock, i64>(0, "always", |_| 1)
-            .ge_const(0i64);
-        let proj = make_lambda::<MatrixBlock, _>(0, "chunkRowSum", |x| {
-            let (h, w) = (x.v().height() as usize, x.v().width() as usize);
-            let out = make_matrix_block(x.v().chunk_row(), 0, h, 1, &vec![0.0; h])?;
-            let xs = x.v().values();
-            let s = xs.as_slice();
-            let ov = out.v().values();
-            let o = ov.as_mut_slice();
-            for (r, o) in o.iter_mut().enumerate() {
-                *o = s[r * w..(r + 1) * w].iter().sum();
-            }
-            Ok(out.erase())
-        });
-        let sums = g.selection(a, keep, proj);
-        let agg = g.aggregate(sums, SumPartials);
-        g.write(agg, &self.db, &out);
-        self.client.execute_computations(&g)?;
+        self.blocks()
+            .select("chunkRowSum", |x| {
+                let (h, w) = (x.v().height() as usize, x.v().width() as usize);
+                let out = make_matrix_block(x.v().chunk_row(), 0, h, 1, &vec![0.0; h])?;
+                let xs = x.v().values();
+                let s = xs.as_slice();
+                let ov = out.v().values();
+                let o = ov.as_mut_slice();
+                for (r, o) in o.iter_mut().enumerate() {
+                    *o = s[r * w..(r + 1) * w].iter().sum();
+                }
+                Ok(out)
+            })
+            .aggregate(SumPartials)
+            .write_to(&self.db, &out)
+            .run(&self.client)?;
         Ok(self.result(out, self.rows, 1, self.block_rows, 1))
     }
 
@@ -448,10 +430,7 @@ impl DistMatrix {
 
     fn fold_elements(&self, init: f64, f: fn(f64, f64) -> f64) -> PcResult<f64> {
         let mut acc = init;
-        for blk in self
-            .client
-            .iterate_set::<MatrixBlock>(&self.db, &self.set)?
-        {
+        for blk in self.blocks().collect()? {
             let vals = blk.v().values();
             for v in vals.as_slice() {
                 acc = f(acc, *v);

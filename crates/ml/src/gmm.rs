@@ -221,22 +221,17 @@ impl PcGmm {
     }
 
     pub fn iterate(&mut self) -> PcResult<()> {
-        let out_set = format!("{}_gmmstats", self.set);
-        self.client.create_or_clear_set(&self.db, &out_set)?;
-        let mut g = ComputationGraph::new();
-        let pts = g.reader(&self.db, &self.set);
-        let agg = g.aggregate(
-            pts,
-            GmmAgg {
+        let stats = self
+            .client
+            .set::<DataPoint>(&self.db, &self.set)
+            .aggregate(GmmAgg {
                 model: Arc::new(self.model.clone()),
-            },
-        );
-        g.write(agg, &self.db, &out_set);
-        self.client.execute_computations(&g)?;
+            })
+            .collect()?;
         // One packed stat object comes back; unpack per component.
         let k = self.model.weights.len();
         let d = self.model.means[0].len();
-        for stat in self.client.iterate_set::<GmmStat>(&self.db, &out_set)? {
+        for stat in stats {
             let sv = stat.v().stats();
             let s = sv.as_slice();
             let per: Vec<(usize, Vec<f64>)> = (0..k)

@@ -145,25 +145,20 @@ impl PcKMeans {
     /// One Lloyd iteration: aggregate, gather the k updated centroids, and
     /// install them in the model (the Appendix A loop body).
     pub fn iterate(&mut self) -> PcResult<()> {
-        let out_set = format!("{}_centroids", self.set);
-        self.client.create_or_clear_set(&self.db, &out_set)?;
         let norms: Vec<f64> = self
             .centroids
             .iter()
             .map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt())
             .collect();
-        let mut g = ComputationGraph::new();
-        let pts = g.reader(&self.db, &self.set);
-        let agg = g.aggregate(
-            pts,
-            KMeansAgg {
+        let updated = self
+            .client
+            .set::<DataPoint>(&self.db, &self.set)
+            .aggregate(KMeansAgg {
                 centroids: self.centroids.clone(),
                 norms,
-            },
-        );
-        g.write(agg, &self.db, &out_set);
-        self.client.execute_computations(&g)?;
-        for c in self.client.iterate_set::<Centroid>(&self.db, &out_set)? {
+            })
+            .collect()?;
+        for c in updated {
             let id = c.v().centroid_id() as usize;
             let n = c.v().count() as f64;
             let sums = c.v().sums();

@@ -25,7 +25,6 @@ use crate::sampling;
 use parking_lot::Mutex;
 use pc_baseline::{Rdd, SparkLike};
 use pc_core::prelude::*;
-use pc_lambda::make_lambda3;
 use pc_object::PcValue;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -236,77 +235,65 @@ impl PcLda {
         let k = self.topics;
 
         // --- assignment sampling: 3-way join + multinomial projection ---
-        self.client.create_or_clear_set(&db, "assignments")?;
-        let mut g = ComputationGraph::new();
-        let triples = g.reader(&db, "triples");
-        let theta = g.reader(&db, "theta");
-        let phi = g.reader(&db, "phi_by_word");
-        let sel = pc_lambda::make_lambda_from_member::<Triple, i64>(0, "doc", |t| t.v().doc())
-            .eq(pc_lambda::make_lambda_from_member::<DocProbs, i64>(
-                1,
-                "doc",
-                |p| p.v().doc(),
-            ))
-            .and(
-                pc_lambda::make_lambda_from_member::<Triple, i64>(0, "word", |t| t.v().word()).eq(
-                    pc_lambda::make_lambda_from_member::<WordProbs, i64>(2, "word", |p| {
-                        p.v().word()
-                    }),
-                ),
-            );
+        let triples = self.client.set::<Triple>(&db, "triples");
+        let theta = self.client.set::<DocProbs>(&db, "theta");
+        let phi = self.client.set::<WordProbs>(&db, "phi_by_word");
         let rng = self.rng.clone();
-        let proj = make_lambda3::<Triple, DocProbs, WordProbs, _>(
-            (0, 1, 2),
-            "sampleAssignments",
-            move |t, dp, wp| {
-                let theta = dp.v().probs();
-                let phi = wp.v().probs();
-                let weights: Vec<f64> = theta
-                    .as_slice()
-                    .iter()
-                    .zip(phi.as_slice())
-                    .map(|(a, b)| a * b)
-                    .collect();
-                let mut counts = vec![0u32; k];
-                sampling::sample_multinomial(
-                    &mut *rng.lock(),
-                    &weights,
-                    t.v().count() as u32,
-                    &mut counts,
-                );
-                let a = make_object::<Assignment>()?;
-                a.v().set_doc(t.v().doc())?;
-                a.v().set_word(t.v().word())?;
-                let cv = make_object::<PcVec<f64>>()?;
-                cv.reserve(k)?;
-                cv.extend_from_slice(&counts.iter().map(|c| *c as f64).collect::<Vec<_>>())?;
-                a.v().set_counts(cv)?;
-                Ok(a.erase())
-            },
-        );
-        let joined = g.join(&[triples, theta, phi], sel, proj);
-        g.write(joined, &db, "assignments");
-        self.client.execute_computations(&g)?;
+        triples
+            .join3(
+                &theta,
+                &phi,
+                |t, d, w| {
+                    t.member("doc", |t| t.v().doc())
+                        .eq(d.member("doc", |p| p.v().doc()))
+                        .and(
+                            t.member("word", |t| t.v().word())
+                                .eq(w.member("word", |p| p.v().word())),
+                        )
+                },
+                "sampleAssignments",
+                move |t, dp, wp| {
+                    let theta = dp.v().probs();
+                    let phi = wp.v().probs();
+                    let weights: Vec<f64> = theta
+                        .as_slice()
+                        .iter()
+                        .zip(phi.as_slice())
+                        .map(|(a, b)| a * b)
+                        .collect();
+                    let mut counts = vec![0u32; k];
+                    sampling::sample_multinomial(
+                        &mut *rng.lock(),
+                        &weights,
+                        t.v().count() as u32,
+                        &mut counts,
+                    );
+                    let a = make_object::<Assignment>()?;
+                    a.v().set_doc(t.v().doc())?;
+                    a.v().set_word(t.v().word())?;
+                    let cv = make_object::<PcVec<f64>>()?;
+                    cv.reserve(k)?;
+                    cv.extend_from_slice(&counts.iter().map(|c| *c as f64).collect::<Vec<_>>())?;
+                    a.v().set_counts(cv)?;
+                    Ok(a)
+                },
+            )
+            .write_to(&db, "assignments")
+            .run(&self.client)?;
 
         // --- θ resampling: aggregate assignment counts per doc ---
-        self.client.create_or_clear_set(&db, "theta")?;
-        let mut g = ComputationGraph::new();
-        let asg = g.reader(&db, "assignments");
-        let agg = g.aggregate(
-            asg,
-            FactorAgg {
+        let assignments = self.client.set::<Assignment>(&db, "assignments");
+        let theta_rows = assignments
+            .aggregate(FactorAgg {
                 width: k,
                 prior: self.alpha,
                 rng: self.rng.clone(),
                 by_doc: true,
                 sample: true,
-            },
-        );
-        g.write(agg, &db, "theta_rows");
-        self.client.create_or_clear_set(&db, "theta_rows")?;
-        self.client.execute_computations(&g)?;
-        // FactorRow → DocProbs (a selection re-typing the rows).
-        self.retype_rows::<DocProbs>("theta_rows", "theta", |row, id, pv| {
+            })
+            .collect()?;
+        // FactorRow → DocProbs (re-typing the rows for the next join).
+        self.retype_rows::<DocProbs>(theta_rows, "theta", |row, id, pv| {
             row.v().set_doc(id)?;
             row.v().set_probs(pv)
         })?;
@@ -316,22 +303,16 @@ impl PcLda {
         // topic count K is tiny), and redistribute the per-word transpose —
         // the driver-side model update step the paper's GMM/LDA loops do.
         let mut per_topic: Vec<Vec<f64>> = vec![vec![self.beta; self.vocab]; k];
-        self.client.create_or_clear_set(&db, "word_counts")?;
-        let mut g = ComputationGraph::new();
-        let asg = g.reader(&db, "assignments");
-        let agg = g.aggregate(
-            asg,
-            FactorAgg {
+        let word_counts = assignments
+            .aggregate(FactorAgg {
                 width: k,
                 prior: 0.0,
                 rng: self.rng.clone(),
                 by_doc: false,
                 sample: false,
-            },
-        );
-        g.write(agg, &db, "word_counts");
-        self.client.execute_computations(&g)?;
-        for row in self.client.iterate_set::<FactorRow>(&db, "word_counts")? {
+            })
+            .collect()?;
+        for row in word_counts {
             let w = row.v().id() as usize;
             let pv = row.v().probs();
             // sample=false rows hold the raw per-word topic counts.
@@ -366,7 +347,7 @@ impl PcLda {
 
     fn retype_rows<T: PcObjType>(
         &self,
-        from: &str,
+        rows: Vec<Handle<FactorRow>>,
         to: &str,
         fill: impl Fn(&Handle<T>, i64, Handle<PcVec<f64>>) -> PcResult<()> + Send + Sync + 'static,
     ) -> PcResult<()>
@@ -374,7 +355,6 @@ impl PcLda {
         T: 'static,
     {
         self.client.create_or_clear_set(&self.db, to)?;
-        let rows = self.client.iterate_set::<FactorRow>(&self.db, from)?;
         self.client.store(&self.db, to, rows.len(), |i| {
             let r = &rows[i];
             let out = make_object::<T>()?;

@@ -2,10 +2,7 @@
 
 use crate::gen::{supplier_name, CustomerData};
 use pc_core::prelude::*;
-use pc_lambda::kernel::FlatMap1;
 use pc_object::PcValue;
-use std::marker::PhantomData;
-use std::sync::Arc;
 
 pc_object! {
     /// A line item with its embedded part and supplier ids (the paper nests
@@ -176,12 +173,10 @@ pub fn customers_per_supplier(
     db: &str,
     set: &str,
 ) -> PcResult<Vec<(String, usize)>> {
-    client.create_or_clear_set(db, "cps_out")?;
-    let mut g = ComputationGraph::new();
-    let customers = g.reader(db, set);
     // MultiSelection: one SupplierInfo per (customer, supplier) pair.
-    let fm = FlatMap1::<Customer, AnyHandle, _> {
-        f: |c: &Handle<Customer>| {
+    client
+        .set::<Customer>(db, set)
+        .flat_map("CustomerMultiSelection", |c| {
             // Gather per-supplier unique parts for this customer.
             let mut per: std::collections::BTreeMap<i64, Vec<i64>> = Default::default();
             let orders = c.v().orders();
@@ -204,19 +199,16 @@ pub fn customers_per_supplier(
                 let pv = make_object::<PcVec<i64>>()?;
                 pv.extend_from_slice(&parts)?;
                 si.v().set_parts(pv)?;
-                out.push(si.erase());
+                out.push(si);
             }
             Ok(out)
-        },
-        _pd: PhantomData,
-    };
-    let infos = g.multi_selection(customers, None, "CustomerMultiSelection", Arc::new(fm));
-    let agg = g.aggregate(infos, GroupBySupplier);
-    g.write(agg, db, "cps_out");
-    client.execute_computations(&g)?;
+        })
+        .aggregate(GroupBySupplier)
+        .write_to(db, "cps_out")
+        .run(client)?;
 
     let mut out = Vec::new();
-    for sc in client.iterate_set::<SupplierCustomers>(db, "cps_out")? {
+    for sc in client.set::<SupplierCustomers>(db, "cps_out").collect()? {
         let sup = sc.v().supplier();
         let map = sc.v().customers();
         out.push((sup.as_str().to_string(), map.len()));
@@ -232,7 +224,7 @@ pub fn customers_per_supplier_full(
 ) -> PcResult<std::collections::BTreeMap<String, std::collections::BTreeMap<String, Vec<i64>>>> {
     let mut out: std::collections::BTreeMap<String, std::collections::BTreeMap<String, Vec<i64>>> =
         Default::default();
-    for sc in client.iterate_set::<SupplierCustomers>(db, "cps_out")? {
+    for sc in client.set::<SupplierCustomers>(db, "cps_out").collect()? {
         let sup = sc.v().supplier().as_str().to_string();
         let map = sc.v().customers();
         let entry = out.entry(sup).or_default();
@@ -353,15 +345,13 @@ pub fn top_k_jaccard(
     let mut q = query.to_vec();
     q.sort_unstable();
     q.dedup();
-    client.create_or_clear_set(db, "topk_out")?;
-    let mut g = ComputationGraph::new();
-    let customers = g.reader(db, set);
-    let agg = g.aggregate(customers, TopKAgg { k, query: q });
-    g.write(agg, db, "topk_out");
-    client.execute_computations(&g)?;
+    let matches = client
+        .set::<Customer>(db, set)
+        .aggregate(TopKAgg { k, query: q })
+        .collect()?;
 
     let mut out = Vec::new();
-    for m in client.iterate_set::<TopMatch>(db, "topk_out")? {
+    for m in matches {
         let packed = m.v().parts();
         let vals: Vec<i64> = packed.iter().collect();
         for ch in vals.chunks(2) {

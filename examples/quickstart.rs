@@ -43,23 +43,20 @@ fn main() -> PcResult<()> {
     println!("loaded {} objects", client.set_size("Mydb", "Myset"));
 
     // A declarative selection: keep points whose first coordinate exceeds
-    // 50000, written via the lambda calculus so the optimizer sees intent.
-    client.create_or_clear_set("Mydb", "big")?;
-    let mut g = ComputationGraph::new();
-    let points = g.reader("Mydb", "Myset");
-    let selection =
-        make_lambda_from_method::<DataPoint, f64>(0, "firstCoord", |p| p.v().data().get(0))
-            .gt_const(50_000.0);
-    let projection = make_lambda::<DataPoint, _>(0, "identity", |p| Ok(p.clone().erase()));
-    let big = g.selection(points, selection, projection);
-    g.write(big, "Mydb", "big");
-    let stats = client.execute_computations(&g)?;
+    // 50000. The typed Dataset chain is written via the lambda calculus, so
+    // the optimizer sees intent — and a lambda over the wrong element type
+    // would not compile.
+    let big = client.set::<DataPoint>("Mydb", "Myset").filter(|p| {
+        p.method("firstCoord", |p| p.v().data().get(0))
+            .gt_const(50_000.0)
+    });
+    let stats = big.write_to("Mydb", "big").run(&client)?;
     println!(
         "selection done: {} rows in, {} out, {} bytes shuffled",
         stats.exec.rows_in, stats.exec.rows_out, stats.bytes_shuffled
     );
 
-    let results = client.iterate_set::<DataPoint>("Mydb", "big")?;
+    let results = client.set::<DataPoint>("Mydb", "big").collect()?;
     println!("{} points passed the filter", results.len());
     assert!(results.iter().all(|p| p.v().data().get(0) > 50_000.0));
     Ok(())

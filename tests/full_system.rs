@@ -98,35 +98,35 @@ fn selection_then_aggregation_then_join_across_cluster() {
         .unwrap();
 
     // Stage 1: select big sales, aggregate totals per region.
-    client.create_or_clear_set("shop", "totals").unwrap();
-    let mut g = ComputationGraph::new();
-    let sales = g.reader("shop", "sales");
-    let sel =
-        make_lambda_from_method::<Sale, i64>(0, "getAmount", |s| s.v().amount()).ge_const(500i64);
-    let proj = make_lambda::<Sale, _>(0, "identity", |s| Ok(s.clone().erase()));
-    let big = g.selection(sales, sel, proj);
-    let agg = g.aggregate(big, TotalAgg);
-    g.write(agg, "shop", "totals");
-    client.execute_computations(&g).unwrap();
+    client
+        .set::<Sale>("shop", "sales")
+        .filter(|s| s.method("getAmount", |s| s.v().amount()).ge_const(500i64))
+        .aggregate(TotalAgg)
+        .write_to("shop", "totals")
+        .run(&client)
+        .unwrap();
 
     // Stage 2: join totals with region names.
-    client.create_or_clear_set("shop", "report").unwrap();
-    let mut g = ComputationGraph::new();
-    let regions = g.reader("shop", "regions");
-    let totals = g.reader("shop", "totals");
-    let sel = make_lambda_from_member::<Region, i64>(0, "id", |r| r.v().id()).eq(
-        make_lambda_from_member::<RegionTotal, i64>(1, "region", |t| t.v().region()),
-    );
-    let proj = make_lambda2::<Region, RegionTotal, _>((0, 1), "mkReport", |r, t| {
-        let v = make_object::<PcVec<i64>>()?;
-        v.push(r.v().id())?;
-        v.push(t.v().total())?;
-        v.push(t.v().sales())?;
-        Ok(v.erase())
-    });
-    let joined = g.join(&[regions, totals], sel, proj);
-    g.write(joined, "shop", "report");
-    client.execute_computations(&g).unwrap();
+    client
+        .set::<Region>("shop", "regions")
+        .join(
+            &client.set::<RegionTotal>("shop", "totals"),
+            |r, t| {
+                r.member("id", |r| r.v().id())
+                    .eq(t.member("region", |t| t.v().region()))
+            },
+            "mkReport",
+            |r, t| {
+                let v = make_object::<PcVec<i64>>()?;
+                v.push(r.v().id())?;
+                v.push(t.v().total())?;
+                v.push(t.v().sales())?;
+                Ok(v)
+            },
+        )
+        .write_to("shop", "report")
+        .run(&client)
+        .unwrap();
 
     // Validate against straight-line Rust.
     let mut expect: std::collections::HashMap<i64, (i64, i64)> = Default::default();
@@ -138,7 +138,10 @@ fn selection_then_aggregation_then_join_across_cluster() {
             e.1 += 1;
         }
     }
-    let report = client.iterate_set::<PcVec<i64>>("shop", "report").unwrap();
+    let report = client
+        .set::<PcVec<i64>>("shop", "report")
+        .collect()
+        .unwrap();
     assert_eq!(report.len(), expect.len());
     for row in report {
         let (region, total, count) = (row.get(0), row.get(1), row.get(2));
