@@ -6,13 +6,27 @@
 //! repro figure1             one figure (figure1..figure5)
 //! repro pipeline [--quick]  the execution-engine benchmark
 //!                           (writes BENCH_pipeline.json)
+//! repro faults [--quick] [--seed N]...
+//!                           the chaos matrix: fault injection, worker
+//!                           recovery, byte-identical replay
 //! ```
 
-use pc_bench::{figures, pipeline, tables};
+use pc_bench::{faults, figures, pipeline, tables};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let seeds: Vec<u64> = args
+        .iter()
+        .zip(args.iter().skip(1))
+        .filter(|(a, _)| *a == "--seed")
+        .map(|(_, v)| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--seed wants an unsigned integer, got {v}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
     match what {
         "all" => {
@@ -43,9 +57,10 @@ fn main() {
         "figure4" => figures::figure4(),
         "figure5" => figures::figure5(),
         "pipeline" => pipeline::pipeline(quick),
+        "faults" => faults::faults(quick, &seeds),
         other => {
             eprintln!(
-                "unknown experiment {other}; use all|table1..table8|figure1..figure5|pipeline"
+                "unknown experiment {other}; use all|table1..table8|figure1..figure5|pipeline|faults"
             );
             std::process::exit(2);
         }

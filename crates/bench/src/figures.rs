@@ -137,6 +137,7 @@ pub fn figure5() {
             join_partitions: 8,
         },
         broadcast_threshold: 16 << 20,
+        ..ClusterConfig::default()
     })
     .unwrap();
     let pts = synthetic_points(3000, 8, 5, 23);

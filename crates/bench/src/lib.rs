@@ -6,6 +6,7 @@
 //! EXPERIMENTS.md for the size mapping); the *shape* of each comparison is
 //! what reproduces the paper.
 
+pub mod faults;
 pub mod figures;
 pub mod pipeline;
 pub mod tables;

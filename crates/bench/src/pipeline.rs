@@ -43,6 +43,7 @@ fn client() -> PcClient {
             join_partitions: 8,
         },
         broadcast_threshold: 64 << 20,
+        ..ClusterConfig::default()
     })
     .expect("cluster boot")
 }

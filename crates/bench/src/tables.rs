@@ -24,6 +24,7 @@ fn bench_client() -> PcClient {
             join_partitions: 8,
         },
         broadcast_threshold: 64 << 20,
+        ..ClusterConfig::default()
     })
     .expect("cluster boot")
 }

@@ -1,7 +1,9 @@
 //! The cluster: master node + worker nodes (Figure 4), and the distributed
 //! query scheduler that turns a physical plan into JobStages.
 
+use crate::recovery::{self, Liveness, RecoveryPolicy};
 use crate::stages;
+use crate::transport::{Transport, TransportKind, TransportMeter, MASTER};
 use pc_exec::{plan, ExecConfig, ExecStats, PhysicalPlan, Sink, Source};
 use pc_lambda::{CompiledQuery, ErasedAgg, SetWriter, StageLibrary};
 use pc_object::{AnyHandle, PcError, PcResult, SealedPage};
@@ -24,6 +26,11 @@ pub struct ClusterConfig {
     /// Build sides smaller than this broadcast; larger ones hash-partition
     /// (the §8.3.2 "two gigabytes" rule, scaled down).
     pub broadcast_threshold: usize,
+    /// How pages move between nodes (in-process copy, chunked streaming,
+    /// or either of those under fault injection).
+    pub transport: TransportKind,
+    /// Stage-replay limits for worker recovery.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -34,6 +41,8 @@ impl Default for ClusterConfig {
             combine_threads: 2,
             exec: ExecConfig::default(),
             broadcast_threshold: 64 << 20,
+            transport: TransportKind::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -42,12 +51,21 @@ impl Default for ClusterConfig {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ClusterStats {
     pub exec: ExecStats,
-    /// Bytes that crossed the simulated network.
+    /// Logical bytes that crossed the network (each delivered page once;
+    /// retries and aborted stage attempts never inflate this).
     pub bytes_shuffled: u64,
-    /// Pages that crossed the simulated network.
+    /// Logical pages that crossed the network.
     pub pages_shuffled: u64,
     /// Broadcast join tables shipped.
     pub tables_broadcast: u64,
+    /// Wire bytes wasted on dropped attempts and aborted stage deliveries.
+    pub bytes_retransmitted: u64,
+    /// Wire-level send attempts that produced no logical delivery.
+    pub sends_failed: u64,
+    /// Stages re-run by the recovery protocol.
+    pub stages_replayed: u64,
+    /// Worker backends restarted after a detected death.
+    pub workers_recovered: u64,
 }
 
 /// One worker node: its own storage (buffer pool + spill dir) and local
@@ -65,9 +83,12 @@ pub struct PcCluster {
     pub config: ClusterConfig,
     pub catalog: Arc<Catalog>,
     pub workers: Vec<WorkerNode>,
-    bytes_shuffled: AtomicU64,
-    pages_shuffled: AtomicU64,
+    transport: Arc<dyn Transport>,
+    meter: Arc<TransportMeter>,
+    liveness: Liveness,
     tables_broadcast: AtomicU64,
+    stages_replayed: AtomicU64,
+    workers_recovered: AtomicU64,
     round_robin: AtomicU64,
 }
 
@@ -90,38 +111,65 @@ impl PcCluster {
                 types: WorkerTypeCatalog::new(),
             });
         }
+        let meter = Arc::new(TransportMeter::default());
+        let transport = config.transport.build(meter.clone(), config.workers);
+        let liveness = Liveness::new(config.workers);
         Ok(PcCluster {
             config,
             catalog,
             workers,
-            bytes_shuffled: AtomicU64::new(0),
-            pages_shuffled: AtomicU64::new(0),
+            transport,
+            meter,
+            liveness,
             tables_broadcast: AtomicU64::new(0),
+            stages_replayed: AtomicU64::new(0),
+            workers_recovered: AtomicU64::new(0),
             round_robin: AtomicU64::new(0),
         })
     }
 
-    /// Ships a page across the simulated network: a byte-level copy. The
-    /// receiving side's page is valid with zero per-object work.
-    pub fn ship(&self, page: &SealedPage) -> PcResult<SealedPage> {
-        let bytes = page.to_bytes();
-        self.bytes_shuffled
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-        self.pages_shuffled.fetch_add(1, Ordering::Relaxed);
-        SealedPage::from_bytes(&bytes)
+    /// The transport moving every inter-node page.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// The shared traffic meter the transport stack reports into.
+    pub fn meter(&self) -> &Arc<TransportMeter> {
+        &self.meter
+    }
+
+    /// Worker liveness epochs as the master sees them.
+    pub fn liveness(&self) -> &Liveness {
+        &self.liveness
     }
 
     pub fn stats_snapshot(&self) -> ClusterStats {
         ClusterStats {
             exec: ExecStats::default(),
-            bytes_shuffled: self.bytes_shuffled.load(Ordering::Relaxed),
-            pages_shuffled: self.pages_shuffled.load(Ordering::Relaxed),
+            bytes_shuffled: self.meter.bytes_shuffled(),
+            pages_shuffled: self.meter.pages_shuffled(),
             tables_broadcast: self.tables_broadcast.load(Ordering::Relaxed),
+            bytes_retransmitted: self.meter.bytes_retransmitted(),
+            sends_failed: self.meter.sends_failed(),
+            stages_replayed: self.stages_replayed.load(Ordering::Relaxed),
+            workers_recovered: self.workers_recovered.load(Ordering::Relaxed),
         }
     }
 
     pub(crate) fn note_broadcast(&self) {
         self.tables_broadcast.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stage_replayed(&self) {
+        self.stages_replayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Restart worker `w`'s backend after a detected death: bump its
+    /// liveness epoch and clear its dead state in the transport.
+    pub(crate) fn recover_worker(&self, w: usize) {
+        self.liveness.restart(w);
+        self.transport.revive(w);
+        self.workers_recovered.fetch_add(1, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------- storage
@@ -159,12 +207,33 @@ impl PcCluster {
 
     /// Dispatches client pages round-robin across workers (`sendData`): the
     /// allocation block travels in its entirety, no pre-processing (§3).
+    ///
+    /// Delivery is transactional against faults: pages are appended to
+    /// worker storage only after *every* worker's inbox has been collected,
+    /// so a mid-load failure replays the whole batch without duplicating a
+    /// single page.
     pub fn send_pages(&self, db: &str, set: &str, pages: Vec<SealedPage>) -> PcResult<()> {
-        for page in pages {
-            let w =
-                (self.round_robin.fetch_add(1, Ordering::Relaxed) as usize) % self.workers.len();
-            let shipped = self.ship(&page)?;
-            self.workers[w].storage.append_page(db, set, shipped)?;
+        // Fix the placement up front so replays keep the same distribution.
+        let targets: Vec<usize> = pages
+            .iter()
+            .map(|_| {
+                (self.round_robin.fetch_add(1, Ordering::Relaxed) as usize) % self.workers.len()
+            })
+            .collect();
+        let delivered: Vec<Vec<SealedPage>> = recovery::with_stage_recovery(self, &[], || {
+            for (page, w) in pages.iter().zip(&targets) {
+                self.transport.send(MASTER, *w, page)?;
+            }
+            let mut per_worker = Vec::with_capacity(self.workers.len());
+            for w in 0..self.workers.len() {
+                per_worker.push(self.transport.collect(w)?);
+            }
+            Ok(per_worker)
+        })?;
+        for (w, pages) in delivered.into_iter().enumerate() {
+            for page in pages {
+                self.workers[w].storage.append_page(db, set, page)?;
+            }
         }
         Ok(())
     }
@@ -217,26 +286,38 @@ impl PcCluster {
         aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
     ) -> PcResult<ClusterStats> {
         let before = self.stats_snapshot();
-        let mut exec = ExecStats::default();
-        // A previous query's materialized pages must never leak into this
-        // one's deterministically-named tmp lists.
-        for list in physical.intermediate_lists() {
-            self.create_or_clear_set(pc_exec::TMP_DB, list)?;
-        }
-        // Broadcast join tables live as shared partition-tagged page lists
-        // plus their once-built tag filters, one per join.
-        let mut tables: HashMap<String, stages::BroadcastTable> = HashMap::new();
-        for p in &physical.pipelines {
-            let s = stages::run_stage_distributed(self, p, stages, aggs, &mut tables)?;
-            exec.absorb(&s);
-            exec.pipelines_run += 1;
-        }
+        // Fault schedules only tick while a job is in flight, so chaos
+        // seeds describe the job, not whatever loading preceded it.
+        self.transport.arm();
+        let run = (|| -> PcResult<ExecStats> {
+            let mut exec = ExecStats::default();
+            // A previous query's materialized pages must never leak into
+            // this one's deterministically-named tmp lists.
+            for list in physical.intermediate_lists() {
+                self.create_or_clear_set(pc_exec::TMP_DB, list)?;
+            }
+            // Broadcast join tables live as shared partition-tagged page
+            // lists plus their once-built tag filters, one per join.
+            let mut tables: HashMap<String, stages::BroadcastTable> = HashMap::new();
+            for p in &physical.pipelines {
+                let s = recovery::run_stage_with_recovery(self, p, stages, aggs, &mut tables)?;
+                exec.absorb(&s);
+                exec.pipelines_run += 1;
+            }
+            Ok(exec)
+        })();
+        self.transport.disarm();
+        let exec = run?;
         let after = self.stats_snapshot();
         Ok(ClusterStats {
             exec,
             bytes_shuffled: after.bytes_shuffled - before.bytes_shuffled,
             pages_shuffled: after.pages_shuffled - before.pages_shuffled,
             tables_broadcast: after.tables_broadcast - before.tables_broadcast,
+            bytes_retransmitted: after.bytes_retransmitted - before.bytes_retransmitted,
+            sends_failed: after.sends_failed - before.sends_failed,
+            stages_replayed: after.stages_replayed - before.stages_replayed,
+            workers_recovered: after.workers_recovered - before.workers_recovered,
         })
     }
 

@@ -20,6 +20,14 @@
 //!   hash-partition path repartitions probe rows to the partition owners.
 
 pub mod cluster;
+pub mod recovery;
 pub mod stages;
+pub mod testkit;
+pub mod transport;
 
 pub use cluster::{ClusterConfig, ClusterStats, PcCluster};
+pub use recovery::{Liveness, RecoveryPolicy};
+pub use transport::{
+    FaultKind, FaultSpec, FaultyTransport, LocalTransport, StreamConfig, StreamTransport,
+    Transport, TransportKind, TransportMeter, MASTER,
+};

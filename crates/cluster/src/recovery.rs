@@ -1,0 +1,139 @@
+//! Master-side failure detection and replay-based recovery.
+//!
+//! The recovery protocol leans on two properties the rest of the system
+//! already guarantees:
+//!
+//! 1. **Stages are deterministic** — the same inputs produce byte-identical
+//!    outputs (asserted by `cluster/tests/distributed.rs` and reused by the
+//!    chaos suite).
+//! 2. **Inputs are append-only and survive a backend death** — the paper's
+//!    front-end/backend split (§2): worker *storage* is the crash-proof
+//!    front-end; what dies is the backend executor and anything it had in
+//!    flight on the wire.
+//!
+//! So when the transport reports a dead worker (or a collect deadline
+//! expires), the master: rolls the traffic meter back (the aborted
+//! attempt's deliveries were waste, not logical shuffle bytes), resets the
+//! transport (stale frames from the aborted attempt can never leak into
+//! the replay), restarts the dead worker's backend under a bumped liveness
+//! epoch, clears the stage's intermediate outputs, and re-runs the whole
+//! stage from the surviving inputs. Determinism then makes the replayed
+//! output byte-identical to a fault-free run.
+
+use crate::cluster::PcCluster;
+use crate::stages;
+use pc_exec::{ExecStats, PipelineSpec};
+use pc_lambda::{ErasedAgg, StageLibrary};
+use pc_object::{PcError, PcResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How persistently the master replays failed stages.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Attempts per stage (first run + replays) before the job fails.
+    pub max_stage_attempts: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_stage_attempts: 5,
+        }
+    }
+}
+
+/// Worker liveness as the master sees it: one epoch per worker, bumped
+/// every time the worker's backend is restarted after a detected death. A
+/// send observed under an old epoch belongs to an aborted attempt.
+#[derive(Debug)]
+pub struct Liveness {
+    epochs: Vec<AtomicU64>,
+}
+
+impl Liveness {
+    /// All workers start alive at epoch 0.
+    pub fn new(workers: usize) -> Self {
+        Liveness {
+            epochs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The current epoch of worker `w`.
+    pub fn epoch(&self, w: usize) -> u64 {
+        self.epochs[w].load(Ordering::Relaxed)
+    }
+
+    /// Restart worker `w`'s backend: bump its epoch, return the new one.
+    pub fn restart(&self, w: usize) -> u64 {
+        self.epochs[w].fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Errors the master can recover from by replaying the stage. Everything
+/// else (compute errors, catalog errors) is deterministic and would simply
+/// fail again.
+pub fn is_recoverable(e: &PcError) -> bool {
+    matches!(e, PcError::WorkerDead(_) | PcError::Transport(_))
+}
+
+/// Runs `attempt` under the stage-replay protocol: on a recoverable error,
+/// roll back metering, reset the transport, recover the dead worker (or
+/// revive all on an anonymous deadline), clear `replay_lists` (this stage's
+/// append-only intermediate outputs under the tmp database), and retry.
+pub(crate) fn with_stage_recovery<T>(
+    cluster: &PcCluster,
+    replay_lists: &[String],
+    mut attempt: impl FnMut() -> PcResult<T>,
+) -> PcResult<T> {
+    let max = cluster.config.recovery.max_stage_attempts.max(1);
+    let mut tries = 0;
+    loop {
+        let snap = cluster.meter().checkpoint();
+        match attempt() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_recoverable(&e) && tries + 1 < max => {
+                tries += 1;
+                cluster.meter().rollback(snap);
+                cluster.transport().reset();
+                match e {
+                    PcError::WorkerDead(w) if w < cluster.workers.len() => {
+                        cluster.recover_worker(w);
+                    }
+                    _ => {
+                        // A deadline with no confirmed victim: revive every
+                        // link and replay; the schedule (or a real hang)
+                        // will re-identify the culprit if there is one.
+                        for w in 0..cluster.workers.len() {
+                            cluster.transport().revive(w);
+                        }
+                    }
+                }
+                cluster.note_stage_replayed();
+                for list in replay_lists {
+                    cluster.create_or_clear_set(pc_exec::TMP_DB, list)?;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One distributed stage, replayed until it completes (or the policy gives
+/// up). The stage is the recovery unit: every routing action it performs
+/// (gather, broadcast, shuffle) happens strictly *before* any durable
+/// append, so an aborted attempt leaves nothing behind except cleared
+/// intermediates and rolled-back meter counts.
+pub fn run_stage_with_recovery(
+    cluster: &PcCluster,
+    p: &PipelineSpec,
+    lib: &StageLibrary,
+    aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
+    tables: &mut HashMap<String, stages::BroadcastTable>,
+) -> PcResult<ExecStats> {
+    let replay_lists: Vec<String> = p.replay_targets().into_iter().map(str::to_string).collect();
+    with_stage_recovery(cluster, &replay_lists, || {
+        stages::run_stage_distributed(cluster, p, lib, aggs, tables)
+    })
+}

@@ -19,6 +19,7 @@
 //!   owner's aggregation threads merge and materialize the result.
 
 use crate::cluster::PcCluster;
+use crate::transport::MASTER;
 use pc_exec::{run_pipeline_stage, ExecStats, JoinTable, PipelineOutput, PipelineSpec, Sink};
 use pc_lambda::{ErasedAgg, SetWriter, StageLibrary};
 use pc_object::{PcError, PcResult, SealedPage};
@@ -177,10 +178,12 @@ pub fn run_stage_distributed(
             // partition-wise: a page tagged `p` joins every other worker's
             // partition-`p` chain on the receiving side, so probes there
             // still touch exactly one partition.
-            let mut gathered: Vec<(usize, Arc<SealedPage>)> = Vec::new();
+            let transport = cluster.transport();
+            let mut parts_in_send_order: Vec<usize> = Vec::new();
+            let mut src_in_send_order: Vec<usize> = Vec::new();
             let mut partitions = JoinTable::round_partitions(cluster.config.exec.join_partitions);
             let mut total_bytes = 0usize;
-            for outs in per_worker_outputs {
+            for (w, outs) in per_worker_outputs.into_iter().enumerate() {
                 for out in outs {
                     let SendableOutput::TablePages {
                         groups,
@@ -195,17 +198,32 @@ pub fn run_stage_distributed(
                     total_bytes += bytes;
                     partitions = parts;
                     for (part, page) in pages {
-                        // Ship once to the master...
-                        gathered.push((part, Arc::new(cluster.ship(&page)?)));
+                        // Queue for the master; the partition tag and the
+                        // producer ride side-band in send order, which
+                        // collect() restores.
+                        transport.send(w, MASTER, &page)?;
+                        parts_in_send_order.push(part);
+                        src_in_send_order.push(w);
                     }
                 }
             }
-            // ...and once more to each worker (the broadcast). We account
-            // the traffic; the shared Arc stands in for the per-worker copy.
-            for (_part, page) in &gathered {
-                for _ in 1..nworkers {
-                    let _ = cluster.ship(page)?;
+            let gathered: Vec<(usize, Arc<SealedPage>)> = parts_in_send_order
+                .iter()
+                .copied()
+                .zip(transport.collect(MASTER)?.into_iter().map(Arc::new))
+                .collect();
+            // ...and once to every worker that didn't build the page (the
+            // broadcast). Each copy crosses the transport — so faults hit
+            // it — while the shared Arc stands in for the per-worker copy.
+            for (i, (_part, page)) in gathered.iter().enumerate() {
+                for w in 0..nworkers {
+                    if w != src_in_send_order[i] {
+                        transport.send(MASTER, w, page)?;
+                    }
                 }
+            }
+            for w in 0..nworkers {
+                let _ = transport.collect(w)?;
             }
             cluster.note_broadcast();
             if total_bytes > cluster.config.broadcast_threshold {
@@ -324,14 +342,19 @@ fn run_aggregation_stage(
             .collect()
     });
 
-    // Shuffle: partition p's pages go to worker p % W over the byte-copy
-    // network.
-    let mut inbox: Vec<Vec<SealedPage>> = (0..nworkers).map(|_| Vec::new()).collect();
-    for r in combined {
+    // Shuffle: partition p's pages go to worker p % W over the transport.
+    // All sends are queued before any inbox is collected, so a streaming
+    // transport overlaps chunk delivery with the remaining combines.
+    let transport = cluster.transport();
+    for (src_w, r) in combined.into_iter().enumerate() {
         for (part, page) in r? {
             let owner = part % nworkers;
-            inbox[owner].push(cluster.ship(&page)?);
+            transport.send(src_w, owner, &page)?;
         }
+    }
+    let mut inbox: Vec<Vec<SealedPage>> = Vec::with_capacity(nworkers);
+    for w in 0..nworkers {
+        inbox.push(transport.collect(w)?);
     }
 
     // Aggregation threads: each owner merges its inbox and materializes.

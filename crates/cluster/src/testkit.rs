@@ -1,0 +1,42 @@
+//! Test support: the byte-identity assertions shared by the determinism
+//! regression tests and the chaos suite.
+//!
+//! Every recovery claim in this crate reduces to one check: *a run under
+//! faults produces byte-identical output to a fault-free run*. Centralizing
+//! the comparison here means each new chaos scenario gets the strongest
+//! available assertion — full page bytes, not row counts — for free.
+
+use crate::cluster::PcCluster;
+use pc_object::PcResult;
+
+/// Every page of `db.set` across all workers, as raw bytes, sorted — a
+/// canonical form invariant to which worker holds which page.
+pub fn set_bytes_sorted(c: &PcCluster, db: &str, set: &str) -> PcResult<Vec<Vec<u8>>> {
+    let mut pages: Vec<Vec<u8>> = c.scan_set(db, set)?.iter().map(|p| p.to_bytes()).collect();
+    pages.sort();
+    Ok(pages)
+}
+
+/// Asserts two runs produced byte-identical output. `label` should carry
+/// everything needed to reproduce a failure in one line (scenario, seed,
+/// fault schedule).
+#[track_caller]
+pub fn assert_runs_identical(label: &str, baseline: &[Vec<u8>], candidate: &[Vec<u8>]) {
+    assert!(
+        !baseline.is_empty(),
+        "[{label}] baseline run produced no result pages"
+    );
+    assert_eq!(
+        baseline.len(),
+        candidate.len(),
+        "[{label}] page count differs: {} vs {}",
+        baseline.len(),
+        candidate.len()
+    );
+    for (i, (b, c)) in baseline.iter().zip(candidate).enumerate() {
+        assert_eq!(
+            b, c,
+            "[{label}] result page {i} differs from the fault-free run"
+        );
+    }
+}

@@ -1,0 +1,1040 @@
+//! The transport boundary: every byte that crosses between nodes goes
+//! through a [`Transport`].
+//!
+//! The trait contract (relied on by the chaos suite and the transport
+//! property tests):
+//!
+//! * **Exactly-once** — each page passed to [`Transport::send`] is handed
+//!   out by [`Transport::collect`] exactly once, even when the wire drops
+//!   or duplicates attempts underneath.
+//! * **Order-restored** — `collect(dst)` returns pages in the order they
+//!   were sent to `dst`, even when frames were chunked, interleaved, or
+//!   reordered in flight. Deterministic stages + ordered delivery is what
+//!   makes replay-based recovery byte-identical.
+//! * **Metered** — logical traffic is counted once in the shared
+//!   [`TransportMeter`]; wire-level waste (dropped attempts, aborted stage
+//!   deliveries) is counted separately as retransmission, so a lossy run
+//!   reports the same `bytes_shuffled` as a clean one.
+//!
+//! Three implementations:
+//!
+//! * [`LocalTransport`] — the synchronous in-process byte copy the cluster
+//!   has always used (the default).
+//! * [`StreamTransport`] — chunks sealed pages into frames and pushes them
+//!   through a bounded channel to a demux thread that reassembles them
+//!   concurrently, so delivery overlaps with downstream compute; the
+//!   bounded channel is the flow control, and collects carry a deadline
+//!   (the master-side failure detector).
+//! * [`FaultyTransport`] — a decorator that injects drops, delays,
+//!   reorders, and whole-worker deaths from a reproducible seed-driven
+//!   schedule.
+
+use crate::cluster::unique_suffix;
+use pc_object::{PcError, PcResult, SealedPage};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A node address: worker index, or [`MASTER`].
+pub type NodeId = usize;
+
+/// The master node's address (gather point for broadcasts).
+pub const MASTER: NodeId = usize::MAX;
+
+fn node_name(n: NodeId) -> String {
+    if n == MASTER {
+        "master".to_string()
+    } else {
+        format!("worker {n}")
+    }
+}
+
+// ---------------------------------------------------------------- metering
+
+/// Cluster-wide traffic counters, shared by the cluster handle and every
+/// transport layer. Logical traffic (`bytes_shuffled`/`pages_shuffled`)
+/// counts each delivered page once; wire-level waste goes to
+/// `bytes_retransmitted`/`sends_failed`.
+#[derive(Debug, Default)]
+pub struct TransportMeter {
+    bytes_shuffled: AtomicU64,
+    pages_shuffled: AtomicU64,
+    bytes_retransmitted: AtomicU64,
+    sends_failed: AtomicU64,
+}
+
+/// A point-in-time snapshot of the logical counters, used to roll back an
+/// aborted stage attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct MeterCheckpoint {
+    bytes: u64,
+    pages: u64,
+}
+
+impl TransportMeter {
+    /// One logical page delivered.
+    pub fn on_delivered(&self, bytes: usize) {
+        self.bytes_shuffled
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.pages_shuffled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One wire-level attempt failed and will be retried (or replayed).
+    pub fn on_failed_attempt(&self, bytes: usize) {
+        self.bytes_retransmitted
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.sends_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the logical counters before a stage attempt.
+    pub fn checkpoint(&self) -> MeterCheckpoint {
+        MeterCheckpoint {
+            bytes: self.bytes_shuffled.load(Ordering::Relaxed),
+            pages: self.pages_shuffled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reclassify everything delivered since `at` as retransmission: the
+    /// stage attempt aborted, so its deliveries were wasted wire work, not
+    /// logical shuffle traffic (the replay will re-deliver them).
+    pub fn rollback(&self, at: MeterCheckpoint) {
+        let wasted_bytes = self.bytes_shuffled.load(Ordering::Relaxed) - at.bytes;
+        let wasted_pages = self.pages_shuffled.load(Ordering::Relaxed) - at.pages;
+        self.bytes_shuffled.store(at.bytes, Ordering::Relaxed);
+        self.pages_shuffled.store(at.pages, Ordering::Relaxed);
+        self.bytes_retransmitted
+            .fetch_add(wasted_bytes, Ordering::Relaxed);
+        self.sends_failed.fetch_add(wasted_pages, Ordering::Relaxed);
+    }
+
+    /// Logical bytes delivered.
+    pub fn bytes_shuffled(&self) -> u64 {
+        self.bytes_shuffled.load(Ordering::Relaxed)
+    }
+
+    /// Logical pages delivered.
+    pub fn pages_shuffled(&self) -> u64 {
+        self.pages_shuffled.load(Ordering::Relaxed)
+    }
+
+    /// Wire bytes wasted on dropped attempts and aborted stage deliveries.
+    pub fn bytes_retransmitted(&self) -> u64 {
+        self.bytes_retransmitted.load(Ordering::Relaxed)
+    }
+
+    /// Wire-level send attempts that did not result in a logical delivery.
+    pub fn sends_failed(&self) -> u64 {
+        self.sends_failed.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------- the trait
+
+/// The single boundary for inter-node page movement. See the module docs
+/// for the delivery contract.
+pub trait Transport: Send + Sync {
+    /// Implementation name (reported by `repro faults`).
+    fn name(&self) -> &'static str;
+
+    /// Queue one sealed page from `src` for delivery to `dst`'s inbox.
+    /// May return before the page has arrived (streaming transports overlap
+    /// delivery with the caller's next work).
+    fn send(&self, src: NodeId, dst: NodeId, page: &SealedPage) -> PcResult<()>;
+
+    /// Barrier: wait until every page queued for `dst` since the last
+    /// collect has arrived, then hand them over in send order, exactly
+    /// once.
+    fn collect(&self, dst: NodeId) -> PcResult<Vec<SealedPage>>;
+
+    /// Discard all in-flight and delivered-but-uncollected state — called
+    /// by recovery before replaying a failed stage, so stale frames from
+    /// the aborted attempt can never leak into the replay.
+    fn reset(&self);
+
+    /// Clear fault state for worker `w`: its backend restarted under a new
+    /// liveness epoch. No-op for reliable transports.
+    fn revive(&self, _w: NodeId) {}
+
+    /// Enable fault injection (no-op for reliable transports). The cluster
+    /// arms the transport for the duration of a job, so data loading stays
+    /// clean and schedules are reproducible per job.
+    fn arm(&self) {}
+
+    /// Disable fault injection.
+    fn disarm(&self) {}
+
+    /// Human-readable injected-fault schedule, for one-line reproduction
+    /// of a failing chaos seed.
+    fn fault_summary(&self) -> Option<String> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------- inbox
+
+/// Per-destination delivery state shared by the reliable transports: a
+/// seq-ordered map of delivered pages plus the count of logical sends
+/// expected since the last collect. `BTreeMap` keyed by seq gives both
+/// order restoration and exactly-once (a duplicate delivery of a seq
+/// overwrites instead of duplicating).
+#[derive(Default)]
+struct InboxState {
+    delivered: HashMap<NodeId, BTreeMap<u64, SealedPage>>,
+    expected: HashMap<NodeId, u64>,
+    next_seq: HashMap<NodeId, u64>,
+}
+
+struct Inbox {
+    state: Mutex<InboxState>,
+    arrived: Condvar,
+}
+
+impl Inbox {
+    fn new() -> Self {
+        Inbox {
+            state: Mutex::new(InboxState::default()),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Register one logical send to `dst`; returns its sequence number.
+    fn expect(&self, dst: NodeId) -> u64 {
+        let mut s = self.state.lock().expect("inbox poisoned");
+        let seq = s.next_seq.entry(dst).or_insert(0);
+        let n = *seq;
+        *seq += 1;
+        *s.expected.entry(dst).or_insert(0) += 1;
+        n
+    }
+
+    /// Deliver a reassembled page.
+    fn deliver(&self, dst: NodeId, seq: u64, page: SealedPage) {
+        let mut s = self.state.lock().expect("inbox poisoned");
+        s.delivered.entry(dst).or_default().insert(seq, page);
+        self.arrived.notify_all();
+    }
+
+    /// Wait for every expected page, then drain them in seq order.
+    fn collect(&self, dst: NodeId, deadline: Option<Duration>) -> PcResult<Vec<SealedPage>> {
+        let start = Instant::now();
+        let mut s = self.state.lock().expect("inbox poisoned");
+        loop {
+            let want = s.expected.get(&dst).copied().unwrap_or(0);
+            let got = s.delivered.get(&dst).map(|m| m.len() as u64).unwrap_or(0);
+            if got >= want {
+                break;
+            }
+            match deadline {
+                None => {
+                    return Err(PcError::Transport(format!(
+                        "collect({}) missing {} of {} pages on a synchronous transport",
+                        node_name(dst),
+                        want - got,
+                        want
+                    )))
+                }
+                Some(d) => {
+                    let left = d.checked_sub(start.elapsed()).ok_or_else(|| {
+                        PcError::Transport(format!(
+                            "collect({}) deadline exceeded: {} of {} pages delivered after {:?}",
+                            node_name(dst),
+                            got,
+                            want,
+                            d
+                        ))
+                    })?;
+                    let (guard, _timeout) =
+                        self.arrived.wait_timeout(s, left).expect("inbox poisoned");
+                    s = guard;
+                }
+            }
+        }
+        s.expected.remove(&dst);
+        s.next_seq.remove(&dst);
+        let pages = s.delivered.remove(&dst).unwrap_or_default();
+        Ok(pages.into_values().collect())
+    }
+
+    fn reset(&self) {
+        let mut s = self.state.lock().expect("inbox poisoned");
+        *s = InboxState::default();
+        self.arrived.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------- local
+
+/// The synchronous in-process byte copy (the original simulated network):
+/// `send` serializes, revalidates, and delivers in one step.
+pub struct LocalTransport {
+    meter: Arc<TransportMeter>,
+    inbox: Inbox,
+}
+
+impl LocalTransport {
+    /// A local transport metering into `meter`.
+    pub fn new(meter: Arc<TransportMeter>) -> Self {
+        LocalTransport {
+            meter,
+            inbox: Inbox::new(),
+        }
+    }
+}
+
+impl Transport for LocalTransport {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn send(&self, _src: NodeId, dst: NodeId, page: &SealedPage) -> PcResult<()> {
+        let bytes = page.to_bytes();
+        let seq = self.inbox.expect(dst);
+        let arrived = SealedPage::from_bytes(&bytes)?;
+        self.meter.on_delivered(bytes.len());
+        self.inbox.deliver(dst, seq, arrived);
+        Ok(())
+    }
+
+    fn collect(&self, dst: NodeId) -> PcResult<Vec<SealedPage>> {
+        self.inbox.collect(dst, None)
+    }
+
+    fn reset(&self) {
+        self.inbox.reset();
+    }
+}
+
+// ---------------------------------------------------------------- stream
+
+/// Tuning for [`StreamTransport`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Frame payload size a sealed page is chunked into.
+    pub chunk_bytes: usize,
+    /// Frames in flight before senders block (the flow-control window).
+    pub frames_in_flight: usize,
+    /// Per-send deadline: how long a sender may stay blocked on a full
+    /// window before the master declares the link failed.
+    pub send_deadline: Duration,
+    /// Collect deadline: how long the master waits for a worker's inbox to
+    /// fill before declaring the stage failed (the failure detector).
+    pub collect_deadline: Duration,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            chunk_bytes: 4 << 10,
+            frames_in_flight: 64,
+            send_deadline: Duration::from_secs(5),
+            collect_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+enum Frame {
+    Chunk {
+        epoch: u64,
+        dst: NodeId,
+        seq: u64,
+        idx: u32,
+        total: u32,
+        bytes: Vec<u8>,
+    },
+    Shutdown,
+}
+
+/// A flow-controlled streaming transport: pages are chunked into frames and
+/// pushed through a bounded channel to a demux thread that reassembles and
+/// delivers them while the sender moves on — shuffles overlap with the
+/// compute that produces the next pages instead of barriering per page.
+pub struct StreamTransport {
+    inbox: Arc<Inbox>,
+    config: StreamConfig,
+    tx: crossbeam_channel::Sender<Frame>,
+    epoch: Arc<AtomicU64>,
+    demux: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl StreamTransport {
+    /// Spawns the demux thread and returns the transport.
+    pub fn new(meter: Arc<TransportMeter>, config: StreamConfig) -> Self {
+        let (tx, rx) = crossbeam_channel::bounded::<Frame>(config.frames_in_flight);
+        let inbox = Arc::new(Inbox::new());
+        let epoch = Arc::new(AtomicU64::new(0));
+        let demux = {
+            let inbox = inbox.clone();
+            let epoch = epoch.clone();
+            std::thread::Builder::new()
+                .name(format!("pc-transport-demux-{}", unique_suffix()))
+                .spawn(move || {
+                    // (dst, seq) → (epoch, collected chunks); completed
+                    // pages are validated and delivered to the inbox.
+                    type Reassembly = HashMap<(NodeId, u64), (u64, Vec<Option<Vec<u8>>>)>;
+                    let mut partial: Reassembly = HashMap::new();
+                    while let Ok(frame) = rx.recv() {
+                        match frame {
+                            Frame::Shutdown => break,
+                            Frame::Chunk {
+                                epoch: fe,
+                                dst,
+                                seq,
+                                idx,
+                                total,
+                                bytes,
+                            } => {
+                                let now = epoch.load(Ordering::Acquire);
+                                if fe != now {
+                                    // A stale frame from an aborted stage
+                                    // attempt: drop it, and any partial
+                                    // pages from dead epochs.
+                                    partial.retain(|_, (e, _)| *e == now);
+                                    continue;
+                                }
+                                let entry = partial
+                                    .entry((dst, seq))
+                                    .or_insert_with(|| (fe, vec![None; total as usize]));
+                                entry.1[idx as usize] = Some(bytes);
+                                if entry.1.iter().all(Option::is_some) {
+                                    let (_, chunks) = partial.remove(&(dst, seq)).unwrap();
+                                    let mut whole = Vec::new();
+                                    for c in chunks {
+                                        whole.extend_from_slice(&c.unwrap());
+                                    }
+                                    match SealedPage::from_bytes(&whole) {
+                                        Ok(page) => {
+                                            meter.on_delivered(whole.len());
+                                            inbox.deliver(dst, seq, page);
+                                        }
+                                        Err(_) => {
+                                            // A torn page never reaches the
+                                            // inbox; the collect deadline
+                                            // surfaces it as a stage failure.
+                                            meter.on_failed_attempt(whole.len());
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawn transport demux thread")
+        };
+        StreamTransport {
+            inbox,
+            config,
+            tx,
+            epoch,
+            demux: Mutex::new(Some(demux)),
+        }
+    }
+}
+
+impl Transport for StreamTransport {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn send(&self, _src: NodeId, dst: NodeId, page: &SealedPage) -> PcResult<()> {
+        let bytes = page.to_bytes();
+        let seq = self.inbox.expect(dst);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let chunks: Vec<&[u8]> = bytes.chunks(self.config.chunk_bytes.max(1)).collect();
+        let total = chunks.len() as u32;
+        for (idx, chunk) in chunks.into_iter().enumerate() {
+            let frame = Frame::Chunk {
+                epoch,
+                dst,
+                seq,
+                idx: idx as u32,
+                total,
+                bytes: chunk.to_vec(),
+            };
+            self.tx
+                .send_timeout(frame, self.config.send_deadline)
+                .map_err(|e| {
+                    PcError::Transport(match e {
+                        crossbeam_channel::SendTimeoutError::Timeout(_) => format!(
+                            "send to {} exceeded the {:?} deadline (window stalled)",
+                            node_name(dst),
+                            self.config.send_deadline
+                        ),
+                        crossbeam_channel::SendTimeoutError::Disconnected(_) => {
+                            "transport demux thread is gone".to_string()
+                        }
+                    })
+                })?;
+        }
+        Ok(())
+    }
+
+    fn collect(&self, dst: NodeId) -> PcResult<Vec<SealedPage>> {
+        self.inbox.collect(dst, Some(self.config.collect_deadline))
+    }
+
+    fn reset(&self) {
+        // New epoch first, so frames still in the channel are recognizably
+        // stale by the time the inbox is cleared.
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.inbox.reset();
+    }
+}
+
+impl Drop for StreamTransport {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Frame::Shutdown);
+        if let Some(h) = self.demux.lock().expect("demux handle poisoned").take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------- faults
+
+/// Fault categories a [`FaultyTransport`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A wire-level loss of a send attempt (retried, or surfaced).
+    Drop,
+    /// A delivery delay of a few milliseconds.
+    Delay,
+    /// Two consecutive sends to the same destination swap on the wire.
+    Reorder,
+    /// A worker's backend dies at a scheduled send index; every later send
+    /// touching it fails until recovery revives it.
+    WorkerDeath,
+}
+
+impl FaultKind {
+    fn tag(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Reorder => "reorder",
+            FaultKind::WorkerDeath => "worker-death",
+        }
+    }
+}
+
+/// A reproducible fault schedule: everything the [`FaultyTransport`]
+/// injects is a pure function of this spec, so a failing chaos seed is a
+/// one-line repro.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Seed driving every per-send decision.
+    pub seed: u64,
+    /// Which fault kinds are enabled.
+    pub kinds: Vec<FaultKind>,
+    /// Per-send fault probability, in 256ths, for drop/delay/reorder.
+    pub rate: u16,
+    /// Wire drops injected per faulted send are capped here; the next
+    /// attempt always succeeds, so retries are guaranteed to converge.
+    pub max_drops_per_send: u32,
+    /// Retry dropped attempts in-place. When false a drop surfaces as a
+    /// transport error and stage replay recovers instead.
+    pub retries: bool,
+    /// Global send index at which the victim dies (derived from the seed
+    /// when `WorkerDeath` is enabled and this is `None`).
+    pub death_at: Option<u64>,
+    /// The worker that dies (derived from the seed when `None`).
+    pub victim: Option<NodeId>,
+    /// Budget of volatile faults (drop/delay/reorder) injected over the
+    /// transport's lifetime; once spent, the schedule goes quiet. Lets a
+    /// test script *exactly N faults* deterministically.
+    pub max_faults: u64,
+}
+
+impl FaultSpec {
+    /// A schedule over the given kinds, everything else derived from seed.
+    pub fn seeded(seed: u64, kinds: &[FaultKind]) -> Self {
+        FaultSpec {
+            seed,
+            kinds: kinds.to_vec(),
+            rate: 48,
+            max_drops_per_send: 2,
+            retries: true,
+            death_at: None,
+            victim: None,
+            max_faults: u64::MAX,
+        }
+    }
+}
+
+/// SplitMix64: a stateless, order-independent hash of (seed, send index,
+/// salt) — the same send index always draws the same fault decision, so
+/// schedules replay exactly from the seed.
+fn mix(seed: u64, n: u64, salt: u64) -> u64 {
+    let mut z =
+        seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-destination reorder bookkeeping: `perm[inner_idx]` is the logical
+/// send index of the page handed to the inner transport as its
+/// `inner_idx`-th send this round. Collect un-permutes with it, restoring
+/// logical order no matter what the schedule swapped.
+#[derive(Default)]
+struct ChanState {
+    perm: Vec<usize>,
+    next_logical: usize,
+    holdback: Option<(usize, Vec<u8>)>,
+}
+
+/// Decorates any [`Transport`] with seed-driven fault injection. Despite
+/// the chaos underneath, the decorated transport still satisfies the full
+/// delivery contract (exactly-once, order-restored) whenever `retries` is
+/// on and no death fires — and recovery restores it end-to-end otherwise.
+pub struct FaultyTransport {
+    inner: Arc<dyn Transport>,
+    spec: FaultSpec,
+    workers: usize,
+    meter: Arc<TransportMeter>,
+    armed: AtomicBool,
+    sends: AtomicU64,
+    faults_injected: AtomicU64,
+    death_fired: AtomicBool,
+    dead: Mutex<HashSet<NodeId>>,
+    chans: Mutex<HashMap<NodeId, ChanState>>,
+}
+
+impl FaultyTransport {
+    /// Wraps `inner`, injecting faults over a cluster of `workers` nodes.
+    pub fn new(
+        inner: Arc<dyn Transport>,
+        meter: Arc<TransportMeter>,
+        spec: FaultSpec,
+        workers: usize,
+    ) -> Self {
+        FaultyTransport {
+            inner,
+            spec,
+            workers: workers.max(1),
+            meter,
+            armed: AtomicBool::new(false),
+            sends: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            death_fired: AtomicBool::new(false),
+            dead: Mutex::new(HashSet::new()),
+            chans: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn death_point(&self) -> Option<(u64, NodeId)> {
+        if !self.spec.kinds.contains(&FaultKind::WorkerDeath) {
+            return None;
+        }
+        let at = self
+            .spec
+            .death_at
+            .unwrap_or_else(|| mix(self.spec.seed, 0, 0xDEAD) % 24);
+        let victim = self
+            .spec
+            .victim
+            .unwrap_or_else(|| (mix(self.spec.seed, 1, 0xDEAD) as usize) % self.workers);
+        Some((at, victim))
+    }
+
+    /// The volatile fault (if any) scheduled for global send `n`.
+    fn volatile_fault(&self, n: u64) -> Option<FaultKind> {
+        let volatile: Vec<FaultKind> = self
+            .spec
+            .kinds
+            .iter()
+            .copied()
+            .filter(|k| *k != FaultKind::WorkerDeath)
+            .collect();
+        if volatile.is_empty() {
+            return None;
+        }
+        let h = mix(self.spec.seed, n, 0xFA17);
+        if (h % 256) as u16 >= self.spec.rate {
+            return None;
+        }
+        Some(volatile[(h >> 32) as usize % volatile.len()])
+    }
+
+    /// Consumes one unit of the volatile-fault budget; `false` once spent.
+    fn take_fault_budget(&self) -> bool {
+        let max = self.spec.max_faults;
+        self.faults_injected
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c < max).then_some(c + 1)
+            })
+            .is_ok()
+    }
+
+    fn check_alive(&self, src: NodeId, dst: NodeId) -> PcResult<()> {
+        let dead = self.dead.lock().expect("dead set poisoned");
+        if dead.contains(&dst) {
+            return Err(PcError::WorkerDead(dst));
+        }
+        if dead.contains(&src) {
+            return Err(PcError::WorkerDead(src));
+        }
+        Ok(())
+    }
+
+    /// Deliver to the inner transport, recording the logical index in the
+    /// destination's permutation.
+    fn deliver(&self, src: NodeId, dst: NodeId, page: &SealedPage, logical: usize) -> PcResult<()> {
+        self.inner.send(src, dst, page)?;
+        let mut chans = self.chans.lock().expect("chan state poisoned");
+        chans.entry(dst).or_default().perm.push(logical);
+        Ok(())
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn send(&self, src: NodeId, dst: NodeId, page: &SealedPage) -> PcResult<()> {
+        let armed = self.armed.load(Ordering::Relaxed);
+        // Assign the logical index first: order restoration is defined by
+        // call order at this boundary, not by what survives the wire.
+        let logical = {
+            let mut chans = self.chans.lock().expect("chan state poisoned");
+            let c = chans.entry(dst).or_default();
+            let l = c.next_logical;
+            c.next_logical += 1;
+            l
+        };
+        if armed {
+            // The schedule's send counter only ticks while armed, so the
+            // seed describes the *job's* traffic, not whatever data loading
+            // happened to precede it.
+            let n = self.sends.fetch_add(1, Ordering::Relaxed);
+            if let Some((at, victim)) = self.death_point() {
+                if n >= at && !self.death_fired.swap(true, Ordering::Relaxed) {
+                    self.dead.lock().expect("dead set poisoned").insert(victim);
+                }
+            }
+            self.check_alive(src, dst)?;
+            let fault = self.volatile_fault(n).filter(|_| self.take_fault_budget());
+            match fault {
+                Some(FaultKind::Delay) => {
+                    std::thread::sleep(Duration::from_millis(1 + mix(self.spec.seed, n, 1) % 4));
+                }
+                Some(FaultKind::Drop) => {
+                    let cap = self.spec.max_drops_per_send.max(1) as u64;
+                    let drops = 1 + mix(self.spec.seed, n, 2) % cap;
+                    let len = page.to_bytes().len();
+                    for _ in 0..drops {
+                        self.meter.on_failed_attempt(len);
+                    }
+                    if !self.spec.retries {
+                        return Err(PcError::Transport(format!(
+                            "send #{n} to {} dropped on the wire (retries disabled)",
+                            node_name(dst)
+                        )));
+                    }
+                    // Retried in place: fall through to a clean delivery.
+                }
+                Some(FaultKind::Reorder) => {
+                    let mut chans = self.chans.lock().expect("chan state poisoned");
+                    let c = chans.entry(dst).or_default();
+                    if c.holdback.is_none() {
+                        // Stash this page; it goes out after the next send
+                        // to the same destination (or at collect).
+                        c.holdback = Some((logical, page.to_bytes()));
+                        return Ok(());
+                    }
+                    // A stash is already pending: deliver normally below.
+                }
+                _ => {}
+            }
+        }
+        self.deliver(src, dst, page, logical)?;
+        // Flush a pending stash *after* the newer page: that is the swap.
+        let stashed = {
+            let mut chans = self.chans.lock().expect("chan state poisoned");
+            chans.entry(dst).or_default().holdback.take()
+        };
+        if let Some((held_logical, bytes)) = stashed {
+            let held = SealedPage::from_bytes(&bytes)?;
+            self.deliver(src, dst, &held, held_logical)?;
+        }
+        Ok(())
+    }
+
+    fn collect(&self, dst: NodeId) -> PcResult<Vec<SealedPage>> {
+        // Flush any stash that never saw a follow-up send.
+        let stashed = {
+            let mut chans = self.chans.lock().expect("chan state poisoned");
+            chans.entry(dst).or_default().holdback.take()
+        };
+        if let Some((held_logical, bytes)) = stashed {
+            self.check_alive(MASTER, dst)?;
+            let held = SealedPage::from_bytes(&bytes)?;
+            self.deliver(MASTER, dst, &held, held_logical)?;
+        }
+        let inner_order = self.inner.collect(dst)?;
+        let perm = {
+            let mut chans = self.chans.lock().expect("chan state poisoned");
+            chans.remove(&dst).unwrap_or_default().perm
+        };
+        if perm.len() != inner_order.len() {
+            return Err(PcError::Transport(format!(
+                "collect({}): {} pages delivered, {} sent",
+                node_name(dst),
+                inner_order.len(),
+                perm.len()
+            )));
+        }
+        // Un-permute: inner order → logical send order.
+        let mut out: Vec<Option<SealedPage>> = (0..inner_order.len()).map(|_| None).collect();
+        for (inner_idx, page) in inner_order.into_iter().enumerate() {
+            out[perm[inner_idx]] = Some(page);
+        }
+        Ok(out
+            .into_iter()
+            .map(|p| p.expect("perm is a bijection"))
+            .collect())
+    }
+
+    fn reset(&self) {
+        self.chans.lock().expect("chan state poisoned").clear();
+        self.inner.reset();
+    }
+
+    fn revive(&self, w: NodeId) {
+        self.dead.lock().expect("dead set poisoned").remove(&w);
+        self.inner.revive(w);
+    }
+
+    fn arm(&self) {
+        self.armed.store(true, Ordering::Relaxed);
+    }
+
+    fn disarm(&self) {
+        self.armed.store(false, Ordering::Relaxed);
+    }
+
+    fn fault_summary(&self) -> Option<String> {
+        let kinds: Vec<&str> = self.spec.kinds.iter().map(|k| k.tag()).collect();
+        let death = self
+            .death_point()
+            .map(|(at, v)| format!(" death@send{at}->worker{v}"))
+            .unwrap_or_default();
+        Some(format!(
+            "seed={:#x} kinds=[{}] rate={}/256 max_drops={} retries={}{} over {}",
+            self.spec.seed,
+            kinds.join(","),
+            self.spec.rate,
+            self.spec.max_drops_per_send,
+            self.spec.retries,
+            death,
+            self.inner.name()
+        ))
+    }
+}
+
+// ---------------------------------------------------------------- config
+
+/// Declarative transport selection, carried by `ClusterConfig` so tests,
+/// `repro faults`, and the chaos CI matrix can describe a transport stack
+/// without touching construction code.
+#[derive(Debug, Clone, Default)]
+pub enum TransportKind {
+    /// The synchronous in-process byte copy.
+    #[default]
+    Local,
+    /// Chunked, flow-controlled streaming with a demux thread.
+    Stream(StreamConfig),
+    /// Fault injection decorating another transport.
+    Faulty {
+        /// The transport actually moving bytes underneath.
+        inner: Box<TransportKind>,
+        /// The seed-driven schedule.
+        spec: FaultSpec,
+    },
+}
+
+impl TransportKind {
+    /// Builds the transport stack, metering into `meter`, for a cluster of
+    /// `workers` nodes.
+    pub fn build(&self, meter: Arc<TransportMeter>, workers: usize) -> Arc<dyn Transport> {
+        match self {
+            TransportKind::Local => Arc::new(LocalTransport::new(meter)),
+            TransportKind::Stream(cfg) => Arc::new(StreamTransport::new(meter, cfg.clone())),
+            TransportKind::Faulty { inner, spec } => {
+                let base = inner.build(meter.clone(), workers);
+                Arc::new(FaultyTransport::new(base, meter, spec.clone(), workers))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_lambda::SetWriter;
+    use pc_object::{make_object, PcVec};
+
+    fn page(tag: i64) -> SealedPage {
+        let mut w = SetWriter::new(1 << 14);
+        w.write_with(|| {
+            let v = make_object::<PcVec<i64>>()?;
+            for i in 0..32 {
+                v.push(tag * 100 + i)?;
+            }
+            Ok(v.erase())
+        })
+        .unwrap();
+        w.finish().unwrap().into_iter().next().unwrap()
+    }
+
+    fn tag_of(p: &SealedPage) -> i64 {
+        let (_b, root) = p.open_view().unwrap();
+        let objs = root
+            .downcast::<PcVec<pc_object::Handle<pc_object::AnyObj>>>()
+            .unwrap();
+        let first = objs.iter().next().unwrap().erase();
+        first.downcast::<PcVec<i64>>().unwrap().get(0) / 100
+    }
+
+    #[test]
+    fn local_transport_delivers_in_order_and_meters() {
+        let meter = Arc::new(TransportMeter::default());
+        let t = LocalTransport::new(meter.clone());
+        for i in 0..5 {
+            t.send(MASTER, 1, &page(i)).unwrap();
+        }
+        let got = t.collect(1).unwrap();
+        assert_eq!(got.len(), 5);
+        for (i, p) in got.iter().enumerate() {
+            assert_eq!(tag_of(p), i as i64);
+        }
+        assert_eq!(meter.pages_shuffled(), 5);
+        assert!(meter.bytes_shuffled() > 0);
+        assert_eq!(meter.bytes_retransmitted(), 0);
+    }
+
+    #[test]
+    fn stream_transport_reassembles_chunked_pages() {
+        let meter = Arc::new(TransportMeter::default());
+        let t = StreamTransport::new(
+            meter.clone(),
+            StreamConfig {
+                chunk_bytes: 128, // force many frames per page
+                frames_in_flight: 4,
+                ..StreamConfig::default()
+            },
+        );
+        let originals: Vec<SealedPage> = (0..6).map(page).collect();
+        for (i, p) in originals.iter().enumerate() {
+            t.send(0, i % 2, p).unwrap();
+        }
+        for dst in 0..2usize {
+            let got = t.collect(dst).unwrap();
+            assert_eq!(got.len(), 3);
+            for (k, p) in got.iter().enumerate() {
+                let expect = &originals[dst + 2 * k];
+                assert_eq!(p.to_bytes(), expect.to_bytes(), "torn or misordered page");
+            }
+        }
+        assert_eq!(meter.pages_shuffled(), 6);
+    }
+
+    #[test]
+    fn faulty_reorder_is_invisible_after_collect() {
+        let meter = Arc::new(TransportMeter::default());
+        let inner: Arc<dyn Transport> = Arc::new(LocalTransport::new(meter.clone()));
+        let t = FaultyTransport::new(
+            inner,
+            meter,
+            FaultSpec {
+                rate: 256, // reorder every send
+                ..FaultSpec::seeded(7, &[FaultKind::Reorder])
+            },
+            3,
+        );
+        t.arm();
+        for i in 0..7 {
+            t.send(MASTER, 0, &page(i)).unwrap();
+        }
+        let got = t.collect(0).unwrap();
+        assert_eq!(got.len(), 7);
+        for (i, p) in got.iter().enumerate() {
+            assert_eq!(tag_of(p), i as i64, "order must be restored");
+        }
+    }
+
+    #[test]
+    fn faulty_drops_meter_retransmission_not_shuffle() {
+        let meter = Arc::new(TransportMeter::default());
+        let inner: Arc<dyn Transport> = Arc::new(LocalTransport::new(meter.clone()));
+        let t = FaultyTransport::new(
+            inner,
+            meter.clone(),
+            FaultSpec {
+                rate: 256,
+                ..FaultSpec::seeded(11, &[FaultKind::Drop])
+            },
+            3,
+        );
+        t.arm();
+        for i in 0..4 {
+            t.send(MASTER, 1, &page(i)).unwrap();
+        }
+        let got = t.collect(1).unwrap();
+        assert_eq!(got.len(), 4, "every page still arrives exactly once");
+        assert_eq!(meter.pages_shuffled(), 4);
+        assert!(meter.sends_failed() > 0, "drops were injected");
+        assert!(meter.bytes_retransmitted() > 0);
+    }
+
+    #[test]
+    fn worker_death_fails_sends_until_revived() {
+        let meter = Arc::new(TransportMeter::default());
+        let inner: Arc<dyn Transport> = Arc::new(LocalTransport::new(meter.clone()));
+        let t = FaultyTransport::new(
+            inner,
+            meter,
+            FaultSpec {
+                death_at: Some(2),
+                victim: Some(1),
+                ..FaultSpec::seeded(3, &[FaultKind::WorkerDeath])
+            },
+            3,
+        );
+        t.arm();
+        t.send(MASTER, 1, &page(0)).unwrap();
+        t.send(MASTER, 1, &page(1)).unwrap();
+        assert_eq!(
+            t.send(MASTER, 1, &page(2)),
+            Err(PcError::WorkerDead(1)),
+            "sends to the dead worker must fail"
+        );
+        assert_eq!(t.send(MASTER, 0, &page(3)), Ok(()), "other links stay up");
+        t.reset();
+        t.revive(1);
+        t.send(MASTER, 1, &page(4)).unwrap();
+        let got = t.collect(1).unwrap();
+        assert_eq!(got.len(), 1, "reset discarded the aborted deliveries");
+        assert_eq!(tag_of(&got[0]), 4);
+    }
+
+    #[test]
+    fn meter_rollback_reclassifies_aborted_deliveries() {
+        let meter = Arc::new(TransportMeter::default());
+        let t = LocalTransport::new(meter.clone());
+        t.send(MASTER, 0, &page(0)).unwrap();
+        let snap = meter.checkpoint();
+        t.send(MASTER, 0, &page(1)).unwrap();
+        t.send(MASTER, 0, &page(2)).unwrap();
+        let before = meter.bytes_shuffled();
+        meter.rollback(snap);
+        assert_eq!(meter.pages_shuffled(), 1);
+        assert_eq!(meter.sends_failed(), 2);
+        assert_eq!(
+            meter.bytes_shuffled() + meter.bytes_retransmitted(),
+            before,
+            "rollback moves bytes, it never loses them"
+        );
+    }
+}

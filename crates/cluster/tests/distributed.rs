@@ -2,6 +2,7 @@
 //! now across multiple workers with page shuffles over the byte-copy
 //! network.
 
+use pc_cluster::testkit::{assert_runs_identical, set_bytes_sorted};
 use pc_cluster::{ClusterConfig, PcCluster};
 use pc_core::{Dataset, Job};
 use pc_exec::ExecConfig;
@@ -43,6 +44,7 @@ fn cluster() -> PcCluster {
             join_partitions: 8,
         },
         broadcast_threshold: 1 << 20,
+        ..ClusterConfig::default()
     })
     .unwrap()
 }
@@ -210,19 +212,11 @@ fn distributed_aggregation_is_deterministic_byte_for_byte() {
             .compile()
             .unwrap();
         c.execute(&q).unwrap();
-        let mut pages: Vec<Vec<u8>> = c
-            .scan_set("db", "stats")
-            .unwrap()
-            .iter()
-            .map(|p| p.to_bytes())
-            .collect();
-        pages.sort();
-        pages
+        set_bytes_sorted(&c, "db", "stats").unwrap()
     };
     let first = run();
     let second = run();
-    assert!(!first.is_empty(), "aggregation must write result pages");
-    assert_eq!(first, second, "two-phase aggregation must be reproducible");
+    assert_runs_identical("two-phase aggregation, repeated run", &first, &second);
 }
 
 #[test]

@@ -41,6 +41,7 @@ impl PcClient {
                 join_partitions: 8,
             },
             broadcast_threshold: 16 << 20,
+            ..ClusterConfig::default()
         })
     }
 

@@ -140,6 +140,22 @@ impl PipelineSpec {
         }
     }
 
+    /// The `__tmp` intermediate lists this pipeline's sink appends to —
+    /// the artifacts a stage replay must clear before re-running the stage
+    /// (stage-replay entry point for the cluster's recovery protocol;
+    /// user-visible output sets are never listed because routing failures
+    /// strictly precede their appends).
+    pub fn replay_targets(&self) -> Vec<&str> {
+        match &self.sink {
+            Sink::Materialize { list, .. }
+            | Sink::AggProduce {
+                dest: AggDest::Intermediate { list },
+                ..
+            } => vec![list.as_str()],
+            _ => Vec::new(),
+        }
+    }
+
     /// What this pipeline requires before running.
     pub fn requires(&self) -> Vec<String> {
         let mut r: Vec<String> = self
@@ -436,6 +452,17 @@ impl PhysicalPlan {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Number of stages (pipelines) in the plan.
+    pub fn stage_count(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// One stage by position — stage-replay entry point: recovery re-runs
+    /// a failed stage in place, from its still-materialized inputs.
+    pub fn stage(&self, i: usize) -> Option<&PipelineSpec> {
+        self.pipelines.get(i)
     }
 }
 

@@ -31,6 +31,13 @@ pub enum PcError {
     NullHandle,
     /// Catalog-level error (duplicate registration, code collision).
     Catalog(String),
+    /// A worker node's backend died (detected by the cluster transport).
+    /// Recoverable: the master replays the dead worker's stages from
+    /// surviving append-only inputs.
+    WorkerDead(usize),
+    /// Inter-node transport failure (deadline exceeded, channel torn down,
+    /// undeliverable frame). Recoverable by stage replay.
+    Transport(String),
 }
 
 impl fmt::Display for PcError {
@@ -54,6 +61,8 @@ impl fmt::Display for PcError {
             PcError::NoRoot => write!(f, "block has no root object"),
             PcError::NullHandle => write!(f, "null handle dereference"),
             PcError::Catalog(why) => write!(f, "catalog error: {why}"),
+            PcError::WorkerDead(w) => write!(f, "worker {w} died"),
+            PcError::Transport(why) => write!(f, "transport error: {why}"),
         }
     }
 }

@@ -1,0 +1,240 @@
+//! Offline stand-in for the crates.io `crossbeam-channel` crate.
+//!
+//! Provides the API surface the workspace uses: `bounded` / `unbounded`
+//! multi-producer **multi-consumer** channels with cloneable senders and
+//! receivers, blocking `send` / `recv`, and the `_timeout` variants the
+//! streaming transport's flow control and failure detection rely on.
+//!
+//! Implementation: `std::sync::mpsc` underneath, with the receiver wrapped
+//! in an `Arc<Mutex<..>>` so it can be cloned and shared across consumer
+//! threads (real crossbeam receivers are lock-free; this shim trades that
+//! for ~40 lines). Bounded capacity maps to `mpsc::sync_channel`, so a full
+//! channel blocks senders — the backpressure semantics the transport needs.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Sending half of a channel. Cloneable; all clones feed the same queue.
+pub struct Sender<T> {
+    inner: mpsc::SyncSender<T>,
+}
+
+/// Receiving half of a channel. Cloneable; clones *share* the queue (each
+/// message is delivered to exactly one receiver).
+pub struct Receiver<T> {
+    inner: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// The channel is disconnected (every receiver dropped); `send` returns the
+/// unsent message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Outcome of [`Sender::send_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout.
+    Timeout(T),
+    /// The channel is disconnected.
+    Disconnected(T),
+}
+
+/// The channel is empty and every sender dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Outcome of [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and disconnected.
+    Disconnected,
+}
+
+/// Outcome of [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// The channel is empty and disconnected.
+    Disconnected,
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is queued (bounded channels block while
+    /// full) or every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.inner.send(msg).map_err(|e| SendError(e.0))
+    }
+
+    /// Like [`send`](Self::send) but gives up after `timeout`.
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        match self.inner.try_send(msg) {
+            Ok(()) => Ok(()),
+            Err(mpsc::TrySendError::Disconnected(m)) => Err(SendTimeoutError::Disconnected(m)),
+            Err(mpsc::TrySendError::Full(m)) => {
+                // Poll with a short backoff until the deadline; mpsc has no
+                // native timed send.
+                let deadline = std::time::Instant::now() + timeout;
+                let mut msg = m;
+                loop {
+                    std::thread::sleep(Duration::from_micros(100));
+                    match self.inner.try_send(msg) {
+                        Ok(()) => return Ok(()),
+                        Err(mpsc::TrySendError::Disconnected(m)) => {
+                            return Err(SendTimeoutError::Disconnected(m))
+                        }
+                        Err(mpsc::TrySendError::Full(m)) => {
+                            if std::time::Instant::now() >= deadline {
+                                return Err(SendTimeoutError::Timeout(m));
+                            }
+                            msg = m;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner
+            .lock()
+            .expect("channel receiver poisoned")
+            .recv()
+            .map_err(|_| RecvError)
+    }
+
+    /// Like [`recv`](Self::recv) but gives up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner
+            .lock()
+            .expect("channel receiver poisoned")
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner
+            .lock()
+            .expect("channel receiver poisoned")
+            .try_recv()
+            .map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+    }
+}
+
+/// A channel that holds at most `cap` queued messages; senders block (or
+/// time out) while it is full.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap.max(1));
+    (
+        Sender { inner: tx },
+        Receiver {
+            inner: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+/// A channel with no capacity bound. (Backed by a large sync_channel: the
+/// transport never queues unboundedly, and a hard cap beats silent OOM.)
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    bounded(1 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip_in_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn bounded_blocks_then_timeout_when_full() {
+        let (tx, _rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        match tx.send_timeout(2, Duration::from_millis(5)) {
+            Err(SendTimeoutError::Timeout(2)) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_timeout_on_empty() {
+        let (_tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn disconnect_is_visible_on_both_ends() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+        let (tx2, rx2) = bounded::<u32>(1);
+        drop(tx2);
+        assert_eq!(rx2.recv(), Err(RecvError));
+        assert_eq!(rx2.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn cloned_receivers_share_one_queue() {
+        let (tx, rx) = bounded(8);
+        let rx2 = rx.clone();
+        tx.send(1u32).unwrap();
+        tx.send(2).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        let mut got = vec![a, b];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "each message delivered exactly once");
+    }
+
+    #[test]
+    fn senders_unblock_across_threads() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u64).unwrap();
+        let t = std::thread::spawn(move || tx.send(1).unwrap());
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+    }
+}

@@ -191,6 +191,7 @@ fn multi_sink_job_runs_shared_upstream_once() {
             join_partitions: 4,
         },
         broadcast_threshold: 8 << 20,
+        ..ClusterConfig::default()
     })
     .unwrap();
     let n = 3000usize;

@@ -73,6 +73,7 @@ fn selection_then_aggregation_then_join_across_cluster() {
             join_partitions: 8,
         },
         broadcast_threshold: 8 << 20,
+        ..ClusterConfig::default()
     })
     .unwrap();
 
