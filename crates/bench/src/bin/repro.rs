@@ -6,9 +6,11 @@
 //! repro figure1             one figure (figure1..figure5)
 //! repro pipeline [--quick]  the execution-engine benchmark
 //!                           (writes BENCH_pipeline.json)
-//! repro faults [--quick] [--seed N]...
+//! repro faults [--quick] [--tcp] [--seed N]...
 //!                           the chaos matrix: fault injection, worker
-//!                           recovery, byte-identical replay
+//!                           recovery, byte-identical replay; --tcp runs
+//!                           it over real loopback sockets with heartbeat
+//!                           liveness
 //! ```
 
 use pc_bench::{faults, figures, pipeline, tables};
@@ -16,6 +18,7 @@ use pc_bench::{faults, figures, pipeline, tables};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let tcp = args.iter().any(|a| a == "--tcp");
     let seeds: Vec<u64> = args
         .iter()
         .zip(args.iter().skip(1))
@@ -57,7 +60,7 @@ fn main() {
         "figure4" => figures::figure4(),
         "figure5" => figures::figure5(),
         "pipeline" => pipeline::pipeline(quick),
-        "faults" => faults::faults(quick, &seeds),
+        "faults" => faults::faults(quick, &seeds, tcp),
         other => {
             eprintln!(
                 "unknown experiment {other}; use all|table1..table8|figure1..figure5|pipeline|faults"

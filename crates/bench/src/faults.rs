@@ -1,18 +1,22 @@
 //! `repro faults` — the transport & recovery demonstration.
 //!
 //! Runs the chaos matrix from `cluster/tests/faults.rs` as a visible
-//! experiment: every fault kind ({drop, delay, reorder, worker-death})
-//! against both transport-heavy stage shapes (aggregation shuffle,
-//! broadcast join), over a fixed seed set plus any `--seed N` extras (CI
-//! passes a seed rotated from the commit hash). Each cell reports whether
-//! the run under faults produced output **byte-identical** to a fault-free
-//! run, how many workers were recovered and stages replayed, and how many
-//! wire bytes were wasted on retransmission. Any non-identical cell prints
-//! its full fault schedule and fails the process.
+//! experiment: every fault kind ({drop, delay, reorder, corrupt,
+//! worker-death}) against both transport-heavy stage shapes (aggregation
+//! shuffle, broadcast join), over a fixed seed set plus any `--seed N`
+//! extras (CI passes a seed rotated from the commit hash). With `--tcp`
+//! the chaos rides on real loopback sockets (`TcpTransport`) instead of
+//! the in-process stream. Each cell reports whether the run under faults
+//! produced output **byte-identical** to a fault-free run, how many
+//! workers were recovered and stages replayed, how many wire bytes were
+//! wasted on retransmission, and — on the TCP wire — missed heartbeats
+//! and metered reconnects. Any non-identical cell prints its full fault
+//! schedule and fails the process.
 
 use crate::util::row;
 use pc_cluster::{
-    ClusterConfig, ClusterStats, FaultKind, FaultSpec, PcCluster, StreamConfig, TransportKind,
+    ClusterConfig, ClusterStats, FaultKind, FaultSpec, PcCluster, StreamConfig, TcpConfig,
+    TransportKind,
 };
 use pc_core::{Dataset, Job};
 use pc_exec::ExecConfig;
@@ -101,12 +105,20 @@ fn cluster_with(transport: TransportKind) -> PcCluster {
     .unwrap()
 }
 
-fn faulty(spec: FaultSpec) -> TransportKind {
-    TransportKind::Faulty {
-        inner: Box::new(TransportKind::Stream(StreamConfig {
+fn faulty(spec: FaultSpec, tcp: bool) -> TransportKind {
+    let inner = if tcp {
+        TransportKind::Tcp(TcpConfig {
+            chunk_bytes: 1 << 10,
+            ..TcpConfig::default()
+        })
+    } else {
+        TransportKind::Stream(StreamConfig {
             chunk_bytes: 1 << 10,
             ..StreamConfig::default()
-        })),
+        })
+    };
+    TransportKind::Faulty {
+        inner: Box::new(inner),
         spec,
     }
 }
@@ -188,9 +200,10 @@ fn run_join(c: &PcCluster, n: usize) -> (Vec<Vec<u8>>, ClusterStats) {
 }
 
 /// The chaos demonstration. `extra_seeds` join the fixed set (CI rotates
-/// one in from the commit hash). Exits non-zero if any cell is not
-/// byte-identical to the fault-free run.
-pub fn faults(quick: bool, extra_seeds: &[u64]) {
+/// one in from the commit hash); `tcp` moves the chaos onto real loopback
+/// sockets. Exits non-zero if any cell is not byte-identical to the
+/// fault-free run.
+pub fn faults(quick: bool, extra_seeds: &[u64], tcp: bool) {
     let rows = if quick { 600 } else { 2_000 };
     let mut seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
     seeds.extend_from_slice(extra_seeds);
@@ -201,12 +214,18 @@ pub fn faults(quick: bool, extra_seeds: &[u64]) {
         FaultKind::Drop,
         FaultKind::Delay,
         FaultKind::Reorder,
+        FaultKind::Corrupt,
         FaultKind::WorkerDeath,
     ];
 
-    println!("Transport & recovery: chaos matrix over {rows} rows, seeds {seeds:?}");
+    let wire = if tcp {
+        "tcp sockets"
+    } else {
+        "in-process stream"
+    };
+    println!("Transport & recovery: chaos matrix over {rows} rows, seeds {seeds:?}, wire: {wire}");
     println!("(every cell must be byte-identical to the fault-free run)\n");
-    let widths = [14, 12, 6, 10, 10, 9, 14];
+    let widths = [14, 12, 6, 10, 10, 9, 14, 9, 9];
     row(
         &[
             "stage".into(),
@@ -216,6 +235,8 @@ pub fn faults(quick: bool, extra_seeds: &[u64]) {
             "recovered".into(),
             "replayed".into(),
             "retrans bytes".into(),
+            "hb missed".into(),
+            "redials".into(),
         ],
         &widths,
     );
@@ -231,7 +252,7 @@ pub fn faults(quick: bool, extra_seeds: &[u64]) {
                     spec.death_at = Some(seed % 6);
                     spec.victim = Some(seed as usize % WORKERS);
                 }
-                let c = cluster_with(faulty(spec));
+                let c = cluster_with(faulty(spec, tcp));
                 let schedule = c.transport().fault_summary().unwrap_or_default();
                 let (got, stats) = job(&c, rows);
                 let identical =
@@ -248,6 +269,8 @@ pub fn faults(quick: bool, extra_seeds: &[u64]) {
                         stats.workers_recovered.to_string(),
                         stats.stages_replayed.to_string(),
                         stats.bytes_retransmitted.to_string(),
+                        stats.heartbeats_missed.to_string(),
+                        stats.reconnects.to_string(),
                     ],
                     &widths,
                 );

@@ -66,6 +66,11 @@ pub struct ClusterStats {
     pub stages_replayed: u64,
     /// Worker backends restarted after a detected death.
     pub workers_recovered: u64,
+    /// Heartbeat intervals that elapsed with no beat from a worker (wire
+    /// transports with a liveness monitor; zero otherwise).
+    pub heartbeats_missed: u64,
+    /// Connections re-established after a failure, with backoff.
+    pub reconnects: u64,
 }
 
 /// One worker node: its own storage (buffer pool + spill dir) and local
@@ -112,7 +117,7 @@ impl PcCluster {
             });
         }
         let meter = Arc::new(TransportMeter::default());
-        let transport = config.transport.build(meter.clone(), config.workers);
+        let transport = config.transport.build(meter.clone(), config.workers)?;
         let liveness = Liveness::new(config.workers);
         Ok(PcCluster {
             config,
@@ -153,6 +158,8 @@ impl PcCluster {
             sends_failed: self.meter.sends_failed(),
             stages_replayed: self.stages_replayed.load(Ordering::Relaxed),
             workers_recovered: self.workers_recovered.load(Ordering::Relaxed),
+            heartbeats_missed: self.meter.heartbeats_missed(),
+            reconnects: self.meter.reconnects(),
         }
     }
 
@@ -318,6 +325,8 @@ impl PcCluster {
             sends_failed: after.sends_failed - before.sends_failed,
             stages_replayed: after.stages_replayed - before.stages_replayed,
             workers_recovered: after.workers_recovered - before.workers_recovered,
+            heartbeats_missed: after.heartbeats_missed - before.heartbeats_missed,
+            reconnects: after.reconnects - before.reconnects,
         })
     }
 

@@ -24,10 +24,11 @@ pub mod recovery;
 pub mod stages;
 pub mod testkit;
 pub mod transport;
+pub mod wire;
 
 pub use cluster::{ClusterConfig, ClusterStats, PcCluster};
 pub use recovery::{Liveness, RecoveryPolicy};
 pub use transport::{
     FaultKind, FaultSpec, FaultyTransport, LocalTransport, StreamConfig, StreamTransport,
-    Transport, TransportKind, TransportMeter, MASTER,
+    TcpConfig, TcpTransport, Transport, TransportKind, TransportMeter, MASTER,
 };

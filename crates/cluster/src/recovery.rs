@@ -102,11 +102,26 @@ pub(crate) fn with_stage_recovery<T>(
                         cluster.recover_worker(w);
                     }
                     _ => {
-                        // A deadline with no confirmed victim: revive every
-                        // link and replay; the schedule (or a real hang)
+                        // A deadline or wire error with no named victim: ask
+                        // the transport's failure detector who it suspects
+                        // (missed heartbeats) and restart those backends
+                        // specifically; with nobody suspect, revive every
+                        // link and replay — the schedule (or a real hang)
                         // will re-identify the culprit if there is one.
-                        for w in 0..cluster.workers.len() {
-                            cluster.transport().revive(w);
+                        let suspects: Vec<usize> = cluster
+                            .transport()
+                            .suspects()
+                            .into_iter()
+                            .filter(|w| *w < cluster.workers.len())
+                            .collect();
+                        if suspects.is_empty() {
+                            for w in 0..cluster.workers.len() {
+                                cluster.transport().revive(w);
+                            }
+                        } else {
+                            for w in suspects {
+                                cluster.recover_worker(w);
+                            }
                         }
                     }
                 }

@@ -16,22 +16,36 @@
 //!   deliveries) is counted separately as retransmission, so a lossy run
 //!   reports the same `bytes_shuffled` as a clean one.
 //!
-//! Three implementations:
+//! Four implementations:
 //!
 //! * [`LocalTransport`] — the synchronous in-process byte copy the cluster
 //!   has always used (the default).
-//! * [`StreamTransport`] — chunks sealed pages into frames and pushes them
-//!   through a bounded channel to a demux thread that reassembles them
-//!   concurrently, so delivery overlaps with downstream compute; the
-//!   bounded channel is the flow control, and collects carry a deadline
-//!   (the master-side failure detector).
+//! * [`StreamTransport`] — chunks sealed pages into CRC-checksummed wire
+//!   frames ([`crate::wire`]) and pushes them through a bounded channel to
+//!   a demux thread that reassembles them concurrently, so delivery
+//!   overlaps with downstream compute; the bounded channel is the flow
+//!   control, and collects carry a deadline (the master-side failure
+//!   detector).
+//! * [`TcpTransport`] — the same frames over real `std::net` TCP sockets:
+//!   one listener per node, a poll loop (the vendored `mio` shim)
+//!   demuxing every inbound connection, continuous worker heartbeats
+//!   feeding a master-side liveness monitor, and crash-restart
+//!   reconnection with bounded, jittered exponential backoff.
 //! * [`FaultyTransport`] — a decorator that injects drops, delays,
-//!   reorders, and whole-worker deaths from a reproducible seed-driven
-//!   schedule.
+//!   reorders, payload corruption, and whole-worker deaths from a
+//!   reproducible seed-driven schedule.
+//!
+//! Wire failures never panic and never surface garbage pages: checksum
+//! rejects, truncated frames, and incomplete reassembly all become typed
+//! [`PcError::Transport`] errors at collect time, which the recovery layer
+//! answers with a stage replay.
 
 use crate::cluster::unique_suffix;
+use crate::wire::{self, Decoded, FrameKind, WireFrame};
 use pc_object::{PcError, PcResult, SealedPage};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -62,6 +76,8 @@ pub struct TransportMeter {
     pages_shuffled: AtomicU64,
     bytes_retransmitted: AtomicU64,
     sends_failed: AtomicU64,
+    heartbeats_missed: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 /// A point-in-time snapshot of the logical counters, used to roll back an
@@ -127,6 +143,32 @@ impl TransportMeter {
     pub fn sends_failed(&self) -> u64 {
         self.sends_failed.load(Ordering::Relaxed)
     }
+
+    /// One heartbeat interval passed without a beat from a live worker.
+    pub fn on_heartbeat_missed(&self) {
+        self.heartbeats_missed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection re-established after a failure (with backoff).
+    pub fn on_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Heartbeat intervals that elapsed with no beat from a worker.
+    ///
+    /// Liveness counters are wire-level facts, not logical traffic: a
+    /// [`rollback`](Self::rollback) reclassifies deliveries but never
+    /// touches these (the beats really were missed, the links really were
+    /// re-dialed, regardless of how the stage attempt ended).
+    pub fn heartbeats_missed(&self) -> u64 {
+        self.heartbeats_missed.load(Ordering::Relaxed)
+    }
+
+    /// Connections re-established after a failure. Monotone across
+    /// checkpoint/rollback, like [`heartbeats_missed`](Self::heartbeats_missed).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
 }
 
 // ---------------------------------------------------------------- the trait
@@ -169,6 +211,46 @@ pub trait Transport: Send + Sync {
     fn fault_summary(&self) -> Option<String> {
         None
     }
+
+    /// Wire-corruption hook for fault injection: performs the logical send
+    /// of `page`, but one seed-chosen frame goes out with a bit flipped
+    /// *after* its checksum was computed. With `retransmit` the clean frame
+    /// follows (modeling link-level retransmission after a checksum
+    /// reject), so the page still arrives exactly once; without it the page
+    /// is lost on the wire and surfaces as a typed transport error at
+    /// collect, which stage replay recovers.
+    ///
+    /// Transports without a wire (the in-process copy) deliver normally
+    /// under `retransmit` — there is nothing between encode and decode to
+    /// corrupt — and refuse otherwise.
+    fn send_corrupted(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        page: &SealedPage,
+        _flip_seed: u64,
+        retransmit: bool,
+    ) -> PcResult<()> {
+        if retransmit {
+            return self.send(src, dst, page);
+        }
+        Err(PcError::Transport(format!(
+            "{} has no wire to corrupt",
+            self.name()
+        )))
+    }
+
+    /// Crash worker `w`'s backend endpoint: heartbeats stop and its
+    /// connections die. No-op for transports without liveness machinery
+    /// (fault decorators model death themselves and forward this inward).
+    fn kill(&self, _w: NodeId) {}
+
+    /// Workers the failure detector currently suspects (missed-heartbeat
+    /// count at or past the threshold). Empty for transports without
+    /// heartbeats.
+    fn suspects(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
 }
 
 // ---------------------------------------------------------------- inbox
@@ -183,6 +265,10 @@ struct InboxState {
     delivered: HashMap<NodeId, BTreeMap<u64, SealedPage>>,
     expected: HashMap<NodeId, u64>,
     next_seq: HashMap<NodeId, u64>,
+    /// Destinations whose delivery stream is known-broken (reassembly
+    /// inconsistency, torn page, framing corruption): collect surfaces the
+    /// stored reason as a typed error instead of stalling to its deadline.
+    failed: HashMap<NodeId, String>,
 }
 
 struct Inbox {
@@ -215,11 +301,38 @@ impl Inbox {
         self.arrived.notify_all();
     }
 
+    /// Poison `dst`'s delivery stream: the pending (and the next) collect
+    /// fails immediately with a typed transport error instead of waiting
+    /// out its deadline. This is how wire-level damage — a failed checksum
+    /// with no retransmission, a truncated connection, an inconsistent
+    /// reassembly map — surfaces to the recovery layer.
+    fn fail(&self, dst: NodeId, why: String) {
+        let mut s = self.state.lock().expect("inbox poisoned");
+        s.failed.entry(dst).or_insert(why);
+        self.arrived.notify_all();
+    }
+
     /// Wait for every expected page, then drain them in seq order.
-    fn collect(&self, dst: NodeId, deadline: Option<Duration>) -> PcResult<Vec<SealedPage>> {
+    /// `interrupt` (the heartbeat failure detector) is re-checked on every
+    /// wakeup and preempts the deadline with its own typed error.
+    fn collect(
+        &self,
+        dst: NodeId,
+        deadline: Option<Duration>,
+        interrupt: Option<&dyn Fn() -> Option<PcError>>,
+    ) -> PcResult<Vec<SealedPage>> {
         let start = Instant::now();
         let mut s = self.state.lock().expect("inbox poisoned");
         loop {
+            if let Some(why) = s.failed.remove(&dst) {
+                return Err(PcError::Transport(format!(
+                    "collect({}): delivery stream broken: {why}",
+                    node_name(dst)
+                )));
+            }
+            if let Some(e) = interrupt.and_then(|probe| probe()) {
+                return Err(e);
+            }
             let want = s.expected.get(&dst).copied().unwrap_or(0);
             let got = s.delivered.get(&dst).map(|m| m.len() as u64).unwrap_or(0);
             if got >= want {
@@ -244,8 +357,15 @@ impl Inbox {
                             d
                         ))
                     })?;
+                    // With a failure detector watching, wake periodically to
+                    // re-probe it rather than sleeping the whole deadline.
+                    let nap = if interrupt.is_some() {
+                        left.min(Duration::from_millis(5))
+                    } else {
+                        left
+                    };
                     let (guard, _timeout) =
-                        self.arrived.wait_timeout(s, left).expect("inbox poisoned");
+                        self.arrived.wait_timeout(s, nap).expect("inbox poisoned");
                     s = guard;
                 }
             }
@@ -297,7 +417,7 @@ impl Transport for LocalTransport {
     }
 
     fn collect(&self, dst: NodeId) -> PcResult<Vec<SealedPage>> {
-        self.inbox.collect(dst, None)
+        self.inbox.collect(dst, None, None)
     }
 
     fn reset(&self) {
@@ -334,15 +454,131 @@ impl Default for StreamConfig {
 }
 
 enum Frame {
-    Chunk {
-        epoch: u64,
-        dst: NodeId,
-        seq: u64,
-        idx: u32,
-        total: u32,
-        bytes: Vec<u8>,
-    },
+    /// One encoded wire frame ([`crate::wire`]): checksummed bytes, exactly
+    /// as a socket transport would put them on a connection.
+    Wire(Vec<u8>),
     Shutdown,
+}
+
+/// Splits a page's bytes into encoded, checksummed data frames.
+fn encode_page_frames(
+    epoch: u64,
+    src: NodeId,
+    dst: NodeId,
+    seq: u64,
+    bytes: &[u8],
+    chunk_bytes: usize,
+) -> Vec<Vec<u8>> {
+    let chunks: Vec<&[u8]> = bytes.chunks(chunk_bytes.max(1)).collect();
+    let total = chunks.len() as u32;
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(idx, c)| {
+            WireFrame::data(
+                epoch,
+                src as u64,
+                dst as u64,
+                seq,
+                idx as u32,
+                total,
+                c.to_vec(),
+            )
+            .encode()
+        })
+        .collect()
+}
+
+/// Chunk reassembly shared by the frame-based transports (the stream demux
+/// thread and the TCP poll loop): collects data frames per (dst, seq),
+/// validates completed pages, and delivers them — or poisons the
+/// destination's inbox with a typed [`PcError::Transport`] when the frame
+/// map is inconsistent or the page is torn. The demux side never panics;
+/// recovery answers the poisoned collect with a stage replay.
+struct Reassembler {
+    partial: HashMap<(NodeId, u64), PartialPage>,
+}
+
+/// The epoch a partial page started under, plus its chunk slots.
+type PartialPage = (u64, Vec<Option<Vec<u8>>>);
+
+impl Reassembler {
+    fn new() -> Self {
+        Reassembler {
+            partial: HashMap::new(),
+        }
+    }
+
+    /// Drops partial pages left over from aborted-stage epochs.
+    fn retain_epoch(&mut self, now: u64) {
+        self.partial.retain(|_, (e, _)| *e == now);
+    }
+
+    fn accept(&mut self, frame: WireFrame, meter: &TransportMeter, inbox: &Inbox) {
+        let dst = frame.dst as usize;
+        let seq = frame.seq;
+        let total = frame.total as usize;
+        // A replay reuses sequence numbers from zero, so a partial page
+        // left over from an aborted epoch must not absorb this epoch's
+        // chunks: scrap it (its bytes were waste) and start clean.
+        if let Some((e, chunks)) = self.partial.get(&(dst, seq)) {
+            if *e != frame.epoch {
+                let wasted: usize = chunks.iter().flatten().map(Vec::len).sum();
+                meter.on_failed_attempt(wasted);
+                self.partial.remove(&(dst, seq));
+            }
+        }
+        let entry = self
+            .partial
+            .entry((dst, seq))
+            .or_insert_with(|| (frame.epoch, vec![None; total]));
+        if entry.1.len() != total {
+            // Two checksum-valid frames of one page disagree about its
+            // shape: the stream is damaged beyond what per-frame CRCs can
+            // localize. Poison the destination instead of guessing.
+            let wasted: usize = entry.1.iter().flatten().map(Vec::len).sum();
+            let slots = entry.1.len();
+            meter.on_failed_attempt(wasted + frame.payload.len());
+            self.partial.remove(&(dst, seq));
+            inbox.fail(
+                dst,
+                format!("page {seq}: inconsistent chunk map ({slots} slots vs total {total})"),
+            );
+            return;
+        }
+        entry.1[frame.idx as usize] = Some(frame.payload);
+        if entry.1.iter().all(Option::is_some) {
+            // Defensive extraction: a map inconsistency here becomes a
+            // typed transport error on the destination, never a panic in
+            // the demux thread.
+            let Some((_, chunks)) = self.partial.remove(&(dst, seq)) else {
+                inbox.fail(dst, format!("page {seq}: reassembly entry vanished"));
+                return;
+            };
+            let mut whole = Vec::new();
+            for c in chunks {
+                match c {
+                    Some(bytes) => whole.extend_from_slice(&bytes),
+                    None => {
+                        meter.on_failed_attempt(whole.len());
+                        inbox.fail(dst, format!("page {seq}: frame map missing chunks"));
+                        return;
+                    }
+                }
+            }
+            match SealedPage::from_bytes(&whole) {
+                Ok(page) => {
+                    meter.on_delivered(whole.len());
+                    inbox.deliver(dst, seq, page);
+                }
+                Err(e) => {
+                    // A torn page never reaches the inbox.
+                    meter.on_failed_attempt(whole.len());
+                    inbox.fail(dst, format!("page {seq} reassembled torn: {e}"));
+                }
+            }
+        }
+    }
 }
 
 /// A flow-controlled streaming transport: pages are chunked into frames and
@@ -369,50 +605,38 @@ impl StreamTransport {
             std::thread::Builder::new()
                 .name(format!("pc-transport-demux-{}", unique_suffix()))
                 .spawn(move || {
-                    // (dst, seq) → (epoch, collected chunks); completed
-                    // pages are validated and delivered to the inbox.
-                    type Reassembly = HashMap<(NodeId, u64), (u64, Vec<Option<Vec<u8>>>)>;
-                    let mut partial: Reassembly = HashMap::new();
+                    let mut reasm = Reassembler::new();
                     while let Ok(frame) = rx.recv() {
                         match frame {
                             Frame::Shutdown => break,
-                            Frame::Chunk {
-                                epoch: fe,
-                                dst,
-                                seq,
-                                idx,
-                                total,
-                                bytes,
-                            } => {
+                            Frame::Wire(bytes) => {
                                 let now = epoch.load(Ordering::Acquire);
-                                if fe != now {
-                                    // A stale frame from an aborted stage
-                                    // attempt: drop it, and any partial
-                                    // pages from dead epochs.
-                                    partial.retain(|_, (e, _)| *e == now);
-                                    continue;
-                                }
-                                let entry = partial
-                                    .entry((dst, seq))
-                                    .or_insert_with(|| (fe, vec![None; total as usize]));
-                                entry.1[idx as usize] = Some(bytes);
-                                if entry.1.iter().all(Option::is_some) {
-                                    let (_, chunks) = partial.remove(&(dst, seq)).unwrap();
-                                    let mut whole = Vec::new();
-                                    for c in chunks {
-                                        whole.extend_from_slice(&c.unwrap());
+                                match wire::decode(&bytes) {
+                                    Ok(Decoded::Frame { frame, .. }) => {
+                                        if frame.kind != FrameKind::Data {
+                                            continue;
+                                        }
+                                        if frame.epoch != now {
+                                            // A stale frame from an aborted
+                                            // stage attempt: drop it, and any
+                                            // partial pages from dead epochs.
+                                            reasm.retain_epoch(now);
+                                            continue;
+                                        }
+                                        reasm.accept(frame, &meter, &inbox);
                                     }
-                                    match SealedPage::from_bytes(&whole) {
-                                        Ok(page) => {
-                                            meter.on_delivered(whole.len());
-                                            inbox.deliver(dst, seq, page);
-                                        }
-                                        Err(_) => {
-                                            // A torn page never reaches the
-                                            // inbox; the collect deadline
-                                            // surfaces it as a stage failure.
-                                            meter.on_failed_attempt(whole.len());
-                                        }
+                                    Ok(Decoded::Corrupt { consumed, .. }) => {
+                                        // Checksum reject: the attempt is
+                                        // wire waste; a retransmitted clean
+                                        // copy (or stage replay) recovers.
+                                        meter.on_failed_attempt(consumed);
+                                    }
+                                    Ok(Decoded::Need) | Err(_) => {
+                                        // A channel message is exactly one
+                                        // frame, so a short or unparseable
+                                        // message is broken framing; the
+                                        // loss surfaces at collect.
+                                        meter.on_failed_attempt(bytes.len());
                                     }
                                 }
                             }
@@ -429,6 +653,25 @@ impl StreamTransport {
             demux: Mutex::new(Some(demux)),
         }
     }
+
+    /// Pushes one encoded frame into the bounded channel (the flow-control
+    /// window), honoring the send deadline.
+    fn push(&self, dst: NodeId, encoded: Vec<u8>) -> PcResult<()> {
+        self.tx
+            .send_timeout(Frame::Wire(encoded), self.config.send_deadline)
+            .map_err(|e| {
+                PcError::Transport(match e {
+                    crossbeam_channel::SendTimeoutError::Timeout(_) => format!(
+                        "send to {} exceeded the {:?} deadline (window stalled)",
+                        node_name(dst),
+                        self.config.send_deadline
+                    ),
+                    crossbeam_channel::SendTimeoutError::Disconnected(_) => {
+                        "transport demux thread is gone".to_string()
+                    }
+                })
+            })
+    }
 }
 
 impl Transport for StreamTransport {
@@ -436,41 +679,46 @@ impl Transport for StreamTransport {
         "stream"
     }
 
-    fn send(&self, _src: NodeId, dst: NodeId, page: &SealedPage) -> PcResult<()> {
+    fn send(&self, src: NodeId, dst: NodeId, page: &SealedPage) -> PcResult<()> {
         let bytes = page.to_bytes();
         let seq = self.inbox.expect(dst);
         let epoch = self.epoch.load(Ordering::Acquire);
-        let chunks: Vec<&[u8]> = bytes.chunks(self.config.chunk_bytes.max(1)).collect();
-        let total = chunks.len() as u32;
-        for (idx, chunk) in chunks.into_iter().enumerate() {
-            let frame = Frame::Chunk {
-                epoch,
-                dst,
-                seq,
-                idx: idx as u32,
-                total,
-                bytes: chunk.to_vec(),
-            };
-            self.tx
-                .send_timeout(frame, self.config.send_deadline)
-                .map_err(|e| {
-                    PcError::Transport(match e {
-                        crossbeam_channel::SendTimeoutError::Timeout(_) => format!(
-                            "send to {} exceeded the {:?} deadline (window stalled)",
-                            node_name(dst),
-                            self.config.send_deadline
-                        ),
-                        crossbeam_channel::SendTimeoutError::Disconnected(_) => {
-                            "transport demux thread is gone".to_string()
-                        }
-                    })
-                })?;
+        for frame in encode_page_frames(epoch, src, dst, seq, &bytes, self.config.chunk_bytes) {
+            self.push(dst, frame)?;
         }
         Ok(())
     }
 
     fn collect(&self, dst: NodeId) -> PcResult<Vec<SealedPage>> {
-        self.inbox.collect(dst, Some(self.config.collect_deadline))
+        self.inbox
+            .collect(dst, Some(self.config.collect_deadline), None)
+    }
+
+    fn send_corrupted(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        page: &SealedPage,
+        flip_seed: u64,
+        retransmit: bool,
+    ) -> PcResult<()> {
+        let bytes = page.to_bytes();
+        let seq = self.inbox.expect(dst);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let frames = encode_page_frames(epoch, src, dst, seq, &bytes, self.config.chunk_bytes);
+        let victim = (mix(flip_seed, frames.len() as u64, 0xC0F) as usize) % frames.len();
+        for (i, frame) in frames.into_iter().enumerate() {
+            if i == victim {
+                let mut mangled = frame.clone();
+                wire::flip_payload_bit(&mut mangled, flip_seed);
+                self.push(dst, mangled)?;
+                if !retransmit {
+                    continue;
+                }
+            }
+            self.push(dst, frame)?;
+        }
+        Ok(())
     }
 
     fn reset(&self) {
@@ -490,6 +738,670 @@ impl Drop for StreamTransport {
     }
 }
 
+// ---------------------------------------------------------------- tcp
+
+/// Tuning for [`TcpTransport`].
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Frame payload size a sealed page is chunked into.
+    pub chunk_bytes: usize,
+    /// Per-socket write deadline: how long a sender may stay blocked on a
+    /// full socket buffer before the link counts as failed.
+    pub send_deadline: Duration,
+    /// Collect deadline: the backstop failure detector when heartbeats are
+    /// still within budget.
+    pub collect_deadline: Duration,
+    /// How often each worker endpoint beats at the master.
+    pub heartbeat_interval: Duration,
+    /// Missed beats before the master marks a worker suspect.
+    pub suspect_after: u32,
+    /// First reconnect delay; doubles per attempt.
+    pub reconnect_base: Duration,
+    /// Ceiling on the exponential reconnect delay.
+    pub reconnect_cap: Duration,
+    /// Data-path reconnect attempts before a send fails with a typed
+    /// transport error (heartbeat endpoints keep dialing at the cap).
+    pub reconnect_attempts: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            chunk_bytes: 4 << 10,
+            send_deadline: Duration::from_secs(5),
+            collect_deadline: Duration::from_secs(10),
+            heartbeat_interval: Duration::from_millis(100),
+            suspect_after: 5,
+            reconnect_base: Duration::from_millis(10),
+            reconnect_cap: Duration::from_millis(250),
+            reconnect_attempts: 5,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Maps the stream transport's knobs onto the TCP wire — how the
+    /// `PC_WIRE=tcp` override reroutes stream-configured tests over real
+    /// sockets without touching them.
+    pub fn from_stream(cfg: &StreamConfig) -> TcpConfig {
+        TcpConfig {
+            chunk_bytes: cfg.chunk_bytes,
+            send_deadline: cfg.send_deadline,
+            collect_deadline: cfg.collect_deadline,
+            ..TcpConfig::default()
+        }
+    }
+}
+
+/// Jittered, capped exponential backoff: attempt 0 waits about the base,
+/// each retry doubles, the cap bounds it, and a seed-deterministic jitter
+/// (up to a quarter of the delay) keeps reconnect storms from
+/// synchronizing.
+fn backoff_delay(cfg: &TcpConfig, attempt: u32, salt: u64) -> Duration {
+    let exp = cfg.reconnect_base.saturating_mul(1u32 << attempt.min(16));
+    let capped = exp.min(cfg.reconnect_cap).max(Duration::from_millis(1));
+    let span = (capped.as_millis() as u64 / 4).max(1);
+    let jitter = mix(cfg.jitter_seed, attempt as u64, salt) % span;
+    capped + Duration::from_millis(jitter)
+}
+
+struct BeatState {
+    last_beat: Instant,
+    missed: u32,
+    suspect: bool,
+}
+
+/// Master-side liveness board: the poll loop records beats, the monitor
+/// thread advances missed-beat counts, collects consult the suspect set.
+struct BeatBoard {
+    state: Mutex<Vec<BeatState>>,
+}
+
+impl BeatBoard {
+    fn new(workers: usize) -> Self {
+        BeatBoard {
+            state: Mutex::new(
+                (0..workers)
+                    .map(|_| BeatState {
+                        last_beat: Instant::now(),
+                        missed: 0,
+                        suspect: false,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// A beat arrived from worker `w`: it is alive, whatever we suspected.
+    fn record(&self, w: usize) {
+        let mut s = self.state.lock().expect("beat board poisoned");
+        if let Some(b) = s.get_mut(w) {
+            b.last_beat = Instant::now();
+            b.missed = 0;
+            b.suspect = false;
+        }
+    }
+
+    /// One monitor sweep: counts beats that failed to arrive on schedule
+    /// (with half an interval of grace) and promotes quiet workers to
+    /// suspect once `suspect_after` beats are missing.
+    fn tick(&self, interval: Duration, suspect_after: u32, meter: &TransportMeter) {
+        let mut s = self.state.lock().expect("beat board poisoned");
+        for b in s.iter_mut() {
+            let due = interval * (b.missed + 1) + interval / 2;
+            if b.last_beat.elapsed() >= due {
+                b.missed += 1;
+                meter.on_heartbeat_missed();
+                if b.missed >= suspect_after {
+                    b.suspect = true;
+                }
+            }
+        }
+    }
+
+    fn suspects(&self) -> Vec<NodeId> {
+        let s = self.state.lock().expect("beat board poisoned");
+        s.iter()
+            .enumerate()
+            .filter(|(_, b)| b.suspect)
+            .map(|(w, _)| w)
+            .collect()
+    }
+
+    fn first_suspect(&self) -> Option<NodeId> {
+        self.suspects().into_iter().next()
+    }
+
+    /// Worker `w` restarted: forgive its missed beats.
+    fn revive(&self, w: usize) {
+        self.record(w);
+    }
+}
+
+type ConnSlot = Arc<Mutex<Option<std::net::TcpStream>>>;
+
+/// Sealed pages over real `std::net` TCP sockets.
+///
+/// Every node (each worker plus the master) owns a loopback listener. A
+/// `send(src, dst, ..)` writes checksummed wire frames on a pooled
+/// src→dst connection — re-dialed with bounded, jittered exponential
+/// backoff when the link drops. One poll-loop thread (the vendored `mio`
+/// shim) services every listener and inbound connection: it decodes
+/// frames, reassembles and validates pages into the shared inbox, and
+/// records worker heartbeats. A monitor thread turns missed beats into
+/// suspicion; a collect blocked on a suspect worker fails fast with
+/// [`PcError::WorkerDead`] instead of waiting out the collect deadline,
+/// and stage replay takes it from there.
+pub struct TcpTransport {
+    inbox: Arc<Inbox>,
+    config: TcpConfig,
+    meter: Arc<TransportMeter>,
+    epoch: Arc<AtomicU64>,
+    workers: usize,
+    addrs: Vec<SocketAddr>,
+    conns: Mutex<HashMap<(NodeId, NodeId), ConnSlot>>,
+    beats: Arc<BeatBoard>,
+    alive: Arc<Vec<AtomicBool>>,
+    shutdown: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// Binds one listener per node, spawns the poll loop, the heartbeat
+    /// monitor, and one heartbeat endpoint per worker.
+    pub fn new(meter: Arc<TransportMeter>, config: TcpConfig, workers: usize) -> PcResult<Self> {
+        let workers = workers.max(1);
+        let io_err = |what: &str, e: std::io::Error| {
+            PcError::Transport(format!("tcp transport {what}: {e}"))
+        };
+        // Listener slots: worker w at index w, the master at index
+        // `workers`.
+        let mut listeners = Vec::with_capacity(workers + 1);
+        let mut addrs = Vec::with_capacity(workers + 1);
+        for _ in 0..=workers {
+            let l = mio::net::TcpListener::bind("127.0.0.1:0".parse().expect("loopback addr"))
+                .map_err(|e| io_err("bind", e))?;
+            addrs.push(l.local_addr().map_err(|e| io_err("local_addr", e))?);
+            listeners.push(l);
+        }
+        let inbox = Arc::new(Inbox::new());
+        let epoch = Arc::new(AtomicU64::new(0));
+        let beats = Arc::new(BeatBoard::new(workers));
+        let alive: Arc<Vec<AtomicBool>> =
+            Arc::new((0..workers).map(|_| AtomicBool::new(true)).collect());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        // --- the poll loop: all inbound traffic, one thread ---
+        {
+            let inbox = inbox.clone();
+            let meter = meter.clone();
+            let epoch = epoch.clone();
+            let beats = beats.clone();
+            let shutdown = shutdown.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pc-tcp-poll-{}", unique_suffix()))
+                    .spawn(move || {
+                        poll_loop(listeners, workers, inbox, meter, epoch, beats, shutdown)
+                    })
+                    .expect("spawn tcp poll loop"),
+            );
+        }
+
+        // --- the liveness monitor ---
+        {
+            let meter = meter.clone();
+            let beats = beats.clone();
+            let shutdown = shutdown.clone();
+            let interval = config.heartbeat_interval;
+            let suspect_after = config.suspect_after;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pc-tcp-monitor-{}", unique_suffix()))
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Relaxed) {
+                            beats.tick(interval, suspect_after, &meter);
+                            std::thread::sleep(interval / 2);
+                        }
+                    })
+                    .expect("spawn tcp liveness monitor"),
+            );
+        }
+
+        // --- one heartbeat endpoint per worker ---
+        for w in 0..workers {
+            let meter = meter.clone();
+            let alive = alive.clone();
+            let shutdown = shutdown.clone();
+            let config2 = config.clone();
+            let master_addr = addrs[workers];
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pc-tcp-beat-{w}-{}", unique_suffix()))
+                    .spawn(move || {
+                        heartbeat_endpoint(w, master_addr, config2, meter, alive, shutdown)
+                    })
+                    .expect("spawn tcp heartbeat endpoint"),
+            );
+        }
+
+        Ok(TcpTransport {
+            inbox,
+            config,
+            meter,
+            epoch,
+            workers,
+            addrs,
+            conns: Mutex::new(HashMap::new()),
+            beats,
+            alive,
+            shutdown,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    fn addr_of(&self, n: NodeId) -> SocketAddr {
+        if n == MASTER {
+            self.addrs[self.workers]
+        } else {
+            self.addrs[n]
+        }
+    }
+
+    /// Writes a page's frames on the pooled src→dst connection, re-dialing
+    /// with bounded exponential backoff (jittered, capped, metered) when
+    /// the link is down or drops mid-write.
+    fn write_frames(&self, src: NodeId, dst: NodeId, frames: &[Vec<u8>]) -> PcResult<()> {
+        let slot: ConnSlot = {
+            let mut conns = self.conns.lock().expect("conn pool poisoned");
+            conns.entry((src, dst)).or_default().clone()
+        };
+        let mut conn = slot.lock().expect("conn slot poisoned");
+        let mut attempt = 0u32;
+        let mut had_failure = false;
+        loop {
+            if conn.is_none() {
+                match std::net::TcpStream::connect(self.addr_of(dst)) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        let _ = s.set_write_timeout(Some(self.config.send_deadline));
+                        if had_failure {
+                            self.meter.on_reconnect();
+                        }
+                        *conn = Some(s);
+                    }
+                    Err(e) => {
+                        had_failure = true;
+                        attempt += 1;
+                        if attempt > self.config.reconnect_attempts {
+                            return Err(PcError::Transport(format!(
+                                "connect to {} failed after {} backoff attempts: {e}",
+                                node_name(dst),
+                                self.config.reconnect_attempts
+                            )));
+                        }
+                        std::thread::sleep(backoff_delay(&self.config, attempt - 1, dst as u64));
+                        continue;
+                    }
+                }
+            }
+            let stream = conn.as_mut().expect("connection just ensured");
+            let wrote = frames
+                .iter()
+                .try_for_each(|f| stream.write_all(f))
+                .and_then(|()| stream.flush());
+            match wrote {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    // The link dropped mid-page: reconnect and resend every
+                    // frame. Duplicate chunks are idempotent on the
+                    // receiver (same seq/idx overwrites), and a frame torn
+                    // by the dead connection is caught by its checksum or
+                    // the truncation check.
+                    *conn = None;
+                    had_failure = true;
+                    attempt += 1;
+                    if attempt > self.config.reconnect_attempts {
+                        return Err(PcError::Transport(format!(
+                            "send to {} failed after {} backoff attempts: {e}",
+                            node_name(dst),
+                            self.config.reconnect_attempts
+                        )));
+                    }
+                    std::thread::sleep(backoff_delay(&self.config, attempt - 1, dst as u64));
+                }
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn send(&self, src: NodeId, dst: NodeId, page: &SealedPage) -> PcResult<()> {
+        let bytes = page.to_bytes();
+        let seq = self.inbox.expect(dst);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let frames = encode_page_frames(epoch, src, dst, seq, &bytes, self.config.chunk_bytes);
+        self.write_frames(src, dst, &frames)
+    }
+
+    fn collect(&self, dst: NodeId) -> PcResult<Vec<SealedPage>> {
+        let probe = || self.beats.first_suspect().map(PcError::WorkerDead);
+        self.inbox
+            .collect(dst, Some(self.config.collect_deadline), Some(&probe))
+    }
+
+    fn reset(&self) {
+        // New epoch first, so frames still buffered in sockets are
+        // recognizably stale by the time the inbox is cleared.
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.inbox.reset();
+    }
+
+    fn send_corrupted(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        page: &SealedPage,
+        flip_seed: u64,
+        retransmit: bool,
+    ) -> PcResult<()> {
+        let bytes = page.to_bytes();
+        let seq = self.inbox.expect(dst);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut frames = encode_page_frames(epoch, src, dst, seq, &bytes, self.config.chunk_bytes);
+        let victim = (mix(flip_seed, frames.len() as u64, 0xC0F) as usize) % frames.len();
+        let clean = frames[victim].clone();
+        wire::flip_payload_bit(&mut frames[victim], flip_seed);
+        if retransmit {
+            frames.insert(victim + 1, clean);
+        }
+        self.write_frames(src, dst, &frames)
+    }
+
+    fn kill(&self, w: NodeId) {
+        if w < self.workers {
+            self.alive[w].store(false, Ordering::Relaxed);
+        }
+        // Sever every live connection touching the dead node; senders will
+        // re-dial (with backoff) once it is revived.
+        let conns = self.conns.lock().expect("conn pool poisoned");
+        for ((src, dst), slot) in conns.iter() {
+            if *src == w || *dst == w {
+                slot.lock().expect("conn slot poisoned").take();
+            }
+        }
+    }
+
+    fn revive(&self, w: NodeId) {
+        if w < self.workers {
+            self.alive[w].store(true, Ordering::Relaxed);
+            self.beats.revive(w);
+        }
+    }
+
+    fn suspects(&self) -> Vec<NodeId> {
+        self.beats.suspects()
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for h in self.threads.lock().expect("tcp threads poisoned").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+struct TcpConn {
+    stream: mio::net::TcpStream,
+    buf: Vec<u8>,
+}
+
+/// The receive side: accepts connections on every node's listener, decodes
+/// frames, reassembles pages, and records heartbeats — one thread for the
+/// whole cluster.
+fn poll_loop(
+    mut listeners: Vec<mio::net::TcpListener>,
+    workers: usize,
+    inbox: Arc<Inbox>,
+    meter: Arc<TransportMeter>,
+    epoch: Arc<AtomicU64>,
+    beats: Arc<BeatBoard>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let poll = match mio::Poll::new() {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    for (i, l) in listeners.iter_mut().enumerate() {
+        let _ = poll
+            .registry()
+            .register(l, mio::Token(i), mio::Interest::READABLE);
+    }
+    let mut conns: HashMap<usize, TcpConn> = HashMap::new();
+    let mut next_token = workers + 2;
+    let mut reasm = Reassembler::new();
+    let mut events = mio::Events::with_capacity(64);
+    let mut scratch = [0u8; 64 << 10];
+    while !shutdown.load(Ordering::Relaxed) {
+        if poll
+            .poll(&mut events, Some(Duration::from_millis(10)))
+            .is_err()
+        {
+            return;
+        }
+        for ev in &events {
+            let t = ev.token().0;
+            if t <= workers {
+                // A listener: accept everything waiting.
+                while let Ok((mut stream, _)) = listeners[t].accept() {
+                    let token = next_token;
+                    next_token += 1;
+                    if poll
+                        .registry()
+                        .register(&mut stream, mio::Token(token), mio::Interest::READABLE)
+                        .is_ok()
+                    {
+                        conns.insert(
+                            token,
+                            TcpConn {
+                                stream,
+                                buf: Vec::new(),
+                            },
+                        );
+                    }
+                }
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&t) else {
+                continue;
+            };
+            let mut closed = false;
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        closed = true;
+                        break;
+                    }
+                    Ok(n) => conn.buf.extend_from_slice(&scratch[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+            let framing_broken = drain_frames(conn, &inbox, &meter, &epoch, &beats, &mut reasm);
+            if closed && !framing_broken && !conn.buf.is_empty() {
+                // The peer vanished mid-frame: a truncated page. Surface a
+                // typed error on the destination if the stranded header
+                // still names one; either way the bytes were waste.
+                meter.on_failed_attempt(conn.buf.len());
+                if let Some(dst) = truncated_dst(&conn.buf) {
+                    inbox.fail(
+                        dst,
+                        format!(
+                            "connection closed mid-frame ({} bytes stranded)",
+                            conn.buf.len()
+                        ),
+                    );
+                }
+            }
+            if closed || framing_broken {
+                let mut dead = conns.remove(&t).expect("conn present");
+                let _ = poll.registry().deregister(&mut dead.stream);
+            }
+        }
+    }
+}
+
+/// Decodes every complete frame buffered on a connection. Returns true when
+/// the framing itself broke (the connection must be dropped).
+fn drain_frames(
+    conn: &mut TcpConn,
+    inbox: &Inbox,
+    meter: &TransportMeter,
+    epoch: &AtomicU64,
+    beats: &BeatBoard,
+    reasm: &mut Reassembler,
+) -> bool {
+    let mut consumed_total = 0;
+    let broken = loop {
+        match wire::decode(&conn.buf[consumed_total..]) {
+            Ok(Decoded::Need) => break false,
+            Ok(Decoded::Frame { frame, consumed }) => {
+                consumed_total += consumed;
+                match frame.kind {
+                    FrameKind::Heartbeat => {
+                        let src = frame.src as usize;
+                        beats.record(src);
+                    }
+                    FrameKind::Data => {
+                        let now = epoch.load(Ordering::Acquire);
+                        if frame.epoch != now {
+                            reasm.retain_epoch(now);
+                            continue;
+                        }
+                        reasm.accept(frame, meter, inbox);
+                    }
+                }
+            }
+            Ok(Decoded::Corrupt { consumed, .. }) => {
+                // Checksum reject: skip exactly this frame; framing holds.
+                meter.on_failed_attempt(consumed);
+                consumed_total += consumed;
+            }
+            Err(_) => {
+                // Frame boundaries can no longer be trusted: everything
+                // still buffered is waste and the connection dies. The
+                // stranded destination (if its header survives) gets a
+                // typed error instead of a deadline stall.
+                let rest = conn.buf.len() - consumed_total;
+                meter.on_failed_attempt(rest);
+                if let Some(dst) = truncated_dst(&conn.buf[consumed_total..]) {
+                    inbox.fail(
+                        dst,
+                        "wire framing broken on an inbound connection".to_string(),
+                    );
+                }
+                break true;
+            }
+        }
+    };
+    conn.buf.drain(..consumed_total);
+    broken
+}
+
+/// Best-effort destination of a stranded partial frame (magic must hold and
+/// the header must reach the dst field).
+fn truncated_dst(buf: &[u8]) -> Option<NodeId> {
+    if buf.len() >= 29 {
+        let magic = u32::from_le_bytes(buf[0..4].try_into().ok()?);
+        if magic == wire::MAGIC {
+            let dst = u64::from_le_bytes(buf[21..29].try_into().ok()?);
+            return Some(dst as usize);
+        }
+    }
+    None
+}
+
+/// One worker's beating endpoint: dials the master and sends a heartbeat
+/// frame every interval, re-dialing with jittered exponential backoff when
+/// the link fails, and going silent while the worker is killed.
+fn heartbeat_endpoint(
+    w: usize,
+    master_addr: SocketAddr,
+    config: TcpConfig,
+    meter: Arc<TransportMeter>,
+    alive: Arc<Vec<AtomicBool>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut beat: u64 = 0;
+    let mut conn: Option<std::net::TcpStream> = None;
+    let mut failed_attempts: u32 = 0;
+    let mut had_failure = false;
+    let nap = |d: Duration| {
+        // Sleep in slices so kill/shutdown bite quickly.
+        let step = Duration::from_millis(5);
+        let mut left = d;
+        while left > Duration::ZERO && !shutdown.load(Ordering::Relaxed) {
+            let s = left.min(step);
+            std::thread::sleep(s);
+            left = left.saturating_sub(s);
+        }
+    };
+    while !shutdown.load(Ordering::Relaxed) {
+        if !alive[w].load(Ordering::Relaxed) {
+            if conn.take().is_some() {
+                had_failure = true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        if conn.is_none() {
+            match std::net::TcpStream::connect(master_addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_write_timeout(Some(config.send_deadline));
+                    if had_failure {
+                        meter.on_reconnect();
+                        had_failure = false;
+                    }
+                    failed_attempts = 0;
+                    conn = Some(s);
+                }
+                Err(_) => {
+                    had_failure = true;
+                    nap(backoff_delay(&config, failed_attempts, w as u64));
+                    failed_attempts = failed_attempts.saturating_add(1);
+                    continue;
+                }
+            }
+        }
+        let frame = WireFrame::heartbeat(w as u64, MASTER as u64, beat).encode();
+        beat += 1;
+        let ok = conn
+            .as_mut()
+            .map(|s| s.write_all(&frame).and_then(|()| s.flush()).is_ok())
+            .unwrap_or(false);
+        if !ok {
+            conn = None;
+            had_failure = true;
+            continue;
+        }
+        nap(config.heartbeat_interval);
+    }
+}
+
 // ---------------------------------------------------------------- faults
 
 /// Fault categories a [`FaultyTransport`] can inject.
@@ -501,6 +1413,11 @@ pub enum FaultKind {
     Delay,
     /// Two consecutive sends to the same destination swap on the wire.
     Reorder,
+    /// A seeded bit flips somewhere in one frame's payload on the wire.
+    /// The receiver's checksum rejects the frame; with retries on, the
+    /// link retransmits a clean copy, otherwise the loss surfaces as a
+    /// typed transport error and stage replay recovers.
+    Corrupt,
     /// A worker's backend dies at a scheduled send index; every later send
     /// touching it fails until recovery revives it.
     WorkerDeath,
@@ -512,6 +1429,7 @@ impl FaultKind {
             FaultKind::Drop => "drop",
             FaultKind::Delay => "delay",
             FaultKind::Reorder => "reorder",
+            FaultKind::Corrupt => "corrupt",
             FaultKind::WorkerDeath => "worker-death",
         }
     }
@@ -711,6 +1629,11 @@ impl Transport for FaultyTransport {
             if let Some((at, victim)) = self.death_point() {
                 if n >= at && !self.death_fired.swap(true, Ordering::Relaxed) {
                     self.dead.lock().expect("dead set poisoned").insert(victim);
+                    // Let the wire see the death too: a real-socket inner
+                    // transport severs the victim's connections and stops
+                    // its heartbeats, so the master's liveness monitor
+                    // detects the crash the same way it would a real one.
+                    self.inner.kill(victim);
                 }
             }
             self.check_alive(src, dst)?;
@@ -744,6 +1667,27 @@ impl Transport for FaultyTransport {
                         return Ok(());
                     }
                     // A stash is already pending: deliver normally below.
+                }
+                Some(FaultKind::Corrupt) => {
+                    let flip = mix(self.spec.seed, n, 3);
+                    if self.spec.retries {
+                        // One logical delivery whose first wire copy is
+                        // mangled and whose clean copy follows — the
+                        // link-level retransmit. The receiver's checksum
+                        // rejects the bad frame and meters the waste.
+                        self.inner.send_corrupted(src, dst, page, flip, true)?;
+                        let mut chans = self.chans.lock().expect("chan state poisoned");
+                        chans.entry(dst).or_default().perm.push(logical);
+                        return Ok(());
+                    }
+                    // No retransmission: the mangled frame goes out, dies
+                    // at the receiver's checksum, and the sender surfaces
+                    // a typed error for stage replay to recover from.
+                    let _ = self.inner.send_corrupted(src, dst, page, flip, false);
+                    return Err(PcError::Transport(format!(
+                        "send #{n} to {} corrupted on the wire (no retransmission)",
+                        node_name(dst)
+                    )));
                 }
                 _ => {}
             }
@@ -806,6 +1750,15 @@ impl Transport for FaultyTransport {
         self.inner.revive(w);
     }
 
+    fn kill(&self, w: NodeId) {
+        self.dead.lock().expect("dead set poisoned").insert(w);
+        self.inner.kill(w);
+    }
+
+    fn suspects(&self) -> Vec<NodeId> {
+        self.inner.suspects()
+    }
+
     fn arm(&self) {
         self.armed.store(true, Ordering::Relaxed);
     }
@@ -845,6 +1798,9 @@ pub enum TransportKind {
     Local,
     /// Chunked, flow-controlled streaming with a demux thread.
     Stream(StreamConfig),
+    /// Real loopback TCP sockets with heartbeat liveness and backoff
+    /// reconnection.
+    Tcp(TcpConfig),
     /// Fault injection decorating another transport.
     Faulty {
         /// The transport actually moving bytes underneath.
@@ -857,15 +1813,34 @@ pub enum TransportKind {
 impl TransportKind {
     /// Builds the transport stack, metering into `meter`, for a cluster of
     /// `workers` nodes.
-    pub fn build(&self, meter: Arc<TransportMeter>, workers: usize) -> Arc<dyn Transport> {
-        match self {
+    ///
+    /// Setting `PC_WIRE=tcp` in the environment reroutes every `Stream`
+    /// selection over real sockets (via [`TcpConfig::from_stream`]), which
+    /// is how the chaos suite runs byte-identical against [`TcpTransport`]
+    /// with zero test changes. `Local` stays in-process — it is the
+    /// baseline the wire transports are compared to.
+    pub fn build(
+        &self,
+        meter: Arc<TransportMeter>,
+        workers: usize,
+    ) -> PcResult<Arc<dyn Transport>> {
+        let tcp_override = std::env::var("PC_WIRE")
+            .map(|v| v == "tcp")
+            .unwrap_or(false);
+        Ok(match self {
             TransportKind::Local => Arc::new(LocalTransport::new(meter)),
+            TransportKind::Stream(cfg) if tcp_override => Arc::new(TcpTransport::new(
+                meter,
+                TcpConfig::from_stream(cfg),
+                workers,
+            )?),
             TransportKind::Stream(cfg) => Arc::new(StreamTransport::new(meter, cfg.clone())),
+            TransportKind::Tcp(cfg) => Arc::new(TcpTransport::new(meter, cfg.clone(), workers)?),
             TransportKind::Faulty { inner, spec } => {
-                let base = inner.build(meter.clone(), workers);
+                let base = inner.build(meter.clone(), workers)?;
                 Arc::new(FaultyTransport::new(base, meter, spec.clone(), workers))
             }
-        }
+        })
     }
 }
 
@@ -1036,5 +2011,48 @@ mod tests {
             before,
             "rollback moves bytes, it never loses them"
         );
+    }
+
+    #[test]
+    fn meter_rollback_never_touches_liveness_counters() {
+        // Missed beats and re-dialed links are wire-level facts: they
+        // happened no matter how the stage attempt ended, so checkpoint /
+        // rollback must leave them monotone.
+        let meter = Arc::new(TransportMeter::default());
+        let t = LocalTransport::new(meter.clone());
+        meter.on_heartbeat_missed();
+        meter.on_reconnect();
+        let snap = meter.checkpoint();
+        t.send(MASTER, 0, &page(0)).unwrap();
+        meter.on_heartbeat_missed();
+        meter.on_heartbeat_missed();
+        meter.on_reconnect();
+        meter.rollback(snap);
+        assert_eq!(meter.pages_shuffled(), 0, "delivery was rolled back");
+        assert_eq!(
+            meter.heartbeats_missed(),
+            3,
+            "missed beats survive rollback"
+        );
+        assert_eq!(meter.reconnects(), 2, "reconnects survive rollback");
+    }
+
+    #[test]
+    fn backoff_delays_are_capped_and_grow() {
+        let cfg = TcpConfig::default();
+        let mut prev = Duration::ZERO;
+        for attempt in 0..10 {
+            let d = backoff_delay(&cfg, attempt, 1);
+            assert!(
+                d <= cfg.reconnect_cap + cfg.reconnect_cap / 4,
+                "attempt {attempt}: {d:?} exceeds the jittered cap"
+            );
+            if attempt < 3 {
+                assert!(d > prev, "early attempts must grow: {prev:?} -> {d:?}");
+                prev = d;
+            }
+        }
+        // Deterministic: the same (seed, attempt) always jitters the same.
+        assert_eq!(backoff_delay(&cfg, 4, 7), backoff_delay(&cfg, 4, 7));
     }
 }

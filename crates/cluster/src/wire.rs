@@ -1,0 +1,350 @@
+//! The wire format: length-prefixed, CRC-checksummed frames.
+//!
+//! Every byte a socket-backed transport puts on the wire is one of these
+//! frames. The framing rules are what make corruption *recoverable*:
+//!
+//! * A frame starts with a fixed magic and carries its payload length up
+//!   front, so a receiver always knows where the next frame boundary is —
+//!   even when the current frame's payload is garbage.
+//! * A CRC-32 trailer covers everything after the magic. A payload bit-flip
+//!   fails the checksum and the receiver skips exactly that frame
+//!   ([`Decoded::Corrupt`] says how many bytes to consume); framing stays
+//!   intact and later frames still parse.
+//! * Only a mangled *header region* (bad magic, absurd lengths) is
+//!   unrecoverable: the receiver can no longer trust frame boundaries and
+//!   must drop the connection ([`decode`] returns `Err`). The missing pages
+//!   then surface as a typed [`PcError::Transport`] at collect time and
+//!   stage replay recovers — corruption never panics and never delivers
+//!   garbage pages.
+//!
+//! The same codec frames both the in-process [`StreamTransport`] channel
+//! and the real-socket [`TcpTransport`], so the chaos matrix exercises one
+//! corruption story on both wires.
+//!
+//! [`StreamTransport`]: crate::transport::StreamTransport
+//! [`TcpTransport`]: crate::transport::TcpTransport
+
+use pc_object::{PcError, PcResult};
+
+/// Frame magic: `b"PCW1"` little-endian.
+pub const MAGIC: u32 = 0x3157_4350;
+
+/// Byte offset of the payload inside an encoded frame.
+pub const HEADER_LEN: usize = 49;
+
+/// CRC-32 trailer length.
+pub const TRAILER_LEN: usize = 4;
+
+/// Sanity cap on a single frame's payload (frames are page *chunks*; a
+/// length beyond this is framing corruption, not a real frame).
+pub const MAX_PAYLOAD: usize = 1 << 24;
+
+/// Sanity cap on the chunk count of one page (a `total` beyond this is
+/// framing corruption).
+pub const MAX_CHUNKS: u32 = 1 << 20;
+
+/// What kind of traffic a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// One chunk of a sealed page (`idx` of `total`).
+    Data,
+    /// A liveness beat from a worker to the master (`seq` is the beat
+    /// counter).
+    Heartbeat,
+}
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    /// Data chunk or heartbeat.
+    pub kind: FrameKind,
+    /// Delivery epoch: frames from aborted stage attempts are stale.
+    pub epoch: u64,
+    /// Sending node.
+    pub src: u64,
+    /// Destination node (inbox to deliver into).
+    pub dst: u64,
+    /// Page sequence number (data) or beat counter (heartbeat).
+    pub seq: u64,
+    /// Chunk index within the page.
+    pub idx: u32,
+    /// Total chunks in the page.
+    pub total: u32,
+    /// Chunk bytes (empty for heartbeats).
+    pub payload: Vec<u8>,
+}
+
+impl WireFrame {
+    /// A data frame carrying chunk `idx` of `total` of page `seq`.
+    pub fn data(
+        epoch: u64,
+        src: u64,
+        dst: u64,
+        seq: u64,
+        idx: u32,
+        total: u32,
+        payload: Vec<u8>,
+    ) -> Self {
+        WireFrame {
+            kind: FrameKind::Data,
+            epoch,
+            src,
+            dst,
+            seq,
+            idx,
+            total,
+            payload,
+        }
+    }
+
+    /// Heartbeat number `beat` from worker `src` to `dst`.
+    pub fn heartbeat(src: u64, dst: u64, beat: u64) -> Self {
+        WireFrame {
+            kind: FrameKind::Heartbeat,
+            epoch: 0,
+            src,
+            dst,
+            seq: beat,
+            idx: 0,
+            total: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Serializes the frame: magic, header, payload, CRC-32 trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + TRAILER_LEN);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(match self.kind {
+            FrameKind::Data => 1,
+            FrameKind::Heartbeat => 2,
+        });
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.src.to_le_bytes());
+        out.extend_from_slice(&self.dst.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.idx.to_le_bytes());
+        out.extend_from_slice(&self.total.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        debug_assert_eq!(out.len(), HEADER_LEN + self.payload.len());
+        let crc = crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// The outcome of trying to decode one frame from the head of a buffer.
+#[derive(Debug)]
+pub enum Decoded {
+    /// Not enough bytes buffered yet; read more and retry.
+    Need,
+    /// One complete, checksum-verified frame; consume `consumed` bytes.
+    Frame {
+        /// The decoded frame.
+        frame: WireFrame,
+        /// Bytes the frame occupied on the wire.
+        consumed: usize,
+    },
+    /// The frame's checksum (or a field sanity check) failed, but the
+    /// framing itself is intact: skip `consumed` bytes and keep decoding.
+    Corrupt {
+        /// Bytes to skip to reach the next frame boundary.
+        consumed: usize,
+        /// What failed, for the typed error that surfaces at collect.
+        why: String,
+    },
+}
+
+/// Decodes the frame at the head of `buf`.
+///
+/// `Err` means the framing itself can no longer be trusted (bad magic or an
+/// absurd length): the caller must drop the connection — the data lost with
+/// it surfaces as a typed transport error, never as a garbage page.
+pub fn decode(buf: &[u8]) -> PcResult<Decoded> {
+    if buf.len() < HEADER_LEN {
+        return Ok(Decoded::Need);
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("sliced"));
+    if magic != MAGIC {
+        return Err(PcError::Transport(format!(
+            "wire framing broken: bad magic {magic:#010x}"
+        )));
+    }
+    let len = u32::from_le_bytes(buf[45..49].try_into().expect("sliced")) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(PcError::Transport(format!(
+            "wire framing broken: frame payload length {len} exceeds {MAX_PAYLOAD}"
+        )));
+    }
+    let frame_len = HEADER_LEN + len + TRAILER_LEN;
+    if buf.len() < frame_len {
+        return Ok(Decoded::Need);
+    }
+    let want = u32::from_le_bytes(buf[HEADER_LEN + len..frame_len].try_into().expect("sliced"));
+    let got = crc32(&buf[4..HEADER_LEN + len]);
+    if want != got {
+        return Ok(Decoded::Corrupt {
+            consumed: frame_len,
+            why: format!("frame checksum mismatch (stored {want:#010x}, computed {got:#010x})"),
+        });
+    }
+    let kind = match buf[4] {
+        1 => FrameKind::Data,
+        2 => FrameKind::Heartbeat,
+        other => {
+            return Ok(Decoded::Corrupt {
+                consumed: frame_len,
+                why: format!("unknown frame kind {other}"),
+            })
+        }
+    };
+    let idx = u32::from_le_bytes(buf[37..41].try_into().expect("sliced"));
+    let total = u32::from_le_bytes(buf[41..45].try_into().expect("sliced"));
+    if kind == FrameKind::Data && (total == 0 || idx >= total || total > MAX_CHUNKS) {
+        return Ok(Decoded::Corrupt {
+            consumed: frame_len,
+            why: format!("inconsistent chunk header (idx {idx} of {total})"),
+        });
+    }
+    let frame = WireFrame {
+        kind,
+        epoch: u64::from_le_bytes(buf[5..13].try_into().expect("sliced")),
+        src: u64::from_le_bytes(buf[13..21].try_into().expect("sliced")),
+        dst: u64::from_le_bytes(buf[21..29].try_into().expect("sliced")),
+        seq: u64::from_le_bytes(buf[29..37].try_into().expect("sliced")),
+        idx,
+        total,
+        payload: buf[HEADER_LEN..HEADER_LEN + len].to_vec(),
+    };
+    Ok(Decoded::Frame {
+        frame,
+        consumed: frame_len,
+    })
+}
+
+/// Flips one seed-chosen bit inside the payload region of an encoded frame
+/// (falls back to the `seq` field for empty payloads, which is equally
+/// checksum-covered and framing-safe). Returns the flipped (byte, bit) so
+/// fault schedules can print it.
+pub fn flip_payload_bit(encoded: &mut [u8], seed: u64) -> (usize, u8) {
+    let payload_len = encoded.len().saturating_sub(HEADER_LEN + TRAILER_LEN);
+    let (base, span) = if payload_len > 0 {
+        (HEADER_LEN, payload_len)
+    } else {
+        (29, 8) // the seq field
+    };
+    let bit = splitmix(seed) % (span as u64 * 8);
+    let byte = base + (bit / 8) as usize;
+    let mask = 1u8 << (bit % 8);
+    encoded[byte] ^= mask;
+    (byte, bit as u8 % 8)
+}
+
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------- crc32
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = WireFrame::data(3, 1, 2, 40, 5, 9, vec![7u8; 300]);
+        let bytes = f.encode();
+        match decode(&bytes).unwrap() {
+            Decoded::Frame { frame, consumed } => {
+                assert_eq!(frame, f);
+                assert_eq!(consumed, bytes.len());
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_buffer_asks_for_more() {
+        let bytes = WireFrame::heartbeat(2, u64::MAX, 17).encode();
+        for cut in 0..bytes.len() {
+            match decode(&bytes[..cut]).unwrap() {
+                Decoded::Need => {}
+                other => panic!("truncated at {cut} must ask for more, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_is_detected_and_skippable() {
+        let f = WireFrame::data(0, 0, 1, 0, 0, 1, (0..64).collect());
+        let tail = WireFrame::heartbeat(1, u64::MAX, 1).encode();
+        for seed in 0..32u64 {
+            let mut bytes = f.encode();
+            let n = bytes.len();
+            flip_payload_bit(&mut bytes, seed);
+            bytes.extend_from_slice(&tail);
+            match decode(&bytes).unwrap() {
+                Decoded::Corrupt { consumed, .. } => {
+                    assert_eq!(consumed, n, "skip lands on the next frame boundary");
+                    assert!(matches!(
+                        decode(&bytes[consumed..]).unwrap(),
+                        Decoded::Frame { .. }
+                    ));
+                }
+                other => panic!("flipped payload must fail the checksum, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn broken_framing_is_a_typed_error() {
+        let mut bytes = WireFrame::data(0, 0, 1, 0, 0, 1, vec![1, 2, 3]).encode();
+        bytes[0] ^= 0xFF; // magic
+        assert!(matches!(decode(&bytes), Err(PcError::Transport(_))));
+        let mut bytes = WireFrame::data(0, 0, 1, 0, 0, 1, vec![1, 2, 3]).encode();
+        bytes[45..49].copy_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+        assert!(matches!(decode(&bytes), Err(PcError::Transport(_))));
+    }
+}

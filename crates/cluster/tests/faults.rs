@@ -1,6 +1,7 @@
 //! Chaos suite: seeded fault injection over the distributed stages.
 //!
-//! The matrix runs every fault kind ({drop, delay, reorder, worker-death})
+//! The matrix runs every fault kind ({drop, delay, reorder, corrupt,
+//! worker-death})
 //! against both transport-heavy stage shapes (the JoinBuild broadcast and
 //! the aggregation shuffle) across several seeds, and asserts the job
 //! completes with output **byte-identical** to a fault-free run. Every
@@ -206,6 +207,7 @@ fn chaos_matrix_completes_byte_identical() {
         FaultKind::Drop,
         FaultKind::Delay,
         FaultKind::Reorder,
+        FaultKind::Corrupt,
         FaultKind::WorkerDeath,
     ];
     for (name, job) in SCENARIOS {
@@ -234,13 +236,14 @@ fn chaos_matrix_completes_byte_identical() {
 
 #[test]
 fn combined_chaos_still_converges() {
-    // All four fault kinds at once — a dead worker mid-shuffle *while* the
-    // surviving links drop, delay, and reorder. Recovery plus the delivery
-    // contract must still yield the fault-free bytes.
+    // Every fault kind at once — a dead worker mid-shuffle *while* the
+    // surviving links drop, delay, reorder, and corrupt frames. Recovery
+    // plus the delivery contract must still yield the fault-free bytes.
     let all = [
         FaultKind::Drop,
         FaultKind::Delay,
         FaultKind::Reorder,
+        FaultKind::Corrupt,
         FaultKind::WorkerDeath,
     ];
     for (name, job) in SCENARIOS {
@@ -322,6 +325,38 @@ fn drop_without_retries_recovers_by_stage_replay() {
         stats.workers_recovered, 0,
         "no worker died; only links were revived"
     );
+}
+
+#[test]
+fn corrupted_frames_never_reach_output() {
+    let (baseline, clean) = run_agg(&cluster_with(TransportKind::Local));
+    // Retransmit path: every armed send has one frame's payload bit-flipped
+    // on the wire. The receiver's checksum rejects each mangled frame, the
+    // link's clean copy delivers, and only the waste counters notice.
+    let mut spec = FaultSpec::seeded(0xBADC, &[FaultKind::Corrupt]);
+    spec.rate = 256;
+    let c = cluster_with(faulty(spec));
+    let (got, stats) = run_agg(&c);
+    assert_runs_identical("corrupt-every-send retransmit run", &baseline, &got);
+    assert_eq!(
+        stats.bytes_shuffled, clean.bytes_shuffled,
+        "checksum-rejected frames must not inflate logical shuffle bytes"
+    );
+    assert!(
+        stats.bytes_retransmitted > 0,
+        "the mangled frames are metered as waste"
+    );
+    // Surfaced path: no retransmission — the corruption becomes a typed
+    // transport error at the sender and stage replay recovers.
+    let mut spec = FaultSpec::seeded(7, &[FaultKind::Corrupt]);
+    spec.retries = false;
+    spec.rate = 256;
+    spec.max_faults = 1;
+    let c = cluster_with(faulty(spec));
+    let (got, stats) = run_agg(&c);
+    assert_runs_identical("single surfaced corruption", &baseline, &got);
+    assert!(stats.stages_replayed >= 1, "stage replay must recover");
+    assert_eq!(stats.workers_recovered, 0, "no worker died");
 }
 
 #[test]

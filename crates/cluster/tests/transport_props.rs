@@ -118,7 +118,12 @@ proptest! {
             rate,
             ..FaultSpec::seeded(
                 seed,
-                &[FaultKind::Drop, FaultKind::Delay, FaultKind::Reorder],
+                &[
+                    FaultKind::Drop,
+                    FaultKind::Delay,
+                    FaultKind::Reorder,
+                    FaultKind::Corrupt,
+                ],
             )
         };
         let t = FaultyTransport::new(inner, meter.clone(), spec, WORKERS);

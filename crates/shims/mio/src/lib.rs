@@ -1,0 +1,530 @@
+//! # mio (shim) — readiness polling over non-blocking `std::net` sockets
+//!
+//! Offline stand-in for the `mio` crate, scoped to what the cluster's
+//! socket transport poll loop uses: `Poll` / `Registry` / `Events` /
+//! `Token` / `Interest` and the `net::{TcpListener, TcpStream}` wrappers.
+//!
+//! Instead of epoll/kqueue, readiness is computed by sweeping the
+//! registered sources: a stream is readable when a non-blocking `peek`
+//! returns data (or the peer closed), and a listener is readable when a
+//! speculative non-blocking `accept` succeeds — the accepted connection is
+//! stashed so the caller's own `accept()` call observes it. Between empty
+//! sweeps the poll sleeps ~1ms up to the caller's timeout, so the loop
+//! never spins hot while idle.
+//!
+//! Known gaps vs. the real crate: level-triggered only (no edge modes), no
+//! `Waker`, writable readiness is reported unconditionally, and
+//! `TcpStream::connect` resolves synchronously (fine for loopback). As
+//! everywhere in `crates/shims/`, callers must already tolerate spurious
+//! wakeups and `WouldBlock`, which the real mio contract demands too.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Caller-chosen identifier for a registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interests a source is registered for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Readable readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Writable readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (named `add` for mio API compatibility).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness event surfaced by [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    read_closed: bool,
+}
+
+impl Event {
+    /// The token the ready source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable (data buffered, a pending accept, or peer close).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Writable.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// The peer closed its write half.
+    pub fn is_read_closed(&self) -> bool {
+        self.read_closed
+    }
+}
+
+/// A batch of events filled by [`Poll::poll`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An event buffer holding up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates the events from the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// True when the last poll timed out with nothing ready.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Clears the batch.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+#[doc(hidden)]
+pub enum Source {
+    Listener {
+        listener: std::net::TcpListener,
+        pending: Arc<Mutex<VecDeque<(std::net::TcpStream, SocketAddr)>>>,
+    },
+    Stream(std::net::TcpStream),
+}
+
+struct Entry {
+    source: Source,
+    interest: Interest,
+    /// Registration identity. Sockets cannot be told apart by address here:
+    /// every connection accepted from a listener shares the listener's
+    /// local address, so each shim socket carries a unique id instead.
+    id: u64,
+}
+
+/// Registration handle: sources are (de)registered here.
+#[derive(Clone)]
+pub struct Registry {
+    sources: Arc<Mutex<HashMap<Token, Entry>>>,
+}
+
+impl Registry {
+    /// Registers a source for the given interests under `token`.
+    pub fn register<S: event::Source>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let entry = Entry {
+            source: source.shim_source()?,
+            interest,
+            id: source.shim_id()?,
+        };
+        self.sources
+            .lock()
+            .expect("mio shim registry poisoned")
+            .insert(token, entry);
+        Ok(())
+    }
+
+    /// Removes a source from the registry.
+    pub fn deregister<S: event::Source>(&self, source: &mut S) -> io::Result<()> {
+        let id = source.shim_id()?;
+        self.sources
+            .lock()
+            .expect("mio shim registry poisoned")
+            .retain(|_, e| e.id != id);
+        Ok(())
+    }
+}
+
+/// Unique identity for every shim socket (see [`Entry::id`]).
+fn next_sock_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// The poll handle: sweeps registered sources for readiness.
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// A new, empty poll.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                sources: Arc::new(Mutex::new(HashMap::new())),
+            },
+        })
+    }
+
+    /// The registry sources are added to.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready or `timeout`
+    /// elapses (`None` sweeps with a generous default rather than forever,
+    /// so shutdown flags polled by the caller stay responsive).
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let deadline = Instant::now() + timeout.unwrap_or(Duration::from_millis(100));
+        loop {
+            {
+                let sources = self
+                    .registry
+                    .sources
+                    .lock()
+                    .expect("mio shim registry poisoned");
+                for (token, entry) in sources.iter() {
+                    if events.inner.len() >= events.capacity {
+                        break;
+                    }
+                    if let Some(ev) = readiness(*token, entry) {
+                        events.inner.push(ev);
+                    }
+                }
+            }
+            if !events.inner.is_empty() || Instant::now() >= deadline {
+                return Ok(());
+            }
+            std::thread::sleep(
+                Duration::from_millis(1).min(deadline.saturating_duration_since(Instant::now())),
+            );
+        }
+    }
+}
+
+fn readiness(token: Token, entry: &Entry) -> Option<Event> {
+    let mut readable = false;
+    let mut read_closed = false;
+    match &entry.source {
+        Source::Listener { listener, pending } => {
+            if entry.interest.is_readable() {
+                let mut q = pending.lock().expect("mio shim accept queue poisoned");
+                if q.is_empty() {
+                    // Speculative accept: readiness for a listener *is* a
+                    // connection waiting, so take it and stash it for the
+                    // caller's accept().
+                    if let Ok(conn) = listener.accept() {
+                        q.push_back(conn);
+                    }
+                }
+                readable = !q.is_empty();
+            }
+        }
+        Source::Stream(s) => {
+            if entry.interest.is_readable() {
+                let mut probe = [0u8; 1];
+                match s.peek(&mut probe) {
+                    Ok(0) => {
+                        readable = true;
+                        read_closed = true;
+                    }
+                    Ok(_) => readable = true,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(_) => {
+                        // Socket error: surface it through the caller's read.
+                        readable = true;
+                        read_closed = true;
+                    }
+                }
+            }
+        }
+    }
+    let writable = entry.interest.is_writable();
+    if readable || writable {
+        Some(Event {
+            token,
+            readable,
+            writable,
+            read_closed,
+        })
+    } else {
+        None
+    }
+}
+
+/// Internal source plumbing (the real mio has a richer `event::Source`
+/// trait; the shim only needs to lift std sockets into the registry).
+pub mod event {
+    use super::*;
+
+    /// A type that can be registered with a [`Registry`].
+    pub trait Source {
+        /// A cloned handle the registry sweeps for readiness.
+        fn shim_source(&mut self) -> io::Result<super::Source>;
+        /// Identity used by deregister.
+        fn shim_id(&mut self) -> io::Result<u64>;
+    }
+}
+
+/// Non-blocking TCP types mirroring `mio::net`.
+pub mod net {
+    use super::*;
+
+    /// A non-blocking listener.
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+        pending: Arc<Mutex<VecDeque<(std::net::TcpStream, SocketAddr)>>>,
+        id: u64,
+    }
+
+    impl TcpListener {
+        /// Binds a non-blocking listener.
+        pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+            let inner = std::net::TcpListener::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener {
+                inner,
+                pending: Arc::new(Mutex::new(VecDeque::new())),
+                id: next_sock_id(),
+            })
+        }
+
+        /// The bound address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Accepts one pending connection (stashed by the poll sweep or
+        /// taken directly from the socket), `WouldBlock` when none waits.
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let stashed = self
+                .pending
+                .lock()
+                .expect("mio shim accept queue poisoned")
+                .pop_front();
+            let (stream, addr) = match stashed {
+                Some(conn) => conn,
+                None => self.inner.accept()?,
+            };
+            stream.set_nonblocking(true)?;
+            Ok((
+                TcpStream {
+                    inner: stream,
+                    id: next_sock_id(),
+                },
+                addr,
+            ))
+        }
+    }
+
+    impl event::Source for TcpListener {
+        fn shim_source(&mut self) -> io::Result<super::Source> {
+            Ok(super::Source::Listener {
+                listener: self.inner.try_clone()?,
+                pending: self.pending.clone(),
+            })
+        }
+
+        fn shim_id(&mut self) -> io::Result<u64> {
+            Ok(self.id)
+        }
+    }
+
+    /// A non-blocking stream.
+    pub struct TcpStream {
+        inner: std::net::TcpStream,
+        id: u64,
+    }
+
+    impl TcpStream {
+        /// Connects and switches to non-blocking mode. Unlike real mio this
+        /// resolves synchronously (loopback connects are immediate), so no
+        /// WRITABLE wait is needed before use.
+        pub fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+            let inner = std::net::TcpStream::connect(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpStream {
+                inner,
+                id: next_sock_id(),
+            })
+        }
+
+        /// The peer's address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        /// The local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.inner.write(buf)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    impl event::Source for TcpStream {
+        fn shim_source(&mut self) -> io::Result<super::Source> {
+            Ok(super::Source::Stream(self.inner.try_clone()?))
+        }
+
+        fn shim_id(&mut self) -> io::Result<u64> {
+            Ok(self.id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn listener_reports_readable_and_accepts() {
+        let poll = Poll::new().unwrap();
+        let mut listener = net::TcpListener::bind(loopback()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry()
+            .register(&mut listener, Token(1), Interest::READABLE)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "no connection yet");
+
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(500)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(1) && e.is_readable()));
+        let (_conn, peer) = listener.accept().unwrap();
+        assert_eq!(peer, client.local_addr().unwrap());
+    }
+
+    #[test]
+    fn stream_reports_data_and_close() {
+        let poll = Poll::new().unwrap();
+        let mut listener = net::TcpListener::bind(loopback()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry()
+            .register(&mut listener, Token(0), Interest::READABLE)
+            .unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(500)))
+            .unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        poll.registry()
+            .register(&mut server_side, Token(7), Interest::READABLE)
+            .unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while got.len() < 4 && Instant::now() < deadline {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            for ev in &events {
+                if ev.token() == Token(7) && ev.is_readable() {
+                    let mut buf = [0u8; 16];
+                    match server_side.read(&mut buf) {
+                        Ok(n) => got.extend_from_slice(&buf[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                        Err(e) => panic!("read: {e}"),
+                    }
+                }
+            }
+        }
+        assert_eq!(&got, b"ping");
+
+        drop(client);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut saw_close = false;
+        while !saw_close && Instant::now() < deadline {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            saw_close = events
+                .iter()
+                .any(|e| e.token() == Token(7) && e.is_read_closed());
+        }
+        assert!(saw_close, "peer close must surface as read_closed");
+    }
+
+    #[test]
+    fn deregister_silences_a_source() {
+        let poll = Poll::new().unwrap();
+        let mut listener = net::TcpListener::bind(loopback()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry()
+            .register(&mut listener, Token(3), Interest::READABLE)
+            .unwrap();
+        poll.registry().deregister(&mut listener).unwrap();
+        let _client = std::net::TcpStream::connect(addr).unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "deregistered sources never fire");
+    }
+}
