@@ -4,8 +4,10 @@
 //! repro all [--quick]       run everything
 //! repro table2 [--quick]    one table (table1..table8)
 //! repro figure1             one figure (figure1..figure5)
-//! repro pipeline [--quick]  the execution-engine benchmark
-//!                           (writes BENCH_pipeline.json)
+//! repro pipeline [--quick] [--threads N]
+//!                           the execution-engine benchmark: macro
+//!                           workloads swept over morsel thread counts
+//!                           {1, 2, 4} ∪ {N} (writes BENCH_pipeline.json)
 //! repro faults [--quick] [--tcp] [--seed N]...
 //!                           the chaos matrix: fault injection, worker
 //!                           recovery, byte-identical replay; --tcp runs
@@ -30,6 +32,16 @@ fn main() {
             })
         })
         .collect();
+    let threads: Option<usize> = args
+        .iter()
+        .zip(args.iter().skip(1))
+        .find(|(a, _)| *a == "--threads")
+        .map(|(_, v)| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--threads wants a positive integer, got {v}");
+                std::process::exit(2);
+            })
+        });
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
     match what {
         "all" => {
@@ -59,7 +71,7 @@ fn main() {
         "figure3" => figures::figure3(),
         "figure4" => figures::figure4(),
         "figure5" => figures::figure5(),
-        "pipeline" => pipeline::pipeline(quick),
+        "pipeline" => pipeline::pipeline(quick, threads),
         "faults" => faults::faults(quick, &seeds, tcp),
         other => {
             eprintln!(

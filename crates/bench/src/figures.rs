@@ -128,13 +128,12 @@ pub fn figure5() {
     use pc_ml::kmeans::{synthetic_points, PcKMeans};
     let client = PcClient::connect(ClusterConfig {
         workers: 3,
-        threads_per_worker: 2,
-        combine_threads: 2,
         exec: ExecConfig {
             batch_size: 256,
             page_size: 1 << 16,
             agg_partitions: 6,
             join_partitions: 8,
+            ..ExecConfig::default()
         },
         broadcast_threshold: 16 << 20,
         ..ClusterConfig::default()

@@ -15,13 +15,12 @@ use std::time::Duration;
 fn bench_client() -> PcClient {
     PcClient::connect(ClusterConfig {
         workers: 2,
-        threads_per_worker: 2,
-        combine_threads: 2,
         exec: ExecConfig {
             batch_size: 1024,
             page_size: 1 << 20,
             agg_partitions: 4,
             join_partitions: 8,
+            ..ExecConfig::default()
         },
         broadcast_threshold: 64 << 20,
         ..ClusterConfig::default()

@@ -17,11 +17,9 @@ use std::sync::Arc;
 pub struct ClusterConfig {
     /// Number of worker nodes.
     pub workers: usize,
-    /// Pipelining threads per worker (Appendix D.2's N).
-    pub threads_per_worker: usize,
-    /// Combining threads per worker for aggregation (Appendix D.2's K).
-    pub combine_threads: usize,
-    /// Per-pipeline executor knobs.
+    /// Per-pipeline executor knobs. `exec.threads` is the one parallelism
+    /// knob: it sets each worker's pipelining threads (Appendix D.2's N)
+    /// and its aggregation combining threads (D.2's K) alike.
     pub exec: ExecConfig,
     /// Build sides smaller than this broadcast; larger ones hash-partition
     /// (the §8.3.2 "two gigabytes" rule, scaled down).
@@ -37,8 +35,6 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             workers: 4,
-            threads_per_worker: 2,
-            combine_threads: 2,
             exec: ExecConfig::default(),
             broadcast_threshold: 64 << 20,
             transport: TransportKind::default(),
@@ -305,7 +301,7 @@ impl PcCluster {
             }
             // Broadcast join tables live as shared partition-tagged page
             // lists plus their once-built tag filters, one per join.
-            let mut tables: HashMap<String, stages::BroadcastTable> = HashMap::new();
+            let mut tables: stages::TableStore = HashMap::new();
             for p in &physical.pipelines {
                 let s = recovery::run_stage_with_recovery(self, p, stages, aggs, &mut tables)?;
                 exec.absorb(&s);

@@ -145,7 +145,7 @@ pub fn run_stage_with_recovery(
     p: &PipelineSpec,
     lib: &StageLibrary,
     aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
-    tables: &mut HashMap<String, stages::BroadcastTable>,
+    tables: &mut stages::TableStore,
 ) -> PcResult<ExecStats> {
     let replay_lists: Vec<String> = p.replay_targets().into_iter().map(str::to_string).collect();
     with_stage_recovery(cluster, &replay_lists, || {

@@ -1,9 +1,12 @@
 //! Distributed job stages (Appendix D).
 //!
 //! Every pipeline of the physical plan becomes a `PipelineJobStage` run on
-//! all workers in parallel (each worker over its local pages, with
-//! `threads_per_worker` pipelining threads). What happens to the sink
-//! output depends on its kind:
+//! all workers in parallel. Each worker runs the stage **morsel-driven**
+//! (`pc_exec::run_stage_morsels`): its local pages are carved into
+//! fixed-size morsels pulled by `exec.threads` work-stealing pipelining
+//! threads, and the per-morsel outputs merge in morsel order so worker
+//! output is byte-identical for every thread count. What happens to the
+//! sink output depends on its kind:
 //!
 //! * **Output / Materialize** — pages stay on the producing worker: stored
 //!   sets are distributed.
@@ -20,53 +23,19 @@
 
 use crate::cluster::PcCluster;
 use crate::transport::MASTER;
-use pc_exec::{run_pipeline_stage, ExecStats, JoinTable, PipelineOutput, PipelineSpec, Sink};
+use pc_exec::{
+    run_stage_morsels, ExecStats, JoinTable, MorselOutput, PipelineSpec, SharedTable, Sink,
+};
 use pc_lambda::{ErasedAgg, SetWriter, StageLibrary};
 use pc_object::{PcError, PcResult, SealedPage};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A broadcast join table in transit. Receivers reassemble the partition
-/// chains from the page tags ([`JoinTable::from_shared_pages`]) instead of
-/// concatenating every page into one flat scan list, and share the tag
-/// filters built once at gather time instead of rescanning per thread.
-pub struct BroadcastTable {
-    pub arity: usize,
-    pub partitions: usize,
-    pub pages: Vec<(usize, Arc<SealedPage>)>,
-    pub filters: Vec<pc_exec::TagFilter>,
-}
-
-type TableStore = HashMap<String, BroadcastTable>;
-
-/// A `Send` form of [`PipelineOutput`]: tables are sealed into pages inside
-/// the producing thread (handles never cross threads — §6.5).
-enum SendableOutput {
-    Pages(Vec<SealedPage>),
-    TablePages {
-        groups: u64,
-        bytes: usize,
-        partitions: usize,
-        pages: Vec<(usize, SealedPage)>,
-    },
-    AggPartitions(Vec<(usize, SealedPage)>),
-}
-
-fn make_sendable(out: PipelineOutput) -> PcResult<SendableOutput> {
-    Ok(match out {
-        PipelineOutput::Pages(p) => SendableOutput::Pages(p),
-        PipelineOutput::BuiltTable(t) => {
-            let (groups, bytes, partitions) = (t.groups, t.bytes(), t.partitions());
-            SendableOutput::TablePages {
-                groups,
-                bytes,
-                partitions,
-                pages: t.into_pages()?,
-            }
-        }
-        PipelineOutput::AggPartitions(p) => SendableOutput::AggPartitions(p),
-    })
-}
+/// Broadcast join tables in transit, by name: sealed partition-tagged page
+/// lists plus their once-built tag filters ([`SharedTable`]). Receivers
+/// reassemble the partition chains from the page tags instead of
+/// concatenating every page into one flat scan list.
+pub type TableStore = HashMap<String, SharedTable>;
 
 /// Runs one pipeline as a distributed job stage.
 pub fn run_stage_distributed(
@@ -77,10 +46,9 @@ pub fn run_stage_distributed(
     tables: &mut TableStore,
 ) -> PcResult<ExecStats> {
     let nworkers = cluster.workers.len();
-    let nthreads = cluster.config.threads_per_worker.max(1);
 
-    // ---- run the pipeline on every worker, multi-threaded ----
-    type WorkerResult = PcResult<(Vec<SendableOutput>, ExecStats)>;
+    // ---- run the pipeline on every worker, morsel-driven ----
+    type WorkerResult = PcResult<(Vec<MorselOutput>, ExecStats)>;
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for w in 0..nworkers {
@@ -94,54 +62,10 @@ pub fn run_stage_distributed(
                     let code = block.obj_code(first.root());
                     cluster.workers[w].types.resolve(code)?;
                 }
-                // Split local pages over pipelining threads.
-                let chunks: Vec<Vec<Arc<SealedPage>>> = split_chunks(&pages, nthreads);
-                let inner: Vec<WorkerResult> = std::thread::scope(|s2| {
-                    let mut handles = Vec::new();
-                    for chunk in chunks {
-                        handles.push(s2.spawn(move || -> WorkerResult {
-                            // Each thread opens its own zero-copy view of
-                            // any broadcast join tables it probes.
-                            let mut local_tables: HashMap<String, JoinTable> = HashMap::new();
-                            for t in p.probes() {
-                                let bt = tables_ref.get(t).ok_or_else(|| {
-                                    PcError::Catalog(format!("join table {t} not broadcast yet"))
-                                })?;
-                                local_tables.insert(
-                                    t.to_string(),
-                                    JoinTable::from_shared_pages(
-                                        bt.arity,
-                                        cluster.config.exec.page_size,
-                                        bt.partitions,
-                                        &bt.pages,
-                                        &bt.filters,
-                                    )?,
-                                );
-                            }
-                            let (out, stats) = run_pipeline_stage(
-                                &cluster.config.exec,
-                                p,
-                                &chunk,
-                                stages,
-                                aggs,
-                                &local_tables,
-                            )?;
-                            Ok((vec![make_sendable(out)?], stats))
-                        }));
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("pipelining thread"))
-                        .collect()
-                });
-                let mut outs = Vec::new();
-                let mut stats = ExecStats::default();
-                for r in inner {
-                    let (o, s) = r?;
-                    outs.extend(o);
-                    stats.absorb(&s);
-                }
-                Ok((outs, stats))
+                // The worker's pipelining threads pull morsels from a
+                // shared work-stealing queue; each probe thread opens its
+                // own zero-copy view of any broadcast join tables.
+                run_stage_morsels(&cluster.config.exec, p, &pages, stages, aggs, tables_ref)
             }));
         }
         joins
@@ -151,7 +75,7 @@ pub fn run_stage_distributed(
     });
 
     let mut stats = ExecStats::default();
-    let mut per_worker_outputs: Vec<Vec<SendableOutput>> = Vec::with_capacity(nworkers);
+    let mut per_worker_outputs: Vec<Vec<MorselOutput>> = Vec::with_capacity(nworkers);
     for r in results {
         let (outs, s) = r?;
         stats.absorb(&s);
@@ -163,7 +87,7 @@ pub fn run_stage_distributed(
         Sink::Output { .. } | Sink::Materialize { .. } => {
             for (w, outs) in per_worker_outputs.into_iter().enumerate() {
                 for out in outs {
-                    let SendableOutput::Pages(pages) = out else {
+                    let MorselOutput::Pages(pages) = out else {
                         unreachable!()
                     };
                     cluster.store_output(w, &p.sink, pages)?;
@@ -174,7 +98,7 @@ pub fn run_stage_distributed(
             table, obj_cols, ..
         } => {
             // Gather every worker's partition-tagged build pages at the
-            // master and broadcast. Per-thread builds fold together
+            // master and broadcast. Per-morsel builds fold together
             // partition-wise: a page tagged `p` joins every other worker's
             // partition-`p` chain on the receiving side, so probes there
             // still touch exactly one partition.
@@ -185,7 +109,7 @@ pub fn run_stage_distributed(
             let mut total_bytes = 0usize;
             for (w, outs) in per_worker_outputs.into_iter().enumerate() {
                 for out in outs {
-                    let SendableOutput::TablePages {
+                    let MorselOutput::TablePages {
                         groups,
                         bytes,
                         partitions: parts,
@@ -232,15 +156,9 @@ pub fn run_stage_distributed(
             }
             // Tag filters are built once here, from the gathered pages'
             // stored hashes; every reopening thread shares them.
-            let filters = JoinTable::build_shared_tag_filters(partitions, &gathered)?;
             tables.insert(
                 table.clone(),
-                BroadcastTable {
-                    arity: obj_cols.len(),
-                    partitions,
-                    pages: gathered,
-                    filters,
-                },
+                SharedTable::from_tagged_pages(obj_cols.len(), partitions, gathered)?,
             );
         }
         Sink::AggProduce { comp, dest, .. } => {
@@ -251,14 +169,14 @@ pub fn run_stage_distributed(
 }
 
 /// The consuming side of distributed aggregation (Appendix D.2): combine
-/// per-thread partition pages on each worker, shuffle them to the partition
+/// per-morsel partition pages on each worker, shuffle them to the partition
 /// owners, merge, and materialize.
 fn run_aggregation_stage(
     cluster: &PcCluster,
     comp: &str,
     dest: &pc_exec::AggDest,
     aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
-    per_worker_outputs: Vec<Vec<SendableOutput>>,
+    per_worker_outputs: Vec<Vec<MorselOutput>>,
     stats: &mut ExecStats,
 ) -> PcResult<()> {
     let agg = aggs
@@ -268,12 +186,13 @@ fn run_aggregation_stage(
     let page_size = cluster.config.exec.page_size;
 
     // Combining step, per worker (Appendix D.2's K combining threads):
-    // merge the pipelining threads' partial maps per partition, so each
-    // worker ships at most one combined page per partition. Partitions are
-    // dealt round-robin over `combine_threads` threads; each merge is
-    // page-at-a-time (`PcMap::merge_from` under the hood), and results are
-    // re-sorted by partition so the shuffle order stays deterministic.
-    let combine_threads = cluster.config.combine_threads.max(1);
+    // merge the morsels' partial maps per partition, so each worker ships
+    // at most one combined page per partition. Partitions are dealt
+    // round-robin over the unified `exec.threads` knob; each merge is
+    // page-at-a-time (`PcMap::merge_from` under the hood, in morsel order
+    // within a partition), and results are re-sorted by partition so the
+    // shuffle order stays deterministic.
+    let combine_threads = cluster.config.exec.threads.max(1);
     let combined: Vec<PcResult<Vec<(usize, SealedPage)>>> = std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for outs in per_worker_outputs {
@@ -281,7 +200,7 @@ fn run_aggregation_stage(
             joins.push(scope.spawn(move || -> PcResult<Vec<(usize, SealedPage)>> {
                 let mut by_part: HashMap<usize, Vec<SealedPage>> = HashMap::new();
                 for out in outs {
-                    let SendableOutput::AggPartitions(parts) = out else {
+                    let MorselOutput::AggPartitions(parts) = out else {
                         unreachable!()
                     };
                     for (part, page) in parts {
@@ -398,93 +317,4 @@ fn run_aggregation_stage(
         }
     }
     Ok(())
-}
-
-/// Deals local pages over pipelining threads, balancing by page **bytes**
-/// rather than page count: each page (in stored order, so the assignment is
-/// deterministic) goes to the currently lightest chunk. Round-robin by
-/// count used to park one fat page per chunk next to many near-empty ones
-/// and skew thread load.
-fn split_chunks(pages: &[Arc<SealedPage>], n: usize) -> Vec<Vec<Arc<SealedPage>>> {
-    let mut chunks: Vec<Vec<Arc<SealedPage>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut loads = vec![0usize; n];
-    for p in pages {
-        let lightest = loads
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &l)| l)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        loads[lightest] += p.used();
-        chunks[lightest].push(p.clone());
-    }
-    chunks.retain(|c| !c.is_empty());
-    if chunks.is_empty() {
-        chunks.push(Vec::new());
-    }
-    chunks
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use pc_lambda::SetWriter;
-    use pc_object::{make_object, PcVec};
-
-    /// One sealed page holding `vals.len()` i64 payload vectors.
-    fn page_with(vals: usize) -> Arc<SealedPage> {
-        let mut w = SetWriter::new(1 << 20);
-        for i in 0..vals {
-            w.write_with(|| {
-                let v = make_object::<PcVec<i64>>()?;
-                for j in 0..16 {
-                    v.push((i * 16 + j) as i64)?;
-                }
-                Ok(v.erase())
-            })
-            .unwrap();
-        }
-        let pages = w.finish().unwrap();
-        assert_eq!(pages.len(), 1);
-        Arc::new(pages.into_iter().next().unwrap())
-    }
-
-    #[test]
-    fn split_chunks_balances_by_bytes_not_count() {
-        // One fat page plus many small ones: round-robin by count would put
-        // the fat page and half the small ones in chunk 0.
-        let mut pages = vec![page_with(400)];
-        for _ in 0..8 {
-            pages.push(page_with(4));
-        }
-        let total: usize = pages.iter().map(|p| p.used()).sum();
-        let chunks = split_chunks(&pages, 2);
-        assert_eq!(chunks.len(), 2);
-        assert_eq!(chunks.iter().map(Vec::len).sum::<usize>(), pages.len());
-        let loads: Vec<usize> = chunks
-            .iter()
-            .map(|c| c.iter().map(|p| p.used()).sum())
-            .collect();
-        // The fat page dominates: all small pages must land opposite it.
-        let small: usize = loads.iter().min().copied().unwrap();
-        assert!(
-            small * 8 > (total - pages[0].used()) * 7,
-            "small pages must gather opposite the fat page: {loads:?}"
-        );
-        assert_eq!(
-            chunks.iter().map(Vec::len).max().unwrap(),
-            8,
-            "eight small pages balance one fat page: {loads:?}"
-        );
-    }
-
-    #[test]
-    fn split_chunks_handles_empty_and_fewer_pages_than_threads() {
-        let empty = split_chunks(&[], 4);
-        assert_eq!(empty.len(), 1);
-        assert!(empty[0].is_empty());
-        let pages = vec![page_with(2), page_with(2)];
-        let chunks = split_chunks(&pages, 8);
-        assert_eq!(chunks.len(), 2, "no empty chunks are spawned");
-    }
 }

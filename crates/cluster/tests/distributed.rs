@@ -35,13 +35,13 @@ pc_object! {
 fn cluster() -> PcCluster {
     PcCluster::new(ClusterConfig {
         workers: 3,
-        threads_per_worker: 2,
-        combine_threads: 2,
         exec: ExecConfig {
             batch_size: 32,
             page_size: 1 << 15,
             agg_partitions: 5,
             join_partitions: 8,
+            morsel_rows: 64,
+            ..ExecConfig::default()
         },
         broadcast_threshold: 1 << 20,
         ..ClusterConfig::default()

@@ -147,13 +147,13 @@ fn tcp_cluster_matches_local_byte_for_byte() {
     fn run(transport: TransportKind) -> Vec<Vec<u8>> {
         let c = PcCluster::new(ClusterConfig {
             workers: 3,
-            threads_per_worker: 2,
-            combine_threads: 2,
             exec: ExecConfig {
                 batch_size: 32,
                 page_size: 1 << 15,
                 agg_partitions: 5,
                 join_partitions: 8,
+                morsel_rows: 64,
+                ..ExecConfig::default()
             },
             transport,
             ..ClusterConfig::default()

@@ -32,13 +32,12 @@ impl PcClient {
     pub fn local_small() -> PcResult<Self> {
         Self::connect(ClusterConfig {
             workers: 1,
-            threads_per_worker: 1,
-            combine_threads: 1,
             exec: ExecConfig {
                 batch_size: 256,
                 page_size: 1 << 18,
                 agg_partitions: 2,
                 join_partitions: 8,
+                ..ExecConfig::default()
             },
             broadcast_threshold: 16 << 20,
             ..ClusterConfig::default()

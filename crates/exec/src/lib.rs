@@ -18,11 +18,18 @@
 
 pub mod jointable;
 pub mod local;
+pub mod morsel;
 pub mod plan;
 pub mod vlist;
 
 pub use jointable::{JoinTable, TagFilter, DEFAULT_JOIN_PARTITIONS};
-pub use local::{run_pipeline_stage, ExecConfig, ExecStats, LocalExecutor, PipelineOutput, TMP_DB};
+pub use local::{
+    default_threads, run_pipeline_stage, ExecConfig, ExecStats, LocalExecutor, PipelineOutput,
+    TMP_DB,
+};
+pub use morsel::{
+    carve_morsels, run_stage_morsels, Morsel, MorselOutput, MorselQueue, SharedTable,
+};
 pub use plan::{
     describe_decompositions, plan, AggDest, PhysicalPlan, PipeOp, PipelineSpec, ResolvedOp,
     ResolvedPipeline, ResolvedSink, Sink, Source,

@@ -1,10 +1,13 @@
 //! Pipeline execution.
 //!
-//! [`run_pipeline_stage`] is the core engine: it pushes every batch of one
-//! pipeline over a given list of input pages and returns what the pipe sink
-//! produced. [`LocalExecutor`] composes it into a single-node engine; the
-//! distributed runtime in `pc-cluster` calls the same function once per
-//! worker (a `PipelineJobStage`) and shuffles the outputs between nodes.
+//! [`run_span`]-over-morsels is the core engine: `crate::morsel` carves a
+//! stage's input pages into fixed-size morsels and worker threads pull them
+//! from a work-stealing queue, each running the per-batch loop defined here
+//! with its own sink state. [`run_pipeline_stage`] is the single-threaded
+//! form (one span covering every page); [`LocalExecutor`] composes the
+//! morsel driver into a single-node engine, and the distributed runtime in
+//! `pc-cluster` calls the same driver once per worker (a
+//! `PipelineJobStage`) and shuffles the outputs between nodes.
 //!
 //! Batch mechanics follow Appendix C: input pages stay pinned while a batch
 //! built from them is in flight; object-producing kernels allocate directly
@@ -13,14 +16,15 @@
 //! columns still pin them — and retry the failed stage.
 
 use crate::jointable::JoinTable;
+use crate::morsel::{run_stage_morsels, MorselOutput, SharedTable};
 use crate::plan::{
     plan, AggDest, PhysicalPlan, PipelineSpec, ResolvedOp, ResolvedPipeline, ResolvedSink, Sink,
     Source,
 };
 use crate::vlist::VectorList;
 use pc_lambda::{
-    for_each_sel, Column, ColumnKernel, ColumnPool, CompiledQuery, ErasedAgg, ErasedAggSink,
-    ExecCtx, SetWriter, StageLibrary,
+    for_each_sel, sel_len, Column, ColumnKernel, ColumnPool, CompiledQuery, ErasedAgg,
+    ErasedAggSink, ExecCtx, SetWriter, StageLibrary,
 };
 use pc_object::{
     AllocPolicy, AllocScope, AnyHandle, AnyObj, BlockRef, Handle, PcError, PcResult, PcVec,
@@ -44,6 +48,32 @@ pub struct ExecConfig {
     /// probes route to one partition's page chain instead of scanning every
     /// table page).
     pub join_partitions: usize,
+    /// Worker threads per pipeline stage (the paper's pipelining threads).
+    /// Defaults to the available cores; the `PC_THREADS` environment
+    /// variable overrides the default. Results are byte-identical for every
+    /// value — outputs merge in morsel order, never completion order.
+    pub threads: usize,
+    /// Rows per morsel (the unit of work-stealing parallelism). A morsel
+    /// never spans pages, so the effective size is
+    /// `min(morsel_rows, rows left on the page)`. The decomposition — and
+    /// therefore the merged output — depends only on this knob and the
+    /// input pages, not on `threads`.
+    pub morsel_rows: usize,
+}
+
+/// Default stage thread count: `PC_THREADS` when set to a positive integer,
+/// otherwise the number of available cores.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for ExecConfig {
@@ -53,6 +83,8 @@ impl Default for ExecConfig {
             page_size: 1 << 20,
             agg_partitions: 4,
             join_partitions: 8,
+            threads: default_threads(),
+            morsel_rows: 32 * 1024,
         }
     }
 }
@@ -79,6 +111,14 @@ pub struct ExecStats {
     /// Join build table pages finished by build sinks (the partitioned
     /// chains' pages, sealed for broadcast in the distributed runtime).
     pub build_pages_sealed: u64,
+    /// Morsels handed out by stage schedulers (shared-queue dispatches;
+    /// monotone across merges).
+    pub morsels_dispatched: u64,
+    /// Morsels a worker thread stole from another thread's deque after its
+    /// own drained (monotone across merges).
+    pub morsels_stolen: u64,
+    /// High-water mark of worker threads any single stage actually used.
+    pub threads_used: usize,
     pub max_zombie_pages: usize,
 }
 
@@ -96,7 +136,49 @@ impl ExecStats {
         self.rows_probed += other.rows_probed;
         self.join_matches += other.join_matches;
         self.build_pages_sealed += other.build_pages_sealed;
+        self.morsels_dispatched += other.morsels_dispatched;
+        self.morsels_stolen += other.morsels_stolen;
+        self.threads_used = self.threads_used.max(other.threads_used);
         self.max_zombie_pages = self.max_zombie_pages.max(other.max_zombie_pages);
+    }
+}
+
+/// Per-thread execution state that outlives any single morsel: the recycled
+/// column-buffer pool (thread-affine, so a morsel's batch buffers stay hot
+/// on the thread that ran it) and the observed per-op flat-map fan-out
+/// ratios used to pre-size kernel output buffers on later morsels.
+pub struct ThreadState {
+    pool: ColumnPool,
+    /// Cumulative `(rows_in, values_out)` per resolved op slot. Only
+    /// flat-map slots are ever updated; a capacity hint never changes what
+    /// a kernel produces, so this thread-history state is exempt from the
+    /// determinism argument.
+    fanout: Vec<(u64, u64)>,
+}
+
+impl ThreadState {
+    /// Fresh state for a pipeline resolved to `ops` op slots.
+    pub fn new(ops: usize) -> Self {
+        ThreadState {
+            pool: ColumnPool::default(),
+            fanout: vec![(0, 0); ops],
+        }
+    }
+
+    /// Predicted total output values for `live` input rows at op `op`,
+    /// or 0 when this thread has observed nothing yet.
+    fn fanout_hint(&self, op: usize, live: usize) -> usize {
+        let (rows_in, vals_out) = self.fanout[op];
+        vals_out
+            .saturating_mul(live as u64)
+            .checked_div(rows_in)
+            .unwrap_or(0) as usize
+    }
+
+    fn record_fanout(&mut self, op: usize, live: usize, vals_out: usize) {
+        let e = &mut self.fanout[op];
+        e.0 += live as u64;
+        e.1 += vals_out as u64;
     }
 }
 
@@ -114,9 +196,10 @@ pub enum PipelineOutput {
 /// The database name intermediates are materialized under.
 pub const TMP_DB: &str = "__tmp";
 
-/// Runs one pipeline over `pages` (a `PipelineJobStage` in Appendix D's
-/// terms). `tables` supplies the hash tables for every join this pipeline
-/// probes.
+/// Runs one pipeline over `pages` single-threaded, as one span (the
+/// pre-morsel engine entry point, kept for differential tests and simple
+/// callers). `tables` supplies the hash tables for every join this
+/// pipeline probes.
 pub fn run_pipeline_stage(
     config: &ExecConfig,
     p: &PipelineSpec,
@@ -125,9 +208,34 @@ pub fn run_pipeline_stage(
     aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
     tables: &HashMap<String, JoinTable>,
 ) -> PcResult<(PipelineOutput, ExecStats)> {
-    let mut stats = ExecStats::default();
     // Resolve names → slots and stages → kernels once, off the batch path.
     let rp = p.resolve(stages)?;
+    let mut state = ThreadState::new(rp.ops.len());
+    run_span(
+        config,
+        p,
+        &rp,
+        aggs,
+        tables,
+        &mut state,
+        pages.iter().map(|pg| (pg, 0, usize::MAX)),
+    )
+}
+
+/// Runs one pipeline over a span of `(page, lo, hi)` row ranges with fresh
+/// sink state, on the calling thread. This is the unit a morsel scheduler
+/// dispatches: every morsel gets its own sinks, so its output depends only
+/// on its input rows and merges deterministically by morsel index.
+pub(crate) fn run_span<'a>(
+    config: &ExecConfig,
+    p: &PipelineSpec,
+    rp: &ResolvedPipeline,
+    aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
+    tables: &HashMap<String, JoinTable>,
+    state: &mut ThreadState,
+    spans: impl Iterator<Item = (&'a Arc<SealedPage>, usize, usize)>,
+) -> PcResult<(PipelineOutput, ExecStats)> {
+    let mut stats = ExecStats::default();
     let mut writer: Option<SetWriter> = match &p.sink {
         Sink::Output { .. } | Sink::Materialize { .. } => Some(SetWriter::new(config.page_size)),
         _ => None,
@@ -150,41 +258,42 @@ pub fn run_pipeline_stage(
         _ => None,
     };
     let mut scratch = ScratchPage::new(config.page_size);
-    // One slot-addressed vector list and one buffer pool serve every batch:
-    // the batch boundary recycles column buffers instead of freeing them.
-    let mut pool = ColumnPool::default();
+    // One slot-addressed vector list and the thread's buffer pool serve
+    // every batch: the batch boundary recycles column buffers instead of
+    // freeing them, and the pool outlives the span so buffers stay affine
+    // to the thread across morsels.
     let mut vl = VectorList::for_slots(rp.slot_names.clone());
 
-    for page in pages {
+    for (page, lo, span_hi) in spans {
         // Zero-copy read view of the input page (pinned while the Arc and
         // the batch's handles live).
         let (_block, root) = page.open_view()?;
         let root: Handle<PcVec<Handle<AnyObj>>> = root.downcast()?;
-        let total = root.len();
-        let mut at = 0usize;
+        let total = root.len().min(span_hi);
+        let mut at = lo.min(total);
         while at < total {
             let hi = (at + config.batch_size).min(total);
-            let mut handles = pool.take_objs();
+            let mut handles = state.pool.take_objs();
             handles.extend((at..hi).map(|i| root.get(i).erase()));
             stats.rows_in += handles.len() as u64;
             vl.set_slot(rp.source_slot, Column::Obj(handles));
             at = hi;
 
             run_batch(
-                &rp,
+                rp,
                 tables,
                 &mut vl,
                 &mut writer,
                 &mut agg_sink,
                 &mut build_table,
                 &mut scratch,
-                &mut pool,
+                state,
                 &mut stats,
             )?;
             stats.batches += 1;
             // Batch boundary: the vector list dies (its buffers return to
             // the pool, dropping object references), zombies release.
-            vl.recycle(&mut pool);
+            vl.recycle(&mut state.pool);
             if let Some(w) = writer.as_mut() {
                 stats.max_zombie_pages = stats.max_zombie_pages.max(w.max_zombies);
                 w.release_zombies()?;
@@ -230,13 +339,14 @@ fn run_batch(
     agg_sink: &mut Option<Box<dyn ErasedAggSink>>,
     build_table: &mut Option<JoinTable>,
     scratch: &mut ScratchPage,
-    pool: &mut ColumnPool,
+    state: &mut ThreadState,
     stats: &mut ExecStats,
 ) -> PcResult<()> {
-    for op in &rp.ops {
+    for (op_idx, op) in rp.ops.iter().enumerate() {
         if vl.is_empty() {
             return Ok(());
         }
+        let pool = &mut state.pool;
         match op {
             ResolvedOp::Apply {
                 kernel,
@@ -264,11 +374,14 @@ fn run_batch(
                 drop,
                 drop_out,
             } => {
+                let live = sel_len(vl.slot(*input)?.len(), vl.sel());
+                let hint = state.fanout_hint(op_idx, live);
                 let mut result = None;
                 for attempt in 0..8 {
                     let block = kernel_block(writer, scratch)?;
                     let scope = AllocScope::install(block.clone());
                     let mut ctx = ExecCtx::new(block);
+                    ctx.fanout_hint = hint;
                     let r = kernel.apply(&[vl.slot(*input)?], vl.sel(), &mut ctx);
                     std::mem::drop(scope);
                     match r {
@@ -285,6 +398,8 @@ fn run_batch(
                 let (col, counts) = result.ok_or_else(|| {
                     PcError::Catalog("flatmap exceeded page-fault retries".into())
                 })?;
+                state.record_fanout(op_idx, live, col.len());
+                let pool = &mut state.pool;
                 vl.drop_slots(drop, pool);
                 vl.replicate_with(&counts, *out, col, pool);
                 if *drop_out {
@@ -477,7 +592,9 @@ impl LocalExecutor {
         self.run_plan(&physical, &q.stages, &q.aggs)
     }
 
-    /// Runs an already-planned query.
+    /// Runs an already-planned query. Every stage runs morsel-driven over
+    /// `config.threads` work-stealing threads; outputs merge in morsel
+    /// order, so the result bytes are independent of the thread count.
     pub fn run_plan(
         &self,
         physical: &PhysicalPlan,
@@ -485,7 +602,7 @@ impl LocalExecutor {
         aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
     ) -> PcResult<ExecStats> {
         let mut stats = ExecStats::default();
-        let mut tables: HashMap<String, JoinTable> = HashMap::new();
+        let mut tables: HashMap<String, SharedTable> = HashMap::new();
         // A previous query's materialized pages must never leak into this
         // one's deterministically-named tmp lists.
         for list in physical.intermediate_lists() {
@@ -496,10 +613,10 @@ impl LocalExecutor {
                 Source::Set { db, set, .. } => self.storage.scan(db, set)?,
                 Source::Intermediate { list, .. } => self.storage.scan(TMP_DB, list)?,
             };
-            let (output, s) = run_pipeline_stage(&self.config, p, &pages, stages, aggs, &tables)?;
+            let (outputs, s) = run_stage_morsels(&self.config, p, &pages, stages, aggs, &tables)?;
             stats.absorb(&s);
-            match output {
-                PipelineOutput::Pages(pages) => {
+            match &p.sink {
+                Sink::Output { .. } | Sink::Materialize { .. } => {
                     let (db, set) = match &p.sink {
                         Sink::Output { db, set, .. } => (db.clone(), set.clone()),
                         Sink::Materialize { list, .. } => {
@@ -508,26 +625,53 @@ impl LocalExecutor {
                         }
                         _ => unreachable!(),
                     };
-                    for page in pages {
-                        self.storage.append_page(&db, &set, page)?;
+                    for out in outputs {
+                        let MorselOutput::Pages(pages) = out else {
+                            unreachable!()
+                        };
+                        for page in pages {
+                            self.storage.append_page(&db, &set, page)?;
+                        }
                     }
                 }
-                PipelineOutput::BuiltTable(t) => {
-                    let Sink::JoinBuild { table, .. } = &p.sink else {
-                        unreachable!()
-                    };
-                    tables.insert(table.clone(), *t);
+                Sink::JoinBuild {
+                    table, obj_cols, ..
+                } => {
+                    // Per-morsel builds fold together partition-wise: a page
+                    // tagged `p` joins every other morsel's partition-`p`
+                    // chain, in morsel order, and probe threads reopen
+                    // zero-copy views sharing one set of tag filters.
+                    let mut partitions = JoinTable::round_partitions(self.config.join_partitions);
+                    let mut tagged: Vec<(usize, Arc<SealedPage>)> = Vec::new();
+                    for out in outputs {
+                        let MorselOutput::TablePages {
+                            partitions: parts,
+                            pages,
+                            ..
+                        } = out
+                        else {
+                            unreachable!()
+                        };
+                        partitions = parts;
+                        tagged.extend(pages.into_iter().map(|(part, pg)| (part, Arc::new(pg))));
+                    }
+                    tables.insert(
+                        table.clone(),
+                        SharedTable::from_tagged_pages(obj_cols.len(), partitions, tagged)?,
+                    );
                 }
-                PipelineOutput::AggPartitions(parts) => {
+                Sink::AggProduce { comp, dest, .. } => {
                     // Local consuming stage (AggregationJobStage): merge all
-                    // partition pages, then materialize groups.
-                    let Sink::AggProduce { comp, dest, .. } = &p.sink else {
-                        unreachable!()
-                    };
+                    // partition pages in morsel order, then materialize.
                     let agg = aggs.get(comp).unwrap();
                     let mut merger = agg.new_merger(self.config.page_size);
-                    for (_part, page) in parts {
-                        merger.merge_page(page)?;
+                    for out in outputs {
+                        let MorselOutput::AggPartitions(parts) = out else {
+                            unreachable!()
+                        };
+                        for (_part, page) in parts {
+                            merger.merge_page(page)?;
+                        }
                     }
                     let mut out_writer = SetWriter::new(self.config.page_size);
                     stats.agg_groups += merger.finalize(&mut out_writer)?;
@@ -576,6 +720,9 @@ mod tests {
             rows_probed: 11,
             join_matches: 8,
             build_pages_sealed: 5,
+            morsels_dispatched: 13,
+            morsels_stolen: 4,
+            threads_used: 3,
             max_zombie_pages: 2,
         };
         total.absorb(&other);
@@ -593,6 +740,23 @@ mod tests {
         assert_eq!(total.rows_probed, 11);
         assert_eq!(total.join_matches, 8);
         assert_eq!(total.build_pages_sealed, 5);
+        assert_eq!(total.morsels_dispatched, 13);
+        assert_eq!(total.morsels_stolen, 4);
+        assert_eq!(total.threads_used, 3, "threads_used is a high-water max");
         assert_eq!(total.max_zombie_pages, 2, "zombie high-water is a max");
+    }
+
+    #[test]
+    fn fanout_hint_learns_the_observed_ratio() {
+        let mut s = ThreadState::new(2);
+        // Nothing observed yet: no hint.
+        assert_eq!(s.fanout_hint(0, 100), 0);
+        // 10 rows fanned out to 40 values → ratio 4.
+        s.record_fanout(0, 10, 40);
+        assert_eq!(s.fanout_hint(0, 100), 400);
+        // Ops learn independently.
+        assert_eq!(s.fanout_hint(1, 100), 0);
+        s.record_fanout(0, 10, 0);
+        assert_eq!(s.fanout_hint(0, 100), 200, "history is cumulative");
     }
 }

@@ -1,0 +1,414 @@
+//! Morsel-driven parallel stage execution with work stealing.
+//!
+//! A stage's input pages are carved into fixed-size **morsels** (a bounded
+//! run of rows that never spans a page). Morsels are dealt round-robin into
+//! per-thread deques; each worker thread pops from the front of its own
+//! deque and, when it drains, steals from the **back** of a victim's — the
+//! classic morsel-driven scheme (Leis et al.): cheap local FIFO dispatch,
+//! skew absorbed by stealing the coldest work furthest from the victim's
+//! current position.
+//!
+//! **Determinism.** Stealing makes the *schedule* timing-dependent, so no
+//! state may accumulate across morsels in a thread (PC map layout is
+//! insertion-order-sensitive). Every morsel therefore runs with fresh sink
+//! state ([`crate::local::run_span`]) and seals its output inside the
+//! producing thread; the driver merges sealed outputs strictly by **morsel
+//! index**. The morsel decomposition is a pure function of the input pages
+//! and `morsel_rows`, so the merged bytes are identical for every thread
+//! count and every steal schedule. What *is* thread-affine — the
+//! `ColumnPool` buffer cache and the flat-map fan-out hint — only affects
+//! allocation, never output bytes.
+
+use crate::jointable::{JoinTable, TagFilter};
+use crate::local::{run_span, ExecConfig, ExecStats, PipelineOutput, ThreadState};
+use crate::plan::PipelineSpec;
+use pc_lambda::{ErasedAgg, StageLibrary};
+use pc_object::{AnyObj, Handle, PcError, PcResult, PcVec, SealedPage};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One unit of schedulable work: rows `lo..hi` of a single sealed page.
+pub struct Morsel {
+    /// Position in the stage's global morsel order (the merge key).
+    pub index: usize,
+    /// The input page this morsel reads (shared, zero-copy).
+    pub page: Arc<SealedPage>,
+    /// First row of the run.
+    pub lo: usize,
+    /// One past the last row of the run.
+    pub hi: usize,
+}
+
+/// Carves `pages` into morsels of at most `morsel_rows` rows. The result
+/// depends only on the pages' row counts and `morsel_rows` — never on
+/// thread count — which is what makes morsel-order merging deterministic.
+pub fn carve_morsels(pages: &[Arc<SealedPage>], morsel_rows: usize) -> PcResult<Vec<Morsel>> {
+    let step = morsel_rows.max(1);
+    let mut morsels = Vec::new();
+    for page in pages {
+        let (_block, root) = page.open_view()?;
+        let root: Handle<PcVec<Handle<AnyObj>>> = root.downcast()?;
+        let total = root.len();
+        let mut at = 0usize;
+        while at < total {
+            let hi = (at + step).min(total);
+            morsels.push(Morsel {
+                index: morsels.len(),
+                page: page.clone(),
+                lo: at,
+                hi,
+            });
+            at = hi;
+        }
+    }
+    Ok(morsels)
+}
+
+/// The shared morsel scheduler: per-thread deques with steal-on-drain.
+pub struct MorselQueue {
+    deques: Vec<Mutex<VecDeque<Morsel>>>,
+    dispatched: AtomicU64,
+    stolen: AtomicU64,
+}
+
+impl MorselQueue {
+    /// Deals morsels round-robin by index over `threads` deques.
+    pub fn deal(morsels: Vec<Morsel>, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut deques: Vec<VecDeque<Morsel>> = (0..threads).map(|_| VecDeque::new()).collect();
+        for m in morsels {
+            deques[m.index % threads].push_back(m);
+        }
+        MorselQueue {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+            dispatched: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        }
+    }
+
+    /// Next morsel for thread `me`: front of its own deque, else stolen
+    /// from the back of the nearest non-empty victim. `None` means every
+    /// deque has drained — the work set is fixed up front, so no new
+    /// morsels can appear afterwards.
+    pub fn next(&self, me: usize) -> Option<Morsel> {
+        if let Some(m) = self.deques[me].lock().expect("morsel deque").pop_front() {
+            self.dispatched.fetch_add(1, Ordering::Relaxed);
+            return Some(m);
+        }
+        for k in 1..self.deques.len() {
+            let victim = (me + k) % self.deques.len();
+            if let Some(m) = self.deques[victim].lock().expect("morsel deque").pop_back() {
+                self.dispatched.fetch_add(1, Ordering::Relaxed);
+                self.stolen.fetch_add(1, Ordering::Relaxed);
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// Total morsels handed out so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// How many of those were steals.
+    pub fn stolen(&self) -> u64 {
+        self.stolen.load(Ordering::Relaxed)
+    }
+}
+
+/// A `Send` form of [`PipelineOutput`]: one morsel's sink result, sealed
+/// into pages inside the producing thread (handles never cross threads —
+/// §6.5). The same type rides the cluster's transport per worker.
+pub enum MorselOutput {
+    /// Sealed output pages (OUTPUT / materialization sinks).
+    Pages(Vec<SealedPage>),
+    /// A sealed join build table: partition-tagged pages plus its summary
+    /// numbers (groups folded, table bytes, radix partition count).
+    TablePages {
+        /// Groups folded into this morsel's table.
+        groups: u64,
+        /// Bytes across the table's pages (broadcast-threshold signal).
+        bytes: usize,
+        /// Radix partition count the pages are tagged with.
+        partitions: usize,
+        /// The partition-tagged sealed map pages.
+        pages: Vec<(usize, SealedPage)>,
+    },
+    /// Pre-aggregated `(partition, page)` pairs awaiting merge.
+    AggPartitions(Vec<(usize, SealedPage)>),
+}
+
+impl MorselOutput {
+    /// Seals a [`PipelineOutput`] into its `Send` form (must run on the
+    /// thread that produced it, while its handles are still thread-local).
+    pub fn seal(out: PipelineOutput) -> PcResult<Self> {
+        Ok(match out {
+            PipelineOutput::Pages(p) => MorselOutput::Pages(p),
+            PipelineOutput::BuiltTable(t) => {
+                let (groups, bytes, partitions) = (t.groups, t.bytes(), t.partitions());
+                MorselOutput::TablePages {
+                    groups,
+                    bytes,
+                    partitions,
+                    pages: t.into_pages()?,
+                }
+            }
+            PipelineOutput::AggPartitions(p) => MorselOutput::AggPartitions(p),
+        })
+    }
+}
+
+/// A sealed, shareable join build table: partition-tagged pages plus the
+/// tag filters built once at merge/gather time. Probe threads (local
+/// morsel workers and remote cluster workers alike) reopen zero-copy
+/// [`JoinTable`] views over it with [`SharedTable::open`].
+pub struct SharedTable {
+    /// Build-side column count.
+    pub arity: usize,
+    /// Radix partition count the pages are tagged with.
+    pub partitions: usize,
+    /// Partition-tagged sealed map pages, in deterministic (morsel /
+    /// gather) order.
+    pub pages: Vec<(usize, Arc<SealedPage>)>,
+    /// Per-partition 16-bit blocked-Bloom tag filters, built once and
+    /// shared by every reopening thread.
+    pub filters: Vec<TagFilter>,
+}
+
+impl SharedTable {
+    /// Builds the shared form from partition-tagged pages, constructing the
+    /// tag filters once from the stored entry hashes.
+    pub fn from_tagged_pages(
+        arity: usize,
+        partitions: usize,
+        pages: Vec<(usize, Arc<SealedPage>)>,
+    ) -> PcResult<Self> {
+        let partitions = JoinTable::round_partitions(partitions);
+        let filters = JoinTable::build_shared_tag_filters(partitions, &pages)?;
+        Ok(SharedTable {
+            arity,
+            partitions,
+            pages,
+            filters,
+        })
+    }
+
+    /// Opens a read-only probe view (zero-copy page reopen, shared
+    /// filters). Each probing thread opens its own view once and probes it
+    /// for every morsel it runs.
+    pub fn open(&self, page_size: usize) -> PcResult<JoinTable> {
+        JoinTable::from_shared_pages(
+            self.arity,
+            page_size,
+            self.partitions,
+            &self.pages,
+            &self.filters,
+        )
+    }
+}
+
+/// Opens thread-local probe views of every table this pipeline probes.
+fn open_probe_tables(
+    config: &ExecConfig,
+    p: &PipelineSpec,
+    shared: &HashMap<String, SharedTable>,
+) -> PcResult<HashMap<String, JoinTable>> {
+    let mut local = HashMap::new();
+    for t in p.probes() {
+        let st = shared
+            .get(t)
+            .ok_or_else(|| PcError::Catalog(format!("join table {t} not built")))?;
+        local.insert(t.to_string(), st.open(config.page_size)?);
+    }
+    Ok(local)
+}
+
+type MorselResults = PcResult<Vec<(usize, MorselOutput, ExecStats)>>;
+
+/// One worker thread's loop: pull morsels (own deque first, then steal),
+/// run each as an independent span with fresh sink state, seal its output,
+/// and tag it with its morsel index for the deterministic merge.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    config: &ExecConfig,
+    p: &PipelineSpec,
+    rp: &crate::plan::ResolvedPipeline,
+    aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
+    shared: &HashMap<String, SharedTable>,
+    queue: &MorselQueue,
+    me: usize,
+) -> MorselResults {
+    let mut state = ThreadState::new(rp.ops.len());
+    let local_tables = open_probe_tables(config, p, shared)?;
+    let mut acc = Vec::new();
+    while let Some(m) = queue.next(me) {
+        let (out, stats) = run_span(
+            config,
+            p,
+            rp,
+            aggs,
+            &local_tables,
+            &mut state,
+            std::iter::once((&m.page, m.lo, m.hi)),
+        )?;
+        acc.push((m.index, MorselOutput::seal(out)?, stats));
+    }
+    Ok(acc)
+}
+
+/// Runs one pipeline stage morsel-driven over `config.threads`
+/// work-stealing threads. Returns each morsel's sealed output **in morsel
+/// order** plus the merged stats (also folded in morsel order, so even
+/// stats are schedule-independent apart from `morsels_stolen`).
+pub fn run_stage_morsels(
+    config: &ExecConfig,
+    p: &PipelineSpec,
+    pages: &[Arc<SealedPage>],
+    stages: &StageLibrary,
+    aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
+    shared: &HashMap<String, SharedTable>,
+) -> PcResult<(Vec<MorselOutput>, ExecStats)> {
+    let rp = p.resolve(stages)?;
+    let morsels = carve_morsels(pages, config.morsel_rows)?;
+
+    if morsels.is_empty() {
+        // No input rows: still run the sink machinery once so an empty
+        // input yields the sink's (empty) output — a finished empty table,
+        // a flushed map — exactly as the single-threaded engine does.
+        let mut state = ThreadState::new(rp.ops.len());
+        let local_tables = open_probe_tables(config, p, shared)?;
+        let (out, mut stats) = run_span(
+            config,
+            p,
+            &rp,
+            aggs,
+            &local_tables,
+            &mut state,
+            std::iter::empty(),
+        )?;
+        stats.threads_used = stats.threads_used.max(1);
+        return Ok((vec![MorselOutput::seal(out)?], stats));
+    }
+
+    // Never spawn more threads than there are morsels to run.
+    let nthreads = config.threads.max(1).min(morsels.len());
+    let queue = MorselQueue::deal(morsels, nthreads);
+
+    let per_thread: Vec<MorselResults> = if nthreads == 1 {
+        // Single-threaded: run inline, no spawn overhead.
+        vec![run_worker(config, p, &rp, aggs, shared, &queue, 0)]
+    } else {
+        std::thread::scope(|scope| {
+            let rp = &rp;
+            let queue = &queue;
+            let handles: Vec<_> = (0..nthreads)
+                .map(|t| scope.spawn(move || run_worker(config, p, rp, aggs, shared, queue, t)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("morsel worker"))
+                .collect()
+        })
+    };
+
+    let mut tagged = Vec::new();
+    for r in per_thread {
+        tagged.extend(r?);
+    }
+    // The deterministic merge: outputs and stats fold by morsel index, not
+    // completion order.
+    tagged.sort_by_key(|(i, _, _)| *i);
+    let mut stats = ExecStats::default();
+    let mut outputs = Vec::with_capacity(tagged.len());
+    for (_, out, s) in tagged {
+        stats.absorb(&s);
+        outputs.push(out);
+    }
+    stats.morsels_dispatched += queue.dispatched();
+    stats.morsels_stolen += queue.stolen();
+    stats.threads_used = stats.threads_used.max(nthreads);
+    Ok((outputs, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_lambda::SetWriter;
+    use pc_object::{make_object, PcVec};
+
+    fn page_with(rows: usize) -> Arc<SealedPage> {
+        let mut w = SetWriter::new(1 << 20);
+        for i in 0..rows {
+            w.write_with(|| {
+                let v = make_object::<PcVec<i64>>()?;
+                v.push(i as i64)?;
+                Ok(v.erase())
+            })
+            .unwrap();
+        }
+        let pages = w.finish().unwrap();
+        assert_eq!(pages.len(), 1);
+        Arc::new(pages.into_iter().next().unwrap())
+    }
+
+    #[test]
+    fn carve_respects_page_boundaries_and_morsel_rows() {
+        let pages = vec![page_with(10), page_with(3), page_with(7)];
+        let morsels = carve_morsels(&pages, 4).unwrap();
+        let runs: Vec<(usize, usize)> = morsels.iter().map(|m| (m.lo, m.hi)).collect();
+        assert_eq!(
+            runs,
+            vec![(0, 4), (4, 8), (8, 10), (0, 3), (0, 4), (4, 7)],
+            "morsels cover every row exactly once and never span a page"
+        );
+        assert!(morsels.iter().enumerate().all(|(i, m)| m.index == i));
+        // The decomposition ignores thread count entirely — only rows and
+        // morsel_rows matter.
+        assert_eq!(carve_morsels(&pages, 4).unwrap().len(), morsels.len());
+    }
+
+    #[test]
+    fn carve_of_empty_input_is_empty() {
+        assert!(carve_morsels(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn queue_drains_every_morsel_exactly_once_and_counts_steals() {
+        let pages = vec![page_with(64)];
+        let morsels = carve_morsels(&pages, 4).unwrap();
+        let n = morsels.len();
+        assert_eq!(n, 16);
+        let q = MorselQueue::deal(morsels, 4);
+        // Thread 3 never shows up; thread 0 does all the work, stealing
+        // everything dealt to 1, 2, and 3.
+        let mut seen = Vec::new();
+        while let Some(m) = q.next(0) {
+            seen.push(m.index);
+        }
+        assert_eq!(q.dispatched(), n as u64);
+        assert_eq!(q.stolen(), (n - n / 4) as u64);
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..n).collect::<Vec<_>>(),
+            "no morsel lost or duplicated"
+        );
+    }
+
+    #[test]
+    fn steals_come_from_the_back_of_the_victim() {
+        let pages = vec![page_with(8)];
+        let q = MorselQueue::deal(carve_morsels(&pages, 1).unwrap(), 2);
+        // Thread 1 owns indices 1,3,5,7 (front→back). A thief takes 7 first.
+        let stolen = q.next(0); // own deque: 0
+        assert_eq!(stolen.unwrap().index, 0);
+        for _ in 0..3 {
+            q.next(0);
+        }
+        // Own deque (0,2,4,6) is drained; next pull steals 1's back = 7.
+        assert_eq!(q.next(0).unwrap().index, 7);
+        assert_eq!(q.next(1).unwrap().index, 1, "victim still pops its front");
+    }
+}

@@ -31,6 +31,8 @@ fn setup(label: &str) -> LocalExecutor {
             page_size: 1 << 15,
             agg_partitions: 2,
             join_partitions: 4,
+            morsel_rows: 64,
+            ..ExecConfig::default()
         },
     )
 }

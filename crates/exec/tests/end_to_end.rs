@@ -53,6 +53,8 @@ fn setup(label: &str) -> LocalExecutor {
             page_size: 1 << 16,
             agg_partitions: 3,
             join_partitions: 4,
+            morsel_rows: 128,
+            ..ExecConfig::default()
         },
     )
 }
@@ -388,6 +390,8 @@ fn tiny_pages_force_rolls_and_stay_correct() {
             page_size: 4096,
             agg_partitions: 2,
             join_partitions: 2,
+            morsel_rows: 64,
+            ..ExecConfig::default()
         },
     );
     load_emps(&ex, 400);
@@ -406,4 +410,61 @@ fn tiny_pages_force_rolls_and_stay_correct() {
     );
     let got = read_all::<Emp>(&ex, "db", "all");
     assert_eq!(got.len(), 400);
+}
+
+#[test]
+fn morsel_scheduler_reports_stats_and_matches_single_threaded() {
+    // Pin the thread counts explicitly (independent of PC_THREADS): the
+    // 1-thread and 4-thread runs of the same query must produce
+    // byte-identical output pages, and the morsel counters must be live.
+    let run = |label: &str, threads: usize| -> (Vec<Vec<u8>>, pc_exec::ExecStats) {
+        let storage = StorageManager::in_temp(label).unwrap();
+        let ex = LocalExecutor::new(
+            storage,
+            ExecConfig {
+                batch_size: 64,
+                page_size: 1 << 16,
+                agg_partitions: 3,
+                join_partitions: 4,
+                morsel_rows: 64,
+                threads,
+            },
+        );
+        load_emps(&ex, 700);
+        ex.storage.create_or_clear_set("db", "out").unwrap();
+        let big = Dataset::<Emp>::scan("db", "emps").filter(|e| {
+            e.method("getSalary", |e| e.v().salary())
+                .gt_const(60_000i64)
+        });
+        let q = Job::new().add(big.write_to("db", "out")).compile().unwrap();
+        let stats = ex.execute(&q).unwrap();
+        let mut pages: Vec<Vec<u8>> = ex
+            .storage
+            .scan("db", "out")
+            .unwrap()
+            .iter()
+            .map(|p| p.to_bytes())
+            .collect();
+        pages.sort();
+        (pages, stats)
+    };
+
+    let (base, s1) = run("morsel_t1", 1);
+    let (par, s4) = run("morsel_t4", 4);
+    assert!(
+        s1.morsels_dispatched > 0,
+        "morsel queue must report dispatches: {s1:?}"
+    );
+    assert_eq!(s1.threads_used, 1);
+    assert!(s4.morsels_dispatched > 0);
+    assert!(
+        s4.threads_used >= 1,
+        "parallel run must report its thread count: {s4:?}"
+    );
+    assert_eq!(s1.rows_out, s4.rows_out);
+    assert!(!base.is_empty());
+    assert_eq!(
+        base, par,
+        "4-thread output pages must be byte-identical to the 1-thread run"
+    );
 }

@@ -182,13 +182,13 @@ fn join_aggregate_chain() {
 fn multi_sink_job_runs_shared_upstream_once() {
     let client = PcClient::connect(ClusterConfig {
         workers: 2,
-        threads_per_worker: 1,
-        combine_threads: 1,
         exec: ExecConfig {
             batch_size: 128,
             page_size: 1 << 16,
             agg_partitions: 2,
             join_partitions: 4,
+            morsel_rows: 512,
+            ..ExecConfig::default()
         },
         broadcast_threshold: 8 << 20,
         ..ClusterConfig::default()

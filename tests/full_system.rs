@@ -64,13 +64,13 @@ impl AggregateSpec for TotalAgg {
 fn selection_then_aggregation_then_join_across_cluster() {
     let client = PcClient::connect(ClusterConfig {
         workers: 3,
-        threads_per_worker: 2,
-        combine_threads: 2,
         exec: ExecConfig {
             batch_size: 64,
             page_size: 1 << 16,
             agg_partitions: 4,
             join_partitions: 8,
+            morsel_rows: 256,
+            ..ExecConfig::default()
         },
         broadcast_threshold: 8 << 20,
         ..ClusterConfig::default()
