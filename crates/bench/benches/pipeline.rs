@@ -128,8 +128,8 @@ fn bench_agg_absorb(c: &mut Criterion) {
     // against the pre-PR row-at-a-time `key_of → hash → % → upsert` loop.
     let b = micro_agg_batch(1024, 16);
     let engine = AggEngine::new(SumAgg);
-    let mut rowwise = engine.new_sink(4, 1 << 20);
-    let mut vectorized = engine.new_sink(4, 1 << 20);
+    let mut rowwise = engine.new_sink(4, 1 << 20, None);
+    let mut vectorized = engine.new_sink(4, 1 << 20, None);
     let mut g = c.benchmark_group("agg_absorb");
     g.sample_size(20);
     g.bench_function("rowwise", |bench| {

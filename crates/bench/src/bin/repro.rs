@@ -13,9 +13,14 @@
 //!                           recovery, byte-identical replay; --tcp runs
 //!                           it over real loopback sockets with heartbeat
 //!                           liveness
+//! repro outofcore [--quick] [--threads N] [--seed N]...
+//!                           out-of-core execution: join+aggregation at a
+//!                           pool budget ~10x smaller than the dataset,
+//!                           gated byte-identical to the in-memory run,
+//!                           plus a seeded memory-pressure sweep
 //! ```
 
-use pc_bench::{faults, figures, pipeline, tables};
+use pc_bench::{faults, figures, outofcore, pipeline, tables};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,9 +78,10 @@ fn main() {
         "figure5" => figures::figure5(),
         "pipeline" => pipeline::pipeline(quick, threads),
         "faults" => faults::faults(quick, &seeds, tcp),
+        "outofcore" => outofcore::outofcore(quick, threads, &seeds),
         other => {
             eprintln!(
-                "unknown experiment {other}; use all|table1..table8|figure1..figure5|pipeline|faults"
+                "unknown experiment {other}; use all|table1..table8|figure1..figure5|pipeline|faults|outofcore"
             );
             std::process::exit(2);
         }

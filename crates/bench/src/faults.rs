@@ -21,7 +21,9 @@ use pc_cluster::{
 use pc_core::{Dataset, Job};
 use pc_exec::ExecConfig;
 use pc_lambda::{AggregateSpec, SetWriter};
-use pc_object::{make_object, pc_object, BlockRef, Handle, PcResult, PcString, PcVec};
+use pc_object::{
+    make_object, pc_object, BlockRef, Handle, PcResult, PcString, PcVec, PressureSpec,
+};
 
 pc_object! {
     pub struct FEmp / FEmpView {
@@ -100,6 +102,28 @@ fn cluster_with(transport: TransportKind) -> PcCluster {
         },
         broadcast_threshold: 1 << 20,
         transport,
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+/// A fault-free-wire cluster with seeded memory-pressure injection armed
+/// on every worker pool's budget: reservations are denied as a pure
+/// function of seed × reservation index, so operators spill at randomized
+/// points even though the data would fit.
+fn cluster_pressured(seed: u64) -> PcCluster {
+    PcCluster::new(ClusterConfig {
+        workers: WORKERS,
+        exec: ExecConfig {
+            batch_size: 32,
+            page_size: 1 << 15,
+            agg_partitions: 5,
+            join_partitions: 8,
+            morsel_rows: 64,
+            ..ExecConfig::default()
+        },
+        broadcast_threshold: 1 << 20,
+        pressure: Some(PressureSpec::seeded(seed)),
         ..ClusterConfig::default()
     })
     .unwrap()
@@ -276,6 +300,61 @@ pub fn faults(quick: bool, extra_seeds: &[u64], tcp: bool) {
                 );
             }
         }
+    }
+
+    // The memory-pressure leg: same stage shapes, fault-free wire, but
+    // every worker pool's budget under seeded reservation-denial
+    // injection — the operators' spill paths are the thing under chaos
+    // here, and the gate is the same: byte-identical output, plus zero
+    // spill files left behind.
+    println!("\nmemory-pressure chaos (seeded reservation denials, fault-free wire):");
+    let pwidths = [14usize, 6, 10, 10, 10, 7, 8];
+    row(
+        &[
+            "stage".into(),
+            "seed".into(),
+            "identical".into(),
+            "jp_spill".into(),
+            "ag_spill".into(),
+            "waves".into(),
+            "leaked".into(),
+        ],
+        &pwidths,
+    );
+    let mut total_spilled = 0u64;
+    for (name, job) in scenarios {
+        let (baseline, _) = job(&cluster_with(TransportKind::Local), rows);
+        for &seed in &seeds {
+            let c = cluster_pressured(seed);
+            let (got, stats) = job(&c, rows);
+            let leaked: usize = c
+                .workers
+                .iter()
+                .map(|w| w.storage.pool().leaked_spill_files())
+                .sum();
+            let spilled = stats.exec.join_partitions_spilled + stats.exec.agg_pages_spilled;
+            total_spilled += spilled;
+            let identical = got == baseline && leaked == 0;
+            if !identical {
+                failures.push(format!("{name} under MemoryPressure seed={seed}"));
+            }
+            row(
+                &[
+                    name.into(),
+                    seed.to_string(),
+                    if identical { "yes" } else { "NO" }.into(),
+                    stats.exec.join_partitions_spilled.to_string(),
+                    stats.exec.agg_pages_spilled.to_string(),
+                    stats.exec.spill_waves.to_string(),
+                    leaked.to_string(),
+                ],
+                &pwidths,
+            );
+        }
+    }
+    if total_spilled == 0 {
+        failures
+            .push("memory-pressure leg never spilled — injection not reaching operators".into());
     }
 
     if failures.is_empty() {

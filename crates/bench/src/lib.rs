@@ -8,6 +8,7 @@
 
 pub mod faults;
 pub mod figures;
+pub mod outofcore;
 pub mod pipeline;
 pub mod tables;
 pub mod util;

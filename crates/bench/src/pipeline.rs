@@ -78,6 +78,10 @@ struct Run {
     morsels_dispatched: u64,
     morsels_stolen: u64,
     threads_used: usize,
+    pool_hits: u64,
+    pool_misses: u64,
+    pool_evictions: u64,
+    pool_spills: u64,
     dur: Duration,
 }
 
@@ -104,6 +108,10 @@ fn execute(c: &PcClient, sink: Sink, out_set: &str) -> Run {
         morsels_dispatched: stats.exec.morsels_dispatched,
         morsels_stolen: stats.exec.morsels_stolen,
         threads_used: stats.exec.threads_used,
+        pool_hits: stats.exec.pool_hits,
+        pool_misses: stats.exec.pool_misses,
+        pool_evictions: stats.exec.pool_evictions,
+        pool_spills: stats.exec.pool_spills,
         dur,
     }
 }
@@ -266,7 +274,7 @@ pub fn micro_agg_batch(rows: usize, card: i64) -> MicroAggBatch {
 
 fn micro_sink() -> Box<dyn pc_lambda::ErasedAggSink> {
     use pc_lambda::ErasedAgg;
-    pc_lambda::agg::AggEngine::new(SumAgg).new_sink(4, 1 << 20)
+    pc_lambda::agg::AggEngine::new(SumAgg).new_sink(4, 1 << 20, None)
 }
 
 /// `(rowwise ns/batch, vectorized ns/batch, speedup)` on a low-cardinality
@@ -298,6 +306,7 @@ pub fn micro_agg_paths_agree() -> bool {
     let finalize = |mut sink: Box<dyn pc_lambda::ErasedAggSink>| -> Vec<(i64, i64)> {
         let mut merger = engine.new_merger(1 << 20);
         for (_part, page) in sink.flush().unwrap() {
+            let page = page.load().unwrap();
             merger.merge_page(page).unwrap();
         }
         let mut w = SetWriter::new(1 << 20);
@@ -688,6 +697,10 @@ pub fn pipeline(quick: bool, threads: Option<usize>) {
         println!(
             "  {name}: {} morsel(s) dispatched, {} stolen, {} thread(s) used",
             r.morsels_dispatched, r.morsels_stolen, r.threads_used
+        );
+        println!(
+            "  {name}: pool {} hit(s) / {} miss(es), {} eviction(s), {} spill(s)",
+            r.pool_hits, r.pool_misses, r.pool_evictions, r.pool_spills
         );
     }
 

@@ -5,8 +5,8 @@ use crate::recovery::{self, Liveness, RecoveryPolicy};
 use crate::stages;
 use crate::transport::{Transport, TransportKind, TransportMeter, MASTER};
 use pc_exec::{plan, ExecConfig, ExecStats, PhysicalPlan, Sink, Source};
-use pc_lambda::{CompiledQuery, ErasedAgg, SetWriter, StageLibrary};
-use pc_object::{AnyHandle, PcError, PcResult, SealedPage};
+use pc_lambda::{CompiledQuery, ErasedAgg, SetWriter, SpillCtx, StageLibrary};
+use pc_object::{AnyHandle, PcError, PcResult, PressureSpec, SealedPage};
 use pc_storage::{Catalog, StorageManager, WorkerTypeCatalog};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +29,15 @@ pub struct ClusterConfig {
     pub transport: TransportKind,
     /// Stage-replay limits for worker recovery.
     pub recovery: RecoveryPolicy,
+    /// Per-worker buffer-pool capacity in bytes: the pool's page cache AND
+    /// the memory budget its operators reserve working memory against.
+    /// Datasets larger than this spill and run out of core.
+    pub pool_capacity: usize,
+    /// Seeded memory-pressure injection armed on every worker pool's budget
+    /// (chaos testing): reservations are denied as a pure function of
+    /// `seed ×` reservation index, forcing spill paths under randomized
+    /// pressure while results stay byte-identical.
+    pub pressure: Option<PressureSpec>,
 }
 
 impl Default for ClusterConfig {
@@ -39,6 +48,8 @@ impl Default for ClusterConfig {
             broadcast_threshold: 64 << 20,
             transport: TransportKind::default(),
             recovery: RecoveryPolicy::default(),
+            pool_capacity: 1 << 30,
+            pressure: None,
         }
     }
 }
@@ -104,8 +115,12 @@ impl PcCluster {
         ));
         let mut workers = Vec::with_capacity(config.workers);
         for id in 0..config.workers {
-            let storage =
-                StorageManager::new(catalog.clone(), 1 << 30, base.join(format!("worker{id}")))?;
+            let storage = StorageManager::with_pressure(
+                catalog.clone(),
+                config.pool_capacity,
+                base.join(format!("worker{id}")),
+                config.pressure.clone(),
+            )?;
             workers.push(WorkerNode {
                 id,
                 storage,
@@ -157,6 +172,43 @@ impl PcCluster {
             heartbeats_missed: self.meter.heartbeats_missed(),
             reconnects: self.meter.reconnects(),
         }
+    }
+
+    /// The out-of-core context worker `w`'s operators run under: the
+    /// worker pool's byte budget plus a fresh spill set on that pool. The
+    /// spill set cleans up its files when the last page referencing it
+    /// drops, so an aborted stage cannot leak spill files.
+    pub(crate) fn worker_spill_ctx(&self, w: usize) -> SpillCtx {
+        let pool = self.workers[w].storage.pool();
+        SpillCtx {
+            budget: pool.budget(),
+            spiller: Arc::new(pool.spill_set()),
+        }
+    }
+
+    /// Worker `w`'s per-stage exec config: the cluster-wide knobs with the
+    /// worker's own pool armed as the spill target (unless the caller
+    /// already provided one).
+    pub(crate) fn worker_exec_config(&self, w: usize) -> ExecConfig {
+        let mut cfg = self.config.exec.clone();
+        if cfg.spill.is_none() {
+            cfg.spill = Some(self.worker_spill_ctx(w));
+        }
+        cfg
+    }
+
+    /// Sum of every worker pool's counters (for before/after run deltas).
+    fn pool_stats_sum(&self) -> pc_storage::PoolStats {
+        let mut sum = pc_storage::PoolStats::default();
+        for w in &self.workers {
+            let s = w.storage.pool().stats();
+            sum.hits += s.hits;
+            sum.misses += s.misses;
+            sum.evictions += s.evictions;
+            sum.spills += s.spills;
+            sum.bytes_spilled += s.bytes_spilled;
+        }
+        sum
     }
 
     pub(crate) fn note_broadcast(&self) {
@@ -289,6 +341,7 @@ impl PcCluster {
         aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
     ) -> PcResult<ClusterStats> {
         let before = self.stats_snapshot();
+        let pool_before = self.pool_stats_sum();
         // Fault schedules only tick while a job is in flight, so chaos
         // seeds describe the job, not whatever loading preceded it.
         self.transport.arm();
@@ -310,7 +363,13 @@ impl PcCluster {
             Ok(exec)
         })();
         self.transport.disarm();
-        let exec = run?;
+        let mut exec = run?;
+        let pool_after = self.pool_stats_sum();
+        exec.pool_hits += pool_after.hits - pool_before.hits;
+        exec.pool_misses += pool_after.misses - pool_before.misses;
+        exec.pool_evictions += pool_after.evictions - pool_before.evictions;
+        exec.pool_spills += pool_after.spills - pool_before.spills;
+        exec.pool_bytes_spilled += pool_after.bytes_spilled - pool_before.bytes_spilled;
         let after = self.stats_snapshot();
         Ok(ClusterStats {
             exec,

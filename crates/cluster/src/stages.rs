@@ -64,8 +64,10 @@ pub fn run_stage_distributed(
                 }
                 // The worker's pipelining threads pull morsels from a
                 // shared work-stealing queue; each probe thread opens its
-                // own zero-copy view of any broadcast join tables.
-                run_stage_morsels(&cluster.config.exec, p, &pages, stages, aggs, tables_ref)
+                // own zero-copy view of any broadcast join tables. The
+                // worker's own pool backs its memory budget and spill store.
+                let exec_cfg = cluster.worker_exec_config(w);
+                run_stage_morsels(&exec_cfg, p, &pages, stages, aggs, tables_ref)
             }));
         }
         joins
@@ -155,11 +157,21 @@ pub fn run_stage_distributed(
                 // simulation broadcasts either way but keeps the signal.
             }
             // Tag filters are built once here, from the gathered pages'
-            // stored hashes; every reopening thread shares them.
-            tables.insert(
-                table.clone(),
-                SharedTable::from_tagged_pages(obj_cols.len(), partitions, gathered)?,
-            );
+            // stored hashes; every reopening thread shares them. The gather
+            // is where the table's full size first exists in one place, so
+            // it reserves against a budget and sheds partitions that do not
+            // fit (this in-process cluster shares one broadcast table, so
+            // worker 0's pool stands in for the per-worker copy).
+            let spill = cluster.worker_spill_ctx(0);
+            let st = SharedTable::from_tagged_pages_budgeted(
+                obj_cols.len(),
+                partitions,
+                gathered,
+                Some(&spill),
+            )?;
+            stats.join_partitions_spilled += st.spilled_partitions() as u64;
+            stats.join_bytes_spilled += st.spilled_bytes() as u64;
+            tables.insert(table.clone(), st);
         }
         Sink::AggProduce { comp, dest, .. } => {
             run_aggregation_stage(cluster, comp, dest, aggs, per_worker_outputs, &mut stats)?;
@@ -198,7 +210,7 @@ fn run_aggregation_stage(
         for outs in per_worker_outputs {
             let agg = agg.clone();
             joins.push(scope.spawn(move || -> PcResult<Vec<(usize, SealedPage)>> {
-                let mut by_part: HashMap<usize, Vec<SealedPage>> = HashMap::new();
+                let mut by_part: HashMap<usize, Vec<pc_lambda::AggPage>> = HashMap::new();
                 for out in outs {
                     let MorselOutput::AggPartitions(parts) = out else {
                         unreachable!()
@@ -207,10 +219,11 @@ fn run_aggregation_stage(
                         by_part.entry(part).or_default().push(page);
                     }
                 }
-                let mut parts: Vec<(usize, Vec<SealedPage>)> = by_part.into_iter().collect();
+                let mut parts: Vec<(usize, Vec<pc_lambda::AggPage>)> =
+                    by_part.into_iter().collect();
                 parts.sort_by_key(|(p, _)| *p);
                 // Deal partitions over the worker's combining threads.
-                let mut lanes: Vec<Vec<(usize, Vec<SealedPage>)>> =
+                let mut lanes: Vec<Vec<(usize, Vec<pc_lambda::AggPage>)>> =
                     (0..combine_threads).map(|_| Vec::new()).collect();
                 for (i, entry) in parts.into_iter().enumerate() {
                     lanes[i % combine_threads].push(entry);
@@ -225,13 +238,18 @@ fn run_aggregation_stage(
                                     let mut shipped = Vec::new();
                                     for (part, pages) in lane {
                                         if pages.len() == 1 {
-                                            // Nothing to combine; forward as-is.
-                                            shipped.push((part, pages.into_iter().next().unwrap()));
+                                            // Nothing to combine; forward as-is
+                                            // (reloading if it sits spilled).
+                                            let page = pages.into_iter().next().unwrap().load()?;
+                                            shipped.push((part, page));
                                             continue;
                                         }
                                         let mut merger = agg.new_merger(page_size);
                                         for page in pages {
-                                            merger.merge_page(page)?;
+                                            // Spilled pages reload one at a
+                                            // time: the combine never holds a
+                                            // partition's whole chain in RAM.
+                                            merger.merge_page(page.load()?)?;
                                         }
                                         for page in merger.into_pages()? {
                                             shipped.push((part, page));

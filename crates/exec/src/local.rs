@@ -23,8 +23,8 @@ use crate::plan::{
 };
 use crate::vlist::VectorList;
 use pc_lambda::{
-    for_each_sel, sel_len, Column, ColumnKernel, ColumnPool, CompiledQuery, ErasedAgg,
-    ErasedAggSink, ExecCtx, SetWriter, StageLibrary,
+    for_each_sel, sel_len, AggPage, Column, ColumnKernel, ColumnPool, CompiledQuery, ErasedAgg,
+    ErasedAggSink, ExecCtx, SetWriter, SpillCtx, StageLibrary,
 };
 use pc_object::{
     AllocPolicy, AllocScope, AnyHandle, AnyObj, BlockRef, Handle, PcError, PcResult, PcVec,
@@ -59,6 +59,12 @@ pub struct ExecConfig {
     /// therefore the merged output — depends only on this knob and the
     /// input pages, not on `threads`.
     pub morsel_rows: usize,
+    /// Out-of-core context: the [`MemoryBudget`](pc_object::MemoryBudget)
+    /// operators reserve working memory against, plus the spill store a
+    /// partition's page chain is shed to when a reservation is denied.
+    /// `None` (the default) is the old fully-in-memory behavior: nothing is
+    /// reserved and nothing can spill.
+    pub spill: Option<SpillCtx>,
 }
 
 /// Default stage thread count: `PC_THREADS` when set to a positive integer,
@@ -85,6 +91,7 @@ impl Default for ExecConfig {
             join_partitions: 8,
             threads: default_threads(),
             morsel_rows: 32 * 1024,
+            spill: None,
         }
     }
 }
@@ -120,6 +127,24 @@ pub struct ExecStats {
     /// High-water mark of worker threads any single stage actually used.
     pub threads_used: usize,
     pub max_zombie_pages: usize,
+    /// Pre-aggregation partition pages spilled under memory pressure
+    /// (whole-chain sheds plus the sealing page that triggered them).
+    pub agg_pages_spilled: u64,
+    /// Bytes of pre-aggregation pages spilled.
+    pub agg_bytes_spilled: u64,
+    /// Join build partitions shed whole to the spill store at gather time.
+    pub join_partitions_spilled: u64,
+    /// Bytes of join build pages spilled.
+    pub join_bytes_spilled: u64,
+    /// Second-pass probe waves run over reloaded spilled join partitions.
+    pub spill_waves: u64,
+    /// Buffer-pool counters over the run (deltas of the executing node's
+    /// pool, surfaced so `repro` tables can print pool behavior per run).
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub pool_evictions: u64,
+    pub pool_spills: u64,
+    pub pool_bytes_spilled: u64,
 }
 
 impl ExecStats {
@@ -140,6 +165,16 @@ impl ExecStats {
         self.morsels_stolen += other.morsels_stolen;
         self.threads_used = self.threads_used.max(other.threads_used);
         self.max_zombie_pages = self.max_zombie_pages.max(other.max_zombie_pages);
+        self.agg_pages_spilled += other.agg_pages_spilled;
+        self.agg_bytes_spilled += other.agg_bytes_spilled;
+        self.join_partitions_spilled += other.join_partitions_spilled;
+        self.join_bytes_spilled += other.join_bytes_spilled;
+        self.spill_waves += other.spill_waves;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.pool_evictions += other.pool_evictions;
+        self.pool_spills += other.pool_spills;
+        self.pool_bytes_spilled += other.pool_bytes_spilled;
     }
 }
 
@@ -189,8 +224,9 @@ pub enum PipelineOutput {
     /// A built join hash table (boxed: the partitioned table's inline state
     /// dwarfs the other variants).
     BuiltTable(Box<JoinTable>),
-    /// Pre-aggregated `(partition, page)` pairs awaiting merge.
-    AggPartitions(Vec<(usize, SealedPage)>),
+    /// Pre-aggregated `(partition, page)` pairs awaiting merge; a page may
+    /// be resident or spilled (it reloads lazily at merge time).
+    AggPartitions(Vec<(usize, AggPage)>),
 }
 
 /// The database name intermediates are materialized under.
@@ -245,7 +281,11 @@ pub(crate) fn run_span<'a>(
             let agg = aggs
                 .get(comp)
                 .ok_or_else(|| PcError::Catalog(format!("no aggregation engine for {comp}")))?;
-            Some(agg.new_sink(config.agg_partitions, config.page_size))
+            Some(agg.new_sink(
+                config.agg_partitions,
+                config.page_size,
+                config.spill.clone(),
+            ))
         }
         _ => None,
     };
@@ -324,6 +364,8 @@ pub(crate) fn run_span<'a>(
             let s = sink.stats();
             stats.rows_aggregated += s.rows_absorbed;
             stats.map_pages_sealed += s.map_pages_sealed;
+            stats.agg_pages_spilled += s.pages_spilled;
+            stats.agg_bytes_spilled += s.bytes_spilled;
             PipelineOutput::AggPartitions(parts)
         }
     };
@@ -602,6 +644,7 @@ impl LocalExecutor {
         aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
     ) -> PcResult<ExecStats> {
         let mut stats = ExecStats::default();
+        let pool_before = self.storage.pool().stats();
         let mut tables: HashMap<String, SharedTable> = HashMap::new();
         // A previous query's materialized pages must never leak into this
         // one's deterministically-named tmp lists.
@@ -655,10 +698,19 @@ impl LocalExecutor {
                         partitions = parts;
                         tagged.extend(pages.into_iter().map(|(part, pg)| (part, Arc::new(pg))));
                     }
-                    tables.insert(
-                        table.clone(),
-                        SharedTable::from_tagged_pages(obj_cols.len(), partitions, tagged)?,
-                    );
+                    // The gather is the RAM consumer (per-morsel tables are
+                    // bounded by morsel_rows): reserve the merged table's
+                    // bytes against the budget and shed partitions that do
+                    // not fit; spilled partitions probe in second-pass waves.
+                    let st = SharedTable::from_tagged_pages_budgeted(
+                        obj_cols.len(),
+                        partitions,
+                        tagged,
+                        self.config.spill.as_ref(),
+                    )?;
+                    stats.join_partitions_spilled += st.spilled_partitions() as u64;
+                    stats.join_bytes_spilled += st.spilled_bytes() as u64;
+                    tables.insert(table.clone(), st);
                 }
                 Sink::AggProduce { comp, dest, .. } => {
                     // Local consuming stage (AggregationJobStage): merge all
@@ -670,7 +722,7 @@ impl LocalExecutor {
                             unreachable!()
                         };
                         for (_part, page) in parts {
-                            merger.merge_page(page)?;
+                            merger.merge_page(page.load()?)?;
                         }
                     }
                     let mut out_writer = SetWriter::new(self.config.page_size);
@@ -691,6 +743,12 @@ impl LocalExecutor {
             }
             stats.pipelines_run += 1;
         }
+        let pool_after = self.storage.pool().stats();
+        stats.pool_hits += pool_after.hits - pool_before.hits;
+        stats.pool_misses += pool_after.misses - pool_before.misses;
+        stats.pool_evictions += pool_after.evictions - pool_before.evictions;
+        stats.pool_spills += pool_after.spills - pool_before.spills;
+        stats.pool_bytes_spilled += pool_after.bytes_spilled - pool_before.bytes_spilled;
         Ok(stats)
     }
 }
@@ -724,6 +782,16 @@ mod tests {
             morsels_stolen: 4,
             threads_used: 3,
             max_zombie_pages: 2,
+            agg_pages_spilled: 21,
+            agg_bytes_spilled: 22,
+            join_partitions_spilled: 23,
+            join_bytes_spilled: 24,
+            spill_waves: 25,
+            pool_hits: 26,
+            pool_misses: 27,
+            pool_evictions: 28,
+            pool_spills: 29,
+            pool_bytes_spilled: 30,
         };
         total.absorb(&other);
         // `pipelines_run` used to be silently dropped here, so cluster-level
@@ -744,6 +812,16 @@ mod tests {
         assert_eq!(total.morsels_stolen, 4);
         assert_eq!(total.threads_used, 3, "threads_used is a high-water max");
         assert_eq!(total.max_zombie_pages, 2, "zombie high-water is a max");
+        assert_eq!(total.agg_pages_spilled, 21);
+        assert_eq!(total.agg_bytes_spilled, 22);
+        assert_eq!(total.join_partitions_spilled, 23);
+        assert_eq!(total.join_bytes_spilled, 24);
+        assert_eq!(total.spill_waves, 25);
+        assert_eq!(total.pool_hits, 26);
+        assert_eq!(total.pool_misses, 27);
+        assert_eq!(total.pool_evictions, 28);
+        assert_eq!(total.pool_spills, 29);
+        assert_eq!(total.pool_bytes_spilled, 30);
     }
 
     #[test]

@@ -22,8 +22,10 @@
 use crate::jointable::{JoinTable, TagFilter};
 use crate::local::{run_span, ExecConfig, ExecStats, PipelineOutput, ThreadState};
 use crate::plan::PipelineSpec;
-use pc_lambda::{ErasedAgg, StageLibrary};
-use pc_object::{AnyObj, Handle, PcError, PcResult, PcVec, SealedPage};
+use pc_lambda::{AggPage, ErasedAgg, SpillCtx, StageLibrary};
+use pc_object::{
+    AnyObj, Handle, MemoryBudget, MemoryGrant, PageSpiller, PcError, PcResult, PcVec, SealedPage,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -136,8 +138,9 @@ pub enum MorselOutput {
         /// The partition-tagged sealed map pages.
         pages: Vec<(usize, SealedPage)>,
     },
-    /// Pre-aggregated `(partition, page)` pairs awaiting merge.
-    AggPartitions(Vec<(usize, SealedPage)>),
+    /// Pre-aggregated `(partition, page)` pairs awaiting merge; a page may
+    /// be resident or spilled (it reloads lazily at merge time).
+    AggPartitions(Vec<(usize, AggPage)>),
 }
 
 impl MorselOutput {
@@ -160,21 +163,54 @@ impl MorselOutput {
     }
 }
 
+/// One planned second-pass chunk: `(spilled-partition index, lo page, hi
+/// page)` — the half-open token range a wave reloads together.
+type ChunkPlan = (usize, usize, usize);
+
+/// A join build partition shed whole under memory pressure: its page chain
+/// lives in the spill store until a second-pass wave reloads it.
+pub struct SpilledPartition {
+    /// The radix partition index the chain's pages are tagged with.
+    pub part: usize,
+    /// Spill-store tokens for the chain's pages, in chain order.
+    pub tokens: Vec<u64>,
+    /// Per-page payload bytes (the unit the wave chunker budgets in).
+    pub page_bytes: Vec<usize>,
+    /// Total bytes across the chain.
+    pub bytes: usize,
+}
+
 /// A sealed, shareable join build table: partition-tagged pages plus the
 /// tag filters built once at merge/gather time. Probe threads (local
 /// morsel workers and remote cluster workers alike) reopen zero-copy
 /// [`JoinTable`] views over it with [`SharedTable::open`].
+///
+/// Under a memory budget the table may be *partial*: partitions that did
+/// not fit their reservation were sealed and spilled whole at gather time
+/// (`spilled`), and the stage driver probes them in second-pass waves that
+/// reload one budget-sized chunk of a chain at a time. The tag filters
+/// always cover the **full** table — a spilled partition's filter is
+/// exactly the reload skip-check the second pass reuses.
 pub struct SharedTable {
     /// Build-side column count.
     pub arity: usize,
     /// Radix partition count the pages are tagged with.
     pub partitions: usize,
-    /// Partition-tagged sealed map pages, in deterministic (morsel /
-    /// gather) order.
+    /// Resident partition-tagged sealed map pages, in deterministic
+    /// (morsel / gather) order.
     pub pages: Vec<(usize, Arc<SealedPage>)>,
-    /// Per-partition 16-bit blocked-Bloom tag filters, built once and
-    /// shared by every reopening thread.
+    /// Per-partition 16-bit blocked-Bloom tag filters, built once over the
+    /// full table (before any spilling) and shared by every reopening
+    /// thread and every wave.
     pub filters: Vec<TagFilter>,
+    /// Partitions shed whole to the spill store at gather time, sorted by
+    /// partition index.
+    pub spilled: Vec<SpilledPartition>,
+    /// Where the spilled chains live (present iff anything spilled).
+    spiller: Option<Arc<dyn PageSpiller>>,
+    /// The budget reservation backing the resident pages; returned when the
+    /// table drops.
+    _grant: Option<MemoryGrant>,
 }
 
 impl SharedTable {
@@ -185,19 +221,105 @@ impl SharedTable {
         partitions: usize,
         pages: Vec<(usize, Arc<SealedPage>)>,
     ) -> PcResult<Self> {
+        Self::from_tagged_pages_budgeted(arity, partitions, pages, None)
+    }
+
+    /// Builds the shared form under an optional memory budget. The gathered
+    /// table's bytes are reserved against the budget; while the reservation
+    /// is denied, the **largest** resident partition's whole page chain is
+    /// sealed to the spill store and the (smaller) reservation retried —
+    /// grace-style shedding. The loop always terminates: every denial sheds
+    /// at least one page, and a zero-byte reservation is never denied, so
+    /// in the worst case the table ends fully spilled with no grant held.
+    pub fn from_tagged_pages_budgeted(
+        arity: usize,
+        partitions: usize,
+        pages: Vec<(usize, Arc<SealedPage>)>,
+        spill: Option<&SpillCtx>,
+    ) -> PcResult<Self> {
         let partitions = JoinTable::round_partitions(partitions);
+        // Filters cover the FULL table, built before anything spills: a
+        // spilled partition's filter doubles as the second pass's reload
+        // skip-check, and wave views reuse the same filter set unchanged.
         let filters = JoinTable::build_shared_tag_filters(partitions, &pages)?;
+        let Some(ctx) = spill else {
+            return Ok(SharedTable {
+                arity,
+                partitions,
+                pages,
+                filters,
+                spilled: Vec::new(),
+                spiller: None,
+                _grant: None,
+            });
+        };
+        let mut resident = pages;
+        let mut spilled: Vec<SpilledPartition> = Vec::new();
+        let mut total: usize = resident.iter().map(|(_, pg)| pg.used()).sum();
+        let grant = loop {
+            match ctx.budget.reserve(total) {
+                Ok(g) => break Some(g),
+                Err(PcError::MemoryPressure { .. }) => {
+                    let mut per: HashMap<usize, usize> = HashMap::new();
+                    for (part, pg) in &resident {
+                        *per.entry(*part).or_insert(0) += pg.used();
+                    }
+                    // Largest partition first; ties break to the smallest
+                    // index so the shed order is deterministic.
+                    let Some((&victim, _)) = per
+                        .iter()
+                        .max_by_key(|(part, bytes)| (**bytes, std::cmp::Reverse(**part)))
+                    else {
+                        break None;
+                    };
+                    let mut keep = Vec::with_capacity(resident.len());
+                    let mut tokens = Vec::new();
+                    let mut page_bytes = Vec::new();
+                    let mut bytes = 0usize;
+                    for (part, pg) in resident {
+                        if part == victim {
+                            let used = pg.used();
+                            tokens.push(ctx.spiller.spill(&pg)?);
+                            page_bytes.push(used);
+                            bytes += used;
+                        } else {
+                            keep.push((part, pg));
+                        }
+                    }
+                    resident = keep;
+                    total -= bytes;
+                    spilled.push(SpilledPartition {
+                        part: victim,
+                        tokens,
+                        page_bytes,
+                        bytes,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        spilled.sort_by_key(|sp| sp.part);
+        let spiller = if spilled.is_empty() {
+            None
+        } else {
+            Some(ctx.spiller.clone())
+        };
         Ok(SharedTable {
             arity,
             partitions,
-            pages,
+            pages: resident,
             filters,
+            spilled,
+            spiller,
+            _grant: grant,
         })
     }
 
     /// Opens a read-only probe view (zero-copy page reopen, shared
     /// filters). Each probing thread opens its own view once and probes it
-    /// for every morsel it runs.
+    /// for every morsel it runs. Spilled partitions simply have no resident
+    /// pages: their probes route to an empty chain and match nothing — the
+    /// second-pass waves own those rows.
     pub fn open(&self, page_size: usize) -> PcResult<JoinTable> {
         JoinTable::from_shared_pages(
             self.arity,
@@ -206,6 +328,92 @@ impl SharedTable {
             &self.pages,
             &self.filters,
         )
+    }
+
+    /// How many partitions were shed to the spill store.
+    pub fn spilled_partitions(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// Total bytes across all spilled chains.
+    pub fn spilled_bytes(&self) -> usize {
+        self.spilled.iter().map(|sp| sp.bytes).sum()
+    }
+
+    /// A resident-only clone (shared pages and filters, no spill state) —
+    /// the view of this table a second-pass wave uses when the wave is
+    /// reloading some *other* table's chunk.
+    fn resident_view(&self) -> SharedTable {
+        SharedTable {
+            arity: self.arity,
+            partitions: self.partitions,
+            pages: self.pages.clone(),
+            filters: self.filters.clone(),
+            spilled: Vec::new(),
+            spiller: None,
+            _grant: None,
+        }
+    }
+
+    /// Plans the second-pass chunking of every spilled chain: each chunk is
+    /// at least one page, grown greedily while the budget grants more. The
+    /// planning reservations are sizing probes only (released immediately);
+    /// [`Self::open_chunk`] re-reserves when a wave actually reloads.
+    fn plan_chunks(&self, budget: Option<&MemoryBudget>) -> Vec<ChunkPlan> {
+        let mut chunks = Vec::new();
+        for (si, sp) in self.spilled.iter().enumerate() {
+            let mut lo = 0;
+            while lo < sp.page_bytes.len() {
+                let mut hi = lo + 1;
+                match budget {
+                    Some(b) => {
+                        if let Ok(mut g) = b.reserve(sp.page_bytes[lo]) {
+                            while hi < sp.page_bytes.len() && g.grow(sp.page_bytes[hi]).is_ok() {
+                                hi += 1;
+                            }
+                        }
+                        // A denied first page still chunks alone: the wave
+                        // must make progress under any denial pattern.
+                    }
+                    None => hi = sp.page_bytes.len(),
+                }
+                chunks.push((si, lo, hi));
+                lo = hi;
+            }
+        }
+        chunks
+    }
+
+    /// Reloads pages `lo..hi` of spilled chain `si` into a probe-able view.
+    /// The reservation is best-effort: a denial must not stall the wave —
+    /// reloading is the only path that drains the spill store.
+    fn open_chunk(
+        &self,
+        si: usize,
+        lo: usize,
+        hi: usize,
+        budget: Option<&MemoryBudget>,
+    ) -> PcResult<SharedTable> {
+        let sp = &self.spilled[si];
+        let spiller = self
+            .spiller
+            .as_ref()
+            .ok_or_else(|| PcError::Catalog("spilled join table has no spiller".into()))?;
+        let bytes: usize = sp.page_bytes[lo..hi].iter().sum();
+        let grant = budget.and_then(|b| b.reserve(bytes).ok());
+        let mut pages = Vec::with_capacity(hi - lo);
+        for k in lo..hi {
+            pages.push((sp.part, Arc::new(spiller.reload(sp.tokens[k])?)));
+        }
+        Ok(SharedTable {
+            arity: self.arity,
+            partitions: self.partitions,
+            pages,
+            filters: self.filters.clone(),
+            spilled: Vec::new(),
+            spiller: None,
+            _grant: grant,
+        })
     }
 }
 
@@ -262,6 +470,14 @@ fn run_worker(
 /// work-stealing threads. Returns each morsel's sealed output **in morsel
 /// order** plus the merged stats (also folded in morsel order, so even
 /// stats are schedule-independent apart from `morsels_stolen`).
+///
+/// If any probed table shed partitions to the spill store at gather time,
+/// the stage runs **second-pass waves** after the resident pass: one wave
+/// per budget-sized chunk of each spilled chain (cartesian across tables
+/// when several spilled), each wave re-scanning the input against a view
+/// holding only that chunk. A build row lives in exactly one chunk, so the
+/// waves' outputs union disjointly to the unbudgeted result; outputs
+/// concatenate in wave order, which is deterministic given the chunk plan.
 pub fn run_stage_morsels(
     config: &ExecConfig,
     p: &PipelineSpec,
@@ -271,6 +487,72 @@ pub fn run_stage_morsels(
     shared: &HashMap<String, SharedTable>,
 ) -> PcResult<(Vec<MorselOutput>, ExecStats)> {
     let rp = p.resolve(stages)?;
+    let (mut outputs, mut stats) = run_wave(config, p, &rp, pages, aggs, shared)?;
+
+    // ---- second pass: probe waves over spilled join partitions ----
+    let spilled_tables: Vec<&str> = p
+        .probes()
+        .into_iter()
+        .filter(|t| shared.get(*t).is_some_and(|st| !st.spilled.is_empty()))
+        .collect();
+    if spilled_tables.is_empty() || pages.is_empty() {
+        return Ok((outputs, stats));
+    }
+    let budget = config.spill.as_ref().map(|s| s.budget.clone());
+    // Per spilled table: its chunk plan. A wave picks, for every spilled
+    // table, either the resident view (index 0) or one chunk (index i+1);
+    // the all-resident combination was the first pass above.
+    let plans: Vec<(&str, Vec<ChunkPlan>)> = spilled_tables
+        .iter()
+        .map(|t| (*t, shared[*t].plan_chunks(budget.as_ref())))
+        .collect();
+    let lens: Vec<usize> = plans.iter().map(|(_, c)| c.len() + 1).collect();
+    let mut idx = vec![0usize; plans.len()];
+    'waves: loop {
+        // Odometer advance; starting from all-zero naturally skips the
+        // resident×resident combination.
+        let mut k = 0;
+        loop {
+            idx[k] += 1;
+            if idx[k] < lens[k] {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+            if k == idx.len() {
+                break 'waves;
+            }
+        }
+        let mut wave_shared: HashMap<String, SharedTable> = HashMap::new();
+        for t in p.probes() {
+            let st = &shared[t];
+            let view = match plans.iter().position(|(n, _)| *n == t) {
+                Some(pi) if idx[pi] > 0 => {
+                    let (si, lo, hi) = plans[pi].1[idx[pi] - 1];
+                    st.open_chunk(si, lo, hi, budget.as_ref())?
+                }
+                _ => st.resident_view(),
+            };
+            wave_shared.insert(t.to_string(), view);
+        }
+        let (wave_out, wave_stats) = run_wave(config, p, &rp, pages, aggs, &wave_shared)?;
+        stats.absorb(&wave_stats);
+        stats.spill_waves += 1;
+        outputs.extend(wave_out);
+    }
+    Ok((outputs, stats))
+}
+
+/// One pass of a stage over `pages` against one set of probe views: the
+/// morsel-driven core of [`run_stage_morsels`].
+fn run_wave(
+    config: &ExecConfig,
+    p: &PipelineSpec,
+    rp: &crate::plan::ResolvedPipeline,
+    pages: &[Arc<SealedPage>],
+    aggs: &HashMap<String, Arc<dyn ErasedAgg>>,
+    shared: &HashMap<String, SharedTable>,
+) -> PcResult<(Vec<MorselOutput>, ExecStats)> {
     let morsels = carve_morsels(pages, config.morsel_rows)?;
 
     if morsels.is_empty() {
@@ -282,7 +564,7 @@ pub fn run_stage_morsels(
         let (out, mut stats) = run_span(
             config,
             p,
-            &rp,
+            rp,
             aggs,
             &local_tables,
             &mut state,
@@ -298,10 +580,9 @@ pub fn run_stage_morsels(
 
     let per_thread: Vec<MorselResults> = if nthreads == 1 {
         // Single-threaded: run inline, no spawn overhead.
-        vec![run_worker(config, p, &rp, aggs, shared, &queue, 0)]
+        vec![run_worker(config, p, rp, aggs, shared, &queue, 0)]
     } else {
         std::thread::scope(|scope| {
-            let rp = &rp;
             let queue = &queue;
             let handles: Vec<_> = (0..nthreads)
                 .map(|t| scope.spawn(move || run_worker(config, p, rp, aggs, shared, queue, t)))

@@ -27,11 +27,73 @@
 use crate::column::Column;
 use crate::sink::SetWriter;
 use pc_object::{
-    hash as pc_hash, AllocPolicy, BlockRef, Handle, PcKey, PcMap, PcObjType, PcResult, PcString,
-    PcValue, SealedPage,
+    hash as pc_hash, AllocPolicy, BlockRef, Handle, MemoryBudget, MemoryGrant, PageSpiller, PcKey,
+    PcMap, PcObjType, PcResult, PcString, PcValue, SealedPage,
 };
 use std::marker::PhantomData;
 use std::sync::Arc;
+
+/// Out-of-core context for a pre-aggregation sink: the [`MemoryBudget`] its
+/// sealed map pages reserve against, and the [`PageSpiller`] a chain falls
+/// back to when a reservation is denied. `None` in the engine means the old
+/// fully-in-memory behavior, byte for byte.
+#[derive(Clone)]
+pub struct SpillCtx {
+    pub budget: MemoryBudget,
+    pub spiller: Arc<dyn PageSpiller>,
+}
+
+impl std::fmt::Debug for SpillCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillCtx")
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A sealed partial-aggregate page that is either resident or spilled.
+/// Spilled pages reload lazily at merge time, one page in memory at a time —
+/// the aggregation side of grace-style two-pass execution.
+pub enum AggPage {
+    Ready(SealedPage),
+    Spilled {
+        spiller: Arc<dyn PageSpiller>,
+        token: u64,
+        bytes: usize,
+    },
+}
+
+impl AggPage {
+    /// The page's byte footprint (resident or on disk).
+    pub fn bytes(&self) -> usize {
+        match self {
+            AggPage::Ready(p) => p.used(),
+            AggPage::Spilled { bytes, .. } => *bytes,
+        }
+    }
+
+    /// Whether the page currently lives on disk.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self, AggPage::Spilled { .. })
+    }
+
+    /// Materializes the page, reloading (and discarding the spill file) if
+    /// it was spilled.
+    pub fn load(self) -> PcResult<SealedPage> {
+        match self {
+            AggPage::Ready(p) => Ok(p),
+            AggPage::Spilled {
+                spiller,
+                token,
+                bytes: _,
+            } => {
+                let page = spiller.reload(token)?;
+                spiller.discard(token);
+                Ok(page)
+            }
+        }
+    }
+}
 
 /// A key type usable for aggregation: hashable and comparable against its
 /// stored form without allocating, storable onto a map's page on first
@@ -142,8 +204,15 @@ pub trait AggregateSpec: Send + Sync + 'static {
 pub trait ErasedAgg: Send + Sync {
     /// Display name of the output type (diagnostics / catalog).
     fn out_type(&self) -> String;
-    /// A pre-aggregation sink with `partitions` hash partitions.
-    fn new_sink(&self, partitions: usize, page_size: usize) -> Box<dyn ErasedAggSink>;
+    /// A pre-aggregation sink with `partitions` hash partitions. With a
+    /// [`SpillCtx`], sealed map pages reserve budget and spill under
+    /// pressure; with `None` the sink is purely in-memory.
+    fn new_sink(
+        &self,
+        partitions: usize,
+        page_size: usize,
+        spill: Option<SpillCtx>,
+    ) -> Box<dyn ErasedAggSink>;
     /// A merger for one partition's shuffled pages.
     fn new_merger(&self, page_size: usize) -> Box<dyn ErasedAggMerger>;
 }
@@ -157,6 +226,10 @@ pub struct AggSinkStats {
     pub rows_absorbed: u64,
     /// Map pages sealed for shuffling (mid-burst page faults plus `flush`).
     pub map_pages_sealed: u64,
+    /// Sealed map pages pushed to the spill store under memory pressure.
+    pub pages_spilled: u64,
+    /// Bytes those spilled pages carried.
+    pub bytes_spilled: u64,
 }
 
 /// Pipeline-side pre-aggregation (the producing stage of Appendix D.2).
@@ -175,8 +248,10 @@ pub trait ErasedAggSink {
     /// `micro_agg` benchmark can compare the two paths on identical input;
     /// the engine never calls this.
     fn absorb_rowwise(&mut self, objs: &Column, sel: Option<&[u32]>) -> PcResult<()>;
-    /// Seals all partition maps, returning `(partition, page)` pairs.
-    fn flush(&mut self) -> PcResult<Vec<(usize, SealedPage)>>;
+    /// Seals all partition maps, returning `(partition, page)` pairs. Pages
+    /// may be [`AggPage::Spilled`]; callers `load()` them at merge time so
+    /// at most one reloaded page is in memory at once.
+    fn flush(&mut self) -> PcResult<Vec<(usize, AggPage)>>;
     /// Counters accumulated so far (valid before and after `flush`).
     fn stats(&self) -> AggSinkStats;
 }
@@ -227,7 +302,12 @@ impl<S: AggregateSpec> ErasedAgg for AggEngine<S> {
         S::Out::type_name()
     }
 
-    fn new_sink(&self, partitions: usize, page_size: usize) -> Box<dyn ErasedAggSink> {
+    fn new_sink(
+        &self,
+        partitions: usize,
+        page_size: usize,
+        spill: Option<SpillCtx>,
+    ) -> Box<dyn ErasedAggSink> {
         // Power-of-two partition count, so partition selection is a shift
         // and mask on the hash's *high* bits — disjoint from the low bits
         // the partition maps use for masked probing (using the same bits
@@ -240,6 +320,8 @@ impl<S: AggregateSpec> ErasedAgg for AggEngine<S> {
             page_size,
             current: (0..partitions).map(|_| None).collect(),
             done: Vec::new(),
+            spill,
+            grant: None,
             stats: AggSinkStats::default(),
             keys: Vec::new(),
             rows: Vec::new(),
@@ -267,7 +349,11 @@ struct SinkImpl<S: AggregateSpec> {
     partitions: usize,
     page_size: usize,
     current: Vec<Option<MapPage<S>>>,
-    done: Vec<(usize, SealedPage)>,
+    done: Vec<(usize, AggPage)>,
+    /// Out-of-core context; `None` = in-memory sink.
+    spill: Option<SpillCtx>,
+    /// The reservation covering every `Ready` page in `done`.
+    grant: Option<MemoryGrant>,
     stats: AggSinkStats,
     // Per-batch scratch, cleared (not freed) at every batch boundary.
     /// Extracted keys, one per selected row.
@@ -294,6 +380,70 @@ impl<S: AggregateSpec> SinkImpl<S> {
     #[inline]
     fn part_of(&self, h: u64) -> usize {
         ((h >> 32) as usize) & (self.partitions - 1)
+    }
+
+    /// Retires a sealed map page into `done`, reserving its bytes against
+    /// the budget. A denied reservation spills partition `part`'s *whole*
+    /// chain — every already-resident page of the partition plus the new
+    /// one — returning the freed bytes to the budget (grace-style: once a
+    /// partition starts spilling, keeping its older pages resident buys
+    /// nothing, because the merge pass needs the full chain anyway).
+    fn push_done(&mut self, part: usize, page: SealedPage) -> PcResult<()> {
+        self.stats.map_pages_sealed += 1;
+        let Some(ctx) = self.spill.clone() else {
+            self.done.push((part, AggPage::Ready(page)));
+            return Ok(());
+        };
+        let bytes = page.used();
+        let granted = match &mut self.grant {
+            Some(g) => g.grow(bytes).is_ok(),
+            None => match ctx.budget.reserve(bytes) {
+                Ok(g) => {
+                    self.grant = Some(g);
+                    true
+                }
+                Err(_) => false,
+            },
+        };
+        if granted {
+            self.done.push((part, AggPage::Ready(page)));
+            return Ok(());
+        }
+        let mut freed = 0usize;
+        for (p, ap) in self.done.iter_mut() {
+            if *p != part || ap.is_spilled() {
+                continue;
+            }
+            if let AggPage::Ready(resident) = ap {
+                let b = resident.used();
+                let token = ctx.spiller.spill(resident)?;
+                self.stats.pages_spilled += 1;
+                self.stats.bytes_spilled += b as u64;
+                freed += b;
+                *ap = AggPage::Spilled {
+                    spiller: ctx.spiller.clone(),
+                    token,
+                    bytes: b,
+                };
+            }
+        }
+        if freed > 0 {
+            if let Some(g) = &mut self.grant {
+                g.shrink(freed);
+            }
+        }
+        let token = ctx.spiller.spill(&page)?;
+        self.stats.pages_spilled += 1;
+        self.stats.bytes_spilled += bytes as u64;
+        self.done.push((
+            part,
+            AggPage::Spilled {
+                spiller: ctx.spiller.clone(),
+                token,
+                bytes,
+            },
+        ));
+        Ok(())
     }
 
     /// Phases 2 and 3 of `absorb`, over the batch scratch extracted in
@@ -440,8 +590,8 @@ impl<S: AggregateSpec> SinkImpl<S> {
                     }
                     let full = self.current[part].take().unwrap();
                     if !full.map.is_empty() {
-                        self.stats.map_pages_sealed += 1;
-                        self.done.push((part, full.seal()?));
+                        let sealed = full.seal()?;
+                        self.push_done(part, sealed)?;
                     }
                     self.current[part] = Some(MapPage::new(page_size)?);
                 }
@@ -463,7 +613,7 @@ impl<S: AggregateSpec> SinkImpl<S> {
         if self.current[part].is_none() {
             self.current[part] = Some(MapPage::new(self.page_size)?);
         }
-        let spec = &self.spec;
+        let spec = self.spec.clone();
         let attempt = |mp: &MapPage<S>| {
             mp.map.upsert_by_modref(
                 hash,
@@ -484,8 +634,8 @@ impl<S: AggregateSpec> SinkImpl<S> {
                         page_size = (page_size * 2).min(256 << 20);
                     }
                     if !full.map.is_empty() {
-                        self.stats.map_pages_sealed += 1;
-                        self.done.push((part, full.seal()?));
+                        let sealed = full.seal()?;
+                        self.push_done(part, sealed)?;
                     }
                     self.current[part] = Some(MapPage::new(page_size)?);
                     on_fresh_page = true;
@@ -551,15 +701,18 @@ impl<S: AggregateSpec> ErasedAggSink for SinkImpl<S> {
         })
     }
 
-    fn flush(&mut self) -> PcResult<Vec<(usize, SealedPage)>> {
+    fn flush(&mut self) -> PcResult<Vec<(usize, AggPage)>> {
         for part in 0..self.partitions {
             if let Some(mp) = self.current[part].take() {
                 if !mp.map.is_empty() {
-                    self.stats.map_pages_sealed += 1;
-                    self.done.push((part, mp.seal()?));
+                    let sealed = mp.seal()?;
+                    self.push_done(part, sealed)?;
                 }
             }
         }
+        // The flushed pages leave the sink; their memory is the caller's
+        // now (merged page-at-a-time), so the reservation releases here.
+        self.grant = None;
         Ok(std::mem::take(&mut self.done))
     }
 
@@ -629,12 +782,17 @@ impl<S: AggregateSpec> ErasedAggMerger for MergerImpl<S> {
             return Ok(0);
         };
         let mut groups = 0u64;
-        let mut entries: Vec<(u32, u32)> = Vec::with_capacity(acc.map.len());
-        acc.map.for_each_slot(|_b, k, v| {
-            entries.push((k, v));
+        let mut entries: Vec<(u64, u32, u32)> = Vec::with_capacity(acc.map.len());
+        acc.map.for_each_slot_hashed(|h, _b, k, v| {
+            entries.push((h, k, v));
             Ok(())
         })?;
-        for (kslot, vslot) in entries {
+        // Canonical emit order: stored key hash, not slot order. Slot order
+        // encodes insertion history, which an out-of-core run replays wave
+        // by wave — sorting keeps the output bytes identical to the
+        // in-memory run regardless of the spill schedule.
+        entries.sort_unstable();
+        for (_h, kslot, vslot) in entries {
             let key = S::Key::load_from(acc.block(), kslot);
             writer.write_with(|| {
                 let out = self.spec.finalize(&key, acc.block(), vslot)?;

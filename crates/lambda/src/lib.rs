@@ -31,7 +31,10 @@ pub mod kernel;
 pub mod lambda;
 pub mod sink;
 
-pub use agg::{AggKey, AggSinkStats, AggregateSpec, ErasedAgg, ErasedAggMerger, ErasedAggSink};
+pub use agg::{
+    AggKey, AggPage, AggSinkStats, AggregateSpec, ErasedAgg, ErasedAggMerger, ErasedAggSink,
+    SpillCtx,
+};
 pub use column::{ColValue, Column, ColumnPool};
 pub use compiler::{compile, CompiledQuery, StageKernel, StageLibrary};
 pub use computation::{CompKind, Computation, ComputationGraph, NodeId};

@@ -69,6 +69,7 @@ fn drain(
 ) -> Vec<(i64, i64, i64)> {
     let mut merger = engine.new_merger(page_size);
     for (_part, page) in sink.flush().unwrap() {
+        let page = page.load().unwrap();
         merger.merge_page(page).unwrap();
     }
     let mut w = SetWriter::new(1 << 18);
@@ -104,8 +105,8 @@ proptest! {
                                                  // mid-burst seals + escalation
         let scope = AllocScope::new(1 << 22);
         let engine = AggEngine::new(GroupSum);
-        let mut vectorized = engine.new_sink(partitions, page_size);
-        let mut rowwise = engine.new_sink(partitions, page_size);
+        let mut vectorized = engine.new_sink(partitions, page_size, None);
+        let mut rowwise = engine.new_sink(partitions, page_size, None);
 
         // Build object batches of `batch_rows` rows each, with a selection
         // vector derived from the mask; absorb the same input through both
@@ -155,8 +156,8 @@ proptest! {
         // mid-bucket.
         let scope = AllocScope::new(1 << 22);
         let engine = AggEngine::new(GroupSum);
-        let mut vectorized = engine.new_sink(partitions, 4096);
-        let mut rowwise = engine.new_sink(partitions, 4096);
+        let mut vectorized = engine.new_sink(partitions, 4096, None);
+        let mut rowwise = engine.new_sink(partitions, 4096, None);
         let mut handles = Vec::with_capacity(n);
         let mut model: std::collections::HashMap<i64, (i64, i64)> = Default::default();
         for i in 0..n {

@@ -600,6 +600,29 @@ impl<K: PcKey, V: PcValue> Handle<PcMap<K, V>> {
         Ok(())
     }
 
+    /// Like [`for_each_slot`], but also passes each entry's stored hash
+    /// (OCCUPIED bit stripped). The aggregation finalizer uses the hash to
+    /// emit groups in a canonical order independent of insertion history —
+    /// out-of-core runs absorb rows wave by wave, so slot order alone would
+    /// leak the spill schedule into the output bytes.
+    ///
+    /// [`for_each_slot`]: Self::for_each_slot
+    pub fn for_each_slot_hashed(
+        &self,
+        mut f: impl FnMut(u64, &BlockRef, u32, u32) -> PcResult<()>,
+    ) -> PcResult<()> {
+        let cap = self.capacity() as u32;
+        let b = self.block();
+        for i in 0..cap {
+            let e = self.entry(i);
+            let h = b.read::<u64>(e);
+            if h & OCCUPIED != 0 {
+                f(h & !OCCUPIED, b, Self::key_slot(e), Self::val_slot(e))?;
+            }
+        }
+        Ok(())
+    }
+
     /// Calls `f(key, value)` for every entry (slot order).
     pub fn for_each(&self, mut f: impl FnMut(K, V)) {
         let cap = self.capacity() as u32;

@@ -38,6 +38,11 @@ pub enum PcError {
     /// Inter-node transport failure (deadline exceeded, channel torn down,
     /// undeliverable frame). Recoverable by stage replay.
     Transport(String),
+    /// A memory reservation against a [`MemoryBudget`](crate::MemoryBudget)
+    /// could not be satisfied. Like `BlockFull`, this is backpressure rather
+    /// than failure: the operator that sees it spills a partition (or retries
+    /// after releasing a grant) instead of aborting.
+    MemoryPressure { wanted: usize, available: usize },
 }
 
 impl fmt::Display for PcError {
@@ -63,6 +68,12 @@ impl fmt::Display for PcError {
             PcError::Catalog(why) => write!(f, "catalog error: {why}"),
             PcError::WorkerDead(w) => write!(f, "worker {w} died"),
             PcError::Transport(why) => write!(f, "transport error: {why}"),
+            PcError::MemoryPressure { wanted, available } => {
+                write!(
+                    f,
+                    "memory pressure: wanted {wanted} bytes, {available} available in budget"
+                )
+            }
         }
     }
 }

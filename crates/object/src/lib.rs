@@ -45,6 +45,7 @@
 
 pub mod anyobj;
 pub mod block;
+pub mod budget;
 pub mod containers;
 pub mod error;
 pub mod handle;
@@ -58,6 +59,7 @@ mod macros;
 
 pub use anyobj::AnyObj;
 pub use block::{AllocPolicy, AllocScope, BlockRef, BlockStats, ObjectPolicy};
+pub use budget::{MemoryBudget, MemoryGrant, PageSpiller, PressureSpec};
 pub use containers::{PcMap, PcString, PcVec};
 pub use error::{PcError, PcResult};
 pub use handle::{AnyHandle, Handle};

@@ -17,5 +17,5 @@ pub mod pool;
 pub mod store;
 
 pub use catalog::{Catalog, SetMeta, WorkerTypeCatalog};
-pub use pool::{BufferPool, PoolStats};
+pub use pool::{BufferPool, PoolStats, SpillSet};
 pub use store::{SetId, StorageManager};

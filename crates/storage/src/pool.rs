@@ -7,22 +7,40 @@
 //! pool holds its `Arc`; pinned pages are never evicted (the paper's rule
 //! that input pages stay buffered while vector lists built from them are in
 //! flight).
+//!
+//! The pool also arbitrates *operator* working memory: its capacity backs a
+//! shared [`MemoryBudget`] that join builds and aggregation sinks reserve
+//! against, and operators that lose a reservation spill page chains through
+//! a [`SpillSet`] — a pool-managed spill namespace whose files are tracked
+//! internally, so an early abort can never leak them.
 
 use parking_lot::Mutex;
-use pc_object::{PcError, PcResult, SealedPage};
-use std::collections::HashMap;
+use pc_object::{MemoryBudget, PageSpiller, PcError, PcResult, PressureSpec, SealedPage};
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Identifies one page of one set.
 pub type PageKey = (u64, usize); // (set id, page number)
 
-/// Buffer pool statistics (exposed for the hot/cold storage experiments).
+/// Set ids at or above this base are operator spill sets (see
+/// [`BufferPool::spill_set`]); the storage manager's catalog ids stay far
+/// below it, so spill files are recognizable by name alone.
+const SPILL_SET_BASE: u64 = 1 << 32;
+
+/// Buffer pool statistics (exposed for the hot/cold storage experiments and
+/// the out-of-core workload tables).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Operator pages spilled through a [`SpillSet`] (grace-style spilling),
+    /// as distinct from LRU `evictions` of stored-set pages.
+    pub spills: u64,
+    /// Total bytes written by operator spills.
+    pub bytes_spilled: u64,
     pub resident_bytes: usize,
     pub resident_pages: usize,
 }
@@ -38,6 +56,10 @@ struct Resident {
 
 struct PoolInner {
     resident: HashMap<PageKey, Resident>,
+    /// Every page number ever materialized per set (resident or on disk).
+    /// `drop_set` walks this — never a caller-supplied count — so no spill
+    /// or eviction file can outlive its set.
+    set_keys: HashMap<u64, HashSet<usize>>,
     /// Next generation stamp to hand out.
     tick: u64,
     used_bytes: usize,
@@ -49,41 +71,83 @@ impl PoolInner {
         self.tick += 1;
         self.tick
     }
+
+    fn track(&mut self, key: PageKey) {
+        self.set_keys.entry(key.0).or_default().insert(key.1);
+    }
 }
 
-/// A capacity-bounded page cache with spill-to-file eviction.
-pub struct BufferPool {
+struct PoolShared {
     capacity: usize,
     dir: PathBuf,
+    budget: MemoryBudget,
+    next_spill_set: AtomicU64,
     inner: Mutex<PoolInner>,
+}
+
+/// A capacity-bounded page cache with spill-to-file eviction. Cloning is
+/// cheap and shares the pool.
+#[derive(Clone)]
+pub struct BufferPool {
+    shared: Arc<PoolShared>,
 }
 
 impl BufferPool {
     /// Creates a pool holding at most `capacity` bytes of resident pages,
-    /// spilling into `dir`.
+    /// spilling into `dir`. The same `capacity` backs the pool's operator
+    /// [`MemoryBudget`]: reserved operator bytes displace cached pages.
     pub fn new(capacity: usize, dir: PathBuf) -> PcResult<Self> {
+        Self::with_pressure(capacity, dir, None)
+    }
+
+    /// Like [`new`](Self::new), with seeded memory-pressure injection armed
+    /// on the operator budget (chaos testing).
+    pub fn with_pressure(
+        capacity: usize,
+        dir: PathBuf,
+        pressure: Option<PressureSpec>,
+    ) -> PcResult<Self> {
         std::fs::create_dir_all(&dir)
             .map_err(|e| PcError::Catalog(format!("cannot create pool dir: {e}")))?;
         Ok(BufferPool {
-            capacity,
-            dir,
-            inner: Mutex::new(PoolInner {
-                resident: HashMap::new(),
-                tick: 0,
-                used_bytes: 0,
-                stats: PoolStats::default(),
+            shared: Arc::new(PoolShared {
+                capacity,
+                dir,
+                budget: MemoryBudget::with_pressure(capacity, pressure),
+                next_spill_set: AtomicU64::new(SPILL_SET_BASE),
+                inner: Mutex::new(PoolInner {
+                    resident: HashMap::new(),
+                    set_keys: HashMap::new(),
+                    tick: 0,
+                    used_bytes: 0,
+                    stats: PoolStats::default(),
+                }),
             }),
         })
     }
 
+    /// The pool's byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// The operator memory budget backed by this pool's capacity. Cloning
+    /// the returned handle shares the ledger.
+    pub fn budget(&self) -> MemoryBudget {
+        self.shared.budget.clone()
+    }
+
     fn file_for(&self, key: PageKey) -> PathBuf {
-        self.dir.join(format!("set{}_page{}.pcpage", key.0, key.1))
+        self.shared
+            .dir
+            .join(format!("set{}_page{}.pcpage", key.0, key.1))
     }
 
     /// Inserts a freshly produced page, evicting cold pages if needed.
     pub fn put(&self, key: PageKey, page: SealedPage) -> PcResult<Arc<SealedPage>> {
         let page = Arc::new(page);
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.inner.lock();
+        inner.track(key);
         inner.used_bytes += page.used();
         let stamp = inner.touch();
         let replaced = inner.resident.insert(
@@ -106,7 +170,7 @@ impl BufferPool {
     /// O(1): one hash lookup plus a generation-stamp bump.
     pub fn get(&self, key: PageKey) -> PcResult<Arc<SealedPage>> {
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.shared.inner.lock();
             let stamp = inner.touch();
             if let Some(r) = inner.resident.get_mut(&key) {
                 r.stamp = stamp;
@@ -120,7 +184,8 @@ impl BufferPool {
         let bytes = std::fs::read(self.file_for(key))
             .map_err(|e| PcError::Catalog(format!("page {key:?} not on disk: {e}")))?;
         let page = Arc::new(SealedPage::from_bytes(&bytes)?);
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.inner.lock();
+        inner.track(key);
         inner.used_bytes += page.used();
         let stamp = inner.touch();
         let replaced = inner.resident.insert(
@@ -139,10 +204,15 @@ impl BufferPool {
         Ok(page)
     }
 
-    /// Drops all pages of a set (and their spill files).
-    pub fn drop_set(&self, set_id: u64, pages: usize) {
-        let mut inner = self.inner.lock();
-        for n in 0..pages {
+    /// Drops all pages of a set (and their spill files). The page list is
+    /// the pool's own key tracking — callers cannot under-report a count and
+    /// strand files on disk.
+    pub fn drop_set(&self, set_id: u64) {
+        let mut inner = self.shared.inner.lock();
+        let Some(pages) = inner.set_keys.remove(&set_id) else {
+            return;
+        };
+        for n in pages {
             let key = (set_id, n);
             if let Some(r) = inner.resident.remove(&key) {
                 inner.used_bytes -= r.page.used();
@@ -154,7 +224,7 @@ impl BufferPool {
     /// Forces every unpinned page out to files (cold-storage experiments),
     /// oldest first.
     pub fn flush_all(&self) -> PcResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.inner.lock();
         let mut keys: Vec<(u64, PageKey)> =
             inner.resident.iter().map(|(k, r)| (r.stamp, *k)).collect();
         keys.sort_unstable();
@@ -165,7 +235,13 @@ impl BufferPool {
     }
 
     fn evict_if_needed(&self, inner: &mut PoolInner) -> PcResult<()> {
-        while inner.used_bytes > self.capacity {
+        // Operator reservations displace cached pages: the cache may only
+        // keep what the budget has not granted away.
+        let target = self
+            .shared
+            .capacity
+            .saturating_sub(self.shared.budget.reserved());
+        while inner.used_bytes > target {
             // The LRU victim: smallest stamp among unpinned pages. Only the
             // eviction path scans; hits never do.
             let victim = inner
@@ -203,17 +279,98 @@ impl BufferPool {
     /// Writes a page straight to the file store without caching it
     /// (initial bulk loads in cold-storage experiments).
     pub fn write_through(&self, key: PageKey, page: &SealedPage) -> PcResult<()> {
+        self.shared.inner.lock().track(key);
         std::fs::write(self.file_for(key), page.to_bytes())
             .map_err(|e| PcError::Catalog(format!("write-through failed: {e}")))
     }
 
+    /// Opens a fresh spill namespace: operators hand the returned
+    /// [`SpillSet`] around as `Arc<dyn PageSpiller>`. Every spilled page is
+    /// key-tracked by the pool, and the whole namespace is reclaimed when
+    /// the `SpillSet` drops — including on an abort partway through a stage.
+    pub fn spill_set(&self) -> SpillSet {
+        SpillSet {
+            pool: self.clone(),
+            set_id: self.shared.next_spill_set.fetch_add(1, Ordering::Relaxed),
+            next_page: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of spill-set files currently on disk (zero after every clean
+    /// run — the leak gate for the out-of-core workload and chaos tests).
+    pub fn leaked_spill_files(&self) -> usize {
+        let Ok(entries) = std::fs::read_dir(&self.shared.dir) else {
+            return 0;
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.strip_prefix("set")
+                    .and_then(|rest| rest.split('_').next())
+                    .and_then(|id| id.parse::<u64>().ok())
+                    .is_some_and(|id| id >= SPILL_SET_BASE)
+            })
+            .count()
+    }
+
     pub fn stats(&self) -> PoolStats {
-        let inner = self.inner.lock();
+        let inner = self.shared.inner.lock();
         PoolStats {
             resident_bytes: inner.used_bytes,
             resident_pages: inner.resident.len(),
             ..inner.stats
         }
+    }
+}
+
+/// A pool-backed spill target for out-of-core operators. Pages written here
+/// bypass the resident cache (a spilled chain is cold by definition); they
+/// are reloaded page-at-a-time on the second pass and the whole namespace
+/// is deleted when the set drops.
+pub struct SpillSet {
+    pool: BufferPool,
+    set_id: u64,
+    next_page: AtomicUsize,
+}
+
+impl SpillSet {
+    /// The spill namespace's set id (useful in tests and diagnostics).
+    pub fn set_id(&self) -> u64 {
+        self.set_id
+    }
+}
+
+impl PageSpiller for SpillSet {
+    fn spill(&self, page: &SealedPage) -> PcResult<u64> {
+        let n = self.next_page.fetch_add(1, Ordering::Relaxed);
+        let key = (self.set_id, n);
+        self.pool.write_through(key, page)?;
+        let mut inner = self.pool.shared.inner.lock();
+        inner.stats.spills += 1;
+        inner.stats.bytes_spilled += page.used() as u64;
+        Ok(n as u64)
+    }
+
+    fn reload(&self, token: u64) -> PcResult<SealedPage> {
+        let key = (self.set_id, token as usize);
+        let bytes = std::fs::read(self.pool.file_for(key))
+            .map_err(|e| PcError::Catalog(format!("spilled page {key:?} not on disk: {e}")))?;
+        SealedPage::from_bytes(&bytes)
+    }
+
+    fn discard(&self, token: u64) {
+        let key = (self.set_id, token as usize);
+        let _ = std::fs::remove_file(self.pool.file_for(key));
+        // The key stays tracked; a tracked-but-deleted file makes drop_set's
+        // remove_file a no-op, which is fine.
+    }
+}
+
+impl Drop for SpillSet {
+    fn drop(&mut self) {
+        self.pool.drop_set(self.set_id);
     }
 }
 
@@ -253,7 +410,7 @@ mod tests {
             let v = root.downcast::<PcVec<f64>>().unwrap();
             assert_eq!(v.get(0), i as f64);
         }
-        pool.drop_set(1, 20);
+        pool.drop_set(1);
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -269,7 +426,7 @@ mod tests {
         let _again = pool.put((5, 0), page_of(&[2.0; 64])).unwrap();
         assert_eq!(pool.stats().resident_bytes, used_once);
         assert_eq!(pool.stats().resident_pages, 1);
-        pool.drop_set(5, 1);
+        pool.drop_set(5);
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -298,7 +455,7 @@ mod tests {
         let misses_before = pool.stats().misses;
         let _ = pool.get((9, 1)).unwrap(); // the LRU victim → faulted back
         assert_eq!(pool.stats().misses, misses_before + 1);
-        pool.drop_set(9, 4);
+        pool.drop_set(9);
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -316,7 +473,55 @@ mod tests {
             Arc::ptr_eq(&pinned, &again),
             "pinned page must not be evicted"
         );
-        pool.drop_set(2, 10);
+        pool.drop_set(2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn operator_reservations_displace_cached_pages() {
+        let dir = std::env::temp_dir().join(format!("pcpool_budget_{}", std::process::id()));
+        let probe = page_of(&[0.0; 128]);
+        let sz = probe.used();
+        let pool = BufferPool::new(4 * sz, dir.clone()).unwrap();
+        for i in 0..3 {
+            pool.put((3, i), page_of(&[i as f64; 128])).unwrap();
+        }
+        assert_eq!(pool.stats().evictions, 0);
+        // Reserving half the capacity squeezes the cache on the next touch.
+        let g = pool.budget().reserve(2 * sz).unwrap();
+        pool.put((3, 3), page_of(&[3.0; 128])).unwrap();
+        let s = pool.stats();
+        assert!(
+            s.evictions >= 2,
+            "grant must displace cached pages, evictions = {}",
+            s.evictions
+        );
+        assert!(s.resident_bytes + pool.budget().reserved() <= pool.capacity());
+        drop(g);
+        pool.drop_set(3);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn spill_set_tracks_and_reclaims_its_files() {
+        let dir = std::env::temp_dir().join(format!("pcpool_spill_{}", std::process::id()));
+        let pool = BufferPool::new(1 << 20, dir.clone()).unwrap();
+        let spiller = pool.spill_set();
+        let page = page_of(&[42.0; 64]);
+        let want = page.to_bytes();
+        let t0 = spiller.spill(&page).unwrap();
+        let t1 = spiller.spill(&page_of(&[7.0; 64])).unwrap();
+        assert_ne!(t0, t1);
+        assert_eq!(pool.leaked_spill_files(), 2);
+        let back = spiller.reload(t0).unwrap();
+        assert_eq!(back.to_bytes(), want);
+        let s = pool.stats();
+        assert_eq!(s.spills, 2);
+        assert!(s.bytes_spilled > 0);
+        // Dropping the namespace reclaims every file — even ones never
+        // reloaded (the early-abort shape).
+        drop(spiller);
+        assert_eq!(pool.leaked_spill_files(), 0);
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -31,10 +31,21 @@ impl StorageManager {
     /// Creates a storage manager with `pool_capacity` bytes of page cache,
     /// spilling under `dir`.
     pub fn new(catalog: Arc<Catalog>, pool_capacity: usize, dir: PathBuf) -> PcResult<Self> {
+        Self::with_pressure(catalog, pool_capacity, dir, None)
+    }
+
+    /// Like [`Self::new`], with a seeded memory-pressure injection schedule
+    /// armed on the pool's budget (chaos testing).
+    pub fn with_pressure(
+        catalog: Arc<Catalog>,
+        pool_capacity: usize,
+        dir: PathBuf,
+        pressure: Option<pc_object::PressureSpec>,
+    ) -> PcResult<Self> {
         Ok(StorageManager {
             inner: Arc::new(StorageInner {
                 catalog,
-                pool: BufferPool::new(pool_capacity, dir)?,
+                pool: BufferPool::with_pressure(pool_capacity, dir, pressure)?,
                 ids: RwLock::new(HashMap::new()),
                 pages: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
@@ -79,9 +90,8 @@ impl StorageManager {
         self.inner.catalog.ensure_set(db, set);
         self.inner.catalog.reset_set(db, set);
         let id = self.set_id(db, set);
-        let mut pages = self.inner.pages.write();
-        let n = pages.insert(id, 0).unwrap_or(0);
-        self.inner.pool.drop_set(id, n);
+        self.inner.pages.write().insert(id, 0);
+        self.inner.pool.drop_set(id);
         Ok(())
     }
 
@@ -131,8 +141,8 @@ impl StorageManager {
     /// Drops a set and its pages.
     pub fn drop_set(&self, db: &str, set: &str) {
         let id = self.set_id(db, set);
-        let n = self.inner.pages.write().remove(&id).unwrap_or(0);
-        self.inner.pool.drop_set(id, n);
+        self.inner.pages.write().remove(&id);
+        self.inner.pool.drop_set(id);
         self.inner.catalog.drop_set(db, set);
     }
 }

@@ -2,7 +2,7 @@
 //! under arbitrary put/get/flush sequences — eviction and refaulting are
 //! invisible to readers.
 
-use pc_object::{make_object, AllocScope, PcVec, SealedPage};
+use pc_object::{make_object, AllocScope, PageSpiller, PcVec, PressureSpec, SealedPage};
 use pc_storage::BufferPool;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -82,6 +82,100 @@ proptest! {
             let page = pool.get((*k as u64, versions[k])).unwrap();
             prop_assert_eq!(read_tag(&page), *tag);
         }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// The out-of-core spill path: pages pushed through a [`SpillSet`]
+    /// under a tiny pool — with seeded memory-pressure injection armed —
+    /// reload byte-identical in arbitrary order, and dropping the set
+    /// reclaims every spill file (the leak gate).
+    #[test]
+    fn spilled_pages_reload_byte_identical(
+        tags in proptest::collection::vec(0u64..1000, 1..24),
+        reload_seed in 0u64..u64::MAX,
+        pressure_seed in 0u64..u64::MAX,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "pcpool_spill_{}_{}",
+            std::process::id(),
+            POOL_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let pool = BufferPool::with_pressure(
+            4 * 1024,
+            dir.clone(),
+            Some(PressureSpec::seeded(pressure_seed)),
+        )
+        .unwrap();
+        let originals: Vec<(u64, Vec<u8>)> = {
+            let spiller = pool.spill_set();
+            let mut out = Vec::new();
+            for &tag in &tags {
+                let page = page_of(tag);
+                let bytes = page.to_bytes();
+                let token = spiller.spill(&page).unwrap();
+                out.push((token, bytes));
+            }
+            // Reload in a seed-shuffled order, twice: reload must not
+            // consume the page, and order must not matter.
+            for round in 0..2u64 {
+                let mut order: Vec<usize> = (0..out.len()).collect();
+                order.sort_by_key(|&i| {
+                    (reload_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).rotate_left((round * 7) as u32)
+                });
+                for i in order {
+                    let (token, ref bytes) = out[i];
+                    let back = spiller.reload(token).unwrap();
+                    prop_assert_eq!(&back.to_bytes(), bytes);
+                }
+            }
+            prop_assert!(pool.leaked_spill_files() > 0, "spill files must exist while the set lives");
+            out
+        };
+        // The SpillSet dropped with the block above: its whole namespace
+        // must be gone, even though nothing called discard().
+        prop_assert_eq!(pool.leaked_spill_files(), 0);
+        prop_assert!(!originals.is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Pinned pages are never evicted or spilled, no matter how hard the
+    /// pool is squeezed: while a reader holds a page's `Arc`, later `get`s
+    /// return the *same* allocation (pointer-identical — a refault would
+    /// mint a new one), under churn and injected pressure alike.
+    #[test]
+    fn pinned_pages_survive_pressure(
+        churn in proptest::collection::vec(0u64..1000, 4..40),
+        pressure_seed in 0u64..u64::MAX,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "pcpool_pin_{}_{}",
+            std::process::id(),
+            POOL_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        // Capacity of ~2 pages: every churn put wants an eviction.
+        let pool = BufferPool::with_pressure(
+            2 * 1024,
+            dir.clone(),
+            Some(PressureSpec::seeded(pressure_seed)),
+        )
+        .unwrap();
+        let budget = pool.budget();
+        let pinned = pool.put((1, 0), page_of(7)).unwrap();
+        let pinned_bytes = pinned.to_bytes();
+        for (i, &tag) in churn.iter().enumerate() {
+            pool.put((2, i), page_of(tag)).unwrap();
+            // Exercise the budget alongside (denials expected and fine).
+            if let Ok(grant) = budget.reserve(512) {
+                drop(grant);
+            }
+            let again = pool.get((1, 0)).unwrap();
+            prop_assert!(
+                std::sync::Arc::ptr_eq(&pinned, &again),
+                "pinned page was evicted and refaulted at churn step {}", i
+            );
+        }
+        prop_assert_eq!(&pool.get((1, 0)).unwrap().to_bytes(), &pinned_bytes);
+        prop_assert_eq!(budget.reserved(), 0, "sizing probes must release");
         let _ = std::fs::remove_dir_all(dir);
     }
 }
