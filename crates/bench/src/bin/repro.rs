@@ -18,9 +18,17 @@
 //!                           pool budget ~10x smaller than the dataset,
 //!                           gated byte-identical to the in-memory run,
 //!                           plus a seeded memory-pressure sweep
+//! repro verify [--seed N]...
+//!                           the TCAP static verifier: workload plans
+//!                           verify clean, one rendered rejection, and the
+//!                           mutation gauntlet (exits non-zero below the
+//!                           >=95% expected-code rejection gate)
+//! repro lint                panic-hygiene lint: fails on unwrap()/expect()
+//!                           in cluster/exec non-test code not recorded in
+//!                           LINT_ALLOW.txt
 //! ```
 
-use pc_bench::{faults, figures, outofcore, pipeline, tables};
+use pc_bench::{faults, figures, lint, outofcore, pipeline, tables, verify};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,9 +87,19 @@ fn main() {
         "pipeline" => pipeline::pipeline(quick, threads),
         "faults" => faults::faults(quick, &seeds, tcp),
         "outofcore" => outofcore::outofcore(quick, threads, &seeds),
+        "verify" => {
+            if !verify::verify_demo(&seeds) {
+                std::process::exit(1);
+            }
+        }
+        "lint" => {
+            if !lint::lint() {
+                std::process::exit(1);
+            }
+        }
         other => {
             eprintln!(
-                "unknown experiment {other}; use all|table1..table8|figure1..figure5|pipeline|faults|outofcore"
+                "unknown experiment {other}; use all|table1..table8|figure1..figure5|pipeline|faults|outofcore|verify|lint"
             );
             std::process::exit(2);
         }

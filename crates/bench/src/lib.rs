@@ -8,7 +8,9 @@
 
 pub mod faults;
 pub mod figures;
+pub mod lint;
 pub mod outofcore;
 pub mod pipeline;
 pub mod tables;
 pub mod util;
+pub mod verify;

@@ -1,0 +1,190 @@
+//! `repro lint` — the panic-hygiene lint.
+//!
+//! The cluster and execution crates sit on the error-propagation spine of
+//! the system: a stray `unwrap()` there turns a recoverable condition
+//! (worker death, memory pressure, a rejected plan) into a process abort.
+//! This lint scans the non-test source of `crates/cluster` and
+//! `crates/exec` for `.unwrap()` / `.expect(` and fails on any occurrence
+//! not recorded in the allowlist at `LINT_ALLOW.txt` (workspace root).
+//!
+//! The allowlist is a ratchet, not an excuse file: every current entry is
+//! either a join on a thread whose panic is the error being propagated, a
+//! mutex whose poisoning already implies a panicked peer, or an invariant
+//! established on the adjacent line. New unwraps fail CI until either
+//! converted to `?` or deliberately added to the allowlist in the same PR.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directories scanned (workspace-relative). Only `src/` trees: tests,
+/// benches, and examples are free to unwrap.
+const SCANNED: &[&str] = &["crates/cluster/src", "crates/exec/src"];
+
+/// One offending line.
+#[derive(Debug)]
+pub struct Offence {
+    /// Workspace-relative path.
+    pub path: String,
+    pub line: usize,
+    /// The trimmed source line (what the allowlist matches on).
+    pub text: String,
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench/../../ == the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            rust_sources(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    out.sort();
+}
+
+/// Scans one file. Everything from the first `#[cfg(test)]` to the end of
+/// the file is test code by the repo's convention (test modules close the
+/// file) and is skipped; so are comment lines.
+fn scan_file(root: &Path, path: &Path) -> Vec<Offence> {
+    let Ok(src) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        if line.starts_with("//") {
+            continue;
+        }
+        if line.contains(".unwrap()") || line.contains(".expect(") {
+            out.push(Offence {
+                path: rel.clone(),
+                line: i + 1,
+                text: line.to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// The allowlist: `path: trimmed-line` entries, one per line; `#` comments
+/// and blanks ignored. An offence is allowed when some entry's path equals
+/// its path and the entry's text equals the trimmed line — line numbers
+/// deliberately don't participate, so pure code motion never churns it.
+fn allowlist(root: &Path) -> Vec<(String, String)> {
+    let Ok(src) = std::fs::read_to_string(root.join("LINT_ALLOW.txt")) else {
+        return Vec::new();
+    };
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path, text) = l.split_once(": ")?;
+            Some((path.trim().to_string(), text.trim().to_string()))
+        })
+        .collect()
+}
+
+/// Runs the lint. Returns every offence not covered by the allowlist.
+pub fn offences() -> Vec<Offence> {
+    let root = workspace_root();
+    let allow = allowlist(&root);
+    let mut files = Vec::new();
+    for dir in SCANNED {
+        rust_sources(&root.join(dir), &mut files);
+    }
+    let mut out = Vec::new();
+    for f in files {
+        for o in scan_file(&root, &f) {
+            let allowed = allow.iter().any(|(p, t)| *p == o.path && *t == o.text);
+            if !allowed {
+                out.push(o);
+            }
+        }
+    }
+    out
+}
+
+/// CLI entry: prints a report, returns true when clean.
+pub fn lint() -> bool {
+    let found = offences();
+    if found.is_empty() {
+        println!(
+            "repro lint: no unallowlisted unwrap()/expect() in {}",
+            SCANNED.join(", ")
+        );
+        return true;
+    }
+    let mut msg = String::new();
+    let _ = writeln!(
+        msg,
+        "repro lint: {} unallowlisted unwrap()/expect() call(s) in non-test code:\n",
+        found.len()
+    );
+    for o in &found {
+        let _ = writeln!(msg, "  {}:{}: {}", o.path, o.line, o.text);
+    }
+    let _ = writeln!(
+        msg,
+        "\nconvert to `?` (PcError has a variant for every recoverable condition), or\nadd `path: trimmed-line` to LINT_ALLOW.txt with a justification comment."
+    );
+    eprint!("{msg}");
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_tree_is_lint_clean() {
+        let found = offences();
+        assert!(
+            found.is_empty(),
+            "unallowlisted unwrap/expect in non-test code:\n{}",
+            found
+                .iter()
+                .map(|o| format!("  {}:{}: {}", o.path, o.line, o.text))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn allowlist_matches_on_path_and_content() {
+        let root = workspace_root();
+        let allow = allowlist(&root);
+        assert!(
+            !allow.is_empty(),
+            "LINT_ALLOW.txt missing or empty at the workspace root"
+        );
+        // Every allowlist entry should still correspond to a real line —
+        // stale entries mean the unwrap was fixed and the entry must go.
+        for (path, text) in &allow {
+            let src = std::fs::read_to_string(root.join(path))
+                .unwrap_or_else(|_| panic!("allowlisted file {path} no longer exists"));
+            assert!(
+                src.lines().any(|l| l.trim() == text),
+                "stale allowlist entry (line no longer present): {path}: {text}"
+            );
+        }
+    }
+}

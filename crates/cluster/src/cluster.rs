@@ -326,9 +326,16 @@ impl PcCluster {
     // ------------------------------------------------------------ execution
 
     /// Optimizes, plans, and executes a compiled query across the cluster.
+    /// With `config.exec.verify_plans` set (the default), the optimized
+    /// TCAP program is statically verified before planning — a broken plan
+    /// (whether lowered broken or broken by an optimizer rule) is refused
+    /// with [`PcError::PlanRejected`] instead of executing.
     pub fn execute(&self, q: &CompiledQuery) -> PcResult<ClusterStats> {
         let mut tcap = q.tcap.clone();
         pc_tcap::optimize(&mut tcap);
+        if self.config.exec.verify_plans {
+            pc_tcap::verify::require_clean(&tcap).map_err(PcError::PlanRejected)?;
+        }
         let physical = plan(&tcap)?;
         self.run_physical(&physical, &q.stages, &q.aggs)
     }

@@ -33,7 +33,7 @@ fn cluster(threads: usize, morsel_rows: usize) -> PcCluster {
             join_partitions: 4,
             morsel_rows,
             threads,
-            spill: None,
+            ..ExecConfig::default()
         },
         broadcast_threshold: 1 << 20,
         ..ClusterConfig::default()

@@ -486,8 +486,15 @@ impl Job {
     /// Compiles the job down to TCAP plus its stage library, without
     /// executing. This is the hook engine-level tests and the figure
     /// generators use to inspect or drive the compiled form directly.
+    ///
+    /// Every compiled plan passes through the [`pc_tcap::verify`] static
+    /// verifier before it is handed out: a lowering bug surfaces here as
+    /// [`PcError::PlanRejected`] with rendered diagnostics, not as a
+    /// mystery misbehavior deep inside the executor.
     pub fn compile(&self) -> PcResult<pc_lambda::CompiledQuery> {
-        pc_lambda::compile(&self.lower()?)
+        let q = pc_lambda::compile(&self.lower()?)?;
+        pc_tcap::verify::require_clean(&q.tcap).map_err(PcError::PlanRejected)?;
+        Ok(q)
     }
 
     /// Executes the job on `client`: every sink's destination set is

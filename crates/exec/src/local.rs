@@ -65,6 +65,12 @@ pub struct ExecConfig {
     /// `None` (the default) is the old fully-in-memory behavior: nothing is
     /// reserved and nothing can spill.
     pub spill: Option<SpillCtx>,
+    /// Run the [`pc_tcap::verify`] static verifier over every TCAP program
+    /// before planning it, refusing ill-formed plans with
+    /// [`PcError::PlanRejected`] instead of executing garbage. On by
+    /// default; turn off only to benchmark the (tiny) verification cost or
+    /// to deliberately feed the executor broken plans in tests.
+    pub verify_plans: bool,
 }
 
 /// Default stage thread count: `PC_THREADS` when set to a positive integer,
@@ -92,6 +98,7 @@ impl Default for ExecConfig {
             threads: default_threads(),
             morsel_rows: 32 * 1024,
             spill: None,
+            verify_plans: true,
         }
     }
 }
@@ -628,8 +635,13 @@ impl LocalExecutor {
         LocalExecutor { storage, config }
     }
 
-    /// Plans and runs a compiled query.
+    /// Plans and runs a compiled query. When `config.verify_plans` is set
+    /// (the default) the TCAP program is statically verified first and an
+    /// ill-formed plan is refused with [`PcError::PlanRejected`].
     pub fn execute(&self, q: &CompiledQuery) -> PcResult<ExecStats> {
+        if self.config.verify_plans {
+            pc_tcap::verify::require_clean(&q.tcap).map_err(PcError::PlanRejected)?;
+        }
         let physical = plan(&q.tcap)?;
         self.run_plan(&physical, &q.stages, &q.aggs)
     }

@@ -428,7 +428,7 @@ fn morsel_scheduler_reports_stats_and_matches_single_threaded() {
                 join_partitions: 4,
                 morsel_rows: 64,
                 threads,
-                spill: None,
+                ..ExecConfig::default()
             },
         );
         load_emps(&ex, 700);

@@ -1,0 +1,167 @@
+//! Model-checking the [`MorselQueue`](pc_exec::morsel) steal-vs-pop
+//! protocol: every schedule of two workers popping their own deque from the
+//! front while stealing from the victim's back must consume every morsel
+//! exactly once.
+//!
+//! The model is a faithful replica of the queue's locking protocol over the
+//! loom shim's `Mutex` (the real struct uses `std::sync::Mutex` — same
+//! shape, unshimmable). A deliberately broken "lock-free" variant (claim a
+//! morsel by load-then-store on a shared head index) proves the checker
+//! actually catches double-consumes.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+
+/// The real protocol: per-worker deques behind mutexes; own work pops from
+/// the front, steals take the victim's back. Exactly the locking discipline
+/// of `MorselQueue::next`.
+fn run_locked_protocol(morsels_per_worker: usize) -> usize {
+    loom::model_bounded(2, move || {
+        let threads = 2usize;
+        let total = morsels_per_worker * threads;
+        // Deal round-robin, like MorselQueue::new.
+        let deques: Arc<Vec<Mutex<VecDeque<usize>>>> = Arc::new(
+            (0..threads)
+                .map(|t| {
+                    Mutex::new(
+                        (0..total)
+                            .filter(|m| m % threads == t)
+                            .collect::<VecDeque<usize>>(),
+                    )
+                })
+                .collect(),
+        );
+        let consumed: Arc<Vec<Mutex<Vec<usize>>>> =
+            Arc::new((0..threads).map(|_| Mutex::new(Vec::new())).collect());
+
+        let workers: Vec<_> = (0..threads)
+            .map(|me| {
+                let deques = deques.clone();
+                let consumed = consumed.clone();
+                loom::thread::spawn(move || loop {
+                    // Own deque first (front)...
+                    let mine = deques[me].lock().unwrap().pop_front();
+                    let got = match mine {
+                        Some(m) => Some(m),
+                        // ...then steal from the victim's back.
+                        None => deques[(me + 1) % 2].lock().unwrap().pop_back(),
+                    };
+                    match got {
+                        Some(m) => consumed[me].lock().unwrap().push(m),
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        // Exactly-once delivery: every morsel consumed by exactly one worker.
+        let mut all: Vec<usize> = consumed
+            .iter()
+            .flat_map(|c| c.lock().unwrap().clone())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..total).collect::<Vec<_>>(),
+            "morsels lost or double-consumed"
+        );
+    })
+}
+
+#[test]
+fn steal_vs_pop_is_exactly_once_under_all_interleavings() {
+    let n = run_locked_protocol(4);
+    assert!(
+        n > 1000,
+        "expected >1000 distinct interleavings, explored {n}"
+    );
+}
+
+#[test]
+fn known_bad_racy_head_claim_is_caught() {
+    // Broken variant: a shared head index claimed by load-then-store
+    // instead of under the deque's lock (or a CAS). Two workers can read
+    // the same head and consume the same morsel.
+    let v = loom::try_model(|| {
+        let total = 4usize;
+        let head = Arc::new(AtomicUsize::new(0));
+        let consumed: Arc<Vec<Mutex<Vec<usize>>>> =
+            Arc::new((0..2).map(|_| Mutex::new(Vec::new())).collect());
+        let workers: Vec<_> = (0..2)
+            .map(|me| {
+                let head = head.clone();
+                let consumed = consumed.clone();
+                loom::thread::spawn(move || loop {
+                    let h = head.load(Ordering::SeqCst);
+                    if h >= total {
+                        break;
+                    }
+                    head.store(h + 1, Ordering::SeqCst); // racy claim
+                    consumed[me].lock().unwrap().push(h);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumed
+            .iter()
+            .flat_map(|c| c.lock().unwrap().clone())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..total).collect::<Vec<_>>(),
+            "morsels lost or double-consumed"
+        );
+    })
+    .expect_err("the racy head claim must double-consume under some schedule");
+    assert!(
+        v.message.contains("double-consumed"),
+        "unexpected violation: {}",
+        v.message
+    );
+}
+
+#[test]
+fn steal_counters_match_consumed_totals() {
+    // The dispatched/stolen counters are plain fetch_adds; model that the
+    // sum of both workers' counts always equals the dealt total.
+    let n = loom::model_bounded(2, || {
+        let total = 4usize;
+        let deques: Arc<Vec<Mutex<VecDeque<usize>>>> = Arc::new(
+            (0..2)
+                .map(|t| Mutex::new((0..total).filter(|m| m % 2 == t).collect()))
+                .collect(),
+        );
+        let dispatched = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|me| {
+                let deques = deques.clone();
+                let dispatched = dispatched.clone();
+                loom::thread::spawn(move || loop {
+                    let got = {
+                        let mine = deques[me].lock().unwrap().pop_front();
+                        match mine {
+                            Some(m) => Some(m),
+                            None => deques[(me + 1) % 2].lock().unwrap().pop_back(),
+                        }
+                    };
+                    if got.is_none() {
+                        break;
+                    }
+                    dispatched.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(dispatched.unsync_load(), total, "dispatch counter drifted");
+    });
+    assert!(n > 100, "expected >100 interleavings, explored {n}");
+}

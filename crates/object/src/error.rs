@@ -43,6 +43,10 @@ pub enum PcError {
     /// than failure: the operator that sees it spills a partition (or retries
     /// after releasing a grant) instead of aborting.
     MemoryPressure { wanted: usize, available: usize },
+    /// A compiled TCAP plan failed static verification and was refused by
+    /// the executor before planning. The payload is the verifier's rendered
+    /// diagnostics (rustc-style, with `TVnnnn` codes).
+    PlanRejected(String),
 }
 
 impl fmt::Display for PcError {
@@ -73,6 +77,9 @@ impl fmt::Display for PcError {
                     f,
                     "memory pressure: wanted {wanted} bytes, {available} available in budget"
                 )
+            }
+            PcError::PlanRejected(diags) => {
+                write!(f, "plan rejected by the TCAP verifier:\n{diags}")
             }
         }
     }

@@ -1,0 +1,145 @@
+//! Model-checking the [`MemoryBudget`](pc_object::MemoryBudget) grant and
+//! release accounting: under every interleaving of concurrent reservations,
+//! the ledger never exceeds the ceiling and drains to zero once all grants
+//! are released.
+//!
+//! The model replicates the budget's protocol — a `Mutex<usize>` ledger
+//! with check-then-add under the lock — over the loom shim. A known-bad
+//! variant doing the classic check-then-act on an atomic *outside* any lock
+//! proves the checker catches the over-commit race the real ledger's lock
+//! exists to prevent.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+
+const TOTAL: usize = 100;
+const WANT: usize = 40; // three concurrent grants would overshoot the ceiling
+
+/// The real protocol: reserve and release mutate the ledger under one lock,
+/// exactly like `BudgetInner::reserved`.
+#[test]
+fn ledger_never_exceeds_total_and_drains_clean() {
+    let n = loom::model_bounded(3, || {
+        // Ledger plus its high-water mark, updated atomically with it.
+        let reserved = Arc::new(Mutex::new((0usize, 0usize)));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let reserved = reserved.clone();
+                loom::thread::spawn(move || {
+                    // try_take: check the ceiling and add under the lock.
+                    let ok = {
+                        let mut r = reserved.lock().unwrap();
+                        if r.0 + WANT <= TOTAL {
+                            r.0 += WANT;
+                            r.1 = r.1.max(r.0);
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if ok {
+                        // The ceiling invariant must hold at every point
+                        // while the grant is live.
+                        {
+                            let r = reserved.lock().unwrap();
+                            assert!(r.0 <= TOTAL, "ledger over-committed: {} > {TOTAL}", r.0);
+                        }
+                        // release: saturating_sub under the same lock.
+                        let mut r = reserved.lock().unwrap();
+                        r.0 = r.0.saturating_sub(WANT);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        // Concurrent holdings never exceeded the ceiling, and everything
+        // granted was released.
+        let r = reserved.lock().unwrap();
+        assert!(r.1 <= TOTAL, "peak holdings exceeded the budget: {}", r.1);
+        assert_eq!(r.0, 0, "ledger failed to drain");
+    });
+    assert!(
+        n > 1000,
+        "expected >1000 distinct interleavings, explored {n}"
+    );
+}
+
+#[test]
+fn known_bad_check_then_act_reservation_is_caught() {
+    // Broken variant: the ceiling check and the add are two separate atomic
+    // operations. Both threads can pass the check before either adds.
+    // 60 bytes each: either reservation alone fits, both together overshoot.
+    const WANT_BAD: usize = 60;
+    let v = loom::try_model(|| {
+        let reserved = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let reserved = reserved.clone();
+                loom::thread::spawn(move || {
+                    if reserved.load(Ordering::SeqCst) + WANT_BAD <= TOTAL {
+                        reserved.fetch_add(WANT_BAD, Ordering::SeqCst); // too late
+                        let r = reserved.load(Ordering::SeqCst);
+                        assert!(r <= TOTAL, "ledger over-committed: {r} > {TOTAL}");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    })
+    .expect_err("the unlocked check-then-act must over-commit under some schedule");
+    assert!(
+        v.message.contains("over-committed"),
+        "unexpected violation: {}",
+        v.message
+    );
+}
+
+#[test]
+fn grant_grow_and_shrink_stay_balanced() {
+    // MemoryGrant::grow/shrink adjust the ledger incrementally; its Drop
+    // releases the remainder. Model two grants resizing concurrently.
+    let n = loom::model(|| {
+        let reserved = Arc::new(Mutex::new(0usize));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let reserved = reserved.clone();
+                loom::thread::spawn(move || {
+                    let take = 30usize;
+                    let ok = {
+                        let mut r = reserved.lock().unwrap();
+                        if *r + take <= TOTAL {
+                            *r += take;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if !ok {
+                        return;
+                    }
+                    // grow by 10 (may be denied), then drop the whole grant.
+                    let mut held = take;
+                    {
+                        let mut r = reserved.lock().unwrap();
+                        if *r + 10 <= TOTAL {
+                            *r += 10;
+                            held += 10;
+                        }
+                        assert!(*r <= TOTAL, "ledger over-committed during grow");
+                    }
+                    let mut r = reserved.lock().unwrap();
+                    *r = r.saturating_sub(held);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(*reserved.lock().unwrap(), 0, "grow/shrink leaked bytes");
+    });
+    assert!(n > 100, "expected >100 interleavings, explored {n}");
+}

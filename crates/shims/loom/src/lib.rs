@@ -1,0 +1,48 @@
+//! # loom (shim) — a loom-style concurrency model checker
+//!
+//! Offline stand-in for the `loom` crate: programs written against the
+//! shimmed primitives in [`sync`] and [`thread`] are executed under a
+//! scheduler that *exhaustively enumerates interleavings* instead of leaving
+//! them to the OS. [`model`] re-runs the closure once per distinct schedule;
+//! an assertion failure, panic, or deadlock in **any** interleaving is
+//! reported with the schedule that produced it.
+//!
+//! ## How it works
+//!
+//! Only one model thread runs at a time: every visible operation (atomic
+//! access, mutex lock/unlock, spawn, join) first passes through a *switch
+//! point* where the scheduler picks which runnable thread goes next. The
+//! sequence of picks forms a schedule; depth-first backtracking over the
+//! recorded choice points enumerates every schedule up to a *preemption
+//! bound* (the number of times a runnable thread may be involuntarily
+//! descheduled — the CHESS insight: almost all concurrency bugs manifest
+//! with just a couple of preemptions).
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! let n = loom::model(|| {
+//!     let x = Arc::new(AtomicUsize::new(0));
+//!     let x2 = x.clone();
+//!     let t = loom::thread::spawn(move || x2.fetch_add(1, Ordering::SeqCst));
+//!     x.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(x.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(n >= 2); // more than one distinct interleaving was explored
+//! ```
+//!
+//! Differences from real loom: the memory model is sequential consistency
+//! (orderings are accepted and ignored), there is no `UnsafeCell` tracking,
+//! and exploration is bounded by preemptions rather than loom's more
+//! sophisticated DPOR. That is enough teeth for protocol-level checking:
+//! lost updates, double-consumes, check-then-act races, and deadlocks all
+//! surface within one or two preemptions.
+
+pub mod sync;
+pub mod thread;
+
+pub(crate) mod rt;
+
+pub use rt::{model, model_bounded, try_model, try_model_bounded, Builder, Violation};

@@ -1,0 +1,518 @@
+//! The exploration runtime: a cooperative scheduler over real OS threads
+//! (exactly one runnable at a time), a recorded schedule of choice points,
+//! and depth-first backtracking with a preemption bound.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// Sentinel payload used to unwind model threads when the current execution
+/// is being torn down (a violation was found elsewhere, or the run is being
+/// aborted). Swallowed by every `catch_unwind` in the runtime — never
+/// reported as a violation itself.
+pub(crate) struct AbortToken;
+
+/// What a blocked thread is waiting on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BlockOn {
+    /// A shimmed mutex, by its id.
+    Lock(usize),
+    /// Another model thread finishing, by its id.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+/// One recorded scheduling decision: the runnable threads that were
+/// eligible, and which one was picked. Backtracking advances `picked`
+/// through `options` depth-first.
+#[derive(Clone, Debug)]
+struct Choice {
+    options: Vec<usize>,
+    picked: usize,
+}
+
+struct SchedState {
+    status: Vec<Status>,
+    /// Id of the thread allowed to run, or `usize::MAX` once all finished.
+    current: usize,
+    /// Position in `schedule` during replay.
+    depth: usize,
+    preemptions: usize,
+    schedule: Vec<Choice>,
+    abort: bool,
+    violation: Option<String>,
+    bound: usize,
+}
+
+pub(crate) struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: Condvar,
+    /// OS handles of every model thread spawned this run; joined between
+    /// iterations so no thread leaks into the next schedule.
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+struct Ctx {
+    sched: Arc<Scheduler>,
+    id: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Installs the model-thread context on the calling OS thread.
+pub(crate) fn enter_model_thread(sched: Arc<Scheduler>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { sched, id }));
+}
+
+/// Removes the model-thread context from the calling OS thread.
+pub(crate) fn leave_model_thread() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// The scheduler + own id of the calling model thread, if any. `None` means
+/// the caller is outside `model()` — shimmed primitives then degrade to
+/// plain sequentially-consistent std behavior.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().as_ref().map(|x| (x.sched.clone(), x.id)))
+}
+
+/// A visible-operation choice point for the calling model thread: lets the
+/// scheduler pick (and possibly switch to) any runnable thread before the
+/// operation executes. No-op outside `model()` and during unwinding.
+pub(crate) fn switch_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((sched, me)) = current() {
+        sched.switch_point_for(me);
+    }
+}
+
+fn abort_unwind() -> ! {
+    resume_unwind(Box::new(AbortToken))
+}
+
+impl Scheduler {
+    fn new(bound: usize) -> Self {
+        Scheduler {
+            state: StdMutex::new(SchedState {
+                status: vec![Status::Runnable],
+                current: 0,
+                depth: 0,
+                preemptions: 0,
+                schedule: Vec::new(),
+                abort: false,
+                violation: None,
+                bound,
+            }),
+            cv: Condvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn reset_run(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.status.clear();
+        st.status.push(Status::Runnable);
+        st.current = 0;
+        st.depth = 0;
+        st.preemptions = 0;
+        st.abort = false;
+        st.violation = None;
+    }
+
+    /// Picks the next thread to run. `me` is the thread asking (a candidate
+    /// if still runnable), or `None` when the asker just finished. Sets a
+    /// deadlock violation when live threads remain but none is runnable.
+    fn choose_locked(&self, st: &mut SchedState, me: Option<usize>) {
+        let enabled: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.status.iter().all(|s| matches!(s, Status::Finished)) {
+                st.current = usize::MAX;
+            } else {
+                let waiting: Vec<(usize, BlockOn)> = st
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        Status::Blocked(on) => Some((i, *on)),
+                        _ => None,
+                    })
+                    .collect();
+                if st.violation.is_none() {
+                    st.violation = Some(format!(
+                        "deadlock: every live thread is blocked: {waiting:?}"
+                    ));
+                }
+                st.abort = true;
+            }
+            return;
+        }
+        let me_enabled = me.is_some_and(|m| matches!(st.status[m], Status::Runnable));
+        let options = if me_enabled && st.preemptions >= st.bound {
+            // Preemption budget spent: the running thread keeps running
+            // until it blocks or finishes (a forced switch is free).
+            vec![me.unwrap_or(0)]
+        } else {
+            enabled
+        };
+        let picked = if options.len() == 1 {
+            // A forced pick is not a choice point; recording it would only
+            // bloat the schedule.
+            0
+        } else if st.depth < st.schedule.len() {
+            let c = &st.schedule[st.depth];
+            assert_eq!(
+                c.options, options,
+                "model closure is nondeterministic: replay diverged at choice {}",
+                st.depth
+            );
+            let p = c.picked;
+            st.depth += 1;
+            p
+        } else {
+            st.schedule.push(Choice {
+                options: options.clone(),
+                picked: 0,
+            });
+            st.depth += 1;
+            0
+        };
+        let next = options[picked];
+        if me_enabled && Some(next) != me {
+            st.preemptions += 1;
+        }
+        st.current = next;
+    }
+
+    /// Blocks the calling OS thread until the scheduler hands it the turn.
+    /// Unwinds with [`AbortToken`] if the execution is torn down meanwhile.
+    pub(crate) fn wait_for_turn(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.current != me && !st.abort {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+    }
+
+    pub(crate) fn switch_point_for(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        self.choose_locked(&mut st, Some(me));
+        let next = st.current;
+        let aborted = st.abort;
+        drop(st);
+        if aborted {
+            self.cv.notify_all();
+            abort_unwind();
+        }
+        if next != me {
+            self.cv.notify_all();
+            self.wait_for_turn(me);
+        }
+    }
+
+    /// Acquires shim mutex `lock_id` for thread `me`, blocking (and letting
+    /// other threads run) while it is held elsewhere. The caller passes a
+    /// switch point *before* this, so the acquire itself races correctly.
+    pub(crate) fn mutex_lock(&self, me: usize, lock_id: usize, locked: &AtomicBool) {
+        loop {
+            let mut st = self.state.lock().unwrap();
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if !locked.load(Relaxed) {
+                locked.store(true, Relaxed);
+                return;
+            }
+            st.status[me] = Status::Blocked(BlockOn::Lock(lock_id));
+            self.choose_locked(&mut st, Some(me));
+            let aborted = st.abort;
+            drop(st);
+            self.cv.notify_all();
+            if aborted {
+                abort_unwind();
+            }
+            self.wait_for_turn(me);
+        }
+    }
+
+    /// Releases shim mutex `lock_id`, making every thread blocked on it
+    /// runnable again.
+    pub(crate) fn mutex_unlock(&self, lock_id: usize, locked: &AtomicBool) {
+        let mut st = self.state.lock().unwrap();
+        locked.store(false, Relaxed);
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(BlockOn::Lock(lock_id)) {
+                *s = Status::Runnable;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Registers a new model thread (runnable, waiting for its first turn).
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.status.push(Status::Runnable);
+        st.status.len() - 1
+    }
+
+    pub(crate) fn track_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles.lock().unwrap().push(h);
+    }
+
+    /// Blocks thread `me` until thread `target` finishes.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        self.switch_point_for(me);
+        loop {
+            let mut st = self.state.lock().unwrap();
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if st.status[target] == Status::Finished {
+                return;
+            }
+            st.status[me] = Status::Blocked(BlockOn::Join(target));
+            self.choose_locked(&mut st, Some(me));
+            let aborted = st.abort;
+            drop(st);
+            self.cv.notify_all();
+            if aborted {
+                abort_unwind();
+            }
+            self.wait_for_turn(me);
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands the turn onward.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.status[me] = Status::Finished;
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(BlockOn::Join(me)) {
+                *s = Status::Runnable;
+            }
+        }
+        if !st.abort {
+            self.choose_locked(&mut st, None);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Records a model-code panic as a violation and tears the run down.
+    pub(crate) fn report_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        if payload.is::<AbortToken>() {
+            return;
+        }
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "model thread panicked (non-string payload)".to_string()
+        };
+        let mut st = self.state.lock().unwrap();
+        if st.violation.is_none() {
+            st.violation = Some(msg);
+        }
+        st.abort = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn join_all_os(&self) {
+        let handles: Vec<_> = std::mem::take(&mut *self.os_handles.lock().unwrap());
+        for h in handles {
+            // A thread unwound by AbortToken ends in Err; that's teardown,
+            // not a second violation.
+            let _ = h.join();
+        }
+    }
+
+    /// Advances the recorded schedule to the next unexplored branch.
+    /// Returns false when the whole tree has been explored.
+    fn advance_schedule(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while let Some(c) = st.schedule.last_mut() {
+            c.picked += 1;
+            if c.picked < c.options.len() {
+                return true;
+            }
+            st.schedule.pop();
+        }
+        false
+    }
+
+    fn take_violation(&self) -> Option<(String, Vec<usize>)> {
+        let st = self.state.lock().unwrap();
+        st.violation.clone().map(|msg| {
+            (
+                msg,
+                st.schedule.iter().map(|c| c.options[c.picked]).collect(),
+            )
+        })
+    }
+}
+
+/// A violation found by the model checker: the failure message plus the
+/// schedule (sequence of thread picks at each choice point) reproducing it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub message: String,
+    /// Thread id picked at each recorded choice point of the failing run.
+    pub schedule: Vec<usize>,
+    /// Executions completed before (and including) the failing one.
+    pub iterations: usize,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model checking failed after {} execution(s)\nviolation: {}\nschedule (thread picks): {:?}",
+            self.iterations, self.message, self.schedule
+        )
+    }
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum involuntary context switches per execution (the CHESS
+    /// preemption bound). `None` removes the bound — exhaustive, and
+    /// exponential in program length.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored executions; exceeded means the model is too big
+    /// for the bound and the check panics rather than spinning forever.
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(2),
+            max_iterations: 1_000_000,
+        }
+    }
+}
+
+impl Builder {
+    /// Explores every schedule of `f` up to the bound; panics (with the
+    /// reproducing schedule) on the first violation. Returns the number of
+    /// distinct executions explored.
+    pub fn check<F>(&self, f: F) -> usize
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.try_check(f) {
+            Ok(n) => n,
+            Err(v) => panic!("{v}"),
+        }
+    }
+
+    /// Like [`check`](Builder::check) but returns the violation instead of
+    /// panicking — the hook the known-bad-protocol tests use to prove the
+    /// checker has teeth.
+    pub fn try_check<F>(&self, f: F) -> Result<usize, Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let bound = self.preemption_bound.unwrap_or(usize::MAX);
+        let sched = Arc::new(Scheduler::new(bound));
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "loom: exploration exceeded {} executions; tighten the preemption bound",
+                self.max_iterations
+            );
+            sched.reset_run();
+            enter_model_thread(sched.clone(), 0);
+            let out = catch_unwind(AssertUnwindSafe(&f));
+            if let Err(p) = out {
+                sched.report_panic(p);
+            }
+            sched.finish(0);
+            leave_model_thread();
+            sched.join_all_os();
+            if let Some((message, schedule)) = sched.take_violation() {
+                return Err(Violation {
+                    message,
+                    schedule,
+                    iterations,
+                });
+            }
+            if !sched.advance_schedule() {
+                return Ok(iterations);
+            }
+        }
+    }
+}
+
+/// Model-checks `f` with the default preemption bound (2). Panics on the
+/// first violating interleaving; returns the number of executions explored.
+pub fn model<F>(f: F) -> usize
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+/// [`model`] with an explicit preemption bound.
+pub fn model_bounded<F>(bound: usize, f: F) -> usize
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder {
+        preemption_bound: Some(bound),
+        ..Builder::default()
+    }
+    .check(f)
+}
+
+/// Non-panicking [`model`]: `Err` carries the first violation found.
+pub fn try_model<F>(f: F) -> Result<usize, Violation>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().try_check(f)
+}
+
+/// [`try_model`] with an explicit preemption bound.
+pub fn try_model_bounded<F>(bound: usize, f: F) -> Result<usize, Violation>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder {
+        preemption_bound: Some(bound),
+        ..Builder::default()
+    }
+    .try_check(f)
+}

@@ -1,0 +1,175 @@
+//! Shimmed synchronization primitives: every visible operation passes
+//! through a scheduler switch point, so the model checker can interleave
+//! threads around it. Outside [`model`](crate::model) the shims degrade to
+//! plain sequentially-consistent std behavior.
+
+use crate::rt;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicUsize as StdAtomicUsize, Ordering::Relaxed};
+
+pub use std::sync::Arc;
+
+/// Shimmed atomics. Orderings are accepted for API compatibility and
+/// ignored: the model explores sequentially-consistent interleavings.
+pub mod atomic {
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ty, $ty:ty) => {
+            /// Model-checked atomic: each access is a scheduler switch point.
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                pub const fn new(v: $ty) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    rt::switch_point();
+                    self.0.load(SeqCst)
+                }
+
+                pub fn store(&self, v: $ty, _order: Ordering) {
+                    rt::switch_point();
+                    self.0.store(v, SeqCst)
+                }
+
+                pub fn swap(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::switch_point();
+                    self.0.swap(v, SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::switch_point();
+                    self.0.compare_exchange(current, new, SeqCst, SeqCst)
+                }
+
+                /// Reads without a switch point — for assertions *after* the
+                /// concurrent phase, where extra interleavings add nothing.
+                pub fn unsync_load(&self) -> $ty {
+                    self.0.load(SeqCst)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+    macro_rules! shim_fetch_arith {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                pub fn fetch_add(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::switch_point();
+                    self.0.fetch_add(v, SeqCst)
+                }
+
+                pub fn fetch_sub(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::switch_point();
+                    self.0.fetch_sub(v, SeqCst)
+                }
+
+                pub fn fetch_max(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::switch_point();
+                    self.0.fetch_max(v, SeqCst)
+                }
+            }
+        };
+    }
+
+    shim_fetch_arith!(AtomicUsize, usize);
+    shim_fetch_arith!(AtomicU64, u64);
+}
+
+/// Global mutex id source: ids only need to be unique within one execution,
+/// monotonically increasing across all is more than enough.
+static LOCK_IDS: StdAtomicUsize = StdAtomicUsize::new(0);
+
+/// Model-checked mutex. `lock` is a switch point and blocks the model
+/// thread (letting others run) while held elsewhere; dropping the guard
+/// wakes blocked threads. Poisoning is not modeled: a panic under the lock
+/// aborts the whole execution as a violation anyway.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    locked: AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler enforces that only one model thread runs at a time
+// and `locked` gates all access to `data` exactly like a real mutex.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Self {
+        Mutex {
+            id: LOCK_IDS.fetch_add(1, Relaxed),
+            locked: AtomicBool::new(false),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Acquires the mutex. The `Result` mirrors std's poisoning API but is
+    /// always `Ok` here.
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::convert::Infallible> {
+        match rt::current() {
+            Some((sched, me)) => {
+                sched.switch_point_for(me);
+                sched.mutex_lock(me, self.id, &self.locked);
+            }
+            None => {
+                // Outside a model: single-threaded use; just take it.
+                assert!(
+                    !self.locked.swap(true, Relaxed),
+                    "loom Mutex contended outside loom::model"
+                );
+            }
+        }
+        Ok(MutexGuard { mutex: self })
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the (model-checked) exclusive lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the (model-checked) exclusive lock.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        match rt::current() {
+            Some((sched, _me)) => sched.mutex_unlock(self.mutex.id, &self.mutex.locked),
+            None => self.mutex.locked.store(false, Relaxed),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Shimmed threads: model threads are real OS threads, but the scheduler
+//! lets exactly one run at a time and decides every handoff.
+
+use crate::rt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    target: usize,
+    result: Arc<StdMutex<Option<T>>>,
+    sched: Arc<rt::Scheduler>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (as a model operation — other threads keep interleaving)
+    /// until the thread finishes, returning its value. Mirrors std's
+    /// signature; a panic in the child aborts the whole execution as a
+    /// violation, so the `Err` arm is never actually constructed.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, me) = rt::current().expect("loom: JoinHandle::join outside loom::model");
+        sched.join_wait(me, self.target);
+        let v = self
+            .result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("loom: joined thread produced no result");
+        drop(self.sched);
+        Ok(v)
+    }
+}
+
+/// Spawns a model thread. The spawn is a visible operation: the scheduler
+/// may run the child immediately or let the parent continue — both
+/// interleavings are explored.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = rt::current().expect("loom: thread::spawn outside loom::model");
+    let id = sched.register_thread();
+    let result = Arc::new(StdMutex::new(None));
+    let result2 = result.clone();
+    let sched2 = sched.clone();
+    let os = std::thread::Builder::new()
+        .name(format!("loom-model-{id}"))
+        .spawn(move || {
+            rt::enter_model_thread(sched2.clone(), id);
+            let body = sched2.clone();
+            let out = catch_unwind(AssertUnwindSafe(move || {
+                body.wait_for_turn(id);
+                f()
+            }));
+            match out {
+                Ok(v) => *result2.lock().unwrap() = Some(v),
+                Err(p) => sched2.report_panic(p),
+            }
+            sched2.finish(id);
+            rt::leave_model_thread();
+        })
+        .expect("loom: OS thread spawn failed");
+    sched.track_os_handle(os);
+    sched.switch_point_for(me);
+    JoinHandle {
+        target: id,
+        result,
+        sched,
+    }
+}
+
+/// A bare switch point: lets any other runnable thread run now.
+pub fn yield_now() {
+    rt::switch_point();
+}

@@ -1,0 +1,132 @@
+//! The model checker checking itself: interleaving coverage, mutual
+//! exclusion, race detection, and deadlock detection.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+
+#[test]
+fn explores_more_than_one_interleaving() {
+    let n = loom::model(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = x.clone();
+        let t = loom::thread::spawn(move || {
+            x2.fetch_add(1, Ordering::SeqCst);
+        });
+        x.fetch_add(2, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(x.unsync_load(), 3);
+    });
+    assert!(n > 1, "expected multiple interleavings, got {n}");
+}
+
+#[test]
+fn atomic_increments_never_lose_updates() {
+    loom::model(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let x = x.clone();
+                loom::thread::spawn(move || {
+                    x.fetch_add(1, Ordering::SeqCst);
+                    x.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(x.unsync_load(), 4);
+    });
+}
+
+#[test]
+fn load_then_store_race_is_caught() {
+    // The classic lost update: both threads read 0, both write 1.
+    let v = loom::try_model(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let x = x.clone();
+                loom::thread::spawn(move || {
+                    let cur = x.load(Ordering::SeqCst);
+                    x.store(cur + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(x.unsync_load(), 2, "lost update");
+    })
+    .expect_err("the lost-update race must be found");
+    assert!(
+        v.message.contains("lost update"),
+        "unexpected: {}",
+        v.message
+    );
+}
+
+#[test]
+fn mutex_guarantees_exclusion() {
+    loom::model(|| {
+        let x = Arc::new(Mutex::new(0usize));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let x = x.clone();
+                loom::thread::spawn(move || {
+                    let mut g = x.lock().unwrap();
+                    let cur = *g;
+                    *g = cur + 1;
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(*x.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+fn lock_order_inversion_deadlocks_are_caught() {
+    let v = loom::try_model(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = loom::thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+        }
+        t.join().unwrap();
+    })
+    .expect_err("the AB-BA deadlock must be found");
+    assert!(v.message.contains("deadlock"), "unexpected: {}", v.message);
+}
+
+#[test]
+fn compare_exchange_based_counter_is_sound() {
+    loom::model(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let x = x.clone();
+                loom::thread::spawn(move || loop {
+                    let cur = x.load(Ordering::SeqCst);
+                    if x.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(x.unsync_load(), 2);
+    });
+}

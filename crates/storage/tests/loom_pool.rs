@@ -1,0 +1,190 @@
+//! Model-checking the [`BufferPool`](pc_storage) pin-vs-evict protocol: a
+//! page with live references (strong count > 1) must never be evicted, no
+//! matter how a reader's `get` interleaves with the evictor.
+//!
+//! The model replicates the pool's discipline: the page table lives behind
+//! one mutex, "pinned" means a refcount above one, and the evictor
+//! re-checks the refcount *under the table lock* before dropping a page
+//! (`evict_one` in `pool.rs`). The known-bad variant checks the refcount
+//! before taking the lock — exactly the stale-read race the re-check
+//! exists to close.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+
+/// One cached page: its refcount (1 = only the pool holds it) and whether
+/// the evictor has dropped it from the table.
+struct Slot {
+    refs: usize,
+    resident: bool,
+}
+
+#[test]
+fn pinned_pages_survive_eviction_under_all_interleavings() {
+    let n = loom::model(|| {
+        let table = Arc::new(Mutex::new(Slot {
+            refs: 1,
+            resident: true,
+        }));
+
+        // Reader: pin the page (get), observe it, unpin.
+        let t_reader = {
+            let table = table.clone();
+            loom::thread::spawn(move || {
+                let pinned = {
+                    let mut t = table.lock().unwrap();
+                    if t.resident {
+                        t.refs += 1; // clone of the Arc<Page>
+                        true
+                    } else {
+                        false // miss: page already evicted, reload path
+                    }
+                };
+                if pinned {
+                    // While we hold the pin, the page must stay resident.
+                    {
+                        let t = table.lock().unwrap();
+                        assert!(t.resident, "page evicted while pinned");
+                    }
+                    let mut t = table.lock().unwrap();
+                    t.refs -= 1;
+                }
+            })
+        };
+
+        // Evictor: evict_one — re-check the refcount under the table lock.
+        let t_evict = {
+            let table = table.clone();
+            loom::thread::spawn(move || {
+                let mut t = table.lock().unwrap();
+                if t.refs == 1 && t.resident {
+                    t.resident = false; // drop from the table
+                }
+            })
+        };
+
+        t_reader.join().unwrap();
+        t_evict.join().unwrap();
+
+        let t = table.lock().unwrap();
+        assert_eq!(t.refs, 1, "pin leaked");
+    });
+    assert!(n > 1, "expected multiple interleavings, explored {n}");
+}
+
+#[test]
+fn repeated_pin_unpin_vs_evictor_explores_deeply() {
+    let n = loom::model_bounded(2, || {
+        let table = Arc::new(Mutex::new(Slot {
+            refs: 1,
+            resident: true,
+        }));
+        let evictions = Arc::new(AtomicUsize::new(0));
+
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let table = table.clone();
+                loom::thread::spawn(move || {
+                    for _ in 0..2 {
+                        let pinned = {
+                            let mut t = table.lock().unwrap();
+                            if t.resident {
+                                t.refs += 1;
+                                true
+                            } else {
+                                false
+                            }
+                        };
+                        if pinned {
+                            {
+                                let t = table.lock().unwrap();
+                                assert!(t.resident, "page evicted while pinned");
+                            }
+                            let mut t = table.lock().unwrap();
+                            t.refs -= 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let t_evict = {
+            let table = table.clone();
+            let evictions = evictions.clone();
+            loom::thread::spawn(move || {
+                let mut t = table.lock().unwrap();
+                if t.refs == 1 && t.resident {
+                    t.resident = false;
+                    drop(t);
+                    evictions.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+
+        for r in readers {
+            r.join().unwrap();
+        }
+        t_evict.join().unwrap();
+        assert!(evictions.unsync_load() <= 1, "page evicted twice");
+        assert_eq!(table.lock().unwrap().refs, 1, "pin leaked");
+    });
+    assert!(
+        n > 1000,
+        "expected >1000 distinct interleavings, explored {n}"
+    );
+}
+
+#[test]
+fn known_bad_unlocked_refcount_check_is_caught() {
+    // Broken evictor: reads the refcount *before* taking the table lock
+    // (no re-check), so a reader can pin between the check and the evict.
+    let v = loom::try_model(|| {
+        let refs = Arc::new(AtomicUsize::new(1));
+        let resident = Arc::new(Mutex::new(true));
+
+        let t_reader = {
+            let refs = refs.clone();
+            let resident = resident.clone();
+            loom::thread::spawn(move || {
+                // get(): pin only while the page is still resident.
+                let pinned = {
+                    let r = resident.lock().unwrap();
+                    if *r {
+                        refs.fetch_add(1, Ordering::SeqCst);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if pinned {
+                    {
+                        let r = resident.lock().unwrap();
+                        assert!(*r, "page evicted while pinned");
+                    }
+                    refs.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+        };
+
+        let t_evict = {
+            let refs = refs.clone();
+            let resident = resident.clone();
+            loom::thread::spawn(move || {
+                let unpinned = refs.load(Ordering::SeqCst) == 1; // stale!
+                let mut r = resident.lock().unwrap();
+                if unpinned && *r {
+                    *r = false; // evicts without re-checking the pin
+                }
+            })
+        };
+
+        t_reader.join().unwrap();
+        t_evict.join().unwrap();
+    })
+    .expect_err("the unlocked refcount check must evict a pinned page");
+    assert!(
+        v.message.contains("evicted while pinned"),
+        "unexpected violation: {}",
+        v.message
+    );
+}

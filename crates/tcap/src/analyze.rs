@@ -59,14 +59,18 @@ impl TcapGraph {
         false
     }
 
-    /// A topological order of statement indices.
-    pub fn topo_order(&self) -> Vec<usize> {
+    /// A topological order of statement indices, or the set of statements
+    /// stuck on a cycle. (Kahn's algorithm: anything never reaching
+    /// in-degree zero is part of — or downstream of — a cycle.)
+    pub fn topo_order(&self) -> Result<Vec<usize>, CycleError> {
         let n = self.preds.len();
         let mut indeg: Vec<usize> = self.preds.iter().map(|p| p.len()).collect();
         let mut q: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
         while let Some(i) = q.pop_front() {
             order.push(i);
+            placed[i] = true;
             for &s in &self.succs[i] {
                 indeg[s] -= 1;
                 if indeg[s] == 0 {
@@ -74,7 +78,31 @@ impl TcapGraph {
                 }
             }
         }
-        order
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(CycleError {
+                stuck: (0..n).filter(|&i| !placed[i]).collect(),
+            })
+        }
+    }
+
+    /// Whether the statement graph contains a dependency cycle.
+    pub fn has_cycle(&self) -> bool {
+        self.topo_order().is_err()
+    }
+}
+
+/// The statement graph is cyclic: `stuck` lists every statement that could
+/// not be topologically ordered (cycle members and their descendants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    pub stuck: Vec<usize>,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dependency cycle through statements {:?}", self.stuck)
     }
 }
 
@@ -203,7 +231,27 @@ JK2_6(emp) <= FILTER(JK2_2(bl1), JK2_2(emp), 'Sel_43', []);
         assert!(g.is_ancestor(0, 3));
         assert!(g.is_ancestor(1, 2));
         assert!(!g.is_ancestor(3, 0));
-        assert_eq!(g.topo_order(), vec![0, 1, 2, 3]);
+        assert_eq!(g.topo_order(), Ok(vec![0, 1, 2, 3]));
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn cycles_are_detected_not_tolerated() {
+        // JK2_1 reads JK2_2's output and vice versa: a two-statement cycle.
+        let prog = parse_program(
+            r#"
+In(emp) <= INPUT('db', 'emps', 'Reader_1', []);
+JK2_1(emp,mt1) <= APPLY(JK2_2(emp), JK2_2(emp), 'Sel_43', 'method_call_1',
+    [('type', 'methodCall'), ('methodName', 'getSalary')]);
+JK2_2(emp,bl1) <= APPLY(JK2_1(mt1), JK2_1(emp), 'Sel_43', 'gt_1',
+    [('type', 'const_comparison'), ('op', 'gt')]);
+"#,
+        )
+        .unwrap();
+        let g = TcapGraph::build(&prog);
+        assert!(g.has_cycle());
+        let err = g.topo_order().unwrap_err();
+        assert_eq!(err.stuck, vec![1, 2]);
     }
 
     #[test]

@@ -23,13 +23,25 @@
 //!   elimination, selection push-down past joins, dead-column pruning),
 //!   fired iteratively to a fixpoint. The original system implements these
 //!   rules in Prolog; the semantics here follow the paper's §7 examples.
+//! * [`verify`](crate::verify()) — the multi-pass static verifier: well-formedness,
+//!   type flow, and liveness lints with stable `TVnnnn` error codes and
+//!   rustc-style rendered diagnostics. The optimizer asserts
+//!   verify-cleanliness after every rule application (debug-default), and
+//!   the executors verify every plan before accepting it.
+//! * [`mutate`] — the seeded plan mutator behind the verifier's mutation
+//!   gauntlet (~11 classes of deliberately-broken rewrites, each with the
+//!   `TV` code the verifier must raise).
 
 pub mod analyze;
 pub mod ir;
+pub mod mutate;
 pub mod optimize;
 pub mod parse;
+pub mod verify;
 
-pub use analyze::{Provenance, TcapGraph};
+pub use analyze::{CycleError, Provenance, TcapGraph};
 pub use ir::{ColRef, TcapOp, TcapProgram, TcapStmt, VecListDecl};
+pub use mutate::{mutate, Mutation, MutationKind, ALL_MUTATIONS};
 pub use optimize::{optimize, optimize_with, OptimizerReport, OptimizerRule};
 pub use parse::{parse_program, ParseError};
+pub use verify::{verify, ColType, Diagnostic, Severity, VerifyReport};

@@ -54,7 +54,18 @@ pub fn optimize(prog: &mut TcapProgram) -> OptimizerReport {
 }
 
 /// Optimizes with a chosen subset of rules (ablation support).
+///
+/// When post-rule verification is enabled
+/// ([`crate::verify::post_rule_checks_enabled`]: debug-default,
+/// `PC_VERIFY_RULES=1|0` overrides) and the *input* program verifies clean,
+/// every individual rule application is re-verified — a rule that breaks
+/// well-formedness or type flow panics at its birthplace with rendered
+/// diagnostics instead of surfacing as a runtime executor error.
 pub fn optimize_with(prog: &mut TcapProgram, rules: &[OptimizerRule]) -> OptimizerReport {
+    // Dirty input stays garbage-in/garbage-out: the acceptance paths reject
+    // it with proper diagnostics; only rule-introduced breakage panics here.
+    let check_rules =
+        crate::verify::post_rule_checks_enabled() && crate::verify::verify(prog).is_clean();
     let mut report = OptimizerReport::default();
     for _ in 0..100 {
         report.iterations += 1;
@@ -62,10 +73,12 @@ pub fn optimize_with(prog: &mut TcapProgram, rules: &[OptimizerRule]) -> Optimiz
         if rules.contains(&OptimizerRule::RedundantApply) && remove_redundant_apply(prog) {
             report.redundant_applies_removed += 1;
             changed = true;
+            assert_rule_clean(prog, check_rules, "RedundantApply");
         }
         if rules.contains(&OptimizerRule::SelectionPushdown) && push_down_selection(prog) {
             report.selections_pushed_down += 1;
             changed = true;
+            assert_rule_clean(prog, check_rules, "SelectionPushdown");
         }
         if rules.contains(&OptimizerRule::DeadColumns) {
             let (cols, stmts) = prune_dead(prog);
@@ -73,6 +86,7 @@ pub fn optimize_with(prog: &mut TcapProgram, rules: &[OptimizerRule]) -> Optimiz
                 report.dead_columns_pruned += cols;
                 report.dead_statements_removed += stmts;
                 changed = true;
+                assert_rule_clean(prog, check_rules, "DeadColumns");
             }
         }
         if !changed {
@@ -80,6 +94,21 @@ pub fn optimize_with(prog: &mut TcapProgram, rules: &[OptimizerRule]) -> Optimiz
         }
     }
     report
+}
+
+/// Post-rule verification: a rewrite that turned a clean program unclean is
+/// an optimizer bug, reported at its birthplace.
+fn assert_rule_clean(prog: &TcapProgram, enabled: bool, rule: &str) {
+    if !enabled {
+        return;
+    }
+    let report = crate::verify::verify(prog);
+    if !report.is_clean() {
+        panic!(
+            "optimizer rule {rule} broke the program:\n{}\nprogram after the rule:\n{prog}",
+            report.render()
+        );
+    }
 }
 
 // ------------------------------------------------------------- ref renaming

@@ -1,0 +1,146 @@
+//! Golden-file snapshots of the verifier's rendered diagnostics.
+//!
+//! `tests/verify_diags/` holds one minimal TCAP program per diagnostic
+//! code (`TVnnnn.tcap`) next to the exact rendering the verifier must
+//! produce for it (`TVnnnn.expected`). The harness parses each program,
+//! verifies it, and compares the rendering byte-for-byte — so any change
+//! to a message, note, span, or the rustc-style frame shows up as a
+//! reviewable diff in the `.expected` file, not as a silent drift.
+//!
+//! To regenerate after an intentional wording change:
+//!
+//! ```text
+//! UPDATE_EXPECT=1 cargo test -p pc-tcap --test verify_diags
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use pc_tcap::parse::parse_program;
+use pc_tcap::verify;
+
+/// Every code the verifier can emit. A `.tcap` trigger program must exist
+/// for each — deleting one from the corpus fails the suite.
+const ALL_CODES: &[&str] = &[
+    "TV0001", "TV0002", "TV0003", "TV0004", "TV0005", "TV0006", "TV0007", "TV0008", "TV0009",
+    "TV0101", "TV0102", "TV0103", "TV0104", "TV0105", "TV0106", "TV0201", "TV0202",
+];
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/verify_diags")
+}
+
+fn update_mode() -> bool {
+    std::env::var("UPDATE_EXPECT")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Renders one trigger program and checks it against its `.expected` file.
+/// Returns an error description instead of panicking so the caller can
+/// report every drifted snapshot at once.
+fn check_one(code: &str) -> Result<(), String> {
+    let dir = corpus_dir();
+    let tcap_path = dir.join(format!("{code}.tcap"));
+    let expected_path = dir.join(format!("{code}.expected"));
+
+    let src = std::fs::read_to_string(&tcap_path).map_err(|e| {
+        format!(
+            "{code}: missing trigger program {}: {e}",
+            tcap_path.display()
+        )
+    })?;
+    let prog = parse_program(&src).map_err(|e| format!("{code}: trigger does not parse: {e}"))?;
+    let report = verify::verify(&prog);
+
+    // The program must actually trigger the code it documents.
+    if !report.has_code(code) {
+        return Err(format!(
+            "{code}: trigger program no longer emits it; got {:?}\n{}",
+            report.codes(),
+            report.render()
+        ));
+    }
+    let rendered = report.render();
+
+    if update_mode() {
+        std::fs::write(&expected_path, &rendered)
+            .map_err(|e| format!("{code}: cannot write {}: {e}", expected_path.display()))?;
+        return Ok(());
+    }
+
+    let expected = std::fs::read_to_string(&expected_path).map_err(|_| {
+        format!(
+            "{code}: no golden file; run with UPDATE_EXPECT=1 to create {}",
+            expected_path.display()
+        )
+    })?;
+    if rendered != expected {
+        return Err(format!(
+            "{code}: rendering drifted from the golden file.\n\
+             --- expected ({}) ---\n{expected}\n--- got ---\n{rendered}\n\
+             (UPDATE_EXPECT=1 regenerates if the change is intentional)",
+            expected_path.display()
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn every_diagnostic_code_has_a_golden_rendering() {
+    let failures: Vec<String> = ALL_CODES
+        .iter()
+        .filter_map(|code| check_one(code).err())
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} snapshot failure(s):\n\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn corpus_has_no_stray_files() {
+    // Every file in the directory must belong to a known code: orphaned
+    // snapshots (e.g. from a renamed code) rot silently otherwise.
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir exists") {
+        let name = entry.expect("readable entry").file_name();
+        let name = name.to_string_lossy();
+        let stem = name
+            .strip_suffix(".tcap")
+            .or_else(|| name.strip_suffix(".expected"));
+        match stem {
+            Some(code) => assert!(
+                ALL_CODES.contains(&code),
+                "stray snapshot for unknown code: {name}"
+            ),
+            None => panic!("unexpected file in verify_diags corpus: {name}"),
+        }
+    }
+}
+
+#[test]
+fn error_codes_render_as_errors_and_warnings_as_warnings() {
+    for code in ALL_CODES {
+        let src = std::fs::read_to_string(corpus_dir().join(format!("{code}.tcap")))
+            .expect("trigger exists");
+        let report = verify::verify(&parse_program(&src).expect("parses"));
+        let is_warning_code = code.starts_with("TV02");
+        if is_warning_code {
+            assert!(
+                report.is_clean(),
+                "{code} is a lint and must not fail verification:\n{}",
+                report.render()
+            );
+            assert!(
+                report.warnings().count() > 0,
+                "{code}: no warnings reported"
+            );
+        } else {
+            assert!(
+                !report.is_clean(),
+                "{code} is an error and must fail verification"
+            );
+        }
+    }
+}
